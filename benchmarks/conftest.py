@@ -1,0 +1,11 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's reported results (see the
+per-experiment index in DESIGN.md) and prints the corresponding table or
+series via :func:`repro.experiments.reporting.emit_block`, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the evaluation section's numbers; the pytest-benchmark timings are
+a by-product that track how expensive each harness is.
+"""

@@ -1,0 +1,106 @@
+"""A1-A4 — ablation sweeps backing the paper's Section V-C prose.
+
+* A1 miner participation: "if only a fraction of the miners were assisting
+  ... there would still be benefits proportional to the participation".
+* A2 gossip impairment: "or if communication of the TxPool were impeded".
+* A3 submission interval: baseline efficiency is "more sensitive to the
+  transaction interval" at high read ratios.
+* A4 block interval: HMS reduces the significance of the block interval
+  (the reparameterization discussion in Section VI).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.plotting import format_percentage, format_table
+from repro.experiments.ablations import (
+    sweep_block_interval,
+    sweep_gossip_impairment,
+    sweep_semantic_miner_fraction,
+    sweep_submission_interval,
+)
+from repro.experiments.reporting import emit_block as emit
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.scenario import GETH_UNMODIFIED, SEMANTIC_MINING, SERETH_CLIENT_SCENARIO
+
+
+def render(result):
+    rows = [
+        [point.scenario, f"{point.parameter:g}", format_percentage(point.mean_efficiency)]
+        for point in result.points
+    ]
+    return format_table(["scenario", result.parameter_name, "efficiency"], rows)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bench_ablation_miner_fraction(benchmark):
+    base = ExperimentConfig(scenario=SEMANTIC_MINING, buys_per_set=2.0, num_buys=60, num_buyers=3, seed=31)
+    result = benchmark.pedantic(
+        lambda: sweep_semantic_miner_fraction(
+            fractions=(0.0, 0.25, 0.5, 0.75, 1.0), trials=2, base=base, num_miners=4
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("A1 — semantic mining participation (paper: Section V-C prose)", render(result))
+    values = result.values("semantic_mining")
+    # Benefits should be roughly proportional to participation: full assistance
+    # beats no assistance by a clear margin and is (near-)monotone overall.
+    assert values[-1] > values[0]
+    assert values[-1] >= 0.75
+    benchmark.extra_info["efficiency_by_fraction"] = values
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bench_ablation_gossip_impairment(benchmark):
+    base = ExperimentConfig(
+        scenario=SERETH_CLIENT_SCENARIO, buys_per_set=2.0, num_buys=60, num_buyers=3, seed=37
+    )
+    result = benchmark.pedantic(
+        lambda: sweep_gossip_impairment(latencies=(0.05, 0.5, 2.0, 5.0), trials=2, base=base),
+        rounds=1,
+        iterations=1,
+    )
+    emit("A2 — TxPool gossip impairment (paper: Section V-C prose)", render(result))
+    sereth = [point.mean_efficiency for point in result.series("sereth_client")]
+    # Impeded pool communication degrades the client-only HMS view.
+    assert sereth[0] >= sereth[-1]
+    benchmark.extra_info["sereth_efficiency_by_latency"] = sereth
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bench_ablation_submission_interval(benchmark):
+    base = ExperimentConfig(scenario=GETH_UNMODIFIED, num_buys=60, num_buyers=3, seed=41)
+    result = benchmark.pedantic(
+        lambda: sweep_submission_interval(intervals=(0.25, 0.5, 1.0, 2.0), trials=2, base=base, buys_per_set=10.0),
+        rounds=1,
+        iterations=1,
+    )
+    emit("A3 — submission-interval sensitivity at 10:1 (paper: Section V-A prose)", render(result))
+    geth = [point.mean_efficiency for point in result.series("geth_unmodified")]
+    sereth = [point.mean_efficiency for point in result.series("sereth_client")]
+    # HMS clients should dominate the baseline at every submission interval.
+    assert all(s >= g - 0.05 for g, s in zip(geth, sereth))
+    benchmark.extra_info["geth"] = geth
+    benchmark.extra_info["sereth"] = sereth
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bench_ablation_block_interval(benchmark):
+    base = ExperimentConfig(scenario=GETH_UNMODIFIED, buys_per_set=4.0, num_buys=60, num_buyers=3, seed=43)
+    result = benchmark.pedantic(
+        lambda: sweep_block_interval(block_intervals=(5.0, 13.0, 30.0, 60.0), trials=2, base=base),
+        rounds=1,
+        iterations=1,
+    )
+    emit("A4 — block-interval sensitivity (paper: Section VI reparameterization)", render(result))
+    geth = [point.mean_efficiency for point in result.series("geth_unmodified")]
+    semantic = [point.mean_efficiency for point in result.series("semantic_mining")]
+    # Longer block intervals hurt the READ-COMMITTED baseline much more than
+    # the HMS-assisted configurations (HMS "decreases the significance of
+    # block interval").
+    assert geth[0] >= geth[-1] - 0.05
+    assert min(semantic) >= 0.7
+    benchmark.extra_info["geth"] = geth
+    benchmark.extra_info["semantic"] = semantic

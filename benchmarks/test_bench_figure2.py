@@ -1,0 +1,52 @@
+"""E1 — Figure 2: transaction efficiency vs READ-UNCOMMITTED/WRITE ratio.
+
+Regenerates the paper's single quantitative figure: the efficiency of 100
+buy transactions at buy:set ratios from 1:1 to 20:1 under the three
+scenarios (unmodified Geth, Sereth client, semantic mining), with 90%
+confidence intervals over seeded trials.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure2 import Figure2Config, run_figure2
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.scenario import GETH_UNMODIFIED
+
+from repro.experiments.reporting import emit_block as emit
+
+RATIOS = (1.0, 2.0, 4.0, 10.0, 20.0)
+TRIALS = 2
+NUM_BUYS = 100
+
+
+def run_sweep():
+    config = Figure2Config(
+        ratios=RATIOS,
+        trials=TRIALS,
+        num_buys=NUM_BUYS,
+        base=ExperimentConfig(scenario=GETH_UNMODIFIED, seed=11),
+    )
+    return run_figure2(config)
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_bench_figure2(benchmark):
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit("Figure 2 — eta vs buy:set ratio (paper: Fig. 2)", result.as_table() + "\n\n" + result.as_chart())
+
+    # Shape assertions: the orderings the figure reports must hold.
+    for ratio in RATIOS:
+        geth = result.point("geth_unmodified", ratio).mean_efficiency
+        sereth = result.point("sereth_client", ratio).mean_efficiency
+        semantic = result.point("semantic_mining", ratio).mean_efficiency
+        assert geth <= sereth + 0.05, f"HMS client should beat baseline at {ratio}:1"
+        assert sereth <= semantic + 0.05, f"semantic mining should beat client-only at {ratio}:1"
+        assert semantic >= 0.75, f"semantic mining should commit most buys at {ratio}:1"
+    # Baseline must be poor where state changes are frequent (paper: a few percent).
+    assert result.point("geth_unmodified", 1.0).mean_efficiency <= 0.20
+
+    benchmark.extra_info["series_geth"] = result.series("geth_unmodified")
+    benchmark.extra_info["series_sereth"] = result.series("sereth_client")
+    benchmark.extra_info["series_semantic"] = result.series("semantic_mining")

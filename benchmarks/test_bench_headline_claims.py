@@ -1,0 +1,51 @@
+"""E4 — the paper's headline claims, evaluated on a measured Figure 2 sweep.
+
+* client-only HMS improves state throughput across the whole ratio range
+  (paper: "a factor of five");
+* semantic mining lifts efficiency from a few percent to most transactions
+  succeeding where state changes are frequent (paper: "<5% to >80%", an
+  order of magnitude);
+* the relative gain is largest at 1-2 buys per set;
+* all sets succeed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.plotting import format_table
+from repro.experiments.claims import check_headline_claims
+from repro.experiments.figure2 import Figure2Config, run_figure2
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.scenario import GETH_UNMODIFIED
+
+from repro.experiments.reporting import emit_block as emit
+
+
+def run_claims():
+    config = Figure2Config(
+        ratios=(1.0, 2.0, 10.0, 20.0),
+        trials=2,
+        num_buys=100,
+        base=ExperimentConfig(scenario=GETH_UNMODIFIED, seed=23),
+    )
+    figure2 = run_figure2(config, keep_results=True)
+    return figure2, check_headline_claims(figure2)
+
+
+@pytest.mark.benchmark(group="headline-claims")
+def test_bench_headline_claims(benchmark):
+    figure2, checks = benchmark.pedantic(run_claims, rounds=1, iterations=1)
+    rows = [
+        [check.claim[:60], check.paper_value, check.measured_value, "yes" if check.holds else "NO"]
+        for check in checks
+    ]
+    emit(
+        "Headline claims (paper: Abstract / Section VII)",
+        format_table(["claim", "paper", "measured", "holds"], rows),
+    )
+    # The qualitative shape must hold; exact multipliers are testbed-dependent.
+    assert checks[0].holds, "client-only HMS must improve efficiency across the range"
+    assert checks[1].holds, "semantic mining must lift low-ratio efficiency dramatically"
+    assert all(check.holds for check in checks if "sets succeed" in check.claim)
+    benchmark.extra_info["claims"] = [(check.claim, check.holds) for check in checks]

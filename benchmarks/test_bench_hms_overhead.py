@@ -1,0 +1,99 @@
+"""A6 — HMS processing overhead (paper: Section III-C).
+
+"Due to this filtering only a small percentage of the TxPool requires
+processing, so the overhead of HMS is relatively small."  These
+microbenchmarks measure the cost of one HMS view computation as a function
+of pool size and of the fraction of the pool that is Sereth traffic, plus
+the cost of the underlying substrate operations (keccak, block execution).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain import Blockchain, GenesisConfig, Transaction
+from repro.contracts.sereth import SerethContract, genesis_storage, initial_mark
+from repro.core.hms.fpv import HEAD_FLAG, SUCCESS_FLAG, compute_mark, fpv_to_words
+from repro.core.hms.hash_mark_set import HashMarkSet
+from repro.core.hms.process import HMSConfig
+from repro.crypto.addresses import address_from_label
+from repro.crypto.keccak import Keccak256
+from repro.encoding.hexutil import to_bytes32
+from repro.evm import ExecutionEngine
+from repro.experiments.reporting import emit_block as emit
+
+OWNER = address_from_label("owner")
+OTHER = address_from_label("other")
+CONTRACT = address_from_label("sereth-exchange")
+SET_ABI = SerethContract.function_by_name("set").abi
+CONFIG = HMSConfig(contract_address=CONTRACT, set_selector=SET_ABI.selector)
+
+
+def build_pool(total: int, sereth_fraction: float):
+    """A pool with ``total`` entries of which ``sereth_fraction`` are Sereth sets."""
+    sereth_count = int(total * sereth_fraction)
+    entries = []
+    mark = initial_mark(CONTRACT)
+    for index in range(sereth_count):
+        flag = HEAD_FLAG if index == 0 else SUCCESS_FLAG
+        calldata = SET_ABI.encode_call(fpv_to_words(flag, mark, 100 + index))
+        entries.append((Transaction(sender=OWNER, nonce=index, to=CONTRACT, data=calldata), float(index)))
+        mark = compute_mark(mark, to_bytes32(100 + index))
+    for index in range(total - sereth_count):
+        entries.append(
+            (Transaction(sender=OTHER, nonce=index, to=OTHER, value=1), float(sereth_count + index))
+        )
+    return entries
+
+
+@pytest.mark.benchmark(group="hms-overhead")
+@pytest.mark.parametrize("pool_size", [50, 200, 800])
+def test_bench_hms_view_vs_pool_size(benchmark, pool_size):
+    """Cost of one READ-UNCOMMITTED view computation at 20% Sereth traffic."""
+    entries = build_pool(pool_size, sereth_fraction=0.2)
+    hms = HashMarkSet(CONFIG)
+    view = benchmark(lambda: hms.read_uncommitted(entries))
+    assert view.source == "series"
+    assert view.depth == int(pool_size * 0.2)
+
+
+@pytest.mark.benchmark(group="hms-overhead")
+@pytest.mark.parametrize("sereth_fraction", [0.05, 0.5, 1.0])
+def test_bench_hms_view_vs_sereth_fraction(benchmark, sereth_fraction):
+    """Cost of the view as the Sereth share of a 400-entry pool grows."""
+    entries = build_pool(400, sereth_fraction=sereth_fraction)
+    hms = HashMarkSet(CONFIG)
+    view = benchmark(lambda: hms.read_uncommitted(entries))
+    assert view.depth == int(400 * sereth_fraction)
+
+
+@pytest.mark.benchmark(group="substrate-micro")
+def test_bench_keccak256_small_input(benchmark):
+    """Raw Keccak-f[1600] sponge cost for a 64-byte message (uncached)."""
+    message = bytes(range(64))
+    digest = benchmark(lambda: Keccak256(message).digest())
+    assert len(digest) == 32
+
+
+@pytest.mark.benchmark(group="substrate-micro")
+def test_bench_block_execution_and_validation(benchmark):
+    """Execute-and-validate cost for a 50-transaction Sereth block."""
+    genesis = GenesisConfig.for_labels(["owner", "miner"])
+    genesis.deploy_contract(CONTRACT, "Sereth", storage=genesis_storage(OWNER, CONTRACT))
+    producer = Blockchain(ExecutionEngine(), genesis)
+    mark = initial_mark(CONTRACT)
+    transactions = []
+    for index in range(50):
+        flag = HEAD_FLAG if index == 0 else SUCCESS_FLAG
+        calldata = SET_ABI.encode_call(fpv_to_words(flag, mark, 100 + index))
+        transactions.append(Transaction(sender=OWNER, nonce=index, to=CONTRACT, data=calldata))
+        mark = compute_mark(mark, to_bytes32(100 + index))
+
+    def produce_and_validate():
+        block, _ = producer.build_block(transactions, miner=address_from_label("miner"), timestamp=13.0)
+        validator = Blockchain(ExecutionEngine(), genesis)
+        validator.add_block(block)
+        return block
+
+    block = benchmark(produce_and_validate)
+    assert block.successful_transaction_count() == 50

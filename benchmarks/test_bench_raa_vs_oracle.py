@@ -1,0 +1,41 @@
+"""A5 — RAA versus a conventional blockchain oracle (paper: Sections II-E, III-D).
+
+The paper motivates RAA by the structural latency of request/response
+oracles: intra-block data cannot be obtained through an oracle because the
+request and the answer must each commit in a block.  This bench measures the
+data latency of both paths on the same simulated network.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.plotting import format_table
+from repro.experiments.reporting import emit_block as emit
+from repro.oracle.comparison import OracleComparisonConfig, run_raa_vs_oracle
+
+
+@pytest.mark.benchmark(group="raa-vs-oracle")
+def test_bench_raa_vs_oracle(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_raa_vs_oracle(OracleComparisonConfig(num_queries=10, seed=47)),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        ["RAA (local view call)", f"{result.mean_raa_latency:.3f}", f"{max(result.raa_latencies):.3f}"],
+        [
+            "Oracle (request + answer round trip)",
+            f"{result.mean_oracle_latency:.1f}",
+            f"{max(result.oracle_latencies):.1f}",
+        ],
+    ]
+    emit(
+        "A5 — data latency: RAA vs conventional oracle (paper: Section III-D)",
+        format_table(["path", "mean latency (s)", "max latency (s)"], rows),
+    )
+    assert result.oracle_unanswered == 0
+    assert result.mean_oracle_latency > result.config.block_interval * 0.5
+    assert result.mean_raa_latency < 0.01
+    benchmark.extra_info["mean_oracle_latency"] = result.mean_oracle_latency
+    benchmark.extra_info["mean_raa_latency"] = result.mean_raa_latency

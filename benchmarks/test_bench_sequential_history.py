@@ -1,0 +1,32 @@
+"""E2 — sequential history: a single-sender workload commits with eta = 1.0.
+
+Paper, Section V: "the transaction failure rate was zero and the transaction
+efficiency was 1.0" when all transactions come from one address (real-time
+order = nonce order = block order).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.sequential import SequentialHistoryConfig, run_sequential_history
+
+from repro.experiments.reporting import emit_block as emit
+
+
+@pytest.mark.benchmark(group="sequential-history")
+def test_bench_sequential_history(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_sequential_history(SequentialHistoryConfig(num_pairs=25, seed=4)),
+        rounds=1,
+        iterations=1,
+    )
+    report = result.report
+    emit(
+        "Sequential history (paper: Section V, qualitative experiment)",
+        f"submitted={report.submitted}  committed={report.committed}  "
+        f"successful={report.successful}  efficiency={report.efficiency:.3f} (paper: 1.0)",
+    )
+    assert report.committed == report.submitted == 50
+    assert result.efficiency == 1.0
+    benchmark.extra_info["efficiency"] = result.efficiency

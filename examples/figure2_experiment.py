@@ -1,0 +1,61 @@
+"""Regenerate Figure 2: transaction efficiency vs READ-UNCOMMITTED/WRITE ratio.
+
+Runs the dynamic-pricing market workload for the three scenarios of the
+paper's evaluation (unmodified Geth, Sereth client, semantic mining) across
+a sweep of buy:set ratios and prints the table, the ASCII chart, and the
+headline-claim checks.
+
+Run with:  python examples/figure2_experiment.py           (reduced, ~30 s)
+           python examples/figure2_experiment.py --full    (paper-sized sweep)
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.plotting import format_table
+from repro.experiments.claims import check_headline_claims
+from repro.experiments.figure2 import Figure2Config, run_figure2
+from repro.experiments.reporting import emit_block
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.scenario import GETH_UNMODIFIED
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="run the paper-sized sweep (slower)")
+    parser.add_argument("--seed", type=int, default=11, help="base random seed")
+    arguments = parser.parse_args()
+
+    if arguments.full:
+        config = Figure2Config(
+            ratios=(1.0, 2.0, 4.0, 10.0, 20.0),
+            trials=5,
+            num_buys=100,
+            base=ExperimentConfig(scenario=GETH_UNMODIFIED, seed=arguments.seed),
+        )
+    else:
+        config = Figure2Config(
+            ratios=(1.0, 2.0, 10.0, 20.0),
+            trials=2,
+            num_buys=60,
+            base=ExperimentConfig(scenario=GETH_UNMODIFIED, seed=arguments.seed, num_buyers=3),
+        )
+
+    result = run_figure2(config, keep_results=True)
+    emit_block("Figure 2 — transaction efficiency vs buy:set ratio", result.as_table())
+    emit_block("Figure 2 — ASCII rendering", result.as_chart())
+
+    checks = check_headline_claims(result)
+    rows = [
+        [check.claim[:58], check.paper_value, check.measured_value, "yes" if check.holds else "NO"]
+        for check in checks
+    ]
+    emit_block(
+        "Headline claims (Abstract / Section VII)",
+        format_table(["claim", "paper", "measured", "holds"], rows),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""Quickstart: a private network, the Sereth contract, and the HMS view.
+
+Builds a three-peer simulated Ethereum network (one miner, two client
+peers running the Sereth client), deploys the Sereth dynamic-pricing
+contract through a regular contract-creation transaction, and then shows
+the difference between the READ-COMMITTED view (contract storage of the
+last published block) and the READ-UNCOMMITTED view (Hash-Mark-Set over
+the pending pool, delivered through Runtime Argument Augmentation).
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.chain import GenesisConfig
+from repro.clients.base import ContractClient
+from repro.clients.market import Buyer, PriceSetter, READ_COMMITTED, READ_UNCOMMITTED
+from repro.consensus.interval import FixedInterval
+from repro.consensus.policies import ArrivalJitterPolicy
+from repro.contracts.sereth import SET_SELECTOR, initial_mark
+from repro.crypto.addresses import address_from_label, contract_address, to_checksum
+from repro.encoding.hexutil import int_from_bytes32
+from repro.experiments.reporting import emit_block
+from repro.net.latency import UniformLatency
+from repro.net.mining import BlockProductionProcess
+from repro.net.network import Network
+from repro.net.peer import Peer, SERETH_CLIENT
+from repro.net.sim import Simulator
+
+
+def main() -> None:
+    simulator = Simulator()
+    network = Network(simulator, latency=UniformLatency(0.02, 0.1, seed=1), seed=1)
+
+    # Fund the actors and stand up three Sereth peers.
+    genesis = GenesisConfig.for_labels(["owner", "buyer"])
+    genesis.fund(address_from_label("miner/miner-0"))
+    miner_peer = network.add_peer(Peer("miner-0", genesis, client_kind=SERETH_CLIENT))
+    owner_peer = network.add_peer(Peer("owner-peer", genesis, client_kind=SERETH_CLIENT))
+    buyer_peer = network.add_peer(Peer("buyer-peer", genesis, client_kind=SERETH_CLIENT))
+
+    production = BlockProductionProcess(
+        simulator, network, interval_model=FixedInterval(13.0), seed=1
+    )
+    production.register_miner(miner_peer, policy=ArrivalJitterPolicy(jitter_seconds=4.0, seed=1))
+    production.start()
+
+    # Deploy the Sereth contract from the owner account (block 1 will commit it).
+    owner = ContractClient("owner", owner_peer, simulator)
+    deployment = owner.deploy("Sereth")
+    sereth_address = contract_address(owner.address, deployment.nonce)
+    simulator.run_until(15.0)
+    emit_block(
+        "Deployment",
+        f"Sereth deployed at {to_checksum(sereth_address)} in block "
+        f"{miner_peer.chain.receipt_for(deployment.hash).block_number}",
+    )
+
+    # Every Sereth peer serves the HMS view of its own pool for this contract.
+    for peer in (miner_peer, owner_peer, buyer_peer):
+        peer.install_hms(sereth_address, SET_SELECTOR)
+
+    # The owner opens trading and immediately changes the price twice; the
+    # changes are pending (uncommitted) until the next block.
+    setter = PriceSetter("owner", owner_peer, simulator, sereth_address)
+    setter.prime_mark(initial_mark(sereth_address))
+    setter.set_price(100)
+    setter.set_price(105)
+    setter.set_price(97)
+
+    committed_buyer = Buyer("buyer", buyer_peer, simulator, sereth_address, read_mode=READ_COMMITTED)
+    hms_buyer = Buyer("buyer", buyer_peer, simulator, sereth_address, read_mode=READ_UNCOMMITTED)
+    simulator.run_until(16.0)  # let the pending sets gossip to the buyer's peer
+
+    committed_mark, committed_price = committed_buyer.observe_market()
+    pending_mark, pending_price = hms_buyer.observe_market()
+    emit_block(
+        "Two views of the same storage variable",
+        "\n".join(
+            [
+                f"READ-COMMITTED  price = {int_from_bytes32(committed_price):>4}   "
+                f"mark = {committed_mark.hex()[:16]}…",
+                f"READ-UNCOMMITTED price = {int_from_bytes32(pending_price):>4}   "
+                f"mark = {pending_mark.hex()[:16]}…  (after 3 pending sets)",
+            ]
+        ),
+    )
+
+    # Both buyers submit a buy at the terms they observed; the next block decides.
+    stale_buy = committed_buyer.buy()
+    fresh_buy = hms_buyer.buy()
+    simulator.run_until(45.0)
+    production.stop()
+
+    chain = miner_peer.chain
+    stale_receipt = chain.receipt_for(stale_buy.hash)
+    fresh_receipt = chain.receipt_for(fresh_buy.hash)
+    emit_block(
+        "Outcome after the next block",
+        "\n".join(
+            [
+                f"buy using the committed view:    success={stale_receipt.success}   "
+                f"error={stale_receipt.error}",
+                f"buy using the HMS (RAA) view:    success={fresh_receipt.success}",
+                f"chain height = {chain.height}, peers agree on state root: "
+                f"{len({peer.chain.state.state_root() for peer in network.peers()}) == 1}",
+            ]
+        ),
+    )
+
+
+if __name__ == "__main__":
+    main()

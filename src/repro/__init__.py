@@ -1,0 +1,28 @@
+"""repro: a reproduction of "Read-Uncommitted Transactions for Smart Contract
+Performance" (Cook, Painter, Peterson, Dechev — ICDCS 2019).
+
+The package provides:
+
+* ``repro.core`` — the paper's contributions: the Hash-Mark-Set algorithm
+  (Algorithms 1-3), semantic mining, Runtime Argument Augmentation, and the
+  state-throughput metrics;
+* ``repro.chain`` / ``repro.evm`` / ``repro.txpool`` / ``repro.consensus`` /
+  ``repro.net`` — the simulated Ethereum substrate the paper's system runs
+  on (accounts, transactions, blocks, a contract engine, pools, miners, and
+  a discrete-event gossip network);
+* ``repro.contracts`` — the Sereth contract (Listing 1) and companions;
+* ``repro.clients`` / ``repro.workloads`` / ``repro.experiments`` — the
+  dynamic-pricing market workload and the harness that regenerates the
+  paper's evaluation (Figure 2 and the headline claims).
+
+Quickstart::
+
+    from repro.experiments import ExperimentConfig, SEMANTIC_MINING, run_market_experiment
+
+    result = run_market_experiment(ExperimentConfig(scenario=SEMANTIC_MINING, buys_per_set=2.0))
+    print(result.efficiency)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,24 @@
+"""Result analysis: summary statistics, confidence intervals, rendering, persistence."""
+
+from .persistence import (
+    experiment_result_to_dict,
+    figure2_result_to_dict,
+    load_json,
+    save_json,
+)
+from .plotting import ascii_chart, format_percentage, format_table
+from .stats import SummaryStats, confidence_interval, moving_average, summarize
+
+__all__ = [
+    "experiment_result_to_dict",
+    "figure2_result_to_dict",
+    "load_json",
+    "save_json",
+    "ascii_chart",
+    "format_percentage",
+    "format_table",
+    "SummaryStats",
+    "confidence_interval",
+    "moving_average",
+    "summarize",
+]

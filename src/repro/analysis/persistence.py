@@ -1,0 +1,98 @@
+"""Result persistence: save and reload experiment results as JSON.
+
+Sweeps take minutes at paper scale, so the harness can write its results to
+disk and the analysis/plotting steps can re-run without re-simulating.  The
+format is plain JSON with hex-encoded byte fields, so results are diffable
+and usable outside Python.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..core.metrics import ThroughputReport
+from ..experiments.figure2 import Figure2Result
+from ..experiments.runner import ExperimentResult
+
+__all__ = [
+    "experiment_result_to_dict",
+    "figure2_result_to_dict",
+    "save_json",
+    "load_json",
+]
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert values into JSON-encodable equivalents."""
+    if isinstance(value, bytes):
+        return "0x" + value.hex()
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(asdict(value))
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def experiment_result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """Flatten one market-experiment result into a JSON-ready dictionary."""
+    return {
+        "scenario": result.config.scenario.name,
+        "config": {
+            "buys_per_set": result.config.buys_per_set,
+            "num_buys": result.config.num_buys,
+            "submission_interval": result.config.submission_interval,
+            "block_interval": result.config.block_interval,
+            "num_buyers": result.config.num_buyers,
+            "num_miners": result.config.num_miners,
+            "gossip_latency": result.config.gossip_latency,
+            "miner_order_jitter": result.config.miner_order_jitter,
+            "seed": result.config.seed,
+        },
+        "contract": "0x" + result.contract.hex(),
+        "blocks_produced": result.blocks_produced,
+        "simulated_seconds": result.simulated_seconds,
+        "buy_report": _jsonable(result.buy_report.as_dict()),
+        "set_report": _jsonable(result.set_report.as_dict()),
+        "efficiency": result.efficiency,
+    }
+
+
+def figure2_result_to_dict(result: Figure2Result) -> Dict[str, Any]:
+    """Flatten a Figure 2 sweep (per-point means, CIs, and raw trials)."""
+    return {
+        "ratios": list(result.config.ratios),
+        "trials": result.config.trials,
+        "num_buys": result.config.num_buys,
+        "scenarios": [scenario.name for scenario in result.config.scenarios],
+        "points": [
+            {
+                "scenario": point.scenario,
+                "ratio": point.ratio,
+                "efficiencies": point.efficiencies,
+                "mean": point.stats.mean,
+                "stddev": point.stats.stddev,
+                "confidence_halfwidth": point.stats.confidence_halfwidth,
+            }
+            for point in result.points
+        ],
+    }
+
+
+def save_json(data: Union[Dict[str, Any], List[Any]], path: Union[str, Path]) -> Path:
+    """Write ``data`` to ``path`` as pretty-printed JSON; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(_jsonable(data), indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return target
+
+
+def load_json(path: Union[str, Path]) -> Any:
+    """Read JSON previously written by :func:`save_json`."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

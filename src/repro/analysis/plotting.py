@@ -1,0 +1,75 @@
+"""Terminal-friendly rendering of experiment results (tables and ASCII charts).
+
+The benchmark harness has no plotting stack (offline environment), so the
+figures are emitted as aligned tables plus a coarse ASCII chart — enough to
+see the shape Figure 2 reports: which scenario wins, by what factor, and how
+the gap changes with the read/write ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "ascii_chart", "format_percentage"]
+
+
+def format_percentage(value: float) -> str:
+    return f"{100.0 * value:5.1f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[column]) for column, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[column] for column in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[column]) for column, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[str],
+    height: int = 12,
+    y_max: float = 1.0,
+    title: Optional[str] = None,
+) -> str:
+    """Render one or more series (values in [0, y_max]) as an ASCII chart.
+
+    Each series gets a distinct marker; collisions show the marker of the
+    series listed last.
+    """
+    if height < 3:
+        raise ValueError("chart height must be at least 3")
+    markers = "ox*+#@%&"
+    columns = len(x_labels)
+    grid = [[" "] * columns for _ in range(height)]
+    legend = []
+    for series_index, (name, values) in enumerate(series.items()):
+        marker = markers[series_index % len(markers)]
+        legend.append(f"{marker} = {name}")
+        for column, value in enumerate(values[:columns]):
+            clamped = min(max(value, 0.0), y_max)
+            row = height - 1 - int(round((clamped / y_max) * (height - 1)))
+            grid[row][column] = marker
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        level = y_max * (height - 1 - row_index) / (height - 1)
+        lines.append(f"{level:5.2f} | " + "  ".join(row))
+    lines.append("      +-" + "---" * columns)
+    lines.append("        " + "  ".join(label[:2].rjust(2) for label in x_labels))
+    lines.append("        (" + ", ".join(legend) + ")")
+    return "\n".join(lines)

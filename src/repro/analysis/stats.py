@@ -1,0 +1,98 @@
+"""Summary statistics for experiment sweeps.
+
+Figure 2's lines are "smoothed averages of the points shown, with the shaded
+areas representing the 90 percent confidence interval"; these helpers
+compute the per-point mean, the confidence half-width (Student-t for the
+small trial counts used here), and a simple moving-average smoother.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+__all__ = ["SummaryStats", "summarize", "confidence_interval", "moving_average"]
+
+# Two-sided Student-t critical values for 90% confidence, indexed by degrees
+# of freedom (1..30).  Falls back to the normal value (1.645) beyond that.
+_T_90 = {
+    1: 6.314, 2: 2.920, 3: 2.353, 4: 2.132, 5: 2.015, 6: 1.943, 7: 1.895,
+    8: 1.860, 9: 1.833, 10: 1.812, 11: 1.796, 12: 1.782, 13: 1.771, 14: 1.761,
+    15: 1.753, 16: 1.746, 17: 1.740, 18: 1.734, 19: 1.729, 20: 1.725,
+    21: 1.721, 22: 1.717, 23: 1.714, 24: 1.711, 25: 1.708, 26: 1.706,
+    27: 1.703, 28: 1.701, 29: 1.699, 30: 1.697,
+}
+_Z_90 = 1.645
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean, spread, and a 90% confidence half-width over repeated trials."""
+
+    count: int
+    mean: float
+    stddev: float
+    minimum: float
+    maximum: float
+    confidence_halfwidth: float
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.confidence_halfwidth
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.confidence_halfwidth
+
+
+def _t_critical(degrees_of_freedom: int) -> float:
+    if degrees_of_freedom <= 0:
+        return 0.0
+    return _T_90.get(degrees_of_freedom, _Z_90)
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Summarize a set of repeated measurements."""
+    data = [float(value) for value in values]
+    if not data:
+        raise ValueError("cannot summarize an empty sequence")
+    count = len(data)
+    mean = sum(data) / count
+    if count > 1:
+        variance = sum((value - mean) ** 2 for value in data) / (count - 1)
+        stddev = math.sqrt(variance)
+        halfwidth = _t_critical(count - 1) * stddev / math.sqrt(count)
+    else:
+        stddev = 0.0
+        halfwidth = 0.0
+    return SummaryStats(
+        count=count,
+        mean=mean,
+        stddev=stddev,
+        minimum=min(data),
+        maximum=max(data),
+        confidence_halfwidth=halfwidth,
+    )
+
+
+def confidence_interval(values: Sequence[float]) -> tuple:
+    """The (low, high) 90% confidence interval for the mean of ``values``."""
+    stats = summarize(values)
+    return stats.low, stats.high
+
+
+def moving_average(values: Sequence[float], window: int = 3) -> List[float]:
+    """Centered moving average with edge shrinking (Figure 2's line smoothing)."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    data = [float(value) for value in values]
+    if not data:
+        return []
+    half = window // 2
+    smoothed: List[float] = []
+    for index in range(len(data)):
+        start = max(0, index - half)
+        end = min(len(data), index + half + 1)
+        smoothed.append(sum(data[start:end]) / (end - start))
+    return smoothed

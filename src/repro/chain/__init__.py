@@ -1,0 +1,88 @@
+"""Blockchain substrate: accounts, transactions, blocks, state, and the chain."""
+
+from .account import Account
+from .block import Block, BlockHeader, transactions_root
+from .chain import Blockchain, execute_transactions
+from .errors import (
+    ChainError,
+    InsufficientBalance,
+    InvalidBlock,
+    InvalidTransaction,
+    NonceError,
+    UnknownAccount,
+    ValidationError,
+)
+from .executor import BlockContext, TransactionExecutor, ValueTransferExecutor
+from .gas import GasMeter, GasSchedule, OutOfGas
+from .genesis import (
+    DEFAULT_INITIAL_BALANCE,
+    ContractAllocation,
+    GenesisConfig,
+    build_genesis,
+)
+from .logs import LogBloom, LogIndex, LogQuery, MatchedLog, bloom_for_block
+from .receipt import LogEntry, Receipt, receipts_root
+from .state import WorldState
+from .transaction import Transaction, sign_transaction
+from .trie import MerklePatriciaTrie, ordered_trie_root, trie_root, verify_proof
+from .wire import (
+    WireDecodingError,
+    decode_block,
+    decode_header,
+    decode_receipt,
+    decode_transaction,
+    encode_block,
+    encode_header,
+    encode_receipt,
+    encode_transaction,
+)
+
+__all__ = [
+    "Account",
+    "Block",
+    "BlockHeader",
+    "transactions_root",
+    "Blockchain",
+    "execute_transactions",
+    "ChainError",
+    "InsufficientBalance",
+    "InvalidBlock",
+    "InvalidTransaction",
+    "NonceError",
+    "UnknownAccount",
+    "ValidationError",
+    "BlockContext",
+    "TransactionExecutor",
+    "ValueTransferExecutor",
+    "GasMeter",
+    "GasSchedule",
+    "OutOfGas",
+    "DEFAULT_INITIAL_BALANCE",
+    "ContractAllocation",
+    "GenesisConfig",
+    "build_genesis",
+    "LogEntry",
+    "Receipt",
+    "receipts_root",
+    "WorldState",
+    "Transaction",
+    "sign_transaction",
+    "LogBloom",
+    "LogIndex",
+    "LogQuery",
+    "MatchedLog",
+    "bloom_for_block",
+    "MerklePatriciaTrie",
+    "ordered_trie_root",
+    "trie_root",
+    "verify_proof",
+    "WireDecodingError",
+    "decode_block",
+    "decode_header",
+    "decode_receipt",
+    "decode_transaction",
+    "encode_block",
+    "encode_header",
+    "encode_receipt",
+    "encode_transaction",
+]

@@ -1,0 +1,215 @@
+"""The blockchain: an append-only list of validated blocks plus current state.
+
+Each peer in the simulated network holds its own ``Blockchain`` instance.
+Appending a block received from the network triggers *block validation* —
+the peer replays every transaction against its own copy of the parent state
+and checks that the announced state/transaction/receipt roots match
+(Section II-D of the paper).  A block whose replay diverges is rejected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..crypto.addresses import Address
+from .block import Block, BlockHeader, transactions_root
+from .errors import InvalidBlock, ValidationError
+from .executor import BlockContext, TransactionExecutor
+from .genesis import GenesisConfig, build_genesis
+from .receipt import Receipt, receipts_root
+from .state import WorldState
+from .transaction import Transaction
+
+__all__ = ["Blockchain", "execute_transactions"]
+
+
+def execute_transactions(
+    executor: TransactionExecutor,
+    state: WorldState,
+    transactions: List[Transaction],
+    block: BlockContext,
+) -> List[Receipt]:
+    """Apply ``transactions`` in order to ``state``, returning their receipts.
+
+    Failed transactions are rolled back (their state changes discarded) but a
+    receipt is still produced, matching the blockchain behaviour of including
+    failed transactions in the published block.
+    """
+    receipts: List[Receipt] = []
+    for index, transaction in enumerate(transactions):
+        # Executors are responsible for rollback-on-failure semantics (a
+        # failed transaction still consumes its nonce and gas).  The snapshot
+        # here is a safety net for executor bugs that raise instead of
+        # returning a failed receipt.
+        snapshot = state.snapshot()
+        try:
+            receipt = executor.execute(state, transaction, block)
+        except Exception as error:  # defensive: executors should not raise
+            state.revert(snapshot)
+            receipt = Receipt(
+                transaction_hash=transaction.hash,
+                success=False,
+                gas_used=0,
+                error=f"executor error: {error}",
+            )
+        else:
+            state.commit(snapshot)
+        receipt.block_number = block.number
+        receipt.transaction_index = index
+        receipt.block_timestamp = block.timestamp
+        receipts.append(receipt)
+    return receipts
+
+
+class Blockchain:
+    """A single peer's view of the chain."""
+
+    def __init__(
+        self,
+        executor: TransactionExecutor,
+        genesis_config: Optional[GenesisConfig] = None,
+    ) -> None:
+        self.executor = executor
+        genesis_block, genesis_state = build_genesis(genesis_config or GenesisConfig())
+        self._blocks: List[Block] = [genesis_block]
+        self._blocks_by_hash: Dict[bytes, Block] = {genesis_block.hash: genesis_block}
+        self._state = genesis_state
+        self._receipts_by_tx: Dict[bytes, Receipt] = {}
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def head(self) -> Block:
+        """The most recently appended block."""
+        return self._blocks[-1]
+
+    @property
+    def height(self) -> int:
+        """The block number of the head."""
+        return self.head.number
+
+    @property
+    def state(self) -> WorldState:
+        """The post-head world state (the READ-COMMITTED view)."""
+        return self._state
+
+    def block_by_number(self, number: int) -> Block:
+        if number < 0 or number >= len(self._blocks):
+            raise InvalidBlock(f"no block with number {number}")
+        return self._blocks[number]
+
+    def block_by_hash(self, block_hash: bytes) -> Optional[Block]:
+        return self._blocks_by_hash.get(block_hash)
+
+    def blocks(self) -> List[Block]:
+        """All blocks from genesis to head."""
+        return list(self._blocks)
+
+    def receipt_for(self, transaction_hash: bytes) -> Optional[Receipt]:
+        """Receipt of a committed transaction, if any."""
+        return self._receipts_by_tx.get(transaction_hash)
+
+    def transaction_is_committed(self, transaction_hash: bytes) -> bool:
+        return transaction_hash in self._receipts_by_tx
+
+    # -- block production ------------------------------------------------------
+
+    def build_block(
+        self,
+        transactions: List[Transaction],
+        miner: Address,
+        timestamp: float,
+        difficulty: int = 1,
+        nonce: int = 0,
+        extra_data: bytes = b"",
+    ) -> Tuple[Block, WorldState]:
+        """Execute ``transactions`` on top of the head and assemble a block.
+
+        Returns the block and the resulting state; the block is *not*
+        appended — the caller (a miner) publishes it to the network and every
+        peer, including the miner itself, imports it via :meth:`add_block`.
+        """
+        parent = self.head
+        context = BlockContext(
+            number=parent.number + 1,
+            timestamp=timestamp,
+            miner=miner,
+            gas_limit=parent.header.gas_limit,
+            difficulty=difficulty,
+        )
+        working_state = self._state.copy()
+        receipts = execute_transactions(self.executor, working_state, transactions, context)
+        header = BlockHeader(
+            parent_hash=parent.hash,
+            number=context.number,
+            timestamp=timestamp,
+            miner=miner,
+            state_root=working_state.state_root(),
+            transactions_root=transactions_root(transactions),
+            receipts_root=receipts_root(receipts),
+            difficulty=difficulty,
+            gas_limit=context.gas_limit,
+            gas_used=sum(receipt.gas_used for receipt in receipts),
+            nonce=nonce,
+            extra_data=extra_data,
+        )
+        return Block(header=header, transactions=transactions, receipts=receipts), working_state
+
+    # -- block import / validation ----------------------------------------------
+
+    def validate_block(self, block: Block) -> WorldState:
+        """Replay ``block`` against the local head state (transaction replay).
+
+        Returns the post-block state on success and raises
+        :class:`ValidationError` or :class:`InvalidBlock` otherwise.
+        """
+        parent = self.head
+        if block.header.parent_hash != parent.hash:
+            raise InvalidBlock(
+                f"block {block.number} does not extend the local head "
+                f"(expected parent {parent.short_hash()})"
+            )
+        if block.number != parent.number + 1:
+            raise InvalidBlock(f"expected block number {parent.number + 1}, got {block.number}")
+        if not block.verify_roots():
+            raise InvalidBlock("block body does not match header commitments")
+        for transaction in block.transactions:
+            if not transaction.signature_is_valid():
+                raise ValidationError(
+                    f"transaction {transaction.short_hash()} has an invalid signature "
+                    "(inputs were modified after signing)"
+                )
+        context = BlockContext(
+            number=block.number,
+            timestamp=block.timestamp,
+            miner=block.header.miner,
+            gas_limit=block.header.gas_limit,
+            difficulty=block.header.difficulty,
+        )
+        replay_state = self._state.copy()
+        replay_receipts = execute_transactions(
+            self.executor, replay_state, list(block.transactions), context
+        )
+        if replay_state.state_root() != block.header.state_root:
+            raise ValidationError(
+                f"replaying block {block.number} produced a different state root"
+            )
+        if receipts_root(replay_receipts) != block.header.receipts_root:
+            raise ValidationError(
+                f"replaying block {block.number} produced different receipts"
+            )
+        return replay_state
+
+    def add_block(self, block: Block) -> Block:
+        """Validate and append ``block``, advancing the head state."""
+        new_state = self.validate_block(block)
+        self._blocks.append(block)
+        self._blocks_by_hash[block.hash] = block
+        self._state = new_state
+        for receipt in block.receipts:
+            self._receipts_by_tx[receipt.transaction_hash] = receipt
+        return block
+
+    def committed_transaction_hashes(self) -> List[bytes]:
+        """Hashes of every transaction committed to the chain so far."""
+        return list(self._receipts_by_tx.keys())

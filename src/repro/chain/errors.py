@@ -1,0 +1,41 @@
+"""Exception hierarchy for the chain substrate."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ChainError",
+    "InvalidTransaction",
+    "InvalidBlock",
+    "ValidationError",
+    "NonceError",
+    "InsufficientBalance",
+    "UnknownAccount",
+]
+
+
+class ChainError(Exception):
+    """Base class for all chain-substrate errors."""
+
+
+class InvalidTransaction(ChainError):
+    """A transaction is structurally invalid and cannot enter the pool."""
+
+
+class NonceError(InvalidTransaction):
+    """A transaction's nonce does not follow the sender's account nonce."""
+
+
+class InsufficientBalance(InvalidTransaction):
+    """The sender cannot cover value + gas for a transaction."""
+
+
+class InvalidBlock(ChainError):
+    """A block is structurally invalid (bad parent, number, or roots)."""
+
+
+class ValidationError(InvalidBlock):
+    """Block replay on a validating peer produced a different state."""
+
+
+class UnknownAccount(ChainError):
+    """An operation referenced an address with no account record."""

@@ -1,0 +1,152 @@
+"""Log blooms and a chain-wide event query index.
+
+Ethereum headers carry a 2048-bit bloom filter over the block's log
+addresses and topics so clients can cheaply skip blocks that cannot contain
+an event they care about.  The oracle operator and several examples need
+exactly that primitive (scan for ``OracleRequest`` / ``Set`` events), so the
+substrate provides the bloom plus a small query API over a chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from ..crypto.addresses import Address
+from ..crypto.keccak import keccak256
+from .block import Block
+from .chain import Blockchain
+from .receipt import LogEntry, Receipt
+
+__all__ = ["LogBloom", "bloom_for_block", "LogQuery", "LogIndex", "MatchedLog"]
+
+BLOOM_BITS = 2048
+BLOOM_BYTES = BLOOM_BITS // 8
+
+
+class LogBloom:
+    """A 2048-bit bloom filter over log addresses and topics.
+
+    Each item sets three bits chosen from the low 11 bits of three pairs of
+    bytes of its Keccak-256 hash (the yellow-paper construction).
+    """
+
+    def __init__(self, bits: Optional[int] = None) -> None:
+        self._bits = bits or 0
+
+    @staticmethod
+    def _bit_indexes(item: bytes) -> List[int]:
+        digest = keccak256(item)
+        return [
+            ((digest[offset] << 8) | digest[offset + 1]) & (BLOOM_BITS - 1)
+            for offset in (0, 2, 4)
+        ]
+
+    def add(self, item: bytes) -> "LogBloom":
+        for index in self._bit_indexes(item):
+            self._bits |= 1 << index
+        return self
+
+    def add_log(self, log: LogEntry) -> "LogBloom":
+        self.add(log.address)
+        for topic in log.topics:
+            self.add(topic)
+        return self
+
+    def might_contain(self, item: bytes) -> bool:
+        """False means definitely absent; True means possibly present."""
+        return all(self._bits & (1 << index) for index in self._bit_indexes(item))
+
+    def to_bytes(self) -> bytes:
+        return self._bits.to_bytes(BLOOM_BYTES, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "LogBloom":
+        if len(data) != BLOOM_BYTES:
+            raise ValueError(f"bloom must be {BLOOM_BYTES} bytes")
+        return cls(int.from_bytes(data, "big"))
+
+    def __or__(self, other: "LogBloom") -> "LogBloom":
+        return LogBloom(self._bits | other._bits)
+
+    def is_empty(self) -> bool:
+        return self._bits == 0
+
+
+def bloom_for_block(block: Block) -> LogBloom:
+    """The union bloom over every log in a block's receipts."""
+    bloom = LogBloom()
+    for receipt in block.receipts:
+        for log in receipt.logs:
+            bloom.add_log(log)
+    return bloom
+
+
+@dataclass(frozen=True)
+class LogQuery:
+    """A filter over chain logs (any field may be None = wildcard)."""
+
+    address: Optional[Address] = None
+    topic0: Optional[bytes] = None
+    from_block: int = 0
+    to_block: Optional[int] = None
+
+    def matches(self, log: LogEntry) -> bool:
+        if self.address is not None and log.address != self.address:
+            return False
+        if self.topic0 is not None and (not log.topics or log.topics[0] != self.topic0):
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class MatchedLog:
+    """A log hit plus its position on the chain."""
+
+    log: LogEntry
+    block_number: int
+    block_timestamp: float
+    transaction_hash: bytes
+    transaction_index: int
+
+
+class LogIndex:
+    """Queries a chain's logs, using per-block blooms to skip irrelevant blocks."""
+
+    def __init__(self, chain: Blockchain) -> None:
+        self.chain = chain
+        self._blooms: dict = {}
+
+    def _bloom(self, block: Block) -> LogBloom:
+        cached = self._blooms.get(block.hash)
+        if cached is None:
+            cached = bloom_for_block(block)
+            self._blooms[block.hash] = cached
+        return cached
+
+    def query(self, query: LogQuery) -> List[MatchedLog]:
+        """Return every log matching ``query`` between its block bounds."""
+        matches: List[MatchedLog] = []
+        last_block = query.to_block if query.to_block is not None else self.chain.height
+        for number in range(query.from_block, last_block + 1):
+            block = self.chain.block_by_number(number)
+            bloom = self._bloom(block)
+            if query.address is not None and not bloom.might_contain(query.address):
+                continue
+            if query.topic0 is not None and not bloom.might_contain(query.topic0):
+                continue
+            for receipt in block.receipts:
+                if not receipt.success:
+                    continue
+                for log in receipt.logs:
+                    if query.matches(log):
+                        matches.append(
+                            MatchedLog(
+                                log=log,
+                                block_number=block.number,
+                                block_timestamp=block.timestamp,
+                                transaction_hash=receipt.transaction_hash,
+                                transaction_index=receipt.transaction_index or 0,
+                            )
+                        )
+        return matches

@@ -1,0 +1,166 @@
+"""World state: the mapping from addresses to accounts, with journaling.
+
+The world state supports nested snapshots so that a failed transaction can
+be rolled back while remaining *included* in the block — the behaviour the
+paper calls out as the reason raw throughput overstates useful work.  A
+state root (a deterministic commitment over all accounts) lets validating
+peers check that replaying a block reproduces the miner's announced state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..crypto.addresses import Address, is_address
+from ..crypto.keccak import keccak256
+from ..encoding.rlp import rlp_encode
+from .account import Account
+from .errors import UnknownAccount
+
+__all__ = ["WorldState"]
+
+
+class WorldState:
+    """A journaled account store.
+
+    Snapshots are implemented by stacking copy-on-write journals: each
+    snapshot records the prior value (or absence) of every account touched
+    after it was taken, so ``revert`` is O(touched accounts).
+    """
+
+    def __init__(self, accounts: Optional[Dict[Address, Account]] = None) -> None:
+        self._accounts: Dict[Address, Account] = dict(accounts or {})
+        self._journal: List[Dict[Address, Optional[Account]]] = []
+
+    # -- account access -----------------------------------------------------
+
+    def account_exists(self, address: Address) -> bool:
+        return address in self._accounts
+
+    def get_account(self, address: Address) -> Account:
+        """Return the account at ``address``, raising if it does not exist."""
+        try:
+            return self._accounts[address]
+        except KeyError:
+            raise UnknownAccount(f"no account at 0x{address.hex()}") from None
+
+    def get_or_create_account(self, address: Address) -> Account:
+        """Return the account at ``address``, creating an empty one if needed."""
+        if not is_address(address):
+            raise ValueError("expected a 20-byte address")
+        if address not in self._accounts:
+            self._record_touch(address)
+            self._accounts[address] = Account()
+        return self._accounts[address]
+
+    def _record_touch(self, address: Address) -> None:
+        if not self._journal:
+            return
+        journal = self._journal[-1]
+        if address not in journal:
+            existing = self._accounts.get(address)
+            journal[address] = existing.copy() if existing is not None else None
+
+    def touch(self, address: Address) -> Account:
+        """Return the account for mutation, journaling its prior value."""
+        account = self.get_or_create_account(address)
+        self._record_touch(address)
+        return account
+
+    # -- balances and nonces -------------------------------------------------
+
+    def get_balance(self, address: Address) -> int:
+        if address not in self._accounts:
+            return 0
+        return self._accounts[address].balance
+
+    def set_balance(self, address: Address, balance: int) -> None:
+        if balance < 0:
+            raise ValueError("balance cannot be negative")
+        self.touch(address).balance = balance
+
+    def add_balance(self, address: Address, amount: int) -> None:
+        self.set_balance(address, self.get_balance(address) + amount)
+
+    def subtract_balance(self, address: Address, amount: int) -> None:
+        balance = self.get_balance(address)
+        if amount > balance:
+            raise ValueError("balance would become negative")
+        self.set_balance(address, balance - amount)
+
+    def get_nonce(self, address: Address) -> int:
+        if address not in self._accounts:
+            return 0
+        return self._accounts[address].nonce
+
+    def increment_nonce(self, address: Address) -> None:
+        self.touch(address).nonce += 1
+
+    # -- storage --------------------------------------------------------------
+
+    def get_storage(self, address: Address, slot: bytes) -> bytes:
+        if address not in self._accounts:
+            return b"\x00" * 32
+        return self._accounts[address].get_storage(slot)
+
+    def set_storage(self, address: Address, slot: bytes, value: bytes) -> None:
+        self.touch(address).set_storage(slot, value)
+
+    def set_code(self, address: Address, code: str) -> None:
+        self.touch(address).code = code
+
+    def get_code(self, address: Address) -> Optional[str]:
+        if address not in self._accounts:
+            return None
+        return self._accounts[address].code
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self) -> int:
+        """Open a new journal level and return its identifier."""
+        self._journal.append({})
+        return len(self._journal) - 1
+
+    def revert(self, snapshot_id: int) -> None:
+        """Undo all changes made since ``snapshot_id`` (inclusive of later ones)."""
+        if snapshot_id < 0 or snapshot_id >= len(self._journal):
+            raise ValueError(f"unknown snapshot id {snapshot_id}")
+        while len(self._journal) > snapshot_id:
+            journal = self._journal.pop()
+            for address, previous in journal.items():
+                if previous is None:
+                    self._accounts.pop(address, None)
+                else:
+                    self._accounts[address] = previous
+
+    def commit(self, snapshot_id: int) -> None:
+        """Discard the journal level, folding changes into the level below."""
+        if snapshot_id < 0 or snapshot_id >= len(self._journal):
+            raise ValueError(f"unknown snapshot id {snapshot_id}")
+        while len(self._journal) > snapshot_id:
+            journal = self._journal.pop()
+            if self._journal:
+                parent = self._journal[-1]
+                for address, previous in journal.items():
+                    parent.setdefault(address, previous)
+
+    # -- commitments ----------------------------------------------------------
+
+    def state_root(self) -> bytes:
+        """Deterministic commitment over every account (address-sorted)."""
+        items = sorted(self._accounts.items())
+        return keccak256(rlp_encode([[address, account.encode()] for address, account in items]))
+
+    def copy(self) -> "WorldState":
+        """Deep copy of the state (journals are not copied)."""
+        return WorldState({address: account.copy() for address, account in self._accounts.items()})
+
+    def accounts(self) -> Iterator[Tuple[Address, Account]]:
+        """Iterate over (address, account) pairs."""
+        return iter(self._accounts.items())
+
+    def __len__(self) -> int:
+        return len(self._accounts)
+
+    def __contains__(self, address: object) -> bool:
+        return address in self._accounts

@@ -1,0 +1,209 @@
+"""Command-line interface for running the paper's experiments.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli figure2 --ratios 1 2 10 20 --trials 2
+    python -m repro.cli market --scenario semantic_mining --ratio 2
+    python -m repro.cli sequential
+    python -m repro.cli frontrunning --victim-read-mode read_committed
+    python -m repro.cli oracle
+    python -m repro.cli ablation --name miner_fraction
+
+Every subcommand prints the same tables the benchmark harness produces, so
+the CLI is the quickest way to poke at a single configuration without going
+through pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis.plotting import format_percentage, format_table
+from .experiments.ablations import (
+    sweep_block_interval,
+    sweep_gossip_impairment,
+    sweep_semantic_miner_fraction,
+    sweep_submission_interval,
+)
+from .experiments.claims import check_headline_claims
+from .experiments.figure2 import Figure2Config, run_figure2
+from .experiments.frontrunning import FrontrunningConfig, run_frontrunning_experiment
+from .experiments.reporting import emit_block
+from .experiments.runner import ExperimentConfig, run_market_experiment
+from .experiments.scenario import GETH_UNMODIFIED, SCENARIOS, scenario_by_name
+from .experiments.sequential import SequentialHistoryConfig, run_sequential_history
+from .oracle.comparison import OracleComparisonConfig, run_raa_vs_oracle
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the experiments of 'Read-Uncommitted Transactions for "
+        "Smart Contract Performance' (ICDCS 2019).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figure2 = subparsers.add_parser("figure2", help="run the Figure 2 ratio sweep")
+    figure2.add_argument("--ratios", type=float, nargs="+", default=[1.0, 2.0, 4.0, 10.0, 20.0])
+    figure2.add_argument("--trials", type=int, default=2)
+    figure2.add_argument("--num-buys", type=int, default=100)
+    figure2.add_argument("--seed", type=int, default=11)
+
+    market = subparsers.add_parser("market", help="run one market experiment data point")
+    market.add_argument("--scenario", choices=sorted(SCENARIOS), default="sereth_client")
+    market.add_argument("--ratio", type=float, default=2.0, help="buys per set")
+    market.add_argument("--num-buys", type=int, default=100)
+    market.add_argument("--block-interval", type=float, default=13.0)
+    market.add_argument("--seed", type=int, default=0)
+
+    sequential = subparsers.add_parser("sequential", help="run the sequential-history experiment")
+    sequential.add_argument("--pairs", type=int, default=25)
+    sequential.add_argument("--seed", type=int, default=0)
+
+    frontrunning = subparsers.add_parser("frontrunning", help="run the frontrunning experiment")
+    frontrunning.add_argument(
+        "--victim-read-mode", choices=["read_committed", "read_uncommitted"],
+        default="read_uncommitted",
+    )
+    frontrunning.add_argument("--buys", type=int, default=40)
+    frontrunning.add_argument("--seed", type=int, default=0)
+
+    oracle = subparsers.add_parser("oracle", help="compare RAA against a conventional oracle")
+    oracle.add_argument("--queries", type=int, default=10)
+    oracle.add_argument("--seed", type=int, default=0)
+
+    ablation = subparsers.add_parser("ablation", help="run one of the ablation sweeps")
+    ablation.add_argument(
+        "--name",
+        choices=["miner_fraction", "gossip", "submission_interval", "block_interval"],
+        required=True,
+    )
+    ablation.add_argument("--trials", type=int, default=2)
+    return parser
+
+
+def _command_figure2(arguments: argparse.Namespace) -> int:
+    config = Figure2Config(
+        ratios=tuple(arguments.ratios),
+        trials=arguments.trials,
+        num_buys=arguments.num_buys,
+        base=ExperimentConfig(scenario=GETH_UNMODIFIED, seed=arguments.seed),
+    )
+    result = run_figure2(config, keep_results=True)
+    emit_block("Figure 2 — transaction efficiency vs buy:set ratio", result.as_table())
+    emit_block("Figure 2 — chart", result.as_chart())
+    checks = check_headline_claims(result)
+    rows = [[c.claim[:58], c.paper_value, c.measured_value, "yes" if c.holds else "NO"] for c in checks]
+    emit_block("Headline claims", format_table(["claim", "paper", "measured", "holds"], rows))
+    return 0 if all(check.holds for check in checks) else 1
+
+
+def _command_market(arguments: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        scenario=scenario_by_name(arguments.scenario),
+        buys_per_set=arguments.ratio,
+        num_buys=arguments.num_buys,
+        block_interval=arguments.block_interval,
+        seed=arguments.seed,
+    )
+    result = run_market_experiment(config)
+    summary = result.summary()
+    rows = [[key, value] for key, value in summary.items()]
+    emit_block(
+        f"Market experiment — {arguments.scenario} at {arguments.ratio:g} buys/set",
+        format_table(["metric", "value"], rows),
+    )
+    return 0
+
+
+def _command_sequential(arguments: argparse.Namespace) -> int:
+    result = run_sequential_history(
+        SequentialHistoryConfig(num_pairs=arguments.pairs, seed=arguments.seed)
+    )
+    emit_block(
+        "Sequential history",
+        f"committed={result.report.committed} successful={result.report.successful} "
+        f"efficiency={result.efficiency:.3f} (paper: 1.0)",
+    )
+    return 0 if result.efficiency == 1.0 else 1
+
+
+def _command_frontrunning(arguments: argparse.Namespace) -> int:
+    result = run_frontrunning_experiment(
+        FrontrunningConfig(
+            num_victim_buys=arguments.buys,
+            victim_read_mode=arguments.victim_read_mode,
+            seed=arguments.seed,
+        )
+    )
+    emit_block(
+        f"Frontrunning — victim reads {arguments.victim_read_mode}",
+        format_table(
+            ["metric", "value"],
+            [
+                ["victim buys", result.victim_buys],
+                ["filled at observed terms", result.filled_at_observed_terms],
+                ["rejected", result.rejected],
+                ["attacks launched", result.attacks_launched],
+                ["overpaid fills", result.overpaid],
+                ["audit clean", result.audit_clean],
+            ],
+        ),
+    )
+    return 0 if result.overpaid == 0 else 1
+
+
+def _command_oracle(arguments: argparse.Namespace) -> int:
+    result = run_raa_vs_oracle(OracleComparisonConfig(num_queries=arguments.queries, seed=arguments.seed))
+    emit_block(
+        "RAA vs conventional oracle",
+        format_table(
+            ["path", "mean data latency (s)"],
+            [
+                ["RAA (local view call)", f"{result.mean_raa_latency:.4f}"],
+                ["oracle round trip", f"{result.mean_oracle_latency:.1f}"],
+            ],
+        ),
+    )
+    return 0
+
+
+def _command_ablation(arguments: argparse.Namespace) -> int:
+    sweeps = {
+        "miner_fraction": lambda: sweep_semantic_miner_fraction(trials=arguments.trials),
+        "gossip": lambda: sweep_gossip_impairment(trials=arguments.trials),
+        "submission_interval": lambda: sweep_submission_interval(trials=arguments.trials),
+        "block_interval": lambda: sweep_block_interval(trials=arguments.trials),
+    }
+    result = sweeps[arguments.name]()
+    rows = [
+        [point.scenario, f"{point.parameter:g}", format_percentage(point.mean_efficiency)]
+        for point in result.points
+    ]
+    emit_block(
+        f"Ablation — {result.name}",
+        format_table(["scenario", result.parameter_name, "efficiency"], rows),
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    arguments = build_parser().parse_args(argv)
+    handlers = {
+        "figure2": _command_figure2,
+        "market": _command_market,
+        "sequential": _command_sequential,
+        "frontrunning": _command_frontrunning,
+        "oracle": _command_oracle,
+        "ablation": _command_ablation,
+    }
+    return handlers[arguments.command](arguments)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Client actors: generic contract clients plus the market workload actors."""
+
+from .base import ContractClient
+from .market import Buyer, PriceSetter, READ_COMMITTED, READ_UNCOMMITTED, ReadMode
+
+__all__ = [
+    "ContractClient",
+    "Buyer",
+    "PriceSetter",
+    "READ_COMMITTED",
+    "READ_UNCOMMITTED",
+    "ReadMode",
+]

@@ -1,0 +1,113 @@
+"""Client actors: accounts that talk to a peer to read state and send transactions.
+
+"Accounts using smart contracts in a blockchain are like threads using
+concurrent objects in shared memory" (Sergey & Hobor, quoted in the paper's
+Section II-B) — a client actor is one such thread.  It owns an address,
+tracks its own nonce in program order, submits transactions through the peer
+it is connected to, and makes view calls against that peer's local state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..chain.transaction import Transaction
+from ..crypto.addresses import Address, address_from_label
+from ..evm.engine import CallResult, encode_deployment
+from ..net.peer import Peer
+from ..net.sim import Simulator
+
+__all__ = ["ContractClient"]
+
+DEFAULT_GAS_LIMIT = 500_000
+
+
+class ContractClient:
+    """A single externally-owned account bound to one peer."""
+
+    def __init__(
+        self,
+        label: str,
+        peer: Peer,
+        simulator: Simulator,
+        gas_price: int = 1,
+        gas_limit: int = DEFAULT_GAS_LIMIT,
+    ) -> None:
+        self.label = label
+        self.address: Address = address_from_label(label)
+        self.peer = peer
+        self.simulator = simulator
+        self.gas_price = gas_price
+        self.gas_limit = gas_limit
+        self._nonce: Optional[int] = None
+        self.sent_transactions: List[Transaction] = []
+
+    # -- nonce management (program order / sequential consistency) ------------------
+
+    @property
+    def next_nonce(self) -> int:
+        """The next nonce in this client's program order."""
+        if self._nonce is None:
+            self._nonce = self.peer.next_nonce(self.address)
+        return self._nonce
+
+    def _consume_nonce(self) -> int:
+        nonce = self.next_nonce
+        self._nonce = nonce + 1
+        return nonce
+
+    # -- transactions ------------------------------------------------------------------
+
+    def send_transaction(
+        self,
+        to: Optional[Address],
+        data: bytes = b"",
+        value: int = 0,
+        gas_limit: Optional[int] = None,
+    ) -> Transaction:
+        """Create, sign, and submit a transaction through the connected peer."""
+        transaction = Transaction(
+            sender=self.address,
+            nonce=self._consume_nonce(),
+            to=to,
+            value=value,
+            gas_price=self.gas_price,
+            gas_limit=gas_limit if gas_limit is not None else self.gas_limit,
+            data=data,
+            submitted_at=self.simulator.now,
+        )
+        self.peer.submit_transaction(transaction, now=self.simulator.now)
+        self.sent_transactions.append(transaction)
+        return transaction
+
+    def deploy(self, code_name: str, constructor_data: bytes = b"", value: int = 0) -> Transaction:
+        """Deploy a registered contract; the address is derivable from sender+nonce."""
+        return self.send_transaction(
+            to=None, data=encode_deployment(code_name, constructor_data), value=value
+        )
+
+    # -- view calls -----------------------------------------------------------------------
+
+    def call(
+        self,
+        contract_address: Address,
+        function_name: str,
+        arguments: Sequence[object] = (),
+        allow_raa: bool = True,
+    ) -> CallResult:
+        """Evaluate a view/pure function against the connected peer's state."""
+        return self.peer.call_contract(
+            contract_address,
+            function_name,
+            arguments,
+            caller=self.address,
+            now=self.simulator.now,
+            allow_raa=allow_raa,
+        )
+
+    def balance(self) -> int:
+        return self.peer.chain.state.get_balance(self.address)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ContractClient({self.label!r} via {self.peer.peer_id!r})"

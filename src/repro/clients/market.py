@@ -1,0 +1,147 @@
+"""Market actors for the dynamic-pricing experiments: the price setter and buyers.
+
+These mirror the paper's workload (Section V): ``set`` transactions come
+from the contract owner and change the price, ``buy`` transactions come from
+buyers and succeed only if they carry the mark and price in effect when they
+execute.  The *only* difference between the baseline and HMS scenarios is
+where the buyer reads its (mark, price) from:
+
+* ``READ_COMMITTED`` — the committed contract storage of the last published
+  block (what an unmodified Geth client can see);
+* ``READ_UNCOMMITTED`` — Sereth's ``mark``/``get`` view functions, whose
+  arguments are filled by RAA with the Hash-Mark-Set view of the pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..chain.transaction import Transaction
+from ..contracts.sereth import SerethContract
+from ..core.hms.fpv import BUY_FLAG, HEAD_FLAG, SUCCESS_FLAG, compute_mark, fpv_to_words
+from ..crypto.addresses import Address
+from ..encoding.hexutil import to_bytes32
+from ..net.peer import Peer
+from ..net.sim import Simulator
+from .base import ContractClient
+
+__all__ = ["ReadMode", "PriceSetter", "Buyer"]
+
+_SET_ABI = SerethContract.function_by_name("set").abi
+_BUY_ABI = SerethContract.function_by_name("buy").abi
+
+READ_COMMITTED = "read_committed"
+READ_UNCOMMITTED = "read_uncommitted"
+ReadMode = str
+
+
+class PriceSetter(ContractClient):
+    """The contract owner: the only account allowed (by convention) to set the price.
+
+    Because all sets come from one address, nonce order pins their sequential
+    order and the setter can compute the mark chain locally in program order —
+    which is why "all of the sets succeed" in every scenario of the paper.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        peer: Peer,
+        simulator: Simulator,
+        contract_address: Address,
+        **kwargs,
+    ) -> None:
+        super().__init__(label, peer, simulator, **kwargs)
+        self.contract_address = contract_address
+        self._last_mark: Optional[bytes] = None
+        self._pending_sets: List[Transaction] = []
+        self.set_transactions: List[Transaction] = []
+
+    def prime_mark(self, mark: bytes) -> None:
+        """Seed the locally tracked mark chain.
+
+        Used when the contract deployment is still pending (the deployer knows
+        the genesis mark deterministically) so the opening price can be
+        submitted in the same block as the deployment.
+        """
+        self._last_mark = mark
+
+    def _current_mark(self) -> bytes:
+        """The mark the next set must reference (committed or locally chained)."""
+        if self._last_mark is None:
+            committed = self.call(self.contract_address, "current", allow_raa=False)
+            self._last_mark = committed.values[1]
+        return self._last_mark
+
+    def _next_flag(self) -> bytes:
+        """Head flag when no set of ours is still pending, successor flag otherwise."""
+        chain = self.peer.chain
+        self._pending_sets = [
+            transaction
+            for transaction in self._pending_sets
+            if not chain.transaction_is_committed(transaction.hash)
+        ]
+        return SUCCESS_FLAG if self._pending_sets else HEAD_FLAG
+
+    def set_price(self, price: int) -> Transaction:
+        """Submit a ``set`` transaction changing the price to ``price``."""
+        previous_mark = self._current_mark()
+        value_word = to_bytes32(price)
+        fpv = fpv_to_words(self._next_flag(), previous_mark, value_word)
+        transaction = self.send_transaction(
+            to=self.contract_address, data=_SET_ABI.encode_call(fpv)
+        )
+        self._last_mark = compute_mark(previous_mark, value_word)
+        self._pending_sets.append(transaction)
+        self.set_transactions.append(transaction)
+        return transaction
+
+
+class Buyer(ContractClient):
+    """A buyer submitting exact-price orders against the Sereth contract."""
+
+    def __init__(
+        self,
+        label: str,
+        peer: Peer,
+        simulator: Simulator,
+        contract_address: Address,
+        read_mode: ReadMode = READ_COMMITTED,
+        **kwargs,
+    ) -> None:
+        if read_mode not in (READ_COMMITTED, READ_UNCOMMITTED):
+            raise ValueError(f"unknown read mode {read_mode!r}")
+        super().__init__(label, peer, simulator, **kwargs)
+        self.contract_address = contract_address
+        self.read_mode = read_mode
+        self.buy_transactions: List[Transaction] = []
+
+    # -- reads ------------------------------------------------------------------------
+
+    def observe_market(self) -> Tuple[bytes, bytes]:
+        """Return the (mark, price) this buyer believes is current.
+
+        READ-COMMITTED buyers read the contract's public getters; READ-
+        UNCOMMITTED buyers call Sereth's ``mark``/``get`` whose arguments RAA
+        fills with the HMS view of the pending pool.
+        """
+        if self.read_mode == READ_COMMITTED:
+            committed = self.call(self.contract_address, "current", allow_raa=False)
+            return committed.values[1], committed.values[2]
+        placeholder = [to_bytes32(0), to_bytes32(0), to_bytes32(0)]
+        mark = self.call(self.contract_address, "mark", [placeholder]).values[0]
+        price = self.call(self.contract_address, "get", [placeholder]).values[0]
+        return mark, price
+
+    # -- buys --------------------------------------------------------------------------
+
+    def buy(self) -> Transaction:
+        """Observe the market and submit a ``buy`` at exactly that (mark, price)."""
+        mark, price = self.observe_market()
+        offer = [BUY_FLAG, to_bytes32(mark), to_bytes32(price)]
+        transaction = self.send_transaction(
+            to=self.contract_address, data=_BUY_ABI.encode_call(offer)
+        )
+        self.buy_transactions.append(transaction)
+        return transaction

@@ -1,0 +1,36 @@
+"""Consensus layer: block interval models, miner ordering policies, block assembly."""
+
+from .difficulty import DifficultyAwareInterval, DifficultyConfig, adjust_difficulty
+from .interval import (
+    DEFAULT_BLOCK_INTERVAL_SECONDS,
+    BlockIntervalModel,
+    FixedInterval,
+    PoissonInterval,
+)
+from .miner import Miner, MinerConfig
+from .policies import (
+    ArrivalJitterPolicy,
+    FeeArrivalPolicy,
+    FifoPolicy,
+    OrderingPolicy,
+    RandomPolicy,
+    merge_sender_queues,
+)
+
+__all__ = [
+    "DifficultyAwareInterval",
+    "DifficultyConfig",
+    "adjust_difficulty",
+    "DEFAULT_BLOCK_INTERVAL_SECONDS",
+    "BlockIntervalModel",
+    "FixedInterval",
+    "PoissonInterval",
+    "Miner",
+    "MinerConfig",
+    "ArrivalJitterPolicy",
+    "FeeArrivalPolicy",
+    "FifoPolicy",
+    "OrderingPolicy",
+    "RandomPolicy",
+    "merge_sender_queues",
+]

@@ -1,0 +1,97 @@
+"""Difficulty adjustment: how a proof-of-work chain holds its block interval.
+
+The paper's testbed tuned "block difficulty, transaction fees, processing
+power of the peers and peering topology ... to produce block size and
+interval in the range of production Ethereum blockchains."  This module
+models that feedback loop: a retargeting rule nudges difficulty after every
+block so the realised interval tracks a target, and a difficulty-aware
+interval model turns the current difficulty and the network's hash power
+into the next (exponential) block time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["DifficultyConfig", "adjust_difficulty", "DifficultyAwareInterval"]
+
+
+@dataclass(frozen=True)
+class DifficultyConfig:
+    """Parameters of the retargeting rule (a simplified Homestead rule)."""
+
+    target_interval: float = 13.0
+    adjustment_divisor: int = 2048
+    """Difficulty moves by at most difficulty/divisor per block."""
+    sensitivity: float = 10.0
+    """Interval bucket (seconds) used to decide how hard to push."""
+    minimum_difficulty: int = 131_072
+
+    def __post_init__(self) -> None:
+        if self.target_interval <= 0 or self.sensitivity <= 0:
+            raise ValueError("intervals must be positive")
+        if self.adjustment_divisor <= 0 or self.minimum_difficulty <= 0:
+            raise ValueError("divisor and minimum difficulty must be positive")
+
+
+def adjust_difficulty(
+    parent_difficulty: int, observed_interval: float, config: Optional[DifficultyConfig] = None
+) -> int:
+    """Return the next block's difficulty given the parent's and the interval
+    observed between the last two blocks.
+
+    Fast blocks raise difficulty, slow blocks lower it, clamped to one part in
+    ``adjustment_divisor`` per step and floored at the minimum — the same
+    shape as Ethereum's Homestead rule (without the difficulty bomb).
+    """
+    config = config or DifficultyConfig()
+    if parent_difficulty <= 0:
+        raise ValueError("parent difficulty must be positive")
+    if observed_interval < 0:
+        raise ValueError("observed interval cannot be negative")
+    # -99 <= pressure <= 1, as in the Homestead rule.
+    pressure = max(1 - int(observed_interval / config.sensitivity), -99)
+    delta = (parent_difficulty // config.adjustment_divisor) * pressure
+    return max(config.minimum_difficulty, parent_difficulty + delta)
+
+
+class DifficultyAwareInterval:
+    """Block-interval model that couples interval to difficulty and hash power.
+
+    The expected interval is ``difficulty / hash_power`` seconds; each sample
+    is exponentially distributed around it (memoryless search) and the
+    difficulty retargets after every sample, so the realised mean converges
+    toward the configured target regardless of the starting difficulty.
+    """
+
+    def __init__(
+        self,
+        hash_power: float,
+        initial_difficulty: Optional[int] = None,
+        config: Optional[DifficultyConfig] = None,
+        seed: int = 0,
+        minimum: float = 1.0,
+    ) -> None:
+        if hash_power <= 0:
+            raise ValueError("hash power must be positive")
+        self.config = config or DifficultyConfig()
+        self.hash_power = hash_power
+        self.difficulty = initial_difficulty or int(self.config.target_interval * hash_power)
+        self.minimum = minimum
+        self._rng = random.Random(seed)
+        self.history: List[float] = []
+
+    def next_interval(self) -> float:
+        expected = self.difficulty / self.hash_power
+        interval = max(self.minimum, self._rng.expovariate(1.0 / expected))
+        self.difficulty = adjust_difficulty(self.difficulty, interval, self.config)
+        self.history.append(interval)
+        return interval
+
+    def realised_mean(self) -> float:
+        """Mean of every interval sampled so far (0.0 before the first sample)."""
+        if not self.history:
+            return 0.0
+        return sum(self.history) / len(self.history)

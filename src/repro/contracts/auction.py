@@ -1,0 +1,131 @@
+"""An English auction whose bid history is mark-chained.
+
+A third READ-UNCOMMITTED use case (besides the Sereth exchange and the
+ticket sale): in an open-outcry auction the quantity every participant needs
+*now* is the current high bid, and it changes with every accepted bid — the
+worst case for READ-COMMITTED reads.  Each accepted bid advances a hash mark
+exactly like Sereth's ``set``, so HMS can serialize the pending bid stream
+and RAA can hand bidders the uncommitted high bid; a bid must name the mark
+of the bid it is outbidding, which simultaneously defeats bid-shading races
+(you cannot accidentally outbid a bid you never saw).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..crypto.keccak import keccak256
+from ..encoding.hexutil import int_from_bytes32, to_bytes32
+from ..evm.contract import Contract, contract_function
+from ..evm.message import CallContext
+from ..evm.storage import ContractStorage, mapping_slot
+
+__all__ = ["AuctionContract"]
+
+SLOT_SELLER = 0
+SLOT_MARK = 1
+SLOT_HIGH_BID = 2
+SLOT_HIGH_BIDDER = 3
+SLOT_BID_COUNT = 4
+SLOT_CLOSED = 5
+REFUNDS_BASE = 6
+
+BID_EVENT = keccak256(b"BidAccepted(address,uint256)")
+CLOSED_EVENT = keccak256(b"AuctionClosed(address,uint256)")
+
+
+class AuctionContract(Contract):
+    """English auction with a hash-mark-chained bid history."""
+
+    CODE_NAME = "Auction"
+
+    def constructor(self, context: CallContext, storage: ContractStorage) -> None:
+        storage.store_address(SLOT_SELLER, context.sender)
+        storage.store(SLOT_MARK, keccak256(b"auction/genesis/", self.address))
+        storage.store_int(SLOT_HIGH_BID, 0)
+        storage.store_address(SLOT_HIGH_BIDDER, context.sender)
+        storage.store_int(SLOT_BID_COUNT, 0)
+        storage.store_int(SLOT_CLOSED, 0)
+
+    # -- views ----------------------------------------------------------------------
+
+    @contract_function([], returns=["bytes32", "uint256", "bytes32"], view=True)
+    def auction_state(
+        self, context: CallContext, storage: ContractStorage
+    ) -> Tuple[bytes, int, bytes]:
+        """Committed (mark, high bid, high bidder)."""
+        return (
+            storage.load(SLOT_MARK),
+            storage.load_int(SLOT_HIGH_BID),
+            storage.load(SLOT_HIGH_BIDDER),
+        )
+
+    @contract_function(["bytes32[3]"], returns=["bytes32"], view=True, raa_arguments=[0])
+    def pending_high_bid(
+        self, context: CallContext, storage: ContractStorage, raa: List[bytes]
+    ) -> bytes:
+        """RAA-augmented view of the high bid after all pending bids."""
+        return raa[2]
+
+    @contract_function(["bytes32[3]"], returns=["bytes32"], view=True, raa_arguments=[0])
+    def pending_mark(
+        self, context: CallContext, storage: ContractStorage, raa: List[bytes]
+    ) -> bytes:
+        """RAA-augmented view of the mark after all pending bids."""
+        return raa[1]
+
+    @contract_function(["address"], returns=["uint256"], view=True)
+    def refund_of(self, context: CallContext, storage: ContractStorage, bidder: bytes) -> int:
+        """Amount an outbid participant can withdraw."""
+        return storage.load_int(mapping_slot(REFUNDS_BASE, bidder))
+
+    # -- transactions -------------------------------------------------------------------
+
+    @contract_function(["bytes32[3]"])
+    def bid(self, context: CallContext, storage: ContractStorage, fpv: List[bytes]) -> None:
+        """Place a bid: ``fpv`` = (flag, previous_mark, amount).
+
+        The bid must reference the current mark (i.e. name the bid it is
+        outbidding), exceed the current high bid, and carry that much value.
+        The previous high bidder's funds become withdrawable.
+        """
+        self.require(storage.load_int(SLOT_CLOSED) == 0, "auction is closed")
+        current_mark = storage.load(SLOT_MARK)
+        self.require(fpv[1] == current_mark, "stale mark: you are not outbidding the current high bid")
+        amount = int_from_bytes32(fpv[2])
+        current_high = storage.load_int(SLOT_HIGH_BID)
+        self.require(amount > current_high, "bid does not exceed the current high bid")
+        self.require(context.value >= amount, "bid must be funded with at least its amount")
+
+        previous_bidder = storage.load_address(SLOT_HIGH_BIDDER)
+        if current_high > 0:
+            refund_slot = mapping_slot(REFUNDS_BASE, previous_bidder)
+            storage.store_int(refund_slot, storage.load_int(refund_slot) + current_high)
+
+        storage.store(SLOT_MARK, self.keccak(context, fpv[1], fpv[2]))
+        storage.store_int(SLOT_HIGH_BID, amount)
+        storage.store_address(SLOT_HIGH_BIDDER, context.sender)
+        storage.increment(SLOT_BID_COUNT)
+        context.emit(self.address, topics=[BID_EVENT, to_bytes32(context.sender)], data=fpv[2])
+
+    @contract_function([])
+    def close(self, context: CallContext, storage: ContractStorage) -> None:
+        """End the auction; only the seller may close it."""
+        seller = storage.load_address(SLOT_SELLER)
+        self.require(context.sender == seller, "only the seller may close the auction")
+        self.require(storage.load_int(SLOT_CLOSED) == 0, "auction already closed")
+        storage.store_int(SLOT_CLOSED, 1)
+        context.emit(
+            self.address,
+            topics=[CLOSED_EVENT, storage.load(SLOT_HIGH_BIDDER)],
+            data=to_bytes32(storage.load_int(SLOT_HIGH_BID)),
+        )
+
+    @contract_function([])
+    def withdraw_refund(self, context: CallContext, storage: ContractStorage) -> None:
+        """Zero out the caller's refund balance (value transfer is modelled by
+        the engine's balance bookkeeping for the contract account)."""
+        refund_slot = mapping_slot(REFUNDS_BASE, context.sender)
+        amount = storage.load_int(refund_slot)
+        self.require(amount > 0, "nothing to withdraw")
+        storage.store_int(refund_slot, 0)

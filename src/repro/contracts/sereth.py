@@ -1,0 +1,161 @@
+"""The Sereth contract — a Python port of Listing 1 from the paper.
+
+Sereth manages one shared state variable ``P``, an AMV tuple
+``(address, mark, value)`` stored in slots 0..2, plus the ``nSet``/``nBuy``
+counters.  ``set`` changes the price if (and only if) the caller supplied
+the current mark; ``buy`` purchases at the current price if the caller
+supplied both the current mark and the current price.  ``mark`` and ``get``
+are pure functions whose ``bytes32[3]`` argument is filled in by Runtime
+Argument Augmentation with the Hash-Mark-Set view of the pending pool.
+
+One deliberate deviation from the Solidity listing: the listing silently
+skips the state update when the mark check fails, whereas this port reverts.
+Either way the transaction is included in the block with no state change;
+reverting lets the receipt's ``success`` flag coincide with "made a state
+change", which is exactly what the paper's state-throughput metric counts
+(Section III-A).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..crypto.addresses import Address
+from ..crypto.keccak import keccak256
+from ..encoding.hexutil import to_bytes32
+from ..evm.contract import Contract, contract_function
+from ..evm.message import CallContext
+from ..evm.storage import ContractStorage
+
+__all__ = ["SerethContract", "initial_mark"]
+
+# Storage layout (mirrors the elided state variable declarations in Listing 1).
+SLOT_P_ADDRESS = 0   # p[0]: address of the last successful setter/buyer
+SLOT_P_MARK = 1      # p[1]: the current mark
+SLOT_P_VALUE = 2     # p[2]: the current value (price)
+SLOT_N_SET = 3       # nSet: number of successful price changes
+SLOT_N_BUY = 4       # nBuy: number of successful purchases
+
+
+def initial_mark(contract_address: Address) -> bytes:
+    """The genesis mark installed by the constructor.
+
+    Derived from the contract address so that independent deployments have
+    distinct series roots, the way a fresh Solidity deployment starts from
+    its own storage.
+    """
+    return keccak256(b"sereth/genesis-mark/", contract_address)
+
+
+class SerethContract(Contract):
+    """Dynamic-pricing exchange managed by the Hash-Mark-Set algorithm."""
+
+    CODE_NAME = "Sereth"
+
+    def constructor(self, context: CallContext, storage: ContractStorage) -> None:
+        """Install the genesis mark and a zero price owned by the deployer."""
+        storage.store_address(SLOT_P_ADDRESS, context.sender)
+        storage.store(SLOT_P_MARK, initial_mark(self.address))
+        storage.store(SLOT_P_VALUE, to_bytes32(0))
+        storage.store_int(SLOT_N_SET, 0)
+        storage.store_int(SLOT_N_BUY, 0)
+
+    # -- pure functions used with RAA (Listing 1: mark and get) ----------------
+
+    @contract_function(["bytes32[3]"], returns=["bytes32"], view=True, raa_arguments=[0])
+    def mark(self, context: CallContext, storage: ContractStorage, raa: List[bytes]) -> bytes:
+        """Return the (RAA-provided) intra-block mark: ``raa[1]``."""
+        return raa[1]
+
+    @contract_function(["bytes32[3]"], returns=["bytes32"], view=True, raa_arguments=[0])
+    def get(self, context: CallContext, storage: ContractStorage, raa: List[bytes]) -> bytes:
+        """Return the (RAA-provided) intra-block value: ``raa[2]``."""
+        return raa[2]
+
+    # -- public state getters (Solidity auto-generates these for public vars) --
+
+    @contract_function([], returns=["bytes32", "bytes32", "bytes32"], view=True)
+    def current(self, context: CallContext, storage: ContractStorage) -> Tuple[bytes, bytes, bytes]:
+        """The committed AMV tuple (READ-COMMITTED view of ``P``)."""
+        return (
+            storage.load(SLOT_P_ADDRESS),
+            storage.load(SLOT_P_MARK),
+            storage.load(SLOT_P_VALUE),
+        )
+
+    @contract_function([], returns=["uint256", "uint256"], view=True)
+    def stats(self, context: CallContext, storage: ContractStorage) -> Tuple[int, int]:
+        """Return ``(nSet, nBuy)``."""
+        return storage.load_int(SLOT_N_SET), storage.load_int(SLOT_N_BUY)
+
+    # -- transactions -------------------------------------------------------------
+
+    @contract_function(["bytes32[3]"])
+    def set(self, context: CallContext, storage: ContractStorage, fpv: List[bytes]) -> None:
+        """Change the price if ``fpv`` carries the current mark.
+
+        ``fpv`` is (flag, previous_mark, value).  On success the stored mark
+        advances to ``keccak256(previous_mark, value)``, chaining every state
+        change into the series HMS reconstructs off-chain.
+        """
+        current_mark = storage.load(SLOT_P_MARK)
+        self.require(
+            self.keccak(context, fpv[1]) == self.keccak(context, current_mark),
+            "stale mark: fpv[1] does not match p[1]",
+        )
+        storage.increment(SLOT_N_SET)
+        storage.store_address(SLOT_P_ADDRESS, context.sender)
+        storage.store(SLOT_P_MARK, self.keccak(context, fpv[1], fpv[2]))
+        storage.store(SLOT_P_VALUE, fpv[2])
+        context.emit(
+            self.address,
+            topics=[keccak256(b"Set(bytes32,bytes32)"), fpv[1]],
+            data=fpv[2],
+        )
+
+    @contract_function(["bytes32[3]"])
+    def buy(self, context: CallContext, storage: ContractStorage, offer: List[bytes]) -> None:
+        """Buy one item if ``offer`` carries both the current mark and price.
+
+        ``offer`` is (flag, mark, price).  Binding the purchase to the mark
+        proves which price interval the buyer observed, which is what defeats
+        the lost-update and frontrunning problems (Section V-B).
+        """
+        current_mark = storage.load(SLOT_P_MARK)
+        current_value = storage.load(SLOT_P_VALUE)
+        self.require(
+            self.keccak(context, offer[1]) == self.keccak(context, current_mark),
+            "stale mark: offer[1] does not match p[1]",
+        )
+        self.require(
+            self.keccak(context, offer[2]) == self.keccak(context, current_value),
+            "stale price: offer[2] does not match p[2]",
+        )
+        storage.increment(SLOT_N_BUY)
+        storage.store_address(SLOT_P_ADDRESS, context.sender)
+        context.emit(
+            self.address,
+            topics=[keccak256(b"Buy(bytes32,bytes32)"), offer[1]],
+            data=offer[2],
+        )
+
+
+def genesis_storage(owner: Address, contract_addr: Address) -> dict:
+    """The storage the constructor would write, for genesis pre-deployment.
+
+    Experiments pre-deploy Sereth in the genesis state (the exchange already
+    exists when trading opens); this helper keeps that storage in lockstep
+    with :meth:`SerethContract.constructor`.
+    """
+    return {
+        to_bytes32(SLOT_P_ADDRESS): to_bytes32(owner),
+        to_bytes32(SLOT_P_MARK): initial_mark(contract_addr),
+        to_bytes32(SLOT_P_VALUE): to_bytes32(0),
+        to_bytes32(SLOT_N_SET): to_bytes32(0),
+        to_bytes32(SLOT_N_BUY): to_bytes32(0),
+    }
+
+
+# Selector constants used by HMS configuration and the clients.
+SET_SELECTOR = SerethContract.function_by_name("set").selector
+BUY_SELECTOR = SerethContract.function_by_name("buy").selector

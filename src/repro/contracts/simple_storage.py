@@ -1,0 +1,52 @@
+"""A minimal key/value contract used by engine tests and the quickstart."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..crypto.keccak import keccak256
+from ..evm.contract import Contract, contract_function
+from ..evm.message import CallContext
+from ..evm.storage import ContractStorage, mapping_slot
+
+__all__ = ["SimpleStorageContract"]
+
+SLOT_OWNER = 0
+SLOT_VALUE = 1
+MAPPING_BASE = 2
+
+
+class SimpleStorageContract(Contract):
+    """Stores a single uint256 plus a per-address mapping."""
+
+    CODE_NAME = "SimpleStorage"
+
+    def constructor(self, context: CallContext, storage: ContractStorage) -> None:
+        storage.store_address(SLOT_OWNER, context.sender)
+        storage.store_int(SLOT_VALUE, 0)
+
+    @contract_function(["uint256"])
+    def set_value(self, context: CallContext, storage: ContractStorage, value: int) -> None:
+        """Set the shared value (anyone may call)."""
+        storage.store_int(SLOT_VALUE, value)
+        context.emit(self.address, topics=[keccak256(b"ValueChanged(uint256)")])
+
+    @contract_function([], returns=["uint256"], view=True)
+    def get_value(self, context: CallContext, storage: ContractStorage) -> int:
+        return storage.load_int(SLOT_VALUE)
+
+    @contract_function(["uint256"])
+    def set_my_entry(self, context: CallContext, storage: ContractStorage, value: int) -> None:
+        """Set the caller's entry in the per-address mapping."""
+        storage.store_int(mapping_slot(MAPPING_BASE, context.sender), value)
+
+    @contract_function(["address"], returns=["uint256"], view=True)
+    def entry_of(self, context: CallContext, storage: ContractStorage, owner: bytes) -> int:
+        return storage.load_int(mapping_slot(MAPPING_BASE, owner))
+
+    @contract_function(["uint256"])
+    def set_if_owner(self, context: CallContext, storage: ContractStorage, value: int) -> None:
+        """Set the shared value, reverting unless the caller deployed the contract."""
+        owner = storage.load_address(SLOT_OWNER)
+        self.require(owner == context.sender, "only the owner may call set_if_owner")
+        storage.store_int(SLOT_VALUE, value)

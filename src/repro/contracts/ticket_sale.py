@@ -1,0 +1,113 @@
+"""Ticket sale contract: a second READ-UNCOMMITTED use case.
+
+A fixed inventory of tickets is sold at a price that the organiser can
+change at any time.  Like the Sereth exchange, each price change advances a
+hash mark, so buyers using the Hash-Mark-Set view can bind their purchase to
+the exact price interval they observed — and remaining inventory is itself a
+fast-changing state variable buyers want an uncommitted view of.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..crypto.keccak import keccak256
+from ..encoding.hexutil import int_from_bytes32, to_bytes32
+from ..evm.contract import Contract, contract_function
+from ..evm.message import CallContext
+from ..evm.storage import ContractStorage, mapping_slot
+
+__all__ = ["TicketSaleContract"]
+
+SLOT_ORGANISER = 0
+SLOT_MARK = 1
+SLOT_PRICE = 2
+SLOT_REMAINING = 3
+SLOT_SOLD = 4
+TICKETS_BASE = 5
+
+PRICE_CHANGED_EVENT = keccak256(b"PriceChanged(bytes32,uint256)")
+TICKET_SOLD_EVENT = keccak256(b"TicketSold(address,uint256)")
+
+
+class TicketSaleContract(Contract):
+    """Sells a fixed inventory at an organiser-controlled, mark-chained price."""
+
+    CODE_NAME = "TicketSale"
+
+    #: Inventory installed at deployment; kept as a class attribute so the
+    #: constructor needs no arguments (constructor calldata stays empty).
+    INITIAL_INVENTORY = 1_000
+
+    def constructor(self, context: CallContext, storage: ContractStorage) -> None:
+        storage.store_address(SLOT_ORGANISER, context.sender)
+        storage.store(SLOT_MARK, keccak256(b"ticket-sale/genesis/", self.address))
+        storage.store_int(SLOT_PRICE, 0)
+        storage.store_int(SLOT_REMAINING, self.INITIAL_INVENTORY)
+        storage.store_int(SLOT_SOLD, 0)
+
+    # -- views -------------------------------------------------------------------
+
+    @contract_function([], returns=["bytes32", "uint256", "uint256"], view=True)
+    def sale_state(
+        self, context: CallContext, storage: ContractStorage
+    ) -> Tuple[bytes, int, int]:
+        """Committed (mark, price, remaining)."""
+        return (
+            storage.load(SLOT_MARK),
+            storage.load_int(SLOT_PRICE),
+            storage.load_int(SLOT_REMAINING),
+        )
+
+    @contract_function(["bytes32[3]"], returns=["bytes32"], view=True, raa_arguments=[0])
+    def pending_mark(self, context: CallContext, storage: ContractStorage, raa: List[bytes]) -> bytes:
+        """RAA-augmented view of the mark after all pending price changes."""
+        return raa[1]
+
+    @contract_function(["bytes32[3]"], returns=["bytes32"], view=True, raa_arguments=[0])
+    def pending_price(self, context: CallContext, storage: ContractStorage, raa: List[bytes]) -> bytes:
+        """RAA-augmented view of the price after all pending price changes."""
+        return raa[2]
+
+    @contract_function(["address"], returns=["uint256"], view=True)
+    def tickets_of(self, context: CallContext, storage: ContractStorage, owner: bytes) -> int:
+        return storage.load_int(mapping_slot(TICKETS_BASE, owner))
+
+    # -- transactions ----------------------------------------------------------------
+
+    @contract_function(["bytes32[3]"])
+    def set_price(self, context: CallContext, storage: ContractStorage, fpv: List[bytes]) -> None:
+        """Change the ticket price; ``fpv`` = (flag, previous_mark, new price)."""
+        organiser = storage.load_address(SLOT_ORGANISER)
+        self.require(context.sender == organiser, "only the organiser may set the price")
+        current_mark = storage.load(SLOT_MARK)
+        self.require(fpv[1] == current_mark, "stale mark")
+        new_price = int_from_bytes32(fpv[2])
+        storage.store(SLOT_MARK, self.keccak(context, fpv[1], fpv[2]))
+        storage.store_int(SLOT_PRICE, new_price)
+        context.emit(self.address, topics=[PRICE_CHANGED_EVENT, fpv[1]], data=fpv[2])
+
+    @contract_function(["bytes32[3]", "uint256"])
+    def buy_tickets(
+        self,
+        context: CallContext,
+        storage: ContractStorage,
+        offer: List[bytes],
+        quantity: int,
+    ) -> None:
+        """Buy ``quantity`` tickets at the offered (mark, price) interval."""
+        self.require(quantity > 0, "quantity must be positive")
+        current_mark = storage.load(SLOT_MARK)
+        current_price = storage.load(SLOT_PRICE)
+        self.require(offer[1] == current_mark, "stale mark")
+        self.require(offer[2] == current_price, "stale price")
+        remaining = storage.load_int(SLOT_REMAINING)
+        self.require(remaining >= quantity, "sold out")
+        storage.store_int(SLOT_REMAINING, remaining - quantity)
+        storage.increment(SLOT_SOLD, quantity)
+        storage.increment(mapping_slot(TICKETS_BASE, context.sender), quantity)
+        context.emit(
+            self.address,
+            topics=[TICKET_SOLD_EVENT, to_bytes32(context.sender)],
+            data=to_bytes32(quantity),
+        )

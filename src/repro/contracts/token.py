@@ -1,0 +1,108 @@
+"""An ERC20-style fungible token contract.
+
+Used by the examples to show that the substrate supports conventional
+contracts alongside Sereth, and by the marketplace example where purchases
+settle in tokens.
+"""
+
+from __future__ import annotations
+
+from ..crypto.keccak import keccak256
+from ..evm.contract import Contract, contract_function
+from ..evm.message import CallContext
+from ..evm.storage import ContractStorage, mapping_slot
+
+__all__ = ["TokenContract"]
+
+SLOT_TOTAL_SUPPLY = 0
+SLOT_OWNER = 1
+BALANCES_BASE = 2
+ALLOWANCES_BASE = 3
+
+TRANSFER_EVENT = keccak256(b"Transfer(address,address,uint256)")
+APPROVAL_EVENT = keccak256(b"Approval(address,address,uint256)")
+
+
+class TokenContract(Contract):
+    """Minimal ERC20: mint (owner only), transfer, approve, transferFrom."""
+
+    CODE_NAME = "Token"
+
+    def constructor(self, context: CallContext, storage: ContractStorage) -> None:
+        storage.store_address(SLOT_OWNER, context.sender)
+        storage.store_int(SLOT_TOTAL_SUPPLY, 0)
+
+    # -- views ---------------------------------------------------------------
+
+    @contract_function([], returns=["uint256"], view=True)
+    def total_supply(self, context: CallContext, storage: ContractStorage) -> int:
+        return storage.load_int(SLOT_TOTAL_SUPPLY)
+
+    @contract_function(["address"], returns=["uint256"], view=True)
+    def balance_of(self, context: CallContext, storage: ContractStorage, owner: bytes) -> int:
+        return storage.load_int(mapping_slot(BALANCES_BASE, owner))
+
+    @contract_function(["address", "address"], returns=["uint256"], view=True)
+    def allowance(
+        self, context: CallContext, storage: ContractStorage, owner: bytes, spender: bytes
+    ) -> int:
+        return storage.load_int(self._allowance_slot(owner, spender))
+
+    # -- mutations -------------------------------------------------------------
+
+    @contract_function(["address", "uint256"])
+    def mint(self, context: CallContext, storage: ContractStorage, to: bytes, amount: int) -> None:
+        """Create new tokens; only the deployer may mint."""
+        owner = storage.load_address(SLOT_OWNER)
+        self.require(context.sender == owner, "only the owner may mint")
+        storage.increment(SLOT_TOTAL_SUPPLY, amount)
+        storage.increment(mapping_slot(BALANCES_BASE, to), amount)
+        context.emit(self.address, topics=[TRANSFER_EVENT], data=b"")
+
+    @contract_function(["address", "uint256"])
+    def transfer(self, context: CallContext, storage: ContractStorage, to: bytes, amount: int) -> None:
+        self._move(context, storage, context.sender, to, amount)
+
+    @contract_function(["address", "uint256"])
+    def approve(
+        self, context: CallContext, storage: ContractStorage, spender: bytes, amount: int
+    ) -> None:
+        storage.store_int(self._allowance_slot(context.sender, spender), amount)
+        context.emit(self.address, topics=[APPROVAL_EVENT], data=b"")
+
+    @contract_function(["address", "address", "uint256"])
+    def transfer_from(
+        self,
+        context: CallContext,
+        storage: ContractStorage,
+        owner: bytes,
+        to: bytes,
+        amount: int,
+    ) -> None:
+        allowance_slot = self._allowance_slot(owner, context.sender)
+        allowance = storage.load_int(allowance_slot)
+        self.require(allowance >= amount, "allowance exceeded")
+        storage.store_int(allowance_slot, allowance - amount)
+        self._move(context, storage, owner, to, amount)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _move(
+        self,
+        context: CallContext,
+        storage: ContractStorage,
+        sender: bytes,
+        to: bytes,
+        amount: int,
+    ) -> None:
+        self.require(amount >= 0, "amount must be non-negative")
+        from_slot = mapping_slot(BALANCES_BASE, sender)
+        balance = storage.load_int(from_slot)
+        self.require(balance >= amount, "insufficient token balance")
+        storage.store_int(from_slot, balance - amount)
+        storage.increment(mapping_slot(BALANCES_BASE, to), amount)
+        context.emit(self.address, topics=[TRANSFER_EVENT], data=b"")
+
+    @staticmethod
+    def _allowance_slot(owner: bytes, spender: bytes) -> bytes:
+        return mapping_slot(ALLOWANCES_BASE, keccak256(owner, spender))

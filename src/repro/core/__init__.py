@@ -1,0 +1,45 @@
+"""The paper's contributions: Hash-Mark-Set, Runtime Argument Augmentation, metrics."""
+
+from .audit import AuditReport, AuditViolation, ChainAuditor
+from .hms import (
+    AMV,
+    FPV,
+    HEAD_FLAG,
+    SUCCESS_FLAG,
+    HashMarkSet,
+    HMSConfig,
+    HMSView,
+    SemanticMiningConfig,
+    SemanticMiningPolicy,
+    Series,
+    build_series,
+    compute_mark,
+)
+from .metrics import MetricsCollector, ThroughputReport, TransactionRecord, transaction_efficiency
+from .raa import HMSRAAProvider, RAAProviderRegistry, SerethStorageLayout, StaticRAAProvider
+
+__all__ = [
+    "AuditReport",
+    "AuditViolation",
+    "ChainAuditor",
+    "AMV",
+    "FPV",
+    "HEAD_FLAG",
+    "SUCCESS_FLAG",
+    "HashMarkSet",
+    "HMSConfig",
+    "HMSView",
+    "SemanticMiningConfig",
+    "SemanticMiningPolicy",
+    "Series",
+    "build_series",
+    "compute_mark",
+    "MetricsCollector",
+    "ThroughputReport",
+    "TransactionRecord",
+    "transaction_efficiency",
+    "HMSRAAProvider",
+    "RAAProviderRegistry",
+    "SerethStorageLayout",
+    "StaticRAAProvider",
+]

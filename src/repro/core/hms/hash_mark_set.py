@@ -1,0 +1,133 @@
+"""HASHMARKSET — Algorithm 1: the top-level HMS entry point.
+
+``HashMarkSet`` ties the pieces together: filter the pool (Algorithm 2),
+build the series DAG and take its deepest branch (Algorithm 3), and expose
+the resulting READ-UNCOMMITTED view of the managed storage variable as an
+AMV tuple.  It is consumed in two places:
+
+* the RAA provider (:mod:`repro.core.raa`) answers ``mark``/``get`` view
+  calls with it, which is how smart-contract clients obtain the view; and
+* the semantic mining policy (:mod:`repro.core.hms.semantic`) uses the full
+  series to order a block so that dependent transactions succeed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ...chain.transaction import Transaction
+from ...crypto.addresses import ZERO_ADDRESS
+from ...encoding.hexutil import to_bytes32
+from .fpv import AMV, EMPTY_POOL_SENTINEL, HEAD_FLAG, SUCCESS_FLAG
+from .node import TxNode
+from .process import HMSConfig, process_transactions
+from .series import Series, build_series
+
+__all__ = ["HMSView", "HashMarkSet"]
+
+
+@dataclass(frozen=True)
+class HMSView:
+    """The READ-UNCOMMITTED view HMS returns to a caller.
+
+    ``amv`` is the predicted (address, mark, value) of the managed variable
+    once every pending series transaction has committed.  ``flag_for_next``
+    is the FPV flag a client should put on the *next* ``set`` it submits:
+    the head flag when the view came from committed state (no pending
+    series), the successor flag otherwise.
+    """
+
+    amv: AMV
+    source: str
+    """``"series"`` (derived from pending transactions), ``"committed"``
+    (pool empty, fell back to contract storage) or ``"empty"`` (pool empty and
+    no committed state supplied — Algorithm 1's specialValue)."""
+    flag_for_next: bytes
+    series: Series
+    pool_size: int = 0
+    filtered_size: int = 0
+
+    @property
+    def mark(self) -> bytes:
+        return self.amv.mark
+
+    @property
+    def value(self) -> bytes:
+        return self.amv.value
+
+    @property
+    def depth(self) -> int:
+        return self.series.depth
+
+
+class HashMarkSet:
+    """Serialize a blockchain transaction pool (Algorithm 1)."""
+
+    def __init__(self, config: HMSConfig, recursive: bool = False) -> None:
+        self.config = config
+        self.recursive = recursive
+
+    # -- Algorithm 2 -------------------------------------------------------------
+
+    def collect(self, pool_entries: Iterable[Tuple[Transaction, float]]) -> List[TxNode]:
+        """Filter the pool into HMS nodes (PROCESS)."""
+        return process_transactions(pool_entries, self.config)
+
+    # -- Algorithm 3 -------------------------------------------------------------
+
+    def serialize(self, pool_entries: Iterable[Tuple[Transaction, float]]) -> Series:
+        """Filter and serialize the pool into the longest series."""
+        return build_series(self.collect(pool_entries), recursive=self.recursive)
+
+    # -- Algorithm 1 -------------------------------------------------------------
+
+    def read_uncommitted(
+        self,
+        pool_entries: Iterable[Tuple[Transaction, float]],
+        committed: Optional[AMV] = None,
+    ) -> HMSView:
+        """Return the READ-UNCOMMITTED view of the managed storage variable.
+
+        ``committed`` is the AMV read from the contract's storage at the
+        current head block; it is used when the pool holds no relevant
+        transactions (Algorithm 1 lines 4-6) and to pick the flag for the
+        caller's next transaction.
+        """
+        entries = list(pool_entries)
+        nodes = self.collect(entries)
+        series = build_series(nodes, recursive=self.recursive)
+        if not series.is_empty:
+            tail = series.tail
+            assert tail is not None
+            amv = AMV(address=to_bytes32(tail.sender), mark=tail.mark, value=tail.fpv.value)
+            return HMSView(
+                amv=amv,
+                source="series",
+                flag_for_next=SUCCESS_FLAG,
+                series=series,
+                pool_size=len(entries),
+                filtered_size=len(nodes),
+            )
+        if committed is not None:
+            return HMSView(
+                amv=committed,
+                source="committed",
+                flag_for_next=HEAD_FLAG,
+                series=series,
+                pool_size=len(entries),
+                filtered_size=len(nodes),
+            )
+        empty = AMV(
+            address=to_bytes32(ZERO_ADDRESS),
+            mark=EMPTY_POOL_SENTINEL,
+            value=to_bytes32(0),
+        )
+        return HMSView(
+            amv=empty,
+            source="empty",
+            flag_for_next=HEAD_FLAG,
+            series=series,
+            pool_size=len(entries),
+            filtered_size=len(nodes),
+        )

@@ -1,0 +1,191 @@
+"""State throughput, transaction efficiency, and latency metrics (Section III-A).
+
+Blockchains include failed transactions in the ledger, so raw throughput
+(transactions committed per second) overstates useful work.  The paper's
+**state throughput** ``T_state`` counts only transactions that made a state
+change, and **transaction efficiency** is their ratio:
+
+    eta = T_state / T_raw
+
+The :class:`MetricsCollector` tracks a designated set of watched
+transactions (the experiments watch the ``buy`` transactions, matching
+Figure 2, where "each data point represents the result of 100 buy
+transactions") and computes the metrics from the chain's receipts once the
+run is over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..chain.block import Block
+from ..chain.chain import Blockchain
+from ..chain.transaction import Transaction
+
+__all__ = [
+    "TransactionRecord",
+    "ThroughputReport",
+    "MetricsCollector",
+    "transaction_efficiency",
+]
+
+
+def transaction_efficiency(successful: int, committed: int) -> float:
+    """eta = successful / committed; defined as 0.0 for an empty block set."""
+    if committed <= 0:
+        return 0.0
+    return successful / committed
+
+
+@dataclass
+class TransactionRecord:
+    """Lifecycle of one watched transaction."""
+
+    transaction: Transaction
+    label: str
+    submitted_at: float
+    committed_at: Optional[float] = None
+    block_number: Optional[int] = None
+    success: Optional[bool] = None
+    error: Optional[str] = None
+
+    @property
+    def committed(self) -> bool:
+        return self.committed_at is not None
+
+    @property
+    def commit_latency(self) -> Optional[float]:
+        """Seconds from client submission to block publication."""
+        if self.committed_at is None:
+            return None
+        return self.committed_at - self.submitted_at
+
+
+@dataclass
+class ThroughputReport:
+    """Aggregate metrics over a set of watched transactions."""
+
+    label: str
+    submitted: int
+    committed: int
+    successful: int
+    failed: int
+    uncommitted: int
+    duration: float
+    raw_throughput: float
+    state_throughput: float
+    efficiency: float
+    mean_commit_latency: Optional[float]
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def success_rate(self) -> float:
+        """Successful / submitted — what Figure 2 plots ("the result of 100 buy
+        transactions"); equals ``efficiency`` when every submission commits."""
+        if self.submitted <= 0:
+            return 0.0
+        return self.successful / self.submitted
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "submitted": self.submitted,
+            "committed": self.committed,
+            "successful": self.successful,
+            "failed": self.failed,
+            "uncommitted": self.uncommitted,
+            "duration": self.duration,
+            "raw_throughput": self.raw_throughput,
+            "state_throughput": self.state_throughput,
+            "efficiency": self.efficiency,
+            "success_rate": self.success_rate,
+            "mean_commit_latency": self.mean_commit_latency,
+        }
+
+
+class MetricsCollector:
+    """Records watched transactions and derives the paper's metrics."""
+
+    def __init__(self) -> None:
+        self._records: Dict[bytes, TransactionRecord] = {}
+
+    # -- recording ----------------------------------------------------------------
+
+    def watch(self, transaction: Transaction, label: str, submitted_at: float) -> None:
+        """Register a transaction whose outcome should be measured."""
+        self._records[transaction.hash] = TransactionRecord(
+            transaction=transaction, label=label, submitted_at=submitted_at
+        )
+
+    def watched_count(self, label: Optional[str] = None) -> int:
+        return sum(1 for record in self._records.values() if label is None or record.label == label)
+
+    def records(self, label: Optional[str] = None) -> List[TransactionRecord]:
+        return [
+            record
+            for record in self._records.values()
+            if label is None or record.label == label
+        ]
+
+    # -- resolution ------------------------------------------------------------------
+
+    def resolve_from_chain(self, chain: Blockchain) -> None:
+        """Fill in commit status for every watched transaction found on chain."""
+        for block in chain.blocks():
+            self.resolve_from_block(block)
+
+    def resolve_from_block(self, block: Block) -> None:
+        for receipt in block.receipts:
+            record = self._records.get(receipt.transaction_hash)
+            if record is None:
+                continue
+            record.committed_at = block.timestamp
+            record.block_number = block.number
+            record.success = receipt.success
+            record.error = receipt.error
+
+    # -- reporting --------------------------------------------------------------------
+
+    def report(
+        self,
+        label: Optional[str] = None,
+        duration: Optional[float] = None,
+    ) -> ThroughputReport:
+        """Compute the throughput/efficiency report for one label (or all).
+
+        ``duration`` defaults to the span between the first submission and the
+        last commit observed, which matches how the paper normalises a run.
+        """
+        records = self.records(label)
+        submitted = len(records)
+        committed_records = [record for record in records if record.committed]
+        committed = len(committed_records)
+        successful = sum(1 for record in committed_records if record.success)
+        failed = committed - successful
+        latencies = [
+            record.commit_latency for record in committed_records if record.commit_latency is not None
+        ]
+        if duration is None:
+            if committed_records:
+                start = min(record.submitted_at for record in records)
+                end = max(record.committed_at for record in committed_records)
+                duration = max(end - start, 1e-9)
+            else:
+                duration = 0.0
+        raw_throughput = committed / duration if duration else 0.0
+        state_throughput = successful / duration if duration else 0.0
+        return ThroughputReport(
+            label=label or "all",
+            submitted=submitted,
+            committed=committed,
+            successful=successful,
+            failed=failed,
+            uncommitted=submitted - committed,
+            duration=duration,
+            raw_throughput=raw_throughput,
+            state_throughput=state_throughput,
+            efficiency=transaction_efficiency(successful, committed),
+            mean_commit_latency=(sum(latencies) / len(latencies)) if latencies else None,
+            latencies=latencies,
+        )

@@ -1,0 +1,15 @@
+"""Runtime Argument Augmentation: providers and the provider registry."""
+
+from .provider import (
+    HMSRAAProvider,
+    RAAProviderRegistry,
+    SerethStorageLayout,
+    StaticRAAProvider,
+)
+
+__all__ = [
+    "HMSRAAProvider",
+    "RAAProviderRegistry",
+    "SerethStorageLayout",
+    "StaticRAAProvider",
+]

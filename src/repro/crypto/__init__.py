@@ -1,0 +1,27 @@
+"""Cryptographic primitives: Keccak-256 and address/selector derivation."""
+
+from .keccak import Keccak256, keccak256, keccak_f1600
+from .addresses import (
+    ADDRESS_LENGTH,
+    Address,
+    ZERO_ADDRESS,
+    address_from_label,
+    contract_address,
+    function_selector,
+    is_address,
+    to_checksum,
+)
+
+__all__ = [
+    "Keccak256",
+    "keccak256",
+    "keccak_f1600",
+    "ADDRESS_LENGTH",
+    "Address",
+    "ZERO_ADDRESS",
+    "address_from_label",
+    "contract_address",
+    "function_selector",
+    "is_address",
+    "to_checksum",
+]

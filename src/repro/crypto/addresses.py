@@ -1,0 +1,91 @@
+"""Address and selector derivation helpers.
+
+Ethereum addresses are the last 20 bytes of the Keccak-256 hash of the
+public key; contract addresses are derived from the creator address and
+nonce.  We do not model secp256k1 keys, so externally-owned account
+addresses are derived deterministically from a human-readable label, which
+keeps experiment traces readable while preserving the 20-byte address
+format used throughout the chain substrate.
+"""
+
+from __future__ import annotations
+
+from .keccak import keccak256
+
+__all__ = [
+    "Address",
+    "ADDRESS_LENGTH",
+    "ZERO_ADDRESS",
+    "address_from_label",
+    "contract_address",
+    "function_selector",
+    "is_address",
+    "to_checksum",
+]
+
+ADDRESS_LENGTH = 20
+
+Address = bytes
+"""A 20-byte account identifier."""
+
+ZERO_ADDRESS: Address = b"\x00" * ADDRESS_LENGTH
+
+
+def is_address(value: object) -> bool:
+    """Return True if ``value`` is a well-formed 20-byte address."""
+    return isinstance(value, (bytes, bytearray)) and len(value) == ADDRESS_LENGTH
+
+
+def address_from_label(label: str) -> Address:
+    """Derive a deterministic externally-owned-account address from a label.
+
+    Used by the workload generators and examples so that "alice", "miner-0"
+    etc. map to stable addresses across runs.
+    """
+    if not label:
+        raise ValueError("address label must be non-empty")
+    return keccak256(b"repro/address/" + label.encode("utf-8"))[-ADDRESS_LENGTH:]
+
+
+def contract_address(creator: Address, nonce: int) -> Address:
+    """Derive a contract address from its creator and the creator's nonce.
+
+    Ethereum uses ``keccak256(rlp([sender, nonce]))[12:]``; we use the same
+    inputs (and the project's RLP encoder) so that repeated deployments from
+    the same account yield distinct, deterministic addresses.
+    """
+    from ..encoding.rlp import rlp_encode
+
+    if not is_address(creator):
+        raise ValueError("creator must be a 20-byte address")
+    if nonce < 0:
+        raise ValueError("nonce must be non-negative")
+    encoded = rlp_encode([creator, nonce])
+    return keccak256(encoded)[-ADDRESS_LENGTH:]
+
+
+def function_selector(signature: str) -> bytes:
+    """Return the 4-byte ABI selector for a function signature string.
+
+    Example: ``function_selector("set(bytes32[3])")``.
+    """
+    if "(" not in signature or not signature.endswith(")"):
+        raise ValueError(f"malformed function signature: {signature!r}")
+    return keccak256(signature.encode("ascii"))[:4]
+
+
+def to_checksum(address: Address) -> str:
+    """Render an address as an EIP-55 checksummed hex string."""
+    if not is_address(address):
+        raise ValueError("expected a 20-byte address")
+    hex_address = address.hex()
+    hash_hex = keccak256(hex_address.encode("ascii")).hex()
+    checksummed = []
+    for character, hash_character in zip(hex_address, hash_hex):
+        if character.isdigit():
+            checksummed.append(character)
+        elif int(hash_character, 16) >= 8:
+            checksummed.append(character.upper())
+        else:
+            checksummed.append(character)
+    return "0x" + "".join(checksummed)

@@ -1,0 +1,165 @@
+"""Keccak-f[1600] sponge and the Keccak-256 hash used by Ethereum.
+
+Ethereum uses the *original* Keccak submission padding (a single ``0x01``
+domain byte) rather than the NIST SHA-3 padding (``0x06``), so the values
+produced here match ``keccak256`` as computed by Geth/Solidity and therefore
+match the "marks" that the Sereth contract and the Hash-Mark-Set algorithm
+compute in the paper.
+
+The implementation is a straightforward, dependency-free sponge over the
+Keccak-f[1600] permutation.  It is not optimised for speed (hashing is not
+the bottleneck in the discrete-event experiments) but is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+__all__ = ["keccak256", "keccak_f1600", "Keccak256"]
+
+_ROUNDS = 24
+
+# Round constants for the iota step.
+_RC = [
+    0x0000000000000001, 0x0000000000008082, 0x800000000000808A, 0x8000000080008000,
+    0x000000000000808B, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
+    0x000000000000008A, 0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+    0x000000008000808B, 0x800000000000008B, 0x8000000000008089, 0x8000000000008003,
+    0x8000000000008002, 0x8000000000000080, 0x000000000000800A, 0x800000008000000A,
+    0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+]
+
+# Rotation offsets for the rho step, indexed [x][y].
+_ROTATION = [
+    [0, 36, 3, 41, 18],
+    [1, 44, 10, 45, 2],
+    [62, 6, 43, 15, 61],
+    [28, 55, 25, 21, 56],
+    [27, 20, 39, 8, 14],
+]
+
+_MASK = (1 << 64) - 1
+
+
+def _rotl(value: int, shift: int) -> int:
+    """Rotate a 64-bit lane left by ``shift`` bits."""
+    shift %= 64
+    if shift == 0:
+        return value
+    return ((value << shift) | (value >> (64 - shift))) & _MASK
+
+
+def keccak_f1600(state: List[int]) -> List[int]:
+    """Apply the Keccak-f[1600] permutation to a 25-lane state.
+
+    The state is a flat list of 25 64-bit integers in lane order
+    ``state[x + 5 * y]``.  A new list is returned; the input is not
+    modified.
+    """
+    if len(state) != 25:
+        raise ValueError(f"Keccak-f[1600] state must have 25 lanes, got {len(state)}")
+    lanes = [[state[x + 5 * y] for y in range(5)] for x in range(5)]
+    for round_index in range(_ROUNDS):
+        # theta
+        c = [lanes[x][0] ^ lanes[x][1] ^ lanes[x][2] ^ lanes[x][3] ^ lanes[x][4] for x in range(5)]
+        d = [c[(x - 1) % 5] ^ _rotl(c[(x + 1) % 5], 1) for x in range(5)]
+        for x in range(5):
+            for y in range(5):
+                lanes[x][y] ^= d[x]
+        # rho and pi
+        b = [[0] * 5 for _ in range(5)]
+        for x in range(5):
+            for y in range(5):
+                b[y][(2 * x + 3 * y) % 5] = _rotl(lanes[x][y], _ROTATION[x][y])
+        # chi
+        for x in range(5):
+            for y in range(5):
+                lanes[x][y] = b[x][y] ^ ((~b[(x + 1) % 5][y]) & b[(x + 2) % 5][y] & _MASK)
+        # iota
+        lanes[0][0] ^= _RC[round_index]
+    return [lanes[x][y] & _MASK for y in range(5) for x in range(5)]
+
+
+class Keccak256:
+    """Incremental Keccak-256 hasher (rate 1088 bits / 136 bytes)."""
+
+    RATE_BYTES = 136
+    DIGEST_SIZE = 32
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._state = [0] * 25
+        self._buffer = bytearray()
+        self._finalized = False
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> "Keccak256":
+        """Absorb ``data`` into the sponge."""
+        if self._finalized:
+            raise RuntimeError("cannot update a finalized Keccak256 hasher")
+        self._buffer.extend(data)
+        while len(self._buffer) >= self.RATE_BYTES:
+            block = bytes(self._buffer[: self.RATE_BYTES])
+            del self._buffer[: self.RATE_BYTES]
+            self._absorb(block)
+        return self
+
+    def _absorb(self, block: bytes) -> None:
+        for lane_index in range(self.RATE_BYTES // 8):
+            lane = int.from_bytes(block[lane_index * 8 : lane_index * 8 + 8], "little")
+            self._state[lane_index] ^= lane
+        self._state = keccak_f1600(self._state)
+
+    def digest(self) -> bytes:
+        """Return the 32-byte digest. The hasher may keep being updated only
+        if ``digest`` has not been called (Keccak padding is terminal)."""
+        padded = bytearray(self._buffer)
+        pad_length = self.RATE_BYTES - (len(padded) % self.RATE_BYTES)
+        padding = bytearray(pad_length)
+        # Original Keccak (pre-SHA3) multi-rate padding: 0x01 ... 0x80.
+        padding[0] = 0x01
+        padding[-1] |= 0x80
+        padded.extend(padding)
+
+        state = list(self._state)
+        for offset in range(0, len(padded), self.RATE_BYTES):
+            block = bytes(padded[offset : offset + self.RATE_BYTES])
+            for lane_index in range(self.RATE_BYTES // 8):
+                lane = int.from_bytes(block[lane_index * 8 : lane_index * 8 + 8], "little")
+                state[lane_index] ^= lane
+            state = keccak_f1600(state)
+
+        output = bytearray()
+        for lane_index in range(self.DIGEST_SIZE // 8):
+            output.extend(state[lane_index].to_bytes(8, "little"))
+        return bytes(output)
+
+    def hexdigest(self) -> str:
+        """Return the digest as a lowercase hex string (no 0x prefix)."""
+        return self.digest().hex()
+
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=200_000)
+def _keccak256_cached(data: bytes) -> bytes:
+    return Keccak256(data).digest()
+
+
+def keccak256(*chunks: bytes) -> bytes:
+    """Hash the concatenation of ``chunks`` with Keccak-256.
+
+    Accepting multiple chunks mirrors Solidity's ``keccak256(a, b)`` usage in
+    the Sereth contract (Listing 1), where a transaction's mark is
+    ``keccak256(previous_mark, value)``.
+
+    Results are memoised: the simulated network re-hashes the same
+    transactions on every validating peer (block replay), and HMS recomputes
+    the same marks on every view call, so caching pure hash results removes a
+    large constant factor without changing any observable behaviour.
+    """
+    for chunk in chunks:
+        if not isinstance(chunk, (bytes, bytearray)):
+            raise TypeError(f"keccak256 expects bytes, got {type(chunk).__name__}")
+    return _keccak256_cached(b"".join(bytes(chunk) for chunk in chunks))

@@ -1,0 +1,49 @@
+"""Encoding utilities: hex helpers, RLP, and a minimal Solidity ABI."""
+
+from .hexutil import (
+    WORD_SIZE,
+    bytes32_from_int,
+    bytes32_from_text,
+    from_hex,
+    int_from_bytes32,
+    pad_left,
+    pad_right,
+    to_bytes32,
+    to_hex,
+)
+from .rlp import RLPDecodingError, rlp_decode, rlp_encode
+from .abi import (
+    ABIError,
+    FunctionABI,
+    decode_arguments,
+    decode_call,
+    decode_word,
+    encode_arguments,
+    encode_call,
+    encode_word,
+    selector_of,
+)
+
+__all__ = [
+    "WORD_SIZE",
+    "bytes32_from_int",
+    "bytes32_from_text",
+    "from_hex",
+    "int_from_bytes32",
+    "pad_left",
+    "pad_right",
+    "to_bytes32",
+    "to_hex",
+    "RLPDecodingError",
+    "rlp_decode",
+    "rlp_encode",
+    "ABIError",
+    "FunctionABI",
+    "decode_arguments",
+    "decode_call",
+    "decode_word",
+    "encode_arguments",
+    "encode_call",
+    "encode_word",
+    "selector_of",
+]

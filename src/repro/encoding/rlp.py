@@ -1,0 +1,125 @@
+"""Recursive Length Prefix (RLP) encoding and decoding.
+
+RLP is Ethereum's canonical serialization for transactions, block headers,
+and account records.  We use it for transaction hashing, block hashing, and
+contract-address derivation so that on-disk/object identities in the
+simulated chain follow the same rules as the real protocol.
+
+Supported item types: ``bytes`` (and ``bytearray``), non-negative ``int``
+(encoded big-endian, minimal length, zero as empty string), ``str``
+(UTF-8), and (nested) lists/tuples of items.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+__all__ = ["rlp_encode", "rlp_decode", "RLPDecodingError"]
+
+RLPItem = Union[bytes, bytearray, int, str, Sequence["RLPItem"]]
+
+
+class RLPDecodingError(ValueError):
+    """Raised when an RLP byte string is malformed."""
+
+
+def _encode_length(length: int, offset: int) -> bytes:
+    if length < 56:
+        return bytes([offset + length])
+    length_bytes = length.to_bytes((length.bit_length() + 7) // 8, "big")
+    return bytes([offset + 55 + len(length_bytes)]) + length_bytes
+
+
+def _to_binary(item: RLPItem) -> bytes:
+    if isinstance(item, (bytes, bytearray)):
+        return bytes(item)
+    if isinstance(item, bool):
+        raise TypeError("booleans are not RLP-encodable; encode an int explicitly")
+    if isinstance(item, int):
+        if item < 0:
+            raise ValueError("RLP integers must be non-negative")
+        if item == 0:
+            return b""
+        return item.to_bytes((item.bit_length() + 7) // 8, "big")
+    if isinstance(item, str):
+        return item.encode("utf-8")
+    raise TypeError(f"cannot RLP-encode object of type {type(item).__name__}")
+
+
+def rlp_encode(item: RLPItem) -> bytes:
+    """Encode an item (bytes, int, str, or nested sequence) as RLP."""
+    if isinstance(item, (list, tuple)):
+        payload = b"".join(rlp_encode(element) for element in item)
+        return _encode_length(len(payload), 0xC0) + payload
+    raw = _to_binary(item)
+    if len(raw) == 1 and raw[0] < 0x80:
+        return raw
+    return _encode_length(len(raw), 0x80) + raw
+
+
+def _decode_item(data: bytes, offset: int) -> Tuple[Union[bytes, list], int]:
+    if offset >= len(data):
+        raise RLPDecodingError("unexpected end of input")
+    prefix = data[offset]
+    if prefix < 0x80:
+        return bytes([prefix]), offset + 1
+    if prefix < 0xB8:
+        length = prefix - 0x80
+        start = offset + 1
+        end = start + length
+        if end > len(data):
+            raise RLPDecodingError("string extends past end of input")
+        payload = data[start:end]
+        if length == 1 and payload[0] < 0x80:
+            raise RLPDecodingError("non-canonical single byte encoding")
+        return payload, end
+    if prefix < 0xC0:
+        length_of_length = prefix - 0xB7
+        start = offset + 1
+        length = int.from_bytes(data[start : start + length_of_length], "big")
+        if length < 56:
+            raise RLPDecodingError("non-canonical long string length")
+        payload_start = start + length_of_length
+        end = payload_start + length
+        if end > len(data):
+            raise RLPDecodingError("string extends past end of input")
+        return data[payload_start:end], end
+    if prefix < 0xF8:
+        length = prefix - 0xC0
+        return _decode_list(data, offset + 1, length)
+    length_of_length = prefix - 0xF7
+    start = offset + 1
+    length = int.from_bytes(data[start : start + length_of_length], "big")
+    if length < 56:
+        raise RLPDecodingError("non-canonical long list length")
+    return _decode_list(data, start + length_of_length, length)
+
+
+def _decode_list(data: bytes, start: int, length: int) -> Tuple[list, int]:
+    end = start + length
+    if end > len(data):
+        raise RLPDecodingError("list extends past end of input")
+    items: List[Union[bytes, list]] = []
+    cursor = start
+    while cursor < end:
+        item, cursor = _decode_item(data, cursor)
+        if cursor > end:
+            raise RLPDecodingError("list item extends past list boundary")
+        items.append(item)
+    return items, end
+
+
+def rlp_decode(data: bytes) -> Union[bytes, list]:
+    """Decode an RLP byte string into nested bytes/lists.
+
+    Integers are returned as their big-endian byte representation (the
+    caller knows the schema); trailing bytes raise ``RLPDecodingError``.
+    """
+    if not isinstance(data, (bytes, bytearray)):
+        raise TypeError("rlp_decode expects bytes")
+    if len(data) == 0:
+        raise RLPDecodingError("cannot decode empty input")
+    item, end = _decode_item(bytes(data), 0)
+    if end != len(data):
+        raise RLPDecodingError("trailing bytes after RLP item")
+    return item

@@ -1,0 +1,26 @@
+"""Contract execution engine: messages, storage, contracts, registry, engine."""
+
+from .contract import Contract, ContractFunction, contract_function
+from .engine import CallResult, ExecutionEngine, encode_deployment
+from .message import CallContext, Message, Revert
+from .raa_interface import RAAProviderProtocol, RAARequest
+from .registry import ContractRegistry, default_registry
+from .storage import ContractStorage, mapping_slot
+
+__all__ = [
+    "Contract",
+    "ContractFunction",
+    "contract_function",
+    "CallResult",
+    "ExecutionEngine",
+    "encode_deployment",
+    "CallContext",
+    "Message",
+    "Revert",
+    "RAAProviderProtocol",
+    "RAARequest",
+    "ContractRegistry",
+    "default_registry",
+    "ContractStorage",
+    "mapping_slot",
+]

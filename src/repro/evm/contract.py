@@ -1,0 +1,145 @@
+"""Contract base class and the function-declaration decorator.
+
+Contracts are Python classes whose public entry points are declared with
+:func:`contract_function`.  The declaration carries the ABI signature so the
+engine can dispatch on the 4-byte selector found in transaction calldata —
+exactly the hook the paper's HMS uses to recognise Sereth ``set``/``buy``
+transactions in the TxPool (Algorithm 2 checks the function signature).
+
+Functions marked ``view=True`` (Solidity ``pure``/``view``) never create
+transactions; they are evaluated against a peer's local state and are the
+only place Runtime Argument Augmentation may rewrite arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+from ..crypto.addresses import Address
+from ..crypto.keccak import keccak256
+from ..encoding.abi import FunctionABI
+from .message import CallContext, Revert
+from .storage import ContractStorage
+
+__all__ = ["Contract", "ContractFunction", "contract_function"]
+
+
+@dataclass(frozen=True)
+class ContractFunction:
+    """Metadata attached to a contract method by :func:`contract_function`."""
+
+    abi: FunctionABI
+    method_name: str
+    view: bool = False
+    raa_arguments: Tuple[int, ...] = ()
+    """Indices of arguments an RAA provider is allowed to augment (view calls only)."""
+
+    @property
+    def selector(self) -> bytes:
+        return self.abi.selector
+
+    @property
+    def signature(self) -> str:
+        return self.abi.signature
+
+
+def contract_function(
+    signature_args: Sequence[str],
+    returns: Sequence[str] = (),
+    view: bool = False,
+    raa_arguments: Sequence[int] = (),
+) -> Callable:
+    """Declare a contract method as an externally callable function.
+
+    ``signature_args`` are the ABI argument types (e.g. ``["bytes32[3]"]``);
+    ``returns`` the ABI return types; ``view`` marks pure/view functions;
+    ``raa_arguments`` lists argument indices that an RAA provider may fill in
+    before evaluation (only meaningful for view functions).
+    """
+    if raa_arguments and not view:
+        raise ValueError("RAA may only augment the arguments of view/pure functions")
+
+    def decorator(method: Callable) -> Callable:
+        method.__contract_function__ = {
+            "argument_types": tuple(signature_args),
+            "return_types": tuple(returns),
+            "view": view,
+            "raa_arguments": tuple(raa_arguments),
+        }
+        return method
+
+    return decorator
+
+
+class Contract:
+    """Base class for all contracts executed by the engine.
+
+    Subclasses define externally callable methods with
+    :func:`contract_function`; each method receives ``(context, storage,
+    *arguments)`` and returns a tuple/list of values matching its declared
+    return types (or ``None`` for no return value).
+    """
+
+    #: Human-readable code identifier stored in the account's ``code`` field.
+    CODE_NAME: str = "Contract"
+
+    def __init__(self, address: Address) -> None:
+        self.address = address
+
+    # -- constructor hook --------------------------------------------------------
+
+    def constructor(self, context: CallContext, storage: ContractStorage) -> None:
+        """Called once at deployment; override to initialise storage."""
+
+    # -- function table -----------------------------------------------------------
+
+    @classmethod
+    def functions(cls) -> Dict[bytes, ContractFunction]:
+        """Selector → function metadata for every declared entry point."""
+        table: Dict[bytes, ContractFunction] = {}
+        for attribute_name in dir(cls):
+            attribute = getattr(cls, attribute_name)
+            metadata = getattr(attribute, "__contract_function__", None)
+            if metadata is None:
+                continue
+            abi = FunctionABI(
+                name=attribute_name,
+                argument_types=metadata["argument_types"],
+                return_types=metadata["return_types"],
+                mutates_state=not metadata["view"],
+            )
+            declared = ContractFunction(
+                abi=abi,
+                method_name=attribute_name,
+                view=metadata["view"],
+                raa_arguments=metadata["raa_arguments"],
+            )
+            table[declared.selector] = declared
+        return table
+
+    @classmethod
+    def function_by_name(cls, name: str) -> ContractFunction:
+        """Look up a declared function by Python method name."""
+        for declared in cls.functions().values():
+            if declared.method_name == name:
+                return declared
+        raise KeyError(f"{cls.__name__} has no contract function named {name!r}")
+
+    @classmethod
+    def selectors(cls) -> List[bytes]:
+        return list(cls.functions().keys())
+
+    # -- helpers available to subclasses ---------------------------------------------
+
+    @staticmethod
+    def keccak(context: CallContext, *chunks: bytes) -> bytes:
+        """Solidity-style ``keccak256`` with gas accounting."""
+        total_length = sum(len(chunk) for chunk in chunks)
+        context.gas_meter.charge_keccak(total_length)
+        return keccak256(*chunks)
+
+    @staticmethod
+    def require(condition: bool, reason: str = "requirement failed") -> None:
+        if not condition:
+            raise Revert(reason)

@@ -1,0 +1,101 @@
+"""Contract storage accessor.
+
+Wraps the world state's per-account storage map with Solidity-flavoured
+helpers (slot-indexed 32-byte words, integer and address coercion, mapping
+slots derived by hashing) and charges gas through the active gas meter.
+Writes are refused for static (view/pure) calls.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..chain.gas import GasMeter
+from ..chain.state import WorldState
+from ..crypto.addresses import ADDRESS_LENGTH, Address
+from ..crypto.keccak import keccak256
+from ..encoding.hexutil import bytes32_from_int, int_from_bytes32, to_bytes32
+from .message import Revert
+
+__all__ = ["ContractStorage", "mapping_slot"]
+
+_ZERO_WORD = b"\x00" * 32
+
+
+def mapping_slot(base_slot: int, key: bytes) -> bytes:
+    """Derive the storage slot of ``mapping[key]`` the way Solidity does:
+    ``keccak256(key . base_slot)``."""
+    return keccak256(to_bytes32(key), bytes32_from_int(base_slot))
+
+
+class ContractStorage:
+    """Storage view bound to one contract account for one execution."""
+
+    def __init__(
+        self,
+        state: WorldState,
+        address: Address,
+        gas_meter: GasMeter,
+        static: bool = False,
+    ) -> None:
+        self._state = state
+        self._address = address
+        self._gas_meter = gas_meter
+        self._static = static
+
+    @property
+    def address(self) -> Address:
+        return self._address
+
+    # -- raw 32-byte words ----------------------------------------------------
+
+    def load(self, slot: object) -> bytes:
+        """Read a 32-byte word from ``slot`` (int index or 32-byte key)."""
+        key = self._slot_key(slot)
+        self._gas_meter.charge_storage_read()
+        return self._state.get_storage(self._address, key)
+
+    def store(self, slot: object, value: object) -> None:
+        """Write a 32-byte word to ``slot``; disallowed in static calls."""
+        if self._static:
+            raise Revert("state modification attempted in a static (view/pure) call")
+        key = self._slot_key(slot)
+        word = to_bytes32(value) if not isinstance(value, bytes) or len(value) != 32 else value
+        previous = self._state.get_storage(self._address, key)
+        self._gas_meter.charge_storage_write(
+            had_value=previous != _ZERO_WORD,
+            clears_value=word == _ZERO_WORD,
+        )
+        self._state.set_storage(self._address, key, word)
+
+    # -- typed helpers ----------------------------------------------------------
+
+    def load_int(self, slot: object) -> int:
+        return int_from_bytes32(self.load(slot))
+
+    def store_int(self, slot: object, value: int) -> None:
+        self.store(slot, bytes32_from_int(value))
+
+    def load_address(self, slot: object) -> Address:
+        return self.load(slot)[-ADDRESS_LENGTH:]
+
+    def store_address(self, slot: object, address: Address) -> None:
+        self.store(slot, to_bytes32(address))
+
+    def increment(self, slot: object, amount: int = 1) -> int:
+        """Add ``amount`` to the integer at ``slot`` and return the new value."""
+        value = self.load_int(slot) + amount
+        if value < 0:
+            raise Revert("integer underflow")
+        self.store_int(slot, value)
+        return value
+
+    # -- internals ---------------------------------------------------------------
+
+    @staticmethod
+    def _slot_key(slot: object) -> bytes:
+        if isinstance(slot, int):
+            return bytes32_from_int(slot)
+        if isinstance(slot, (bytes, bytearray)) and len(slot) == 32:
+            return bytes(slot)
+        raise ValueError("storage slot must be an int or a 32-byte key")

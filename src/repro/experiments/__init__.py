@@ -1,0 +1,68 @@
+"""Experiment harness: scenarios, the market experiment runner, and the paper's sweeps."""
+
+from .ablations import (
+    AblationPoint,
+    AblationResult,
+    sweep_block_interval,
+    sweep_gossip_impairment,
+    sweep_semantic_miner_fraction,
+    sweep_submission_interval,
+)
+from .claims import ClaimCheck, check_headline_claims
+from .figure2 import DEFAULT_RATIOS, Figure2Config, Figure2Point, Figure2Result, run_figure2
+from .frontrunning import (
+    FrontrunningConfig,
+    FrontrunningResult,
+    run_frontrunning_experiment,
+)
+from .runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_market_experiment,
+    sereth_contract_address,
+)
+from .scenario import (
+    GETH_UNMODIFIED,
+    SCENARIOS,
+    SEMANTIC_MINING,
+    SERETH_CLIENT_SCENARIO,
+    Scenario,
+    scenario_by_name,
+)
+from .sequential import (
+    SequentialHistoryConfig,
+    SequentialHistoryResult,
+    run_sequential_history,
+)
+
+__all__ = [
+    "AblationPoint",
+    "AblationResult",
+    "sweep_block_interval",
+    "sweep_gossip_impairment",
+    "sweep_semantic_miner_fraction",
+    "sweep_submission_interval",
+    "ClaimCheck",
+    "check_headline_claims",
+    "FrontrunningConfig",
+    "FrontrunningResult",
+    "run_frontrunning_experiment",
+    "DEFAULT_RATIOS",
+    "Figure2Config",
+    "Figure2Point",
+    "Figure2Result",
+    "run_figure2",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_market_experiment",
+    "sereth_contract_address",
+    "GETH_UNMODIFIED",
+    "SCENARIOS",
+    "SEMANTIC_MINING",
+    "SERETH_CLIENT_SCENARIO",
+    "Scenario",
+    "scenario_by_name",
+    "SequentialHistoryConfig",
+    "SequentialHistoryResult",
+    "run_sequential_history",
+]

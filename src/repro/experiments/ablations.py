@@ -1,0 +1,184 @@
+"""Ablation sweeps for the factors the paper discusses qualitatively (Section V-C).
+
+Each sweep varies one knob of the market experiment and reports the buy
+transaction efficiency, giving quantitative backing to the paper's prose:
+
+* ``sweep_semantic_miner_fraction`` — "if only a fraction of the miners were
+  assisting ... there would still be benefits proportional to the
+  participation" (A1 in DESIGN.md).
+* ``sweep_gossip_impairment`` — "or if communication of the TxPool were
+  impeded among the Sereth enabled peers" (A2).
+* ``sweep_submission_interval`` — "transaction efficiency becomes more
+  sensitive to the transaction interval" at high buy ratios (A3).
+* ``sweep_block_interval`` — the reparameterization discussion: HMS reduces
+  the significance of the block interval (A4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.stats import SummaryStats, summarize
+from .runner import ExperimentConfig, run_market_experiment
+from .scenario import GETH_UNMODIFIED, SEMANTIC_MINING, SERETH_CLIENT_SCENARIO, Scenario
+
+__all__ = [
+    "AblationPoint",
+    "AblationResult",
+    "sweep_semantic_miner_fraction",
+    "sweep_gossip_impairment",
+    "sweep_submission_interval",
+    "sweep_block_interval",
+]
+
+
+@dataclass
+class AblationPoint:
+    """One setting of the swept parameter, aggregated over trials."""
+
+    parameter: float
+    scenario: str
+    efficiencies: List[float]
+    stats: SummaryStats
+
+    @property
+    def mean_efficiency(self) -> float:
+        return self.stats.mean
+
+
+@dataclass
+class AblationResult:
+    """A full one-dimensional sweep."""
+
+    name: str
+    parameter_name: str
+    points: List[AblationPoint]
+
+    def series(self, scenario: str) -> List[AblationPoint]:
+        return [point for point in self.points if point.scenario == scenario]
+
+    def values(self, scenario: str) -> List[float]:
+        return [point.mean_efficiency for point in self.series(scenario)]
+
+
+def _run_point(
+    base: ExperimentConfig, scenario: Scenario, trials: int, **overrides
+) -> List[float]:
+    efficiencies = []
+    for trial in range(trials):
+        config = replace(base, scenario=scenario, seed=base.seed + 101 * trial, **overrides)
+        result = run_market_experiment(config)
+        efficiencies.append(result.buy_report.success_rate)
+    return efficiencies
+
+
+def sweep_semantic_miner_fraction(
+    fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    trials: int = 2,
+    base: Optional[ExperimentConfig] = None,
+    num_miners: int = 4,
+) -> AblationResult:
+    """A1: efficiency versus the fraction of hash power running semantic mining."""
+    base = base or ExperimentConfig(scenario=SEMANTIC_MINING, buys_per_set=2.0)
+    points: List[AblationPoint] = []
+    for fraction in fractions:
+        scenario = SEMANTIC_MINING.with_semantic_fraction(fraction)
+        efficiencies = _run_point(base, scenario, trials, num_miners=num_miners)
+        points.append(
+            AblationPoint(
+                parameter=fraction,
+                scenario="semantic_mining",
+                efficiencies=efficiencies,
+                stats=summarize(efficiencies),
+            )
+        )
+    return AblationResult(
+        name="semantic_miner_fraction",
+        parameter_name="fraction of semantic mining power",
+        points=points,
+    )
+
+
+def sweep_gossip_impairment(
+    latencies: Sequence[float] = (0.05, 0.5, 2.0, 5.0),
+    trials: int = 2,
+    base: Optional[ExperimentConfig] = None,
+) -> AblationResult:
+    """A2: efficiency versus TxPool gossip latency for the Sereth-client scenario."""
+    base = base or ExperimentConfig(scenario=SERETH_CLIENT_SCENARIO, buys_per_set=2.0)
+    points: List[AblationPoint] = []
+    for scenario in (SERETH_CLIENT_SCENARIO, SEMANTIC_MINING):
+        for latency in latencies:
+            efficiencies = _run_point(
+                base, scenario, trials, gossip_latency=latency, gossip_jitter=latency / 2
+            )
+            points.append(
+                AblationPoint(
+                    parameter=latency,
+                    scenario=scenario.name,
+                    efficiencies=efficiencies,
+                    stats=summarize(efficiencies),
+                )
+            )
+    return AblationResult(
+        name="gossip_impairment",
+        parameter_name="mean gossip latency (seconds)",
+        points=points,
+    )
+
+
+def sweep_submission_interval(
+    intervals: Sequence[float] = (0.25, 0.5, 1.0, 2.0),
+    trials: int = 2,
+    base: Optional[ExperimentConfig] = None,
+    buys_per_set: float = 10.0,
+) -> AblationResult:
+    """A3: sensitivity to the buy submission interval at a high read ratio."""
+    base = base or ExperimentConfig(scenario=GETH_UNMODIFIED, buys_per_set=buys_per_set)
+    points: List[AblationPoint] = []
+    for scenario in (GETH_UNMODIFIED, SERETH_CLIENT_SCENARIO):
+        for interval in intervals:
+            efficiencies = _run_point(
+                base, scenario, trials,
+                submission_interval=interval, buys_per_set=buys_per_set,
+            )
+            points.append(
+                AblationPoint(
+                    parameter=interval,
+                    scenario=scenario.name,
+                    efficiencies=efficiencies,
+                    stats=summarize(efficiencies),
+                )
+            )
+    return AblationResult(
+        name="submission_interval",
+        parameter_name="buy submission interval (seconds)",
+        points=points,
+    )
+
+
+def sweep_block_interval(
+    block_intervals: Sequence[float] = (5.0, 13.0, 30.0, 60.0),
+    trials: int = 2,
+    base: Optional[ExperimentConfig] = None,
+) -> AblationResult:
+    """A4: efficiency versus the block interval for baseline and HMS clients."""
+    base = base or ExperimentConfig(scenario=GETH_UNMODIFIED, buys_per_set=4.0)
+    points: List[AblationPoint] = []
+    for scenario in (GETH_UNMODIFIED, SERETH_CLIENT_SCENARIO, SEMANTIC_MINING):
+        for block_interval in block_intervals:
+            efficiencies = _run_point(base, scenario, trials, block_interval=block_interval)
+            points.append(
+                AblationPoint(
+                    parameter=block_interval,
+                    scenario=scenario.name,
+                    efficiencies=efficiencies,
+                    stats=summarize(efficiencies),
+                )
+            )
+    return AblationResult(
+        name="block_interval",
+        parameter_name="mean block interval (seconds)",
+        points=points,
+    )

@@ -1,0 +1,111 @@
+"""The paper's headline claims, checked from a Figure 2 sweep (E4 in DESIGN.md).
+
+* Abstract / Section VII: the READ-UNCOMMITTED view alone (client-only HMS)
+  "increas[es] state throughput by a factor of five across the full range of
+  tested read to write ratios".
+* Section VII: semantic mining improves "transaction efficiency from less
+  than 5 percent to over 80 percent in cases where state changes are
+  frequent, more than an order of magnitude improvement".
+
+The check function evaluates both against measured data and reports, for
+each claim, the paper's number, the measured number, and whether the shape
+holds (HMS wins, semantic mining wins by more, the gain is largest where
+state changes are frequent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .figure2 import Figure2Result
+
+__all__ = ["ClaimCheck", "check_headline_claims"]
+
+
+@dataclass
+class ClaimCheck:
+    """Outcome of checking one claim against measured data."""
+
+    claim: str
+    paper_value: str
+    measured_value: str
+    holds: bool
+    detail: str = ""
+
+
+def _mean(values: List[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def check_headline_claims(figure2: Figure2Result) -> List[ClaimCheck]:
+    """Evaluate the paper's headline claims on a completed Figure 2 sweep."""
+    ratios = list(figure2.config.ratios)
+    checks: List[ClaimCheck] = []
+
+    # Claim 1: client-only HMS improves efficiency across the whole ratio range.
+    client_factors = [figure2.improvement_factor(ratio, scenario="sereth_client") for ratio in ratios]
+    improvement_everywhere = all(factor > 1.0 for factor in client_factors)
+    checks.append(
+        ClaimCheck(
+            claim="READ-UNCOMMITTED view (client-only HMS) improves state throughput "
+            "across the full ratio range",
+            paper_value="~5x across the range 1:1 to 20:1",
+            measured_value=(
+                f"{min(client_factors):.1f}x – {max(client_factors):.1f}x "
+                f"(mean {_mean(client_factors):.1f}x)"
+            ),
+            holds=improvement_everywhere,
+            detail="factors per ratio: "
+            + ", ".join(f"{ratio:g}:1 → {factor:.1f}x" for ratio, factor in zip(ratios, client_factors)),
+        )
+    )
+
+    # Claim 2: semantic mining lifts efficiency from a few percent to >= ~80%
+    # where state changes are frequent (low buy:set ratios).
+    frequent = [ratio for ratio in ratios if ratio <= 2.0] or ratios[:1]
+    geth_low = _mean([figure2.point("geth_unmodified", ratio).mean_efficiency for ratio in frequent])
+    semantic_low = _mean([figure2.point("semantic_mining", ratio).mean_efficiency for ratio in frequent])
+    checks.append(
+        ClaimCheck(
+            claim="Semantic mining raises efficiency from a few percent to most "
+            "transactions succeeding when state changes are frequent",
+            paper_value="<5% -> >80% (factor > 10) at 1-2 buys per set",
+            measured_value=f"{geth_low:.1%} -> {semantic_low:.1%}",
+            holds=semantic_low >= 0.7 and geth_low <= 0.20 and semantic_low > geth_low * 4,
+            detail=f"ratios considered frequent: {frequent}",
+        )
+    )
+
+    # Claim 3: the relative gain of semantic mining is greatest at low ratios.
+    semantic_factors = [
+        figure2.improvement_factor(ratio, scenario="semantic_mining") for ratio in ratios
+    ]
+    checks.append(
+        ClaimCheck(
+            claim="Relative improvement is greatest where there are 1-2 buys per set",
+            paper_value="largest gain at 1:1 and 2:1",
+            measured_value=", ".join(
+                f"{ratio:g}:1 → {factor:.1f}x" for ratio, factor in zip(ratios, semantic_factors)
+            ),
+            holds=max(semantic_factors[:2]) >= max(semantic_factors[2:])
+            if len(semantic_factors) > 2
+            else True,
+        )
+    )
+
+    # Claim 4: sets always succeed (single owner, program order).
+    set_rates: List[float] = []
+    for point in figure2.points:
+        for result in point.results:
+            set_rates.append(result.set_report.efficiency)
+    if set_rates:
+        checks.append(
+            ClaimCheck(
+                claim="All price sets succeed (sent from the contract owner in nonce order)",
+                paper_value="100%",
+                measured_value=f"{_mean(set_rates):.1%}",
+                holds=min(set_rates) >= 0.99,
+            )
+        )
+    return checks

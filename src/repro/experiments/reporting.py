@@ -1,0 +1,16 @@
+"""Console reporting helpers shared by the benchmark harness and examples."""
+
+from __future__ import annotations
+
+__all__ = ["emit_block"]
+
+
+def emit_block(title: str, body: str) -> None:
+    """Print a clearly delimited result block.
+
+    Used by the benchmark harness so that
+    ``pytest benchmarks/ --benchmark-only -s`` prints the same rows/series the
+    paper reports, and by the examples for their own output.
+    """
+    bar = "=" * 78
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

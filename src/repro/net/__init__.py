@@ -1,0 +1,31 @@
+"""Discrete-event network simulation: simulator, latency, peers, gossip, mining."""
+
+from .latency import (
+    ConstantLatency,
+    ImpairedLatency,
+    LatencyModel,
+    NormalLatency,
+    UniformLatency,
+)
+from .mining import BlockProductionProcess, MinerHandle
+from .network import Network, NetworkStats
+from .peer import GETH_CLIENT, Peer, PeerStats, SERETH_CLIENT
+from .sim import ScheduledEvent, Simulator
+
+__all__ = [
+    "ConstantLatency",
+    "ImpairedLatency",
+    "LatencyModel",
+    "NormalLatency",
+    "UniformLatency",
+    "BlockProductionProcess",
+    "MinerHandle",
+    "Network",
+    "NetworkStats",
+    "GETH_CLIENT",
+    "SERETH_CLIENT",
+    "Peer",
+    "PeerStats",
+    "ScheduledEvent",
+    "Simulator",
+]

@@ -1,0 +1,128 @@
+"""The block production process: who mines the next block and when.
+
+Proof-of-work is modelled as a race whose winner is drawn with probability
+proportional to hash power and whose interval follows the configured block
+interval model.  The winning miner assembles a block from *its own* pool
+(with its own ordering policy — this is where semantic mining plugs in) and
+broadcasts it; every peer validates by replay before importing.
+
+Forks are not modelled: exactly one winner is drawn per interval, which is
+equivalent to a network whose block propagation is fast relative to the
+block interval (true of the paper's private testbed).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..chain.block import Block
+from ..consensus.interval import BlockIntervalModel, PoissonInterval
+from ..consensus.miner import Miner, MinerConfig
+from ..consensus.policies import FeeArrivalPolicy, OrderingPolicy
+from ..crypto.addresses import Address, address_from_label
+from .network import Network
+from .peer import Peer
+from .sim import Simulator
+
+__all__ = ["MinerHandle", "BlockProductionProcess"]
+
+
+@dataclass
+class MinerHandle:
+    """One mining peer participating in block production."""
+
+    peer: Peer
+    miner: Miner
+    hash_power: float = 1.0
+
+    @property
+    def policy_name(self) -> str:
+        return self.miner.policy.name
+
+
+class BlockProductionProcess:
+    """Drives block production on the shared simulator."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: Network,
+        interval_model: Optional[BlockIntervalModel] = None,
+        seed: int = 0,
+    ) -> None:
+        self.simulator = simulator
+        self.network = network
+        self.interval_model = interval_model or PoissonInterval(seed=seed)
+        self._rng = random.Random(seed)
+        self._miners: List[MinerHandle] = []
+        self._running = False
+        self.blocks_produced = 0
+        self.block_log: List[Tuple[float, str, Block]] = []
+        self.on_block: Optional[Callable[[Block, MinerHandle], None]] = None
+
+    # -- configuration -----------------------------------------------------------------
+
+    def register_miner(
+        self,
+        peer: Peer,
+        policy: Optional[OrderingPolicy] = None,
+        miner_address: Optional[Address] = None,
+        hash_power: float = 1.0,
+        config: Optional[MinerConfig] = None,
+    ) -> MinerHandle:
+        """Make ``peer`` a miner with the given ordering policy and hash power."""
+        if hash_power <= 0:
+            raise ValueError("hash power must be positive")
+        address = miner_address or address_from_label(f"miner/{peer.peer_id}")
+        miner = Miner(
+            address=address,
+            chain=peer.chain,
+            pool=peer.pool,
+            policy=policy or FeeArrivalPolicy(),
+            config=config,
+        )
+        handle = MinerHandle(peer=peer, miner=miner, hash_power=hash_power)
+        self._miners.append(handle)
+        return handle
+
+    def miners(self) -> List[MinerHandle]:
+        return list(self._miners)
+
+    # -- production loop -----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin producing blocks; the first arrives one interval from now."""
+        if not self._miners:
+            raise ValueError("no miners registered")
+        if self._running:
+            return
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _schedule_next(self) -> None:
+        if not self._running:
+            return
+        delay = self.interval_model.next_interval()
+        self.simulator.schedule_in(delay, self._produce)
+
+    def _pick_winner(self) -> MinerHandle:
+        weights = [handle.hash_power for handle in self._miners]
+        return self._rng.choices(self._miners, weights=weights, k=1)[0]
+
+    def _produce(self) -> None:
+        if not self._running:
+            return
+        winner = self._pick_winner()
+        timestamp = self.simulator.now
+        block, _ = winner.miner.produce_block(timestamp=timestamp, nonce=self.blocks_produced)
+        self.blocks_produced += 1
+        self.block_log.append((timestamp, winner.peer.peer_id, block))
+        self.network.broadcast_block(winner.peer, block)
+        if self.on_block is not None:
+            self.on_block(block, winner)
+        self._schedule_next()

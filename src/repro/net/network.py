@@ -1,0 +1,121 @@
+"""The gossip network connecting peers.
+
+Transactions and blocks are broadcast to every other peer with a sampled
+one-way latency.  Message loss can be injected per message type to model the
+paper's observation that "transactions sent may be lost due to network
+failures, memory limitations or peers not replaying them".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..chain.block import Block
+from ..chain.transaction import Transaction
+from .latency import ConstantLatency, LatencyModel
+from .peer import Peer
+from .sim import Simulator
+
+__all__ = ["NetworkStats", "Network"]
+
+
+@dataclass
+class NetworkStats:
+    """Counters about gossip traffic."""
+
+    transactions_broadcast: int = 0
+    transaction_deliveries: int = 0
+    transactions_dropped: int = 0
+    blocks_broadcast: int = 0
+    block_deliveries: int = 0
+    blocks_dropped: int = 0
+
+
+class Network:
+    """A fully connected gossip network over a shared simulator."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        latency: Optional[LatencyModel] = None,
+        block_latency: Optional[LatencyModel] = None,
+        transaction_loss_rate: float = 0.0,
+        block_loss_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= transaction_loss_rate < 1.0 or not 0.0 <= block_loss_rate < 1.0:
+            raise ValueError("loss rates must be in [0, 1)")
+        self.simulator = simulator
+        self.latency = latency or ConstantLatency(0.05)
+        self.block_latency = block_latency or self.latency
+        self.transaction_loss_rate = transaction_loss_rate
+        self.block_loss_rate = block_loss_rate
+        self.stats = NetworkStats()
+        self._peers: Dict[str, Peer] = {}
+        self._rng = random.Random(seed)
+
+    # -- membership -----------------------------------------------------------------
+
+    def add_peer(self, peer: Peer) -> Peer:
+        if peer.peer_id in self._peers:
+            raise ValueError(f"duplicate peer id {peer.peer_id!r}")
+        self._peers[peer.peer_id] = peer
+        peer.network = self
+        return peer
+
+    def peers(self) -> List[Peer]:
+        return list(self._peers.values())
+
+    def peer(self, peer_id: str) -> Peer:
+        return self._peers[peer_id]
+
+    def __len__(self) -> int:
+        return len(self._peers)
+
+    # -- gossip -----------------------------------------------------------------------
+
+    def broadcast_transaction(self, origin: Peer, transaction: Transaction) -> None:
+        """Deliver ``transaction`` to every other peer after a sampled latency."""
+        self.stats.transactions_broadcast += 1
+        for peer in self._peers.values():
+            if peer is origin:
+                continue
+            if self.transaction_loss_rate and self._rng.random() < self.transaction_loss_rate:
+                self.stats.transactions_dropped += 1
+                continue
+            delay = self.latency.sample(origin.peer_id, peer.peer_id)
+            self._schedule_transaction_delivery(peer, transaction, delay)
+
+    def _schedule_transaction_delivery(
+        self, peer: Peer, transaction: Transaction, delay: float
+    ) -> None:
+        def deliver() -> None:
+            self.stats.transaction_deliveries += 1
+            peer.receive_transaction(transaction, self.simulator.now)
+
+        self.simulator.schedule_in(delay, deliver)
+
+    def broadcast_block(self, origin: Optional[Peer], block: Block) -> None:
+        """Deliver ``block`` to every peer (including the origin, immediately)."""
+        self.stats.blocks_broadcast += 1
+        for peer in self._peers.values():
+            if origin is not None and peer is origin:
+                # The miner imports its own block with no network delay.
+                peer.receive_block(block)
+                continue
+            if self.block_loss_rate and self._rng.random() < self.block_loss_rate:
+                self.stats.blocks_dropped += 1
+                continue
+            delay = self.block_latency.sample(
+                origin.peer_id if origin is not None else "network", peer.peer_id
+            )
+            self._schedule_block_delivery(peer, block, delay)
+
+    def _schedule_block_delivery(self, peer: Peer, block: Block, delay: float) -> None:
+        def deliver() -> None:
+            self.stats.block_deliveries += 1
+            peer.receive_block(block)
+
+        self.simulator.schedule_in(delay, deliver)

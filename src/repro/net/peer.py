@@ -1,0 +1,200 @@
+"""Peers: the nodes of the simulated Ethereum network.
+
+A peer owns a full chain copy, a TxPool, and a contract execution engine.
+The difference between a "Geth" peer and a "Sereth" peer is exactly what the
+paper describes: the Sereth peer additionally runs the HMS/RAA machinery —
+an RAA provider wired to its *own* pool and state — while speaking the same
+protocol on the wire, which is why the two interoperate on one network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..chain.block import Block
+from ..chain.chain import Blockchain
+from ..chain.errors import ChainError
+from ..chain.executor import BlockContext
+from ..chain.genesis import GenesisConfig
+from ..chain.transaction import Transaction
+from ..core.hms.process import HMSConfig
+from ..core.raa.provider import HMSRAAProvider, RAAProviderRegistry, SerethStorageLayout
+from ..crypto.addresses import Address
+from ..evm.engine import CallResult, ExecutionEngine
+from ..evm.registry import ContractRegistry, default_registry
+from ..txpool.pool import TxPool
+
+__all__ = ["PeerStats", "Peer"]
+
+GETH_CLIENT = "geth"
+SERETH_CLIENT = "sereth"
+
+
+@dataclass
+class PeerStats:
+    """Counters a peer keeps about its own behaviour."""
+
+    transactions_submitted: int = 0
+    transactions_received: int = 0
+    transactions_duplicate: int = 0
+    blocks_imported: int = 0
+    blocks_rejected: int = 0
+    calls_served: int = 0
+
+
+class Peer:
+    """One node: chain + pool + engine (+ optionally HMS/RAA)."""
+
+    def __init__(
+        self,
+        peer_id: str,
+        genesis: GenesisConfig,
+        client_kind: str = GETH_CLIENT,
+        registry: Optional[ContractRegistry] = None,
+        pool_max_size: Optional[int] = None,
+    ) -> None:
+        if client_kind not in (GETH_CLIENT, SERETH_CLIENT):
+            raise ValueError(f"unknown client kind {client_kind!r}")
+        self.peer_id = peer_id
+        self.client_kind = client_kind
+        self.engine = ExecutionEngine(registry=registry or default_registry())
+        self.chain = Blockchain(self.engine, genesis)
+        self.pool = TxPool(max_size=pool_max_size)
+        self.stats = PeerStats()
+        self.network = None  # set by Network.add_peer
+        self._raa_registry: Optional[RAAProviderRegistry] = None
+        self._hms_providers: Dict[Address, HMSRAAProvider] = {}
+        self._seen_transactions: set = set()
+
+    # -- identity -------------------------------------------------------------------
+
+    @property
+    def is_sereth(self) -> bool:
+        return self.client_kind == SERETH_CLIENT
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Peer({self.peer_id!r}, {self.client_kind}, height={self.chain.height})"
+
+    # -- HMS / RAA wiring ---------------------------------------------------------------
+
+    def install_hms(
+        self,
+        contract_address: Address,
+        set_selector: bytes,
+        layout: Optional[SerethStorageLayout] = None,
+    ) -> HMSRAAProvider:
+        """Attach an HMS-backed RAA provider for a watched contract.
+
+        Only meaningful on Sereth peers; calling it on a Geth peer raises, to
+        keep experiment configurations honest.
+        """
+        if not self.is_sereth:
+            raise ValueError(f"peer {self.peer_id} runs the unmodified client; cannot install HMS")
+        if self._raa_registry is None:
+            self._raa_registry = RAAProviderRegistry()
+            self.engine.raa_provider = self._raa_registry
+        config = HMSConfig(contract_address=contract_address, set_selector=set_selector)
+        provider = HMSRAAProvider(
+            config=config,
+            pool_supplier=self.pool.transactions_with_arrival,
+            state_supplier=lambda: self.chain.state,
+            layout=layout,
+        )
+        self._raa_registry.register(contract_address, provider)
+        self._hms_providers[contract_address] = provider
+        return provider
+
+    def hms_provider(self, contract_address: Address) -> Optional[HMSRAAProvider]:
+        return self._hms_providers.get(contract_address)
+
+    # -- transaction handling -------------------------------------------------------------
+
+    def submit_transaction(self, transaction: Transaction, now: float) -> bool:
+        """Accept a transaction from a local client and gossip it."""
+        accepted = self._admit(transaction, now)
+        if accepted:
+            self.stats.transactions_submitted += 1
+            if self.network is not None:
+                self.network.broadcast_transaction(self, transaction)
+        return accepted
+
+    def receive_transaction(self, transaction: Transaction, now: float) -> bool:
+        """Accept a transaction arriving over gossip."""
+        accepted = self._admit(transaction, now)
+        if accepted:
+            self.stats.transactions_received += 1
+        else:
+            self.stats.transactions_duplicate += 1
+        return accepted
+
+    def _admit(self, transaction: Transaction, now: float) -> bool:
+        if transaction.hash in self._seen_transactions:
+            return False
+        if self.chain.transaction_is_committed(transaction.hash):
+            return False
+        self._seen_transactions.add(transaction.hash)
+        return self.pool.add(transaction, arrival_time=now)
+
+    # -- block handling --------------------------------------------------------------------
+
+    def receive_block(self, block: Block) -> bool:
+        """Validate and import a block, then prune the pool."""
+        try:
+            self.chain.add_block(block)
+        except ChainError:
+            self.stats.blocks_rejected += 1
+            return False
+        self.stats.blocks_imported += 1
+        self.pool.remove_committed(block)
+        self.pool.drop_stale(self.chain.state)
+        return True
+
+    # -- client-facing API ---------------------------------------------------------------------
+
+    def head_context(self, now: Optional[float] = None) -> BlockContext:
+        """Block context representing "the next block" for local calls."""
+        head = self.chain.head
+        return BlockContext(
+            number=head.number + 1,
+            timestamp=now if now is not None else head.timestamp,
+            miner=head.header.miner,
+            gas_limit=head.header.gas_limit,
+            difficulty=head.header.difficulty,
+        )
+
+    def call_contract(
+        self,
+        contract_address: Address,
+        function_name: str,
+        arguments: Sequence[object],
+        caller: Address,
+        now: Optional[float] = None,
+        allow_raa: bool = True,
+    ) -> CallResult:
+        """Evaluate a view/pure function against this peer's local state.
+
+        On a Sereth peer with HMS installed, RAA-augmentable arguments are
+        filled with the READ-UNCOMMITTED view; on a Geth peer the arguments
+        pass through unchanged.
+        """
+        self.stats.calls_served += 1
+        return self.engine.call(
+            self.chain.state,
+            contract_address,
+            function_name,
+            arguments,
+            caller=caller,
+            block=self.head_context(now),
+            allow_raa=allow_raa,
+        )
+
+    def next_nonce(self, address: Address) -> int:
+        """The nonce a client should use next: account nonce plus pending txs."""
+        pending = self.pool.pending_by_sender().get(address, [])
+        base = self.chain.state.get_nonce(address)
+        nonces = {entry.nonce for entry in pending}
+        nonce = base
+        while nonce in nonces:
+            nonce += 1
+        return nonce

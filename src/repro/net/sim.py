@@ -1,0 +1,118 @@
+"""Discrete-event simulator: the clock every peer, miner, and client shares.
+
+The paper's phenomena are entirely timing-structural — submission intervals,
+gossip delays, block intervals, and the order things land in the pool — so a
+single-threaded event loop reproduces them faithfully and deterministically
+(see DESIGN.md §2 on why this substitution is sound for this paper).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["Simulator", "ScheduledEvent"]
+
+Callback = Callable[[], None]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An event in the queue; ordering is (time, sequence number)."""
+
+    time: float
+    sequence: int
+    callback: Callback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing when the event is popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A minimal, deterministic discrete-event loop."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._queue: List[ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule_at(self, time: float, callback: Callback) -> ScheduledEvent:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule an event in the past ({time} < {self._now})")
+        event = ScheduledEvent(time=time, sequence=next(self._sequence), callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(self, delay: float, callback: Callback) -> ScheduledEvent:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule_at(self._now + delay, callback)
+
+    # -- running ---------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process the next event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self.events_processed += 1
+            return True
+        return False
+
+    def run_until(self, end_time: float, max_events: Optional[int] = None) -> int:
+        """Run events with time <= ``end_time``; returns how many were processed."""
+        processed = 0
+        while True:
+            if max_events is not None and processed >= max_events:
+                return processed
+            next_event = self._peek()
+            if next_event is None or next_event.time > end_time:
+                break
+            self.step()
+            processed += 1
+        # No more events at or before end_time: advance the clock to it.
+        self._now = max(self._now, end_time)
+        return processed
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Run until the queue drains (or the event cap is hit)."""
+        processed = 0
+        while self._queue and processed < max_events:
+            if self.step():
+                processed += 1
+        return processed
+
+    def run_while(self, condition: Callable[[], bool], max_events: int = 10_000_000) -> int:
+        """Run while ``condition()`` holds and events remain."""
+        processed = 0
+        while self._queue and condition() and processed < max_events:
+            if self.step():
+                processed += 1
+        return processed
+
+    # -- introspection ------------------------------------------------------------
+
+    def pending_events(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def _peek(self) -> Optional[ScheduledEvent]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None

@@ -1,0 +1,12 @@
+"""Conventional-oracle baseline: the operator service and the RAA comparison."""
+
+from .comparison import OracleComparisonConfig, OracleComparisonResult, run_raa_vs_oracle
+from .service import AnsweredRequest, OracleOperator
+
+__all__ = [
+    "OracleComparisonConfig",
+    "OracleComparisonResult",
+    "run_raa_vs_oracle",
+    "AnsweredRequest",
+    "OracleOperator",
+]

@@ -1,0 +1,121 @@
+"""The off-chain half of the conventional oracle baseline.
+
+The :class:`OracleOperator` plays the role of the trusted data service behind
+an oracle contract: it polls its peer's chain for ``OracleRequest`` events,
+fetches the requested value from a data source callable, and answers with an
+``answer`` transaction.  Every answer therefore costs at least one full
+block round-trip after the request commits — the structural latency RAA
+avoids (Section II-E / III-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..chain.block import Block
+from ..clients.base import ContractClient
+from ..contracts.oracle import OracleContract, REQUEST_EVENT
+from ..crypto.addresses import Address
+from ..encoding.hexutil import int_from_bytes32, to_bytes32
+from ..net.peer import Peer
+from ..net.sim import Simulator
+
+__all__ = ["AnsweredRequest", "OracleOperator"]
+
+_ANSWER_ABI = OracleContract.function_by_name("answer").abi
+
+DataSource = Callable[[bytes], bytes]
+"""Maps the query word of a request to the 32-byte answer."""
+
+
+@dataclass
+class AnsweredRequest:
+    """Bookkeeping for one request the operator has answered."""
+
+    request_id: int
+    query: bytes
+    observed_at: float
+    answered_at: float
+    answer_value: bytes
+
+
+class OracleOperator(ContractClient):
+    """Polls for oracle requests and answers them with transactions."""
+
+    def __init__(
+        self,
+        label: str,
+        peer: Peer,
+        simulator: Simulator,
+        oracle_address: Address,
+        data_source: DataSource,
+        poll_interval: float = 1.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(label, peer, simulator, **kwargs)
+        self.oracle_address = oracle_address
+        self.data_source = data_source
+        self.poll_interval = poll_interval
+        self.answered: List[AnsweredRequest] = []
+        self._handled_requests: set = set()
+        self._scanned_height = 0
+        self._running = False
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin polling the chain for unanswered requests."""
+        if self._running:
+            return
+        self._running = True
+        self.simulator.schedule_in(self.poll_interval, self._poll)
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- polling ----------------------------------------------------------------------
+
+    def _poll(self) -> None:
+        if not self._running:
+            return
+        self._scan_new_blocks()
+        self.simulator.schedule_in(self.poll_interval, self._poll)
+
+    def _scan_new_blocks(self) -> None:
+        chain = self.peer.chain
+        while self._scanned_height < chain.height:
+            self._scanned_height += 1
+            block = chain.block_by_number(self._scanned_height)
+            self._scan_block(block)
+
+    def _scan_block(self, block: Block) -> None:
+        for receipt in block.receipts:
+            if not receipt.success:
+                continue
+            for log in receipt.logs:
+                if log.address != self.oracle_address or not log.topics:
+                    continue
+                if log.topics[0] != REQUEST_EVENT or len(log.topics) < 2:
+                    continue
+                request_id = int_from_bytes32(log.topics[1])
+                if request_id in self._handled_requests:
+                    continue
+                self._handled_requests.add(request_id)
+                self._answer(request_id, query=log.data, observed_at=self.simulator.now)
+
+    def _answer(self, request_id: int, query: bytes, observed_at: float) -> None:
+        value = to_bytes32(self.data_source(query))
+        self.send_transaction(
+            to=self.oracle_address,
+            data=_ANSWER_ABI.encode_call(request_id, value),
+        )
+        self.answered.append(
+            AnsweredRequest(
+                request_id=request_id,
+                query=query,
+                observed_at=observed_at,
+                answered_at=self.simulator.now,
+                answer_value=value,
+            )
+        )

@@ -1,0 +1,5 @@
+"""Pending transaction pool (TxPool)."""
+
+from .pool import PoolEntry, TxPool
+
+__all__ = ["PoolEntry", "TxPool"]

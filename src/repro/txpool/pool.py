@@ -1,0 +1,164 @@
+"""The TxPool: each peer's view of pending (unprocessed) transactions.
+
+The pool is the "underutilized communication channel" HMS exploits
+(Section III-C).  It stores pending transactions with the local arrival
+time, groups them per sender in nonce order (the ordering miners must
+respect), and drops transactions once they are committed in a published
+block or made stale by an advancing account nonce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..chain.block import Block
+from ..chain.state import WorldState
+from ..chain.transaction import Transaction
+from ..crypto.addresses import Address
+
+__all__ = ["PoolEntry", "TxPool"]
+
+
+@dataclass(frozen=True)
+class PoolEntry:
+    """A pending transaction plus local bookkeeping."""
+
+    transaction: Transaction
+    arrival_time: float
+
+    @property
+    def hash(self) -> bytes:
+        return self.transaction.hash
+
+    @property
+    def sender(self) -> Address:
+        return self.transaction.sender
+
+    @property
+    def nonce(self) -> int:
+        return self.transaction.nonce
+
+
+class TxPool:
+    """A per-peer pending-transaction pool."""
+
+    def __init__(self, max_size: Optional[int] = None) -> None:
+        self._entries: Dict[bytes, PoolEntry] = {}
+        self._by_sender: Dict[Address, Dict[int, PoolEntry]] = {}
+        self.max_size = max_size
+        self.dropped_count = 0
+
+    # -- insertion --------------------------------------------------------------
+
+    def add(self, transaction: Transaction, arrival_time: float) -> bool:
+        """Add a transaction; returns False if it was already known or dropped.
+
+        A replacement transaction (same sender and nonce) supersedes the old
+        one, mirroring gas-price replacement in real pools.
+        """
+        if transaction.hash in self._entries:
+            return False
+        if self.max_size is not None and len(self._entries) >= self.max_size:
+            self.dropped_count += 1
+            return False
+        entry = PoolEntry(transaction=transaction, arrival_time=arrival_time)
+        sender_entries = self._by_sender.setdefault(transaction.sender, {})
+        existing = sender_entries.get(transaction.nonce)
+        if existing is not None:
+            if existing.transaction.gas_price >= transaction.gas_price:
+                return False
+            self._entries.pop(existing.hash, None)
+        sender_entries[transaction.nonce] = entry
+        self._entries[transaction.hash] = entry
+        return True
+
+    # -- lookup -----------------------------------------------------------------
+
+    def contains(self, transaction_hash: bytes) -> bool:
+        return transaction_hash in self._entries
+
+    def __contains__(self, transaction_hash: object) -> bool:
+        return transaction_hash in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def size(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[PoolEntry]:
+        """All pending entries, ordered by arrival time (the concurrent history)."""
+        return sorted(self._entries.values(), key=lambda entry: (entry.arrival_time, entry.hash))
+
+    def transactions_with_arrival(self) -> List[Tuple[Transaction, float]]:
+        """``(transaction, arrival_time)`` pairs — the shape HMS consumes."""
+        return [(entry.transaction, entry.arrival_time) for entry in self.entries()]
+
+    def transactions(self) -> List[Transaction]:
+        return [entry.transaction for entry in self.entries()]
+
+    def pending_by_sender(self) -> Dict[Address, List[PoolEntry]]:
+        """Per-sender pending entries in nonce order (the miner's raw material)."""
+        grouped: Dict[Address, List[PoolEntry]] = {}
+        for sender, by_nonce in self._by_sender.items():
+            entries = [by_nonce[nonce] for nonce in sorted(by_nonce)]
+            if entries:
+                grouped[sender] = entries
+        return grouped
+
+    def executable_by_sender(self, state: WorldState) -> Dict[Address, List[PoolEntry]]:
+        """Per-sender entries forming a gapless nonce run starting at the
+        account's current nonce; only these can be included in the next block."""
+        executable: Dict[Address, List[PoolEntry]] = {}
+        for sender, entries in self.pending_by_sender().items():
+            next_nonce = state.get_nonce(sender)
+            runnable: List[PoolEntry] = []
+            for entry in entries:
+                if entry.nonce == next_nonce:
+                    runnable.append(entry)
+                    next_nonce += 1
+                elif entry.nonce > next_nonce:
+                    break
+            if runnable:
+                executable[sender] = runnable
+        return executable
+
+    # -- removal -----------------------------------------------------------------
+
+    def remove(self, transaction_hash: bytes) -> Optional[PoolEntry]:
+        entry = self._entries.pop(transaction_hash, None)
+        if entry is None:
+            return None
+        sender_entries = self._by_sender.get(entry.sender)
+        if sender_entries is not None:
+            stored = sender_entries.get(entry.nonce)
+            if stored is not None and stored.hash == transaction_hash:
+                del sender_entries[entry.nonce]
+            if not sender_entries:
+                del self._by_sender[entry.sender]
+        return entry
+
+    def remove_committed(self, block: Block) -> int:
+        """Drop every transaction included in ``block``; returns how many."""
+        removed = 0
+        for transaction in block.transactions:
+            if self.remove(transaction.hash) is not None:
+                removed += 1
+        return removed
+
+    def drop_stale(self, state: WorldState) -> int:
+        """Drop transactions whose nonce is already below the account nonce."""
+        stale_hashes = [
+            entry.hash
+            for entry in self._entries.values()
+            if entry.nonce < state.get_nonce(entry.sender)
+        ]
+        for transaction_hash in stale_hashes:
+            self.remove(transaction_hash)
+        return len(stale_hashes)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._by_sender.clear()

@@ -1,0 +1,20 @@
+"""Workload generators: arrival processes, price processes, and the market workload."""
+
+from .arrivals import ArrivalProcess, BurstyArrivals, PoissonArrivals, RegularArrivals
+from .market import BUY_LABEL, MarketWorkload, MarketWorkloadConfig, SET_LABEL
+from .prices import ConstantPrices, PriceProcess, RandomWalkPrices, UniformPrices
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "PoissonArrivals",
+    "RegularArrivals",
+    "BUY_LABEL",
+    "SET_LABEL",
+    "MarketWorkload",
+    "MarketWorkloadConfig",
+    "ConstantPrices",
+    "PriceProcess",
+    "RandomWalkPrices",
+    "UniformPrices",
+]

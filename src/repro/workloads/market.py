@@ -1,0 +1,134 @@
+"""The dynamic-pricing market workload of the paper's evaluation (Section V).
+
+Reproduces the experimental shape exactly: each data point is 100 ``buy``
+transactions submitted at a fixed interval (one second in the paper), with
+the ``set`` transactions "evenly spaced over the processing of the buys";
+the number of sets is varied to sweep the buy:set ratio from 1:1 to 20:1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..clients.market import Buyer, PriceSetter
+from ..core.metrics import MetricsCollector
+from ..net.sim import Simulator
+from .prices import PriceProcess, RandomWalkPrices
+
+__all__ = ["MarketWorkloadConfig", "MarketWorkload"]
+
+BUY_LABEL = "buy"
+SET_LABEL = "set"
+
+
+@dataclass
+class MarketWorkloadConfig:
+    """Shape of one Figure-2 data point."""
+
+    num_buys: int = 100
+    buys_per_set: float = 1.0
+    """The READ-UNCOMMITTED/WRITE ratio of Figure 2 (1.0 = 1:1 … 20.0 = 20:1)."""
+    submission_interval: float = 1.0
+    """Seconds between successive buy submissions (the paper used one second)."""
+    start_time: float = 30.0
+    """When the first buy is submitted; must leave room for the contract
+    deployment and the opening price to be committed."""
+    initial_price: int = 100
+    warmup_sets: int = 1
+    """Sets submitted before trading opens (the opening price)."""
+
+    def __post_init__(self) -> None:
+        if self.num_buys <= 0:
+            raise ValueError("num_buys must be positive")
+        if self.buys_per_set <= 0:
+            raise ValueError("buys_per_set must be positive")
+        if self.submission_interval <= 0:
+            raise ValueError("submission_interval must be positive")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of price changes during the buy window."""
+        return max(1, round(self.num_buys / self.buys_per_set))
+
+    @property
+    def buy_window(self) -> float:
+        """Seconds spanned by the buy submissions."""
+        return self.num_buys * self.submission_interval
+
+
+class MarketWorkload:
+    """Schedules the buy/set submission events onto a simulator."""
+
+    def __init__(
+        self,
+        config: MarketWorkloadConfig,
+        setter: PriceSetter,
+        buyers: Sequence[Buyer],
+        metrics: MetricsCollector,
+        prices: Optional[PriceProcess] = None,
+    ) -> None:
+        if not buyers:
+            raise ValueError("at least one buyer is required")
+        self.config = config
+        self.setter = setter
+        self.buyers = list(buyers)
+        self.metrics = metrics
+        self.prices = prices or RandomWalkPrices(initial=config.initial_price)
+        self.buy_times: List[float] = []
+        self.set_times: List[float] = []
+
+    # -- scheduling --------------------------------------------------------------------
+
+    def schedule(self, simulator: Simulator, deploy_time: float = 0.2) -> None:
+        """Schedule every workload event onto ``simulator``.
+
+        ``deploy_time`` is when the opening price transactions go out; the
+        Sereth contract itself is deployed by the experiment runner before
+        this workload is scheduled.
+        """
+        config = self.config
+        # Opening price(s), submitted well before trading so they commit first.
+        for warmup_index in range(config.warmup_sets):
+            at = deploy_time + 0.1 * (warmup_index + 1)
+            simulator.schedule_at(at, self._make_set_event(config.initial_price))
+
+        # Buys: one every submission_interval, buyers round-robin.
+        for buy_index in range(config.num_buys):
+            at = config.start_time + buy_index * config.submission_interval
+            buyer = self.buyers[buy_index % len(self.buyers)]
+            self.buy_times.append(at)
+            simulator.schedule_at(at, self._make_buy_event(buyer))
+
+        # Sets: evenly spaced over the processing of the buys.
+        spacing = config.buy_window / config.num_sets
+        for set_index in range(config.num_sets):
+            # Offset by half a spacing so sets interleave the buys rather than
+            # coinciding with the first one.
+            at = config.start_time + (set_index + 0.5) * spacing
+            self.set_times.append(at)
+            simulator.schedule_at(at, self._make_set_event(None))
+
+    @property
+    def end_of_submissions(self) -> float:
+        """Time of the last scheduled submission."""
+        last_buy = self.config.start_time + self.config.buy_window
+        return max([last_buy] + self.set_times + self.buy_times)
+
+    # -- event factories -----------------------------------------------------------------
+
+    def _make_set_event(self, fixed_price: Optional[int]):
+        def fire() -> None:
+            price = fixed_price if fixed_price is not None else self.prices.next_price()
+            transaction = self.setter.set_price(price)
+            self.metrics.watch(transaction, SET_LABEL, submitted_at=transaction.submitted_at)
+
+        return fire
+
+    def _make_buy_event(self, buyer: Buyer):
+        def fire() -> None:
+            transaction = buyer.buy()
+            self.metrics.watch(transaction, BUY_LABEL, submitted_at=transaction.submitted_at)
+
+        return fire

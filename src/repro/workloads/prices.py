@@ -1,0 +1,75 @@
+"""Price processes driving the ``set`` transactions of the market workload.
+
+"The price changes frequently and unpredictably due to market dynamics"
+(Section II-F).  Two seeded processes are provided: a bounded random walk
+(the default, resembling a traded asset) and a uniform re-draw (maximally
+unpredictable).  Both are deterministic under a seed so every experiment is
+repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Protocol
+
+__all__ = ["PriceProcess", "RandomWalkPrices", "UniformPrices", "ConstantPrices"]
+
+
+class PriceProcess(Protocol):
+    """Yields successive prices for the price setter."""
+
+    def next_price(self) -> int:
+        ...
+
+
+class RandomWalkPrices:
+    """A bounded integer random walk: price moves by ±[1, max_step] each set."""
+
+    def __init__(
+        self,
+        initial: int = 100,
+        max_step: int = 5,
+        minimum: int = 1,
+        maximum: int = 10_000,
+        seed: int = 0,
+    ) -> None:
+        if initial < minimum or initial > maximum:
+            raise ValueError("initial price must lie within [minimum, maximum]")
+        if max_step <= 0:
+            raise ValueError("max_step must be positive")
+        self.current = initial
+        self.max_step = max_step
+        self.minimum = minimum
+        self.maximum = maximum
+        self._rng = random.Random(seed)
+
+    def next_price(self) -> int:
+        step = self._rng.randint(1, self.max_step)
+        if self._rng.random() < 0.5:
+            step = -step
+        self.current = min(self.maximum, max(self.minimum, self.current + step))
+        return self.current
+
+
+class UniformPrices:
+    """Each set draws an independent uniform price in [minimum, maximum]."""
+
+    def __init__(self, minimum: int = 1, maximum: int = 1_000, seed: int = 0) -> None:
+        if minimum > maximum:
+            raise ValueError("minimum must not exceed maximum")
+        self.minimum = minimum
+        self.maximum = maximum
+        self._rng = random.Random(seed)
+
+    def next_price(self) -> int:
+        return self._rng.randint(self.minimum, self.maximum)
+
+
+class ConstantPrices:
+    """The price never changes — useful for sanity tests (every buy should succeed)."""
+
+    def __init__(self, price: int = 100) -> None:
+        self.price = price
+
+    def next_price(self) -> int:
+        return self.price

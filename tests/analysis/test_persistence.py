@@ -1,0 +1,68 @@
+"""Tests for JSON persistence of experiment results."""
+
+import json
+
+import pytest
+
+from repro.analysis.persistence import (
+    experiment_result_to_dict,
+    figure2_result_to_dict,
+    load_json,
+    save_json,
+)
+from repro.experiments.figure2 import Figure2Config, run_figure2
+from repro.experiments.runner import ExperimentConfig, run_market_experiment
+from repro.experiments.scenario import GETH_UNMODIFIED, SEMANTIC_MINING
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return run_market_experiment(
+        ExperimentConfig(scenario=SEMANTIC_MINING, num_buys=15, num_buyers=2, buys_per_set=3.0, seed=2)
+    )
+
+
+class TestExperimentResultSerialization:
+    def test_dict_contains_key_metrics(self, small_result):
+        data = experiment_result_to_dict(small_result)
+        assert data["scenario"] == "semantic_mining"
+        assert data["buy_report"]["submitted"] == 15
+        assert 0.0 <= data["efficiency"] <= 1.0
+        assert data["contract"].startswith("0x")
+
+    def test_dict_is_json_encodable(self, small_result):
+        data = experiment_result_to_dict(small_result)
+        text = json.dumps(data)
+        assert "semantic_mining" in text
+
+    def test_save_and_load_round_trip(self, small_result, tmp_path):
+        data = experiment_result_to_dict(small_result)
+        path = save_json(data, tmp_path / "results" / "run.json")
+        assert path.exists()
+        restored = load_json(path)
+        assert restored == json.loads(json.dumps(data))
+
+    def test_save_json_handles_bytes_and_tuples(self, tmp_path):
+        path = save_json({"blob": b"\x01\x02", "pair": (1, 2)}, tmp_path / "misc.json")
+        restored = load_json(path)
+        assert restored["blob"] == "0x0102"
+        assert restored["pair"] == [1, 2]
+
+
+class TestFigure2Serialization:
+    def test_round_trip_preserves_points(self, tmp_path):
+        config = Figure2Config(
+            ratios=(2.0,),
+            trials=1,
+            num_buys=15,
+            base=ExperimentConfig(scenario=GETH_UNMODIFIED, num_buyers=2, seed=4),
+        )
+        result = run_figure2(config)
+        data = figure2_result_to_dict(result)
+        path = save_json(data, tmp_path / "figure2.json")
+        restored = load_json(path)
+        assert restored["ratios"] == [2.0]
+        assert len(restored["points"]) == 3
+        for point in restored["points"]:
+            assert 0.0 <= point["mean"] <= 1.0
+            assert point["scenario"] in {"geth_unmodified", "sereth_client", "semantic_mining"}

@@ -1,0 +1,139 @@
+"""Tests for blocks, headers, receipts, and genesis construction."""
+
+import pytest
+
+from repro.chain.block import Block, BlockHeader, transactions_root
+from repro.chain.genesis import ContractAllocation, GenesisConfig, build_genesis
+from repro.chain.receipt import LogEntry, Receipt, receipts_root
+from repro.chain.transaction import Transaction
+from repro.crypto.addresses import ZERO_ADDRESS, address_from_label
+from repro.encoding.hexutil import to_bytes32
+
+ALICE = address_from_label("alice")
+BOB = address_from_label("bob")
+
+
+def make_transaction(nonce: int = 0) -> Transaction:
+    return Transaction(sender=ALICE, nonce=nonce, to=BOB, value=1)
+
+
+def make_block(transactions=None, receipts=None, number=1) -> Block:
+    transactions = transactions if transactions is not None else [make_transaction()]
+    receipts = (
+        receipts
+        if receipts is not None
+        else [Receipt(transaction_hash=tx.hash, success=True, gas_used=21_000) for tx in transactions]
+    )
+    header = BlockHeader(
+        parent_hash=b"\x11" * 32,
+        number=number,
+        timestamp=13.0,
+        miner=address_from_label("miner"),
+        transactions_root=transactions_root(transactions),
+        receipts_root=receipts_root(receipts),
+    )
+    return Block(header=header, transactions=transactions, receipts=receipts)
+
+
+class TestBlockHeader:
+    def test_hash_is_stable_and_32_bytes(self):
+        header = make_block().header
+        assert len(header.hash) == 32
+        assert header.hash == header.hash
+
+    def test_hash_depends_on_parent(self):
+        one = make_block().header
+        other = BlockHeader(parent_hash=b"\x22" * 32, number=1, timestamp=13.0)
+        assert one.hash != other.hash
+
+
+class TestBlock:
+    def test_counts(self):
+        transactions = [make_transaction(0), make_transaction(1)]
+        receipts = [
+            Receipt(transaction_hash=transactions[0].hash, success=True, gas_used=1),
+            Receipt(transaction_hash=transactions[1].hash, success=False, gas_used=1),
+        ]
+        block = make_block(transactions, receipts)
+        assert block.transaction_count() == 2
+        assert block.successful_transaction_count() == 1
+        assert block.failed_transaction_count() == 1
+
+    def test_verify_roots_detects_tampering(self):
+        block = make_block()
+        assert block.verify_roots()
+        tampered = Block(
+            header=block.header,
+            transactions=[make_transaction(5)],
+            receipts=block.receipts,
+        )
+        assert not tampered.verify_roots()
+
+    def test_contains_and_receipt_for(self):
+        transaction = make_transaction()
+        block = make_block([transaction])
+        assert block.contains(transaction.hash)
+        assert block.receipt_for(transaction.hash).success
+        assert block.receipt_for(b"\x00" * 32) is None
+
+    def test_failed_transactions_are_still_included(self):
+        """The blockchain property the state-throughput metric is built on."""
+        transaction = make_transaction()
+        receipt = Receipt(transaction_hash=transaction.hash, success=False, gas_used=1)
+        block = make_block([transaction], [receipt])
+        assert block.contains(transaction.hash)
+        assert block.successful_transaction_count() == 0
+
+
+class TestReceipts:
+    def test_encode_differs_by_success(self):
+        ok = Receipt(transaction_hash=b"\x01" * 32, success=True, gas_used=5)
+        failed = Receipt(transaction_hash=b"\x01" * 32, success=False, gas_used=5)
+        assert ok.encode() != failed.encode()
+        assert failed.failed
+
+    def test_receipts_root_changes_with_logs(self):
+        base = Receipt(transaction_hash=b"\x01" * 32, success=True, gas_used=5)
+        with_log = Receipt(
+            transaction_hash=b"\x01" * 32,
+            success=True,
+            gas_used=5,
+            logs=[LogEntry(address=ALICE, topics=(to_bytes32(1),))],
+        )
+        assert receipts_root([base]) != receipts_root([with_log])
+
+
+class TestGenesis:
+    def test_allocations_become_balances(self):
+        config = GenesisConfig(allocations={ALICE: 100, BOB: 50})
+        block, state = build_genesis(config)
+        assert block.number == 0
+        assert state.get_balance(ALICE) == 100
+        assert state.get_balance(BOB) == 50
+
+    def test_for_labels_and_fund(self):
+        config = GenesisConfig.for_labels(["alice"], balance=7).fund(BOB, 3)
+        _, state = build_genesis(config)
+        assert state.get_balance(ALICE) == 7
+        assert state.get_balance(BOB) == 3
+
+    def test_state_root_committed_in_header(self):
+        config = GenesisConfig(allocations={ALICE: 100})
+        block, state = build_genesis(config)
+        assert block.header.state_root == state.state_root()
+
+    def test_contract_pre_deployment(self):
+        contract = address_from_label("some-contract")
+        config = GenesisConfig().deploy_contract(
+            contract, "SimpleStorage", storage={to_bytes32(1): to_bytes32(42)}, balance=5
+        )
+        _, state = build_genesis(config)
+        assert state.get_code(contract) == "SimpleStorage"
+        assert state.get_storage(contract, to_bytes32(1)) == to_bytes32(42)
+        assert state.get_balance(contract) == 5
+
+    def test_genesis_block_has_no_transactions(self):
+        block, _ = build_genesis(GenesisConfig())
+        assert block.transactions == [] and block.receipts == []
+        assert block.header.parent_hash == b"\x00" * 32
+        assert block.header.miner == ZERO_ADDRESS

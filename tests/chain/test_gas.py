@@ -1,0 +1,73 @@
+"""Tests for the gas meter."""
+
+import pytest
+
+from repro.chain.gas import GasMeter, GasSchedule, OutOfGas
+
+
+class TestGasMeter:
+    def test_consume_accumulates(self):
+        meter = GasMeter(1000)
+        meter.consume(300)
+        meter.consume(200)
+        assert meter.used == 500
+        assert meter.remaining == 500
+
+    def test_out_of_gas(self):
+        meter = GasMeter(100)
+        with pytest.raises(OutOfGas):
+            meter.consume(101)
+        assert meter.remaining == 0
+
+    def test_negative_consumption_rejected(self):
+        with pytest.raises(ValueError):
+            GasMeter(100).consume(-1)
+
+    def test_zero_gas_limit_rejected(self):
+        with pytest.raises(ValueError):
+            GasMeter(0)
+
+    def test_refund_capped_at_half_of_used(self):
+        meter = GasMeter(100_000)
+        meter.consume(10_000)
+        meter.refund(50_000)
+        assert meter.finalize() == 5_000
+
+    def test_refund_below_cap_applied_fully(self):
+        meter = GasMeter(100_000)
+        meter.consume(10_000)
+        meter.refund(1_000)
+        assert meter.finalize() == 9_000
+
+    def test_storage_write_costs(self):
+        schedule = GasSchedule()
+        fresh = GasMeter(1_000_000, schedule)
+        fresh.charge_storage_write(had_value=False, clears_value=False)
+        assert fresh.used == schedule.storage_set
+
+        update = GasMeter(1_000_000, schedule)
+        update.charge_storage_write(had_value=True, clears_value=False)
+        assert update.used == schedule.storage_update
+
+    def test_storage_clear_grants_refund(self):
+        schedule = GasSchedule()
+        meter = GasMeter(1_000_000, schedule)
+        meter.consume(100_000)
+        meter.charge_storage_write(had_value=True, clears_value=True)
+        assert meter.finalize() < meter.used
+
+    def test_keccak_charge_scales_with_words(self):
+        schedule = GasSchedule()
+        short = GasMeter(1_000_000, schedule)
+        short.charge_keccak(10)
+        long = GasMeter(1_000_000, schedule)
+        long.charge_keccak(100)
+        assert long.used > short.used
+
+    def test_log_charge_scales_with_topics_and_data(self):
+        schedule = GasSchedule()
+        small = GasMeter(1_000_000, schedule)
+        small.charge_log(1, 0)
+        big = GasMeter(1_000_000, schedule)
+        big.charge_log(3, 64)
+        assert big.used > small.used

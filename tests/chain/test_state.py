@@ -1,0 +1,184 @@
+"""Tests for the journaled world state."""
+
+import pytest
+
+from repro.chain.errors import UnknownAccount
+from repro.chain.state import WorldState
+from repro.crypto.addresses import address_from_label
+from repro.encoding.hexutil import to_bytes32
+
+ALICE = address_from_label("alice")
+BOB = address_from_label("bob")
+SLOT = to_bytes32(1)
+VALUE = to_bytes32(99)
+ZERO = b"\x00" * 32
+
+
+class TestAccounts:
+    def test_missing_account_raises(self):
+        with pytest.raises(UnknownAccount):
+            WorldState().get_account(ALICE)
+
+    def test_get_or_create(self):
+        state = WorldState()
+        account = state.get_or_create_account(ALICE)
+        assert account.nonce == 0 and account.balance == 0
+        assert state.account_exists(ALICE)
+
+    def test_contains_and_len(self):
+        state = WorldState()
+        state.get_or_create_account(ALICE)
+        assert ALICE in state
+        assert BOB not in state
+        assert len(state) == 1
+
+    def test_bad_address_rejected(self):
+        with pytest.raises(ValueError):
+            WorldState().get_or_create_account(b"short")
+
+
+class TestBalancesAndNonces:
+    def test_balances_default_to_zero(self):
+        assert WorldState().get_balance(ALICE) == 0
+
+    def test_add_and_subtract(self):
+        state = WorldState()
+        state.add_balance(ALICE, 100)
+        state.subtract_balance(ALICE, 40)
+        assert state.get_balance(ALICE) == 60
+
+    def test_subtract_below_zero_rejected(self):
+        state = WorldState()
+        state.add_balance(ALICE, 10)
+        with pytest.raises(ValueError):
+            state.subtract_balance(ALICE, 11)
+
+    def test_negative_balance_rejected(self):
+        with pytest.raises(ValueError):
+            WorldState().set_balance(ALICE, -1)
+
+    def test_nonce_increments(self):
+        state = WorldState()
+        assert state.get_nonce(ALICE) == 0
+        state.increment_nonce(ALICE)
+        state.increment_nonce(ALICE)
+        assert state.get_nonce(ALICE) == 2
+
+
+class TestStorage:
+    def test_unset_slot_reads_zero(self):
+        assert WorldState().get_storage(ALICE, SLOT) == ZERO
+
+    def test_set_and_get(self):
+        state = WorldState()
+        state.set_storage(ALICE, SLOT, VALUE)
+        assert state.get_storage(ALICE, SLOT) == VALUE
+
+    def test_writing_zero_clears_slot(self):
+        state = WorldState()
+        state.set_storage(ALICE, SLOT, VALUE)
+        state.set_storage(ALICE, SLOT, ZERO)
+        assert state.get_storage(ALICE, SLOT) == ZERO
+        assert SLOT not in state.get_account(ALICE).storage
+
+    def test_code(self):
+        state = WorldState()
+        assert state.get_code(ALICE) is None
+        state.set_code(ALICE, "Sereth")
+        assert state.get_code(ALICE) == "Sereth"
+
+
+class TestSnapshots:
+    def test_revert_restores_balances(self):
+        state = WorldState()
+        state.add_balance(ALICE, 100)
+        snapshot = state.snapshot()
+        state.add_balance(ALICE, 50)
+        state.add_balance(BOB, 10)
+        state.revert(snapshot)
+        assert state.get_balance(ALICE) == 100
+        assert not state.account_exists(BOB)
+
+    def test_revert_restores_storage(self):
+        state = WorldState()
+        state.set_storage(ALICE, SLOT, VALUE)
+        snapshot = state.snapshot()
+        state.set_storage(ALICE, SLOT, to_bytes32(7))
+        state.revert(snapshot)
+        assert state.get_storage(ALICE, SLOT) == VALUE
+
+    def test_commit_keeps_changes(self):
+        state = WorldState()
+        snapshot = state.snapshot()
+        state.add_balance(ALICE, 5)
+        state.commit(snapshot)
+        assert state.get_balance(ALICE) == 5
+
+    def test_nested_snapshots_revert_to_outer(self):
+        state = WorldState()
+        state.add_balance(ALICE, 1)
+        outer = state.snapshot()
+        state.add_balance(ALICE, 2)
+        inner = state.snapshot()
+        state.add_balance(ALICE, 4)
+        state.revert(inner)
+        assert state.get_balance(ALICE) == 3
+        state.revert(outer)
+        assert state.get_balance(ALICE) == 1
+
+    def test_nested_commit_then_outer_revert(self):
+        state = WorldState()
+        outer = state.snapshot()
+        state.add_balance(ALICE, 2)
+        inner = state.snapshot()
+        state.add_balance(ALICE, 4)
+        state.commit(inner)
+        state.revert(outer)
+        assert state.get_balance(ALICE) == 0
+
+    def test_revert_unknown_snapshot(self):
+        state = WorldState()
+        with pytest.raises(ValueError):
+            state.revert(0)
+
+    def test_revert_discards_later_snapshots_too(self):
+        state = WorldState()
+        first = state.snapshot()
+        state.add_balance(ALICE, 1)
+        state.snapshot()
+        state.add_balance(ALICE, 1)
+        state.revert(first)
+        assert state.get_balance(ALICE) == 0
+
+
+class TestCommitments:
+    def test_state_root_changes_with_content(self):
+        state = WorldState()
+        empty_root = state.state_root()
+        state.add_balance(ALICE, 1)
+        assert state.state_root() != empty_root
+
+    def test_state_root_is_order_independent(self):
+        left = WorldState()
+        left.add_balance(ALICE, 1)
+        left.add_balance(BOB, 2)
+        right = WorldState()
+        right.add_balance(BOB, 2)
+        right.add_balance(ALICE, 1)
+        assert left.state_root() == right.state_root()
+
+    def test_copy_is_independent(self):
+        state = WorldState()
+        state.add_balance(ALICE, 1)
+        clone = state.copy()
+        clone.add_balance(ALICE, 1)
+        assert state.get_balance(ALICE) == 1
+        assert clone.get_balance(ALICE) == 2
+        assert state.state_root() != clone.state_root()
+
+    def test_copy_copies_storage(self):
+        state = WorldState()
+        state.set_storage(ALICE, SLOT, VALUE)
+        clone = state.copy()
+        clone.set_storage(ALICE, SLOT, to_bytes32(1))
+        assert state.get_storage(ALICE, SLOT) == VALUE

@@ -1,0 +1,108 @@
+"""Tests for transactions: hashing, signatures, tamper detection."""
+
+import pytest
+
+from repro.chain.errors import InvalidTransaction
+from repro.chain.transaction import Transaction, sign_transaction
+from repro.crypto.addresses import address_from_label
+
+ALICE = address_from_label("alice")
+BOB = address_from_label("bob")
+
+
+def make_transaction(**overrides) -> Transaction:
+    fields = dict(sender=ALICE, nonce=0, to=BOB, value=1, data=b"\x01\x02")
+    fields.update(overrides)
+    return Transaction(**fields)
+
+
+class TestConstruction:
+    def test_signature_is_filled_in_automatically(self):
+        transaction = make_transaction()
+        assert transaction.signature
+        assert transaction.signature_is_valid()
+
+    def test_rejects_bad_sender(self):
+        with pytest.raises(InvalidTransaction):
+            make_transaction(sender=b"short")
+
+    def test_rejects_bad_recipient(self):
+        with pytest.raises(InvalidTransaction):
+            make_transaction(to=b"short")
+
+    def test_contract_creation_allows_none_recipient(self):
+        assert make_transaction(to=None).is_contract_creation
+
+    def test_rejects_negative_nonce_and_value(self):
+        with pytest.raises(InvalidTransaction):
+            make_transaction(nonce=-1)
+        with pytest.raises(InvalidTransaction):
+            make_transaction(value=-1)
+
+    def test_rejects_zero_gas_limit(self):
+        with pytest.raises(InvalidTransaction):
+            make_transaction(gas_limit=0)
+
+
+class TestHashing:
+    def test_hash_is_32_bytes_and_stable(self):
+        transaction = make_transaction()
+        assert len(transaction.hash) == 32
+        assert transaction.hash == transaction.hash
+
+    def test_hash_depends_on_fields(self):
+        assert make_transaction(nonce=0).hash != make_transaction(nonce=1).hash
+        assert make_transaction(value=1).hash != make_transaction(value=2).hash
+
+    def test_submitted_at_does_not_affect_hash_or_equality(self):
+        early = make_transaction(submitted_at=1.0)
+        late = make_transaction(submitted_at=99.0)
+        assert early.hash == late.hash
+        assert early == late
+
+    def test_selector_property(self):
+        assert make_transaction(data=b"\xaa\xbb\xcc\xdd\xee").selector == b"\xaa\xbb\xcc\xdd"
+        assert make_transaction(data=b"").selector == b""
+
+    def test_short_hash_is_prefix(self):
+        transaction = make_transaction()
+        assert transaction.hash.hex().startswith(transaction.short_hash())
+
+
+class TestSignature:
+    def test_signature_covers_calldata(self):
+        transaction = make_transaction()
+        tampered = transaction.with_data(b"\xde\xad\xbe\xef")
+        assert not tampered.signature_is_valid()
+
+    def test_with_data_keeps_original_signature(self):
+        transaction = make_transaction()
+        tampered = transaction.with_data(b"\x99")
+        assert tampered.signature == transaction.signature
+        assert tampered.data == b"\x99"
+
+    def test_sign_transaction_is_deterministic(self):
+        first = sign_transaction(ALICE, 0, BOB, 1, 1, 100_000, b"\x01")
+        second = sign_transaction(ALICE, 0, BOB, 1, 1, 100_000, b"\x01")
+        assert first == second
+
+    def test_different_senders_produce_different_signatures(self):
+        assert sign_transaction(ALICE, 0, BOB, 1, 1, 100_000, b"") != sign_transaction(
+            BOB, 0, ALICE, 1, 1, 100_000, b""
+        )
+
+
+class TestIntrinsicGas:
+    def test_base_cost_for_empty_calldata(self):
+        assert make_transaction(data=b"").intrinsic_gas() == 21_000
+
+    def test_calldata_bytes_are_charged(self):
+        empty = make_transaction(data=b"").intrinsic_gas()
+        nonzero = make_transaction(data=b"\x01\x02").intrinsic_gas()
+        zero = make_transaction(data=b"\x00\x00").intrinsic_gas()
+        assert nonzero > zero > empty
+
+    def test_zero_bytes_cheaper_than_nonzero(self):
+        zero_cost = make_transaction(data=b"\x00" * 10).intrinsic_gas()
+        nonzero_cost = make_transaction(data=b"\x01" * 10).intrinsic_gas()
+        assert zero_cost < nonzero_cost

@@ -1,0 +1,160 @@
+"""Tests for the Merkle Patricia trie and its proofs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chain.trie import (
+    EMPTY_ROOT,
+    MerklePatriciaTrie,
+    ProofError,
+    ordered_trie_root,
+    trie_root,
+    verify_proof,
+)
+from repro.crypto.keccak import keccak256
+from repro.encoding.rlp import rlp_encode
+
+
+class TestBasicOperations:
+    def test_empty_root_is_hash_of_empty_string(self):
+        assert MerklePatriciaTrie().root() == keccak256(rlp_encode(b""))
+        assert MerklePatriciaTrie().root() == EMPTY_ROOT
+
+    def test_put_and_get(self):
+        trie = MerklePatriciaTrie()
+        trie.put(b"dog", b"puppy")
+        assert trie.get(b"dog") == b"puppy"
+        assert trie.get(b"cat") is None
+        assert b"dog" in trie and len(trie) == 1
+
+    def test_update_overwrites(self):
+        trie = MerklePatriciaTrie()
+        trie.put(b"dog", b"puppy")
+        trie.put(b"dog", b"adult")
+        assert trie.get(b"dog") == b"adult"
+        assert len(trie) == 1
+
+    def test_empty_value_deletes(self):
+        trie = MerklePatriciaTrie()
+        trie.put(b"dog", b"puppy")
+        trie.put(b"dog", b"")
+        assert trie.get(b"dog") is None
+        assert trie.root() == EMPTY_ROOT
+
+    def test_delete_restores_previous_root(self):
+        trie = MerklePatriciaTrie()
+        trie.put(b"dog", b"puppy")
+        root_one = trie.root()
+        trie.put(b"horse", b"stallion")
+        trie.delete(b"horse")
+        assert trie.root() == root_one
+
+    def test_delete_missing_key_is_noop(self):
+        trie = MerklePatriciaTrie()
+        trie.put(b"dog", b"puppy")
+        root = trie.root()
+        trie.delete(b"unicorn")
+        assert trie.root() == root
+
+    def test_keys_that_share_prefixes(self):
+        trie = MerklePatriciaTrie()
+        trie.put(b"do", b"verb")
+        trie.put(b"dog", b"puppy")
+        trie.put(b"doge", b"coin")
+        trie.put(b"horse", b"stallion")
+        assert trie.get(b"do") == b"verb"
+        assert trie.get(b"dog") == b"puppy"
+        assert trie.get(b"doge") == b"coin"
+        assert trie.get(b"horse") == b"stallion"
+
+
+class TestRootProperties:
+    def test_root_is_insertion_order_independent(self):
+        items = {b"do": b"verb", b"dog": b"puppy", b"doge": b"coin", b"horse": b"stallion"}
+        forward = MerklePatriciaTrie()
+        for key in sorted(items):
+            forward.put(key, items[key])
+        backward = MerklePatriciaTrie()
+        for key in sorted(items, reverse=True):
+            backward.put(key, items[key])
+        assert forward.root() == backward.root()
+
+    def test_root_changes_with_content(self):
+        assert trie_root({b"a": b"1"}) != trie_root({b"a": b"2"})
+        assert trie_root({b"a": b"1"}) != trie_root({b"b": b"1"})
+
+    def test_root_is_32_bytes(self):
+        assert len(trie_root({b"key": b"value"})) == 32
+
+    def test_ordered_trie_root_is_order_sensitive(self):
+        assert ordered_trie_root([b"a", b"b"]) != ordered_trie_root([b"b", b"a"])
+
+    def test_ordered_trie_root_empty(self):
+        assert ordered_trie_root([]) == EMPTY_ROOT
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.dictionaries(
+            st.binary(min_size=1, max_size=8), st.binary(min_size=1, max_size=16), max_size=20
+        ),
+        st.randoms(use_true_random=False),
+    )
+    def test_property_root_is_permutation_invariant_and_values_retrievable(self, items, rng):
+        keys = list(items)
+        rng.shuffle(keys)
+        trie = MerklePatriciaTrie()
+        for key in keys:
+            trie.put(key, items[key])
+        assert trie.root() == trie_root(items)
+        for key, value in items.items():
+            assert trie.get(key) == value
+
+
+class TestProofs:
+    def build(self):
+        trie = MerklePatriciaTrie()
+        items = {
+            b"do": b"verb",
+            b"dog": b"puppy",
+            b"doge": b"coin",
+            b"horse": b"stallion",
+            b"dodge": b"car",
+        }
+        for key, value in items.items():
+            trie.put(key, value)
+        return trie, items
+
+    def test_valid_proofs_verify(self):
+        trie, items = self.build()
+        root = trie.root()
+        for key, value in items.items():
+            proof = trie.prove(key)
+            assert verify_proof(root, key, value, proof)
+
+    def test_wrong_value_rejected(self):
+        trie, _ = self.build()
+        proof = trie.prove(b"dog")
+        assert not verify_proof(trie.root(), b"dog", b"kitten", proof)
+
+    def test_wrong_root_rejected(self):
+        trie, _ = self.build()
+        proof = trie.prove(b"dog")
+        with pytest.raises(ProofError):
+            verify_proof(b"\x00" * 32, b"dog", b"puppy", proof)
+
+    def test_empty_proof_rejected(self):
+        with pytest.raises(ProofError):
+            verify_proof(b"\x00" * 32, b"dog", b"puppy", [])
+
+    def test_tampered_proof_rejected(self):
+        trie, _ = self.build()
+        proof = trie.prove(b"dog")
+        tampered = list(proof)
+        tampered[-1] = rlp_encode([b"\x20\x64\x6f\x67", b"kitten"])
+        with pytest.raises(ProofError):
+            verify_proof(trie.root(), b"dog", b"puppy", tampered)
+
+    def test_single_entry_proof(self):
+        trie = MerklePatriciaTrie()
+        trie.put(b"only", b"entry")
+        assert verify_proof(trie.root(), b"only", b"entry", trie.prove(b"only"))

@@ -1,0 +1,146 @@
+"""Tests for the client actors (ContractClient, PriceSetter, Buyer)."""
+
+import pytest
+
+from repro.chain import GenesisConfig
+from repro.clients.base import ContractClient
+from repro.clients.market import Buyer, PriceSetter, READ_COMMITTED, READ_UNCOMMITTED
+from repro.consensus.interval import FixedInterval
+from repro.consensus.policies import FifoPolicy
+from repro.contracts.sereth import SET_SELECTOR, genesis_storage, initial_mark
+from repro.crypto.addresses import address_from_label
+from repro.encoding.hexutil import to_bytes32
+from repro.net.latency import ConstantLatency
+from repro.net.mining import BlockProductionProcess
+from repro.net.network import Network
+from repro.net.peer import Peer, SERETH_CLIENT
+from repro.net.sim import Simulator
+
+OWNER = address_from_label("owner")
+SERETH = address_from_label("sereth-exchange")
+
+
+@pytest.fixture
+def world():
+    """A two-peer Sereth network with mining, plus the simulator."""
+    simulator = Simulator()
+    network = Network(simulator, latency=ConstantLatency(0.01), seed=0)
+    genesis = GenesisConfig.for_labels(["owner", "buyer-0"])
+    genesis.fund(address_from_label("miner/miner-0"))
+    genesis.deploy_contract(SERETH, "Sereth", storage=genesis_storage(OWNER, SERETH))
+    miner_peer = network.add_peer(Peer("miner-0", genesis, client_kind=SERETH_CLIENT))
+    client_peer = network.add_peer(Peer("client-0", genesis, client_kind=SERETH_CLIENT))
+    for peer in (miner_peer, client_peer):
+        peer.install_hms(SERETH, SET_SELECTOR)
+    production = BlockProductionProcess(simulator, network, interval_model=FixedInterval(10.0), seed=0)
+    production.register_miner(miner_peer, policy=FifoPolicy())
+    return simulator, network, miner_peer, client_peer, production
+
+
+class TestContractClient:
+    def test_nonces_follow_program_order(self, world):
+        simulator, _, _, client_peer, _ = world
+        client = ContractClient("owner", client_peer, simulator)
+        first = client.send_transaction(to=address_from_label("buyer-0"), value=1)
+        second = client.send_transaction(to=address_from_label("buyer-0"), value=1)
+        assert (first.nonce, second.nonce) == (0, 1)
+
+    def test_transactions_carry_submission_time(self, world):
+        simulator, _, _, client_peer, _ = world
+        client = ContractClient("owner", client_peer, simulator)
+        simulator.schedule_at(5.0, lambda: client.send_transaction(to=SERETH, value=0))
+        simulator.run()
+        assert client.sent_transactions[0].submitted_at == 5.0
+
+    def test_call_goes_through_connected_peer(self, world):
+        simulator, _, _, client_peer, _ = world
+        client = ContractClient("owner", client_peer, simulator)
+        result = client.call(SERETH, "current")
+        assert result.values[1] == initial_mark(SERETH)
+
+    def test_balance_reads_committed_state(self, world):
+        simulator, _, _, client_peer, _ = world
+        client = ContractClient("owner", client_peer, simulator)
+        assert client.balance() > 0
+
+
+class TestPriceSetter:
+    def test_set_price_chains_marks_locally(self, world):
+        simulator, _, miner_peer, client_peer, production = world
+        setter = PriceSetter("owner", client_peer, simulator, SERETH)
+        setter.prime_mark(initial_mark(SERETH))
+        production.start()
+        simulator.schedule_at(1.0, lambda: setter.set_price(5))
+        simulator.schedule_at(2.0, lambda: setter.set_price(7))
+        simulator.run_until(25.0)
+        production.stop()
+        # Both sets commit successfully even though the second was created
+        # before the first was committed (the setter chains marks locally).
+        chain = miner_peer.chain
+        receipts = [chain.receipt_for(tx.hash) for tx in setter.set_transactions]
+        assert all(receipt is not None and receipt.success for receipt in receipts)
+        price = miner_peer.chain.state.get_storage(SERETH, to_bytes32(2))
+        assert price == to_bytes32(7)
+
+    def test_first_set_uses_head_flag_then_successor_flag(self, world):
+        from repro.core.hms.fpv import HEAD_FLAG, SUCCESS_FLAG, fpv_from_calldata
+
+        simulator, _, _, client_peer, _ = world
+        setter = PriceSetter("owner", client_peer, simulator, SERETH)
+        setter.prime_mark(initial_mark(SERETH))
+        first = setter.set_price(5)
+        second = setter.set_price(7)
+        assert fpv_from_calldata(first.data).flag == HEAD_FLAG
+        assert fpv_from_calldata(second.data).flag == SUCCESS_FLAG
+
+    def test_unprimed_setter_reads_committed_mark(self, world):
+        simulator, _, _, client_peer, _ = world
+        setter = PriceSetter("owner", client_peer, simulator, SERETH)
+        transaction = setter.set_price(9)
+        from repro.core.hms.fpv import fpv_from_calldata
+
+        assert fpv_from_calldata(transaction.data).previous_mark == initial_mark(SERETH)
+
+
+class TestBuyer:
+    def test_read_committed_buyer_sees_stale_price(self, world):
+        """A READ-COMMITTED buyer observing during a pending price change still
+        sees the old committed price — the root cause of baseline failures."""
+        simulator, _, _, client_peer, _ = world
+        setter = PriceSetter("owner", client_peer, simulator, SERETH)
+        setter.prime_mark(initial_mark(SERETH))
+        setter.set_price(5)  # pending, not yet committed
+        buyer = Buyer("buyer-0", client_peer, simulator, SERETH, read_mode=READ_COMMITTED)
+        mark, price = buyer.observe_market()
+        assert price == to_bytes32(0)
+        assert mark == initial_mark(SERETH)
+
+    def test_read_uncommitted_buyer_sees_pending_price(self, world):
+        simulator, _, _, client_peer, _ = world
+        setter = PriceSetter("owner", client_peer, simulator, SERETH)
+        setter.prime_mark(initial_mark(SERETH))
+        setter.set_price(5)
+        buyer = Buyer("buyer-0", client_peer, simulator, SERETH, read_mode=READ_UNCOMMITTED)
+        mark, price = buyer.observe_market()
+        assert price == to_bytes32(5)
+        from repro.core.hms.fpv import compute_mark
+
+        assert mark == compute_mark(initial_mark(SERETH), to_bytes32(5))
+
+    def test_buy_submits_offer_at_observed_terms(self, world):
+        simulator, _, miner_peer, client_peer, production = world
+        setter = PriceSetter("owner", client_peer, simulator, SERETH)
+        setter.prime_mark(initial_mark(SERETH))
+        buyer = Buyer("buyer-0", client_peer, simulator, SERETH, read_mode=READ_UNCOMMITTED)
+        production.start()
+        simulator.schedule_at(1.0, lambda: setter.set_price(5))
+        simulator.schedule_at(2.0, lambda: buyer.buy())
+        simulator.run_until(25.0)
+        production.stop()
+        receipt = miner_peer.chain.receipt_for(buyer.buy_transactions[0].hash)
+        assert receipt is not None and receipt.success
+
+    def test_unknown_read_mode_rejected(self, world):
+        simulator, _, _, client_peer, _ = world
+        with pytest.raises(ValueError):
+            Buyer("buyer-0", client_peer, simulator, SERETH, read_mode="psychic")

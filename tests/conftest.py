@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.contracts  # noqa: F401  (registers the shipped contracts)
+from repro.chain import Blockchain, GenesisConfig
+from repro.chain.executor import BlockContext
+from repro.contracts.sereth import SET_SELECTOR, genesis_storage, initial_mark
+from repro.crypto import address_from_label
+from repro.encoding.hexutil import to_bytes32
+from repro.evm import ExecutionEngine
+
+
+ALICE = address_from_label("alice")
+BOB = address_from_label("bob")
+CAROL = address_from_label("carol")
+MINER = address_from_label("miner")
+SERETH_ADDRESS = address_from_label("sereth-exchange")
+
+
+@pytest.fixture
+def engine() -> ExecutionEngine:
+    """A fresh execution engine using the default contract registry."""
+    return ExecutionEngine()
+
+
+@pytest.fixture
+def funded_genesis() -> GenesisConfig:
+    """Genesis funding alice, bob, carol, and the miner."""
+    return GenesisConfig.for_labels(["alice", "bob", "carol", "miner"])
+
+
+@pytest.fixture
+def sereth_genesis(funded_genesis: GenesisConfig) -> GenesisConfig:
+    """Funded genesis with the Sereth exchange pre-deployed (alice is the owner)."""
+    funded_genesis.deploy_contract(
+        SERETH_ADDRESS, "Sereth", storage=genesis_storage(ALICE, SERETH_ADDRESS)
+    )
+    return funded_genesis
+
+
+@pytest.fixture
+def chain(engine: ExecutionEngine, funded_genesis: GenesisConfig) -> Blockchain:
+    """A single-peer blockchain with funded accounts."""
+    return Blockchain(engine, funded_genesis)
+
+
+@pytest.fixture
+def sereth_chain(engine: ExecutionEngine, sereth_genesis: GenesisConfig) -> Blockchain:
+    """A single-peer blockchain with the Sereth contract pre-deployed."""
+    return Blockchain(engine, sereth_genesis)
+
+
+@pytest.fixture
+def block_context() -> BlockContext:
+    """A generic next-block context for direct engine calls."""
+    return BlockContext(number=1, timestamp=10.0, miner=MINER)
+
+
+def sereth_initial_mark() -> bytes:
+    """The genesis mark of the test Sereth deployment."""
+    return initial_mark(SERETH_ADDRESS)
+
+
+def word(value) -> bytes:
+    """Shorthand for 32-byte words in tests."""
+    return to_bytes32(value)

@@ -1,0 +1,76 @@
+"""Tests for difficulty adjustment and the difficulty-aware interval model."""
+
+import pytest
+
+from repro.consensus.difficulty import DifficultyAwareInterval, DifficultyConfig, adjust_difficulty
+
+
+class TestAdjustDifficulty:
+    def test_fast_blocks_raise_difficulty(self):
+        assert adjust_difficulty(1_000_000, observed_interval=2.0) > 1_000_000
+
+    def test_slow_blocks_lower_difficulty(self):
+        assert adjust_difficulty(1_000_000, observed_interval=60.0) < 1_000_000
+
+    def test_on_target_interval_barely_moves(self):
+        config = DifficultyConfig(target_interval=13.0, sensitivity=10.0)
+        adjusted = adjust_difficulty(1_000_000, observed_interval=12.0, config=config)
+        assert abs(adjusted - 1_000_000) <= 1_000_000 // config.adjustment_divisor
+
+    def test_adjustment_is_clamped_per_step(self):
+        config = DifficultyConfig()
+        parent = 10_000_000
+        fast = adjust_difficulty(parent, 0.1, config)
+        assert fast - parent <= parent // config.adjustment_divisor
+
+    def test_minimum_difficulty_floor(self):
+        config = DifficultyConfig(minimum_difficulty=131_072)
+        assert adjust_difficulty(131_072, observed_interval=10_000.0, config=config) == 131_072
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            adjust_difficulty(0, 10.0)
+        with pytest.raises(ValueError):
+            adjust_difficulty(1_000, -1.0)
+        with pytest.raises(ValueError):
+            DifficultyConfig(target_interval=0)
+
+
+class TestDifficultyAwareInterval:
+    def test_intervals_respect_minimum(self):
+        model = DifficultyAwareInterval(hash_power=1_000.0, seed=1, minimum=1.0)
+        assert all(model.next_interval() >= 1.0 for _ in range(200))
+
+    def test_realised_mean_tracks_target(self):
+        # Hash power large enough that the equilibrium difficulty sits well
+        # above the minimum-difficulty floor.
+        config = DifficultyConfig(target_interval=13.0)
+        model = DifficultyAwareInterval(hash_power=50_000.0, config=config, seed=2)
+        for _ in range(3000):
+            model.next_interval()
+        assert 9.0 < model.realised_mean() < 20.0
+
+    def test_difficulty_converges_from_a_bad_start(self):
+        """Start with a difficulty 10x too high; retargeting pulls intervals down."""
+        config = DifficultyConfig(target_interval=13.0)
+        model = DifficultyAwareInterval(
+            hash_power=50_000.0, initial_difficulty=13 * 50_000 * 10, config=config, seed=3
+        )
+        for _ in range(4000):
+            model.next_interval()
+        late_mean = sum(model.history[-500:]) / 500
+        assert late_mean < 30.0
+
+    def test_seed_determinism(self):
+        first = DifficultyAwareInterval(hash_power=1_000.0, seed=7)
+        second = DifficultyAwareInterval(hash_power=1_000.0, seed=7)
+        assert [first.next_interval() for _ in range(50)] == [
+            second.next_interval() for _ in range(50)
+        ]
+
+    def test_invalid_hash_power(self):
+        with pytest.raises(ValueError):
+            DifficultyAwareInterval(hash_power=0.0)
+
+    def test_realised_mean_before_sampling(self):
+        assert DifficultyAwareInterval(hash_power=1.0).realised_mean() == 0.0

@@ -1,0 +1,158 @@
+"""Tests for the mark-chained English auction contract."""
+
+import pytest
+
+from repro.chain import Blockchain, Transaction
+from repro.chain.executor import BlockContext
+from repro.contracts.auction import AuctionContract
+from repro.core.hms.fpv import HEAD_FLAG, SUCCESS_FLAG, compute_mark, fpv_to_words
+from repro.core.hms.hash_mark_set import HashMarkSet
+from repro.core.hms.process import HMSConfig
+from repro.crypto.addresses import address_from_label
+from repro.crypto.keccak import keccak256
+from repro.encoding.hexutil import to_bytes32
+
+from ..conftest import ALICE, BOB, CAROL, MINER
+
+AUCTION = address_from_label("test-Auction")
+BID_ABI = AuctionContract.function_by_name("bid").abi
+CLOSE_ABI = AuctionContract.function_by_name("close").abi
+WITHDRAW_ABI = AuctionContract.function_by_name("withdraw_refund").abi
+
+
+@pytest.fixture
+def auction_chain(engine, funded_genesis):
+    genesis_mark = keccak256(b"auction/genesis/", AUCTION)
+    funded_genesis.deploy_contract(
+        AUCTION,
+        "Auction",
+        storage={
+            to_bytes32(0): to_bytes32(ALICE),       # seller
+            to_bytes32(1): genesis_mark,            # mark
+            to_bytes32(3): to_bytes32(ALICE),       # high bidder (seller placeholder)
+        },
+    )
+    return Blockchain(engine, funded_genesis), genesis_mark
+
+
+def bid_tx(sender, nonce, previous_mark, amount, flag=SUCCESS_FLAG, value=None):
+    return Transaction(
+        sender=sender, nonce=nonce, to=AUCTION, value=value if value is not None else amount,
+        data=BID_ABI.encode_call(fpv_to_words(flag, previous_mark, amount)),
+    )
+
+
+def commit(chain, transactions, timestamp=13.0):
+    block, _ = chain.build_block(transactions, miner=MINER, timestamp=timestamp)
+    chain.add_block(block)
+    return block
+
+
+def auction_state(engine, chain):
+    context = BlockContext(number=chain.height + 1, timestamp=50.0, miner=MINER)
+    return engine.call(chain.state, AUCTION, "auction_state", [], caller=ALICE, block=context).values
+
+
+class TestBidding:
+    def test_first_bid_succeeds_and_advances_mark(self, auction_chain, engine):
+        chain, genesis_mark = auction_chain
+        block = commit(chain, [bid_tx(BOB, 0, genesis_mark, 100, flag=HEAD_FLAG)])
+        assert block.receipts[0].success
+        mark, high_bid, high_bidder = auction_state(engine, chain)
+        assert high_bid == 100
+        assert high_bidder[-20:] == BOB
+        assert mark == compute_mark(genesis_mark, to_bytes32(100))
+
+    def test_outbidding_requires_the_current_mark(self, auction_chain, engine):
+        chain, genesis_mark = auction_chain
+        mark_after_first = compute_mark(genesis_mark, to_bytes32(100))
+        block = commit(chain, [
+            bid_tx(BOB, 0, genesis_mark, 100, flag=HEAD_FLAG),
+            bid_tx(CAROL, 0, mark_after_first, 150),
+            # A racing bid that did not see Carol's bid references the stale mark.
+            bid_tx(ALICE, 0, mark_after_first, 200),
+        ])
+        assert [receipt.success for receipt in block.receipts] == [True, True, False]
+        _, high_bid, high_bidder = auction_state(engine, chain)
+        assert high_bid == 150
+        assert high_bidder[-20:] == CAROL
+
+    def test_bid_must_exceed_current_high(self, auction_chain, engine):
+        chain, genesis_mark = auction_chain
+        mark_after_first = compute_mark(genesis_mark, to_bytes32(100))
+        block = commit(chain, [
+            bid_tx(BOB, 0, genesis_mark, 100, flag=HEAD_FLAG),
+            bid_tx(CAROL, 0, mark_after_first, 100),
+        ])
+        assert [receipt.success for receipt in block.receipts] == [True, False]
+
+    def test_bid_must_be_funded(self, auction_chain, engine):
+        chain, genesis_mark = auction_chain
+        underfunded = bid_tx(BOB, 0, genesis_mark, 100, flag=HEAD_FLAG, value=10)
+        block = commit(chain, [underfunded])
+        assert not block.receipts[0].success
+
+    def test_outbid_participant_gets_a_refund_balance(self, auction_chain, engine):
+        chain, genesis_mark = auction_chain
+        mark_after_first = compute_mark(genesis_mark, to_bytes32(100))
+        commit(chain, [
+            bid_tx(BOB, 0, genesis_mark, 100, flag=HEAD_FLAG),
+            bid_tx(CAROL, 0, mark_after_first, 150),
+        ])
+        context = BlockContext(number=chain.height + 1, timestamp=50.0, miner=MINER)
+        refund = engine.call(chain.state, AUCTION, "refund_of", [BOB], caller=BOB, block=context)
+        assert refund.values == (100,)
+        withdraw = Transaction(sender=BOB, nonce=1, to=AUCTION, data=WITHDRAW_ABI.encode_call())
+        block = commit(chain, [withdraw], timestamp=26.0)
+        assert block.receipts[0].success
+        refund_after = engine.call(chain.state, AUCTION, "refund_of", [BOB], caller=BOB, block=context)
+        assert refund_after.values == (0,)
+
+    def test_withdraw_with_no_refund_fails(self, auction_chain, engine):
+        chain, _ = auction_chain
+        withdraw = Transaction(sender=BOB, nonce=0, to=AUCTION, data=WITHDRAW_ABI.encode_call())
+        block = commit(chain, [withdraw])
+        assert not block.receipts[0].success
+
+
+class TestClosing:
+    def test_only_seller_can_close(self, auction_chain, engine):
+        chain, _ = auction_chain
+        rogue = Transaction(sender=BOB, nonce=0, to=AUCTION, data=CLOSE_ABI.encode_call())
+        block = commit(chain, [rogue])
+        assert not block.receipts[0].success
+
+    def test_bids_after_close_fail(self, auction_chain, engine):
+        chain, genesis_mark = auction_chain
+        close = Transaction(sender=ALICE, nonce=0, to=AUCTION, data=CLOSE_ABI.encode_call())
+        late_bid = bid_tx(BOB, 0, genesis_mark, 100, flag=HEAD_FLAG)
+        block = commit(chain, [close, late_bid])
+        assert [receipt.success for receipt in block.receipts] == [True, False]
+
+    def test_double_close_fails(self, auction_chain, engine):
+        chain, _ = auction_chain
+        block = commit(chain, [
+            Transaction(sender=ALICE, nonce=0, to=AUCTION, data=CLOSE_ABI.encode_call()),
+            Transaction(sender=ALICE, nonce=1, to=AUCTION, data=CLOSE_ABI.encode_call()),
+        ])
+        assert [receipt.success for receipt in block.receipts] == [True, False]
+
+
+class TestHMSOverAuction:
+    def test_hms_serializes_the_pending_bid_stream(self, auction_chain):
+        """HMS is contract-agnostic: configured with the auction's bid selector
+        it reconstructs the pending bid chain and predicts the high bid."""
+        chain, genesis_mark = auction_chain
+        mark_1 = compute_mark(genesis_mark, to_bytes32(100))
+        mark_2 = compute_mark(mark_1, to_bytes32(150))
+        pending = [
+            (bid_tx(BOB, 0, genesis_mark, 100, flag=HEAD_FLAG), 1.0),
+            (bid_tx(CAROL, 0, mark_1, 150), 2.0),
+            (bid_tx(ALICE, 0, mark_2, 225), 3.0),
+        ]
+        hms = HashMarkSet(HMSConfig(contract_address=AUCTION, set_selector=BID_ABI.selector))
+        view = hms.read_uncommitted(pending)
+        assert view.source == "series"
+        assert view.depth == 3
+        assert view.value == to_bytes32(225)
+        assert view.mark == compute_mark(mark_2, to_bytes32(225))

@@ -1,0 +1,162 @@
+"""Tests for the Sereth contract: the Listing 1 semantics."""
+
+import pytest
+
+from repro.chain import Blockchain, Transaction
+from repro.chain.executor import BlockContext
+from repro.contracts.sereth import SerethContract, initial_mark
+from repro.core.hms.fpv import BUY_FLAG, HEAD_FLAG, compute_mark
+from repro.crypto.addresses import address_from_label
+from repro.crypto.keccak import keccak256
+from repro.encoding.hexutil import to_bytes32
+
+from ..conftest import ALICE, BOB, CAROL, MINER, SERETH_ADDRESS
+
+SET_ABI = SerethContract.function_by_name("set").abi
+BUY_ABI = SerethContract.function_by_name("buy").abi
+
+
+def set_calldata(previous_mark: bytes, price: int, flag: bytes = HEAD_FLAG) -> bytes:
+    return SET_ABI.encode_call([flag, previous_mark, to_bytes32(price)])
+
+
+def buy_calldata(mark: bytes, price: int) -> bytes:
+    return BUY_ABI.encode_call([BUY_FLAG, mark, to_bytes32(price)])
+
+
+@pytest.fixture
+def market(engine, sereth_chain):
+    """(chain, engine, genesis_mark) with Sereth pre-deployed and alice as owner."""
+    return sereth_chain, engine, initial_mark(SERETH_ADDRESS)
+
+
+def commit(chain, transactions, timestamp=13.0):
+    block, _ = chain.build_block(transactions, miner=MINER, timestamp=timestamp)
+    chain.add_block(block)
+    return block
+
+
+def read_current(chain, engine):
+    context = BlockContext(number=chain.height + 1, timestamp=99.0, miner=MINER)
+    return engine.call(chain.state, SERETH_ADDRESS, "current", [], caller=ALICE, block=context).values
+
+
+class TestSet:
+    def test_set_with_correct_mark_succeeds(self, market):
+        chain, engine, genesis_mark = market
+        transaction = Transaction(sender=ALICE, nonce=0, to=SERETH_ADDRESS, data=set_calldata(genesis_mark, 5))
+        block = commit(chain, [transaction])
+        assert block.receipts[0].success
+        _, mark, value = read_current(chain, engine)
+        assert value == to_bytes32(5)
+        assert mark == compute_mark(genesis_mark, to_bytes32(5))
+
+    def test_set_with_stale_mark_fails_and_changes_nothing(self, market):
+        chain, engine, genesis_mark = market
+        stale = Transaction(
+            sender=ALICE, nonce=0, to=SERETH_ADDRESS, data=set_calldata(keccak256(b"wrong"), 5)
+        )
+        block = commit(chain, [stale])
+        assert not block.receipts[0].success
+        _, mark, value = read_current(chain, engine)
+        assert mark == genesis_mark
+        assert value == to_bytes32(0)
+
+    def test_mark_chain_links_successive_sets(self, market):
+        chain, engine, genesis_mark = market
+        mark_after_first = compute_mark(genesis_mark, to_bytes32(5))
+        first = Transaction(sender=ALICE, nonce=0, to=SERETH_ADDRESS, data=set_calldata(genesis_mark, 5))
+        second = Transaction(sender=ALICE, nonce=1, to=SERETH_ADDRESS, data=set_calldata(mark_after_first, 7))
+        block = commit(chain, [first, second])
+        assert all(receipt.success for receipt in block.receipts)
+        _, mark, value = read_current(chain, engine)
+        assert value == to_bytes32(7)
+        assert mark == compute_mark(mark_after_first, to_bytes32(7))
+
+    def test_set_records_sender_and_counts(self, market):
+        chain, engine, genesis_mark = market
+        transaction = Transaction(sender=BOB, nonce=0, to=SERETH_ADDRESS, data=set_calldata(genesis_mark, 9))
+        commit(chain, [transaction])
+        holder, _, _ = read_current(chain, engine)
+        assert holder[-20:] == BOB
+        context = BlockContext(number=chain.height + 1, timestamp=99.0, miner=MINER)
+        n_set, n_buy = engine.call(
+            chain.state, SERETH_ADDRESS, "stats", [], caller=ALICE, block=context
+        ).values
+        assert (n_set, n_buy) == (1, 0)
+
+
+class TestBuy:
+    def test_buy_at_current_mark_and_price_succeeds(self, market):
+        chain, engine, genesis_mark = market
+        set_tx = Transaction(sender=ALICE, nonce=0, to=SERETH_ADDRESS, data=set_calldata(genesis_mark, 5))
+        new_mark = compute_mark(genesis_mark, to_bytes32(5))
+        buy_tx = Transaction(sender=BOB, nonce=0, to=SERETH_ADDRESS, data=buy_calldata(new_mark, 5))
+        block = commit(chain, [set_tx, buy_tx])
+        assert [receipt.success for receipt in block.receipts] == [True, True]
+
+    def test_buy_with_stale_mark_fails(self, market):
+        chain, engine, genesis_mark = market
+        set_tx = Transaction(sender=ALICE, nonce=0, to=SERETH_ADDRESS, data=set_calldata(genesis_mark, 5))
+        # Bob read the genesis state (mark, price 0) and offers that: stale.
+        stale_buy = Transaction(sender=BOB, nonce=0, to=SERETH_ADDRESS, data=buy_calldata(genesis_mark, 0))
+        block = commit(chain, [set_tx, stale_buy])
+        assert [receipt.success for receipt in block.receipts] == [True, False]
+        assert "stale" in block.receipts[1].error
+
+    def test_buy_with_right_mark_wrong_price_fails(self, market):
+        chain, engine, genesis_mark = market
+        set_tx = Transaction(sender=ALICE, nonce=0, to=SERETH_ADDRESS, data=set_calldata(genesis_mark, 5))
+        new_mark = compute_mark(genesis_mark, to_bytes32(5))
+        wrong_price = Transaction(sender=BOB, nonce=0, to=SERETH_ADDRESS, data=buy_calldata(new_mark, 6))
+        block = commit(chain, [set_tx, wrong_price])
+        assert [receipt.success for receipt in block.receipts] == [True, False]
+
+    def test_intra_block_order_decides_buy_outcome(self, market):
+        """The same buy succeeds or fails purely by where the miner places it."""
+        chain, engine, genesis_mark = market
+        mark_5 = compute_mark(genesis_mark, to_bytes32(5))
+        set_5 = Transaction(sender=ALICE, nonce=0, to=SERETH_ADDRESS, data=set_calldata(genesis_mark, 5))
+        set_7 = Transaction(sender=ALICE, nonce=1, to=SERETH_ADDRESS, data=set_calldata(mark_5, 7, flag=HEAD_FLAG))
+        buy_5 = Transaction(sender=BOB, nonce=0, to=SERETH_ADDRESS, data=buy_calldata(mark_5, 5))
+        # Ordering 1: buy placed between its set and the next set -> succeeds.
+        good_block, _ = chain.build_block([set_5, buy_5, set_7], miner=MINER, timestamp=13.0)
+        assert [receipt.success for receipt in good_block.receipts] == [True, True, True]
+        # Ordering 2: buy placed after the second set -> stale, fails.
+        bad_block, _ = chain.build_block([set_5, set_7, buy_5], miner=MINER, timestamp=13.0)
+        assert [receipt.success for receipt in bad_block.receipts] == [True, True, False]
+
+    def test_buy_updates_counter_and_holder(self, market):
+        chain, engine, genesis_mark = market
+        set_tx = Transaction(sender=ALICE, nonce=0, to=SERETH_ADDRESS, data=set_calldata(genesis_mark, 5))
+        new_mark = compute_mark(genesis_mark, to_bytes32(5))
+        buy_tx = Transaction(sender=CAROL, nonce=0, to=SERETH_ADDRESS, data=buy_calldata(new_mark, 5))
+        commit(chain, [set_tx, buy_tx])
+        holder, _, _ = read_current(chain, engine)
+        assert holder[-20:] == CAROL
+        context = BlockContext(number=chain.height + 1, timestamp=99.0, miner=MINER)
+        n_set, n_buy = engine.call(
+            chain.state, SERETH_ADDRESS, "stats", [], caller=ALICE, block=context
+        ).values
+        assert (n_set, n_buy) == (1, 1)
+
+
+class TestViews:
+    def test_mark_and_get_echo_arguments_without_raa(self, market):
+        """On an unmodified client the RAA arguments pass through unchanged
+        (the interoperability behaviour reported in Section V)."""
+        chain, engine, _ = market
+        context = BlockContext(number=chain.height + 1, timestamp=99.0, miner=MINER)
+        payload = [to_bytes32(1), to_bytes32(2), to_bytes32(3)]
+        mark_result = engine.call(chain.state, SERETH_ADDRESS, "mark", [payload], caller=BOB, block=context)
+        get_result = engine.call(chain.state, SERETH_ADDRESS, "get", [payload], caller=BOB, block=context)
+        assert mark_result.values == (to_bytes32(2),)
+        assert get_result.values == (to_bytes32(3),)
+        assert mark_result.augmented_arguments is None
+
+    def test_initial_state_matches_genesis_helpers(self, market):
+        chain, engine, genesis_mark = market
+        holder, mark, value = read_current(chain, engine)
+        assert holder[-20:] == ALICE
+        assert mark == genesis_mark
+        assert value == to_bytes32(0)

@@ -1,0 +1,161 @@
+"""Tests for the chain auditor (HMS / SSS invariants over committed history)."""
+
+import pytest
+
+from repro.chain import Transaction
+from repro.contracts.sereth import BUY_SELECTOR, SET_SELECTOR, SerethContract, initial_mark
+from repro.core.audit import ChainAuditor
+from repro.core.hms.fpv import BUY_FLAG, HEAD_FLAG, SUCCESS_FLAG, compute_mark, fpv_to_words
+from repro.encoding.hexutil import to_bytes32
+
+from ..conftest import ALICE, BOB, CAROL, MINER, SERETH_ADDRESS
+
+SET_ABI = SerethContract.function_by_name("set").abi
+BUY_ABI = SerethContract.function_by_name("buy").abi
+
+
+def auditor() -> ChainAuditor:
+    return ChainAuditor(
+        contract_address=SERETH_ADDRESS,
+        set_selector=SET_SELECTOR,
+        buy_selector=BUY_SELECTOR,
+        initial_mark=initial_mark(SERETH_ADDRESS),
+    )
+
+
+def set_tx(nonce, previous_mark, price, flag=SUCCESS_FLAG, sender=ALICE):
+    return Transaction(
+        sender=sender, nonce=nonce, to=SERETH_ADDRESS,
+        data=SET_ABI.encode_call(fpv_to_words(flag, previous_mark, price)),
+    )
+
+
+def buy_tx(sender, nonce, mark, price):
+    return Transaction(
+        sender=sender, nonce=nonce, to=SERETH_ADDRESS,
+        data=BUY_ABI.encode_call(fpv_to_words(BUY_FLAG, mark, price)),
+    )
+
+
+class TestCleanHistories:
+    def test_valid_interleaving_audits_clean(self, sereth_chain):
+        genesis_mark = initial_mark(SERETH_ADDRESS)
+        mark_5 = compute_mark(genesis_mark, to_bytes32(5))
+        mark_7 = compute_mark(mark_5, to_bytes32(7))
+        block, _ = sereth_chain.build_block(
+            [
+                set_tx(0, genesis_mark, 5, HEAD_FLAG),
+                buy_tx(BOB, 0, mark_5, 5),
+                set_tx(1, mark_5, 7),
+                buy_tx(CAROL, 0, mark_7, 7),
+            ],
+            miner=MINER,
+            timestamp=13.0,
+        )
+        sereth_chain.add_block(block)
+        report = auditor().audit_chain(sereth_chain)
+        assert report.is_clean
+        assert report.successful_sets == 2
+        assert report.successful_buys == 2
+        assert report.mark_chain == [initial_mark(SERETH_ADDRESS), mark_5, mark_7]
+
+    def test_failed_stale_transactions_audit_clean(self, sereth_chain):
+        """Stale buys/sets that fail are the *expected* outcome, not violations."""
+        genesis_mark = initial_mark(SERETH_ADDRESS)
+        mark_5 = compute_mark(genesis_mark, to_bytes32(5))
+        block, _ = sereth_chain.build_block(
+            [
+                set_tx(0, genesis_mark, 5, HEAD_FLAG),
+                buy_tx(BOB, 0, genesis_mark, 0),          # stale: fails
+                set_tx(0, genesis_mark, 9, sender=CAROL),  # stale rival set: fails
+            ],
+            miner=MINER,
+            timestamp=13.0,
+        )
+        sereth_chain.add_block(block)
+        report = auditor().audit_chain(sereth_chain)
+        assert report.is_clean
+        assert report.successful_sets == 1
+        assert report.successful_buys == 0
+
+    def test_multi_block_audit_tracks_marks_across_blocks(self, sereth_chain):
+        genesis_mark = initial_mark(SERETH_ADDRESS)
+        mark_5 = compute_mark(genesis_mark, to_bytes32(5))
+        block1, _ = sereth_chain.build_block(
+            [set_tx(0, genesis_mark, 5, HEAD_FLAG)], miner=MINER, timestamp=13.0
+        )
+        sereth_chain.add_block(block1)
+        block2, _ = sereth_chain.build_block(
+            [buy_tx(BOB, 0, mark_5, 5)], miner=MINER, timestamp=26.0
+        )
+        sereth_chain.add_block(block2)
+        report = auditor().audit_chain(sereth_chain)
+        assert report.is_clean
+        assert report.blocks_audited == 2
+
+
+class TestViolationDetection:
+    def test_forged_receipts_are_flagged(self, sereth_chain):
+        """Hand-build a block whose receipts claim a stale buy succeeded."""
+        from repro.chain.block import Block, BlockHeader, transactions_root
+        from repro.chain.receipt import Receipt, receipts_root
+
+        genesis_mark = initial_mark(SERETH_ADDRESS)
+        stale_buy = buy_tx(BOB, 0, to_bytes32(b"not-the-mark"), 5)
+        receipts = [Receipt(transaction_hash=stale_buy.hash, success=True, gas_used=1)]
+        header = BlockHeader(
+            parent_hash=sereth_chain.head.hash,
+            number=1,
+            timestamp=13.0,
+            transactions_root=transactions_root([stale_buy]),
+            receipts_root=receipts_root(receipts),
+        )
+        forged = Block(header=header, transactions=[stale_buy], receipts=receipts)
+
+        # Bypass validation (which would reject the block) to audit the forged
+        # history directly: the auditor works from blocks alone.
+        sereth_chain._blocks.append(forged)
+        report = auditor().audit_chain(sereth_chain)
+        assert not report.is_clean
+        assert report.violations_of_kind("buy_wrongly_succeeded")
+
+    def test_nonce_regression_is_flagged(self, sereth_chain):
+        from repro.chain.block import Block, BlockHeader, transactions_root
+        from repro.chain.receipt import Receipt, receipts_root
+
+        first = Transaction(sender=BOB, nonce=5, to=CAROL, value=1)
+        second = Transaction(sender=BOB, nonce=2, to=CAROL, value=1)
+        receipts = [
+            Receipt(transaction_hash=first.hash, success=True, gas_used=1),
+            Receipt(transaction_hash=second.hash, success=True, gas_used=1),
+        ]
+        header = BlockHeader(
+            parent_hash=sereth_chain.head.hash,
+            number=1,
+            timestamp=13.0,
+            transactions_root=transactions_root([first, second]),
+            receipts_root=receipts_root(receipts),
+        )
+        sereth_chain._blocks.append(Block(header=header, transactions=[first, second], receipts=receipts))
+        report = auditor().audit_chain(sereth_chain)
+        assert report.violations_of_kind("nonce_order")
+
+    def test_experiment_chains_always_audit_clean(self):
+        """End-to-end: whatever the miner policy does, committed history satisfies
+        the invariants — run a small experiment per scenario and audit it."""
+        from repro.experiments.runner import ExperimentConfig, run_market_experiment, sereth_contract_address
+        from repro.experiments.scenario import GETH_UNMODIFIED, SEMANTIC_MINING
+
+        for scenario in (GETH_UNMODIFIED, SEMANTIC_MINING):
+            result = run_market_experiment(
+                ExperimentConfig(scenario=scenario, num_buys=20, num_buyers=2, buys_per_set=2.0, seed=13)
+            )
+            chain_auditor = ChainAuditor(
+                contract_address=sereth_contract_address(),
+                set_selector=SET_SELECTOR,
+                buy_selector=BUY_SELECTOR,
+                initial_mark=initial_mark(sereth_contract_address()),
+            )
+            report = chain_auditor.audit_chain(result.peers[0].chain)
+            assert report.is_clean, f"audit violations under {scenario.name}: {report.violations}"
+            assert report.successful_buys == result.buy_report.successful

@@ -1,0 +1,95 @@
+"""Tests for FPV/AMV tuples, flags, and mark arithmetic."""
+
+import pytest
+
+from repro.contracts.sereth import SerethContract
+from repro.core.hms.fpv import (
+    AMV,
+    BUY_FLAG,
+    EMPTY_POOL_SENTINEL,
+    FPV,
+    HEAD_FLAG,
+    SUCCESS_FLAG,
+    compute_mark,
+    fpv_from_calldata,
+    fpv_to_words,
+)
+from repro.crypto.keccak import keccak256
+from repro.encoding.hexutil import to_bytes32
+
+SET_ABI = SerethContract.function_by_name("set").abi
+
+
+class TestFlags:
+    def test_flags_are_distinct_32_byte_words(self):
+        flags = {HEAD_FLAG, SUCCESS_FLAG, BUY_FLAG, EMPTY_POOL_SENTINEL}
+        assert len(flags) == 4
+        assert all(len(flag) == 32 for flag in flags)
+
+
+class TestComputeMark:
+    def test_matches_contract_semantics(self):
+        previous = to_bytes32(b"prev")
+        value = to_bytes32(5)
+        assert compute_mark(previous, value) == keccak256(previous, value)
+
+    def test_accepts_loose_types(self):
+        assert compute_mark(to_bytes32(1), 5) == compute_mark(to_bytes32(1), to_bytes32(5))
+
+    def test_chain_is_order_sensitive(self):
+        mark_a = compute_mark(compute_mark(to_bytes32(0), 1), 2)
+        mark_b = compute_mark(compute_mark(to_bytes32(0), 2), 1)
+        assert mark_a != mark_b
+
+
+class TestFPV:
+    def test_mark_property(self):
+        fpv = FPV(flag=HEAD_FLAG, previous_mark=to_bytes32(1), value=to_bytes32(2))
+        assert fpv.mark == compute_mark(to_bytes32(1), to_bytes32(2))
+
+    def test_series_membership(self):
+        head = FPV(flag=HEAD_FLAG, previous_mark=to_bytes32(0), value=to_bytes32(0))
+        successor = FPV(flag=SUCCESS_FLAG, previous_mark=to_bytes32(0), value=to_bytes32(0))
+        other = FPV(flag=to_bytes32(123), previous_mark=to_bytes32(0), value=to_bytes32(0))
+        assert head.is_head_candidate and head.is_series_member
+        assert successor.is_successor and successor.is_series_member
+        assert not other.is_series_member
+
+    def test_requires_32_byte_fields(self):
+        with pytest.raises(ValueError):
+            FPV(flag=b"\x01", previous_mark=to_bytes32(0), value=to_bytes32(0))
+
+    def test_words_round_trip(self):
+        fpv = FPV(flag=HEAD_FLAG, previous_mark=to_bytes32(1), value=to_bytes32(2))
+        assert fpv.words() == [HEAD_FLAG, to_bytes32(1), to_bytes32(2)]
+
+
+class TestCalldataExtraction:
+    def test_extracts_from_real_set_calldata(self):
+        words = fpv_to_words(SUCCESS_FLAG, to_bytes32(9), 42)
+        calldata = SET_ABI.encode_call(words)
+        fpv = fpv_from_calldata(calldata, expected_selector=SET_ABI.selector)
+        assert fpv.flag == SUCCESS_FLAG
+        assert fpv.previous_mark == to_bytes32(9)
+        assert fpv.value == to_bytes32(42)
+
+    def test_selector_mismatch_rejected(self):
+        words = fpv_to_words(SUCCESS_FLAG, to_bytes32(9), 42)
+        calldata = SET_ABI.encode_call(words)
+        with pytest.raises(ValueError):
+            fpv_from_calldata(calldata, expected_selector=b"\x00\x00\x00\x00")
+
+    def test_short_calldata_rejected(self):
+        with pytest.raises(ValueError):
+            fpv_from_calldata(b"\x01\x02\x03\x04" + b"\x00" * 31)
+
+    def test_no_selector_check_when_not_requested(self):
+        words = fpv_to_words(HEAD_FLAG, to_bytes32(1), 2)
+        calldata = SET_ABI.encode_call(words)
+        assert fpv_from_calldata(calldata).flag == HEAD_FLAG
+
+
+class TestAMV:
+    def test_words_are_32_bytes_each(self):
+        amv = AMV(address=to_bytes32(b"\xaa" * 20), mark=to_bytes32(1), value=to_bytes32(2))
+        assert all(len(word) == 32 for word in amv.words())

@@ -1,0 +1,112 @@
+"""E5: the lost-update / frontrunning demonstration (Section V-B).
+
+"If a sequence occurs such as: set(5), buy(5), set(7), set(5), buy(5), a
+particular buy(5) can prove that it was sent during the first or the second
+interval the price was set to 5." — every state change is linked by a unique
+hash that includes the value, so two intervals with the *same price* are
+still distinguishable, and a buy is bound to exactly one of them.
+"""
+
+import pytest
+
+from repro.chain import Transaction
+from repro.contracts.sereth import SerethContract, initial_mark
+from repro.core.hms.fpv import BUY_FLAG, HEAD_FLAG, SUCCESS_FLAG, compute_mark, fpv_to_words
+from repro.core.hms.hash_mark_set import HashMarkSet
+from repro.core.hms.process import HMSConfig
+from repro.crypto.addresses import address_from_label
+from repro.encoding.hexutil import to_bytes32
+
+from ..conftest import ALICE, BOB, CAROL, MINER, SERETH_ADDRESS
+
+SET_ABI = SerethContract.function_by_name("set").abi
+BUY_ABI = SerethContract.function_by_name("buy").abi
+
+
+@pytest.fixture
+def marks():
+    """The mark chain for the sequence set(5), set(7), set(5)."""
+    genesis = initial_mark(SERETH_ADDRESS)
+    first_five = compute_mark(genesis, to_bytes32(5))
+    seven = compute_mark(first_five, to_bytes32(7))
+    second_five = compute_mark(seven, to_bytes32(5))
+    return genesis, first_five, seven, second_five
+
+
+def set_tx(nonce, previous_mark, price, flag):
+    return Transaction(
+        sender=ALICE, nonce=nonce, to=SERETH_ADDRESS,
+        data=SET_ABI.encode_call(fpv_to_words(flag, previous_mark, price)),
+    )
+
+
+def buy_tx(sender, nonce, mark, price):
+    return Transaction(
+        sender=sender, nonce=nonce, to=SERETH_ADDRESS,
+        data=BUY_ABI.encode_call(fpv_to_words(BUY_FLAG, mark, price)),
+    )
+
+
+class TestLostUpdate:
+    def test_same_price_intervals_have_distinct_marks(self, marks):
+        genesis, first_five, seven, second_five = marks
+        assert first_five != second_five
+
+    def test_buys_bind_to_their_interval(self, sereth_chain, marks):
+        genesis, first_five, seven, second_five = marks
+        sets = [
+            set_tx(0, genesis, 5, HEAD_FLAG),
+            set_tx(1, first_five, 7, SUCCESS_FLAG),
+            set_tx(2, seven, 5, SUCCESS_FLAG),
+        ]
+        buy_first_interval = buy_tx(BOB, 0, first_five, 5)
+        buy_second_interval = buy_tx(CAROL, 0, second_five, 5)
+        # Interleave exactly as the paper's example: set(5) buy(5) set(7) set(5) buy(5).
+        order = [sets[0], buy_first_interval, sets[1], sets[2], buy_second_interval]
+        block, _ = sereth_chain.build_block(order, miner=MINER, timestamp=13.0)
+        assert [receipt.success for receipt in block.receipts] == [True] * 5
+
+    def test_buy_from_first_interval_fails_in_second_interval(self, sereth_chain, marks):
+        genesis, first_five, seven, second_five = marks
+        sets = [
+            set_tx(0, genesis, 5, HEAD_FLAG),
+            set_tx(1, first_five, 7, SUCCESS_FLAG),
+            set_tx(2, seven, 5, SUCCESS_FLAG),
+        ]
+        late_buy_of_first_interval = buy_tx(BOB, 0, first_five, 5)
+        order = sets + [late_buy_of_first_interval]
+        block, _ = sereth_chain.build_block(order, miner=MINER, timestamp=13.0)
+        # Price is 5 again, but the mark proves the buy referenced the *first*
+        # interval, so it is correctly rejected rather than silently matched
+        # against the second interval (the lost-update protection).
+        assert block.receipts[-1].success is False
+
+    def test_intermediate_price_changes_visible_in_series(self, marks):
+        """The READ-COMMITTED view loses the intermediate set(7); HMS keeps it."""
+        genesis, first_five, seven, second_five = marks
+        config = HMSConfig(contract_address=SERETH_ADDRESS, set_selector=SET_ABI.selector)
+        pool = [
+            (set_tx(0, genesis, 5, HEAD_FLAG), 1.0),
+            (set_tx(1, first_five, 7, SUCCESS_FLAG), 2.0),
+            (set_tx(2, seven, 5, SUCCESS_FLAG), 3.0),
+        ]
+        series = HashMarkSet(config).serialize(pool)
+        observed_prices = [node.fpv.value for node in series]
+        assert observed_prices == [to_bytes32(5), to_bytes32(7), to_bytes32(5)]
+
+
+class TestFrontrunningProtection:
+    def test_frontrunner_cannot_hijack_a_mark_bound_offer(self, sereth_chain, marks):
+        """A frontrunner who sees Bob's buy and inserts a price rise ahead of it
+        cannot make Bob buy at the new price: Bob's offer is bound to the old
+        mark and simply fails instead of executing at worse terms."""
+        genesis, first_five, seven, _ = marks
+        open_at_5 = set_tx(0, genesis, 5, HEAD_FLAG)
+        victim_buy = buy_tx(BOB, 0, first_five, 5)
+        frontrun_price_rise = set_tx(1, first_five, 7, SUCCESS_FLAG)
+        order = [open_at_5, frontrun_price_rise, victim_buy]
+        block, _ = sereth_chain.build_block(order, miner=MINER, timestamp=13.0)
+        assert block.receipts[0].success and block.receipts[1].success
+        victim_receipt = block.receipts[2]
+        assert victim_receipt.success is False
+        assert "stale" in victim_receipt.error

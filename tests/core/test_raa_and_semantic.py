@@ -1,0 +1,230 @@
+"""Tests for the RAA providers, the provider registry, and semantic mining."""
+
+import pytest
+
+from repro.chain import Blockchain, Transaction
+from repro.chain.executor import BlockContext
+from repro.contracts.sereth import SerethContract, initial_mark
+from repro.core.hms.fpv import BUY_FLAG, HEAD_FLAG, SUCCESS_FLAG, compute_mark, fpv_to_words
+from repro.core.hms.process import HMSConfig
+from repro.core.hms.semantic import SemanticMiningConfig, SemanticMiningPolicy
+from repro.core.raa.provider import HMSRAAProvider, RAAProviderRegistry, StaticRAAProvider
+from repro.crypto.addresses import address_from_label
+from repro.encoding.hexutil import to_bytes32
+from repro.evm.raa_interface import RAARequest
+from repro.txpool.pool import TxPool
+
+from ..conftest import ALICE, BOB, CAROL, MINER, SERETH_ADDRESS
+
+SET_ABI = SerethContract.function_by_name("set").abi
+BUY_ABI = SerethContract.function_by_name("buy").abi
+CONFIG = HMSConfig(contract_address=SERETH_ADDRESS, set_selector=SET_ABI.selector)
+
+
+def set_transaction(previous_mark, price, nonce, flag, sender=ALICE):
+    return Transaction(
+        sender=sender, nonce=nonce, to=SERETH_ADDRESS,
+        data=SET_ABI.encode_call(fpv_to_words(flag, previous_mark, price)),
+    )
+
+
+def buy_transaction(mark, price, nonce, sender=BOB):
+    return Transaction(
+        sender=sender, nonce=nonce, to=SERETH_ADDRESS,
+        data=BUY_ABI.encode_call(fpv_to_words(BUY_FLAG, mark, price)),
+    )
+
+
+def make_request(arguments, contract=SERETH_ADDRESS, indices=(0,)):
+    return RAARequest(
+        contract_address=contract,
+        function_name="get",
+        function_signature="get(bytes32[3])",
+        arguments=tuple(arguments),
+        augmentable_indices=tuple(indices),
+        caller=BOB,
+        block=BlockContext(number=1, timestamp=5.0, miner=MINER),
+    )
+
+
+class TestHMSRAAProvider:
+    @pytest.fixture
+    def provider_setup(self, engine, sereth_chain):
+        pool = TxPool()
+        provider = HMSRAAProvider(
+            CONFIG,
+            pool_supplier=pool.transactions_with_arrival,
+            state_supplier=lambda: sereth_chain.state,
+        )
+        return sereth_chain, pool, provider
+
+    def test_committed_view_when_pool_is_empty(self, provider_setup):
+        chain, pool, provider = provider_setup
+        view = provider.view()
+        assert view.source == "committed"
+        assert view.mark == initial_mark(SERETH_ADDRESS)
+        assert view.flag_for_next == HEAD_FLAG
+
+    def test_series_view_when_sets_are_pending(self, provider_setup):
+        chain, pool, provider = provider_setup
+        genesis_mark = initial_mark(SERETH_ADDRESS)
+        pool.add(set_transaction(genesis_mark, 5, nonce=0, flag=HEAD_FLAG), 1.0)
+        mark_after = compute_mark(genesis_mark, to_bytes32(5))
+        pool.add(set_transaction(mark_after, 7, nonce=1, flag=SUCCESS_FLAG), 2.0)
+        view = provider.view()
+        assert view.source == "series"
+        assert view.value == to_bytes32(7)
+        assert view.mark == compute_mark(mark_after, to_bytes32(7))
+
+    def test_provide_rewrites_augmentable_argument(self, provider_setup):
+        chain, pool, provider = provider_setup
+        placeholder = [to_bytes32(0)] * 3
+        provided = provider.provide(make_request([placeholder]))
+        assert provided is not None
+        amv = provided[0]
+        assert amv[1] == initial_mark(SERETH_ADDRESS)
+        assert provider.requests_served == 1
+
+    def test_provide_declines_other_contracts(self, provider_setup):
+        chain, pool, provider = provider_setup
+        request = make_request([[to_bytes32(0)] * 3], contract=address_from_label("elsewhere"))
+        assert provider.provide(request) is None
+
+    def test_provide_ignores_out_of_range_indices(self, provider_setup):
+        chain, pool, provider = provider_setup
+        provided = provider.provide(make_request([[to_bytes32(0)] * 3], indices=(5,)))
+        assert provided == [[to_bytes32(0)] * 3]
+
+    def test_end_to_end_raa_call_through_engine(self, engine, sereth_chain):
+        """A Sereth client's `get` call returns the pending value via RAA."""
+        pool = TxPool()
+        genesis_mark = initial_mark(SERETH_ADDRESS)
+        pool.add(set_transaction(genesis_mark, 42, nonce=0, flag=HEAD_FLAG), 1.0)
+        engine.raa_provider = HMSRAAProvider(
+            CONFIG,
+            pool_supplier=pool.transactions_with_arrival,
+            state_supplier=lambda: sereth_chain.state,
+        )
+        context = BlockContext(number=1, timestamp=5.0, miner=MINER)
+        placeholder = [to_bytes32(0)] * 3
+        result = engine.call(
+            sereth_chain.state, SERETH_ADDRESS, "get", [placeholder], caller=BOB, block=context
+        )
+        assert result.values == (to_bytes32(42),)
+        assert result.augmented_arguments is not None
+
+    def test_raa_not_applied_when_disallowed(self, engine, sereth_chain):
+        pool = TxPool()
+        engine.raa_provider = HMSRAAProvider(
+            CONFIG,
+            pool_supplier=pool.transactions_with_arrival,
+            state_supplier=lambda: sereth_chain.state,
+        )
+        context = BlockContext(number=1, timestamp=5.0, miner=MINER)
+        placeholder = [to_bytes32(0)] * 3
+        result = engine.call(
+            sereth_chain.state, SERETH_ADDRESS, "get", [placeholder],
+            caller=BOB, block=context, allow_raa=False,
+        )
+        assert result.values == (to_bytes32(0),)
+        assert result.augmented_arguments is None
+
+
+class TestStaticProviderAndRegistry:
+    def test_static_provider_injects_payload(self):
+        payload = [to_bytes32(1), to_bytes32(2), to_bytes32(3)]
+        provider = StaticRAAProvider(payload)
+        provided = provider.provide(make_request([[to_bytes32(0)] * 3]))
+        assert provided[0] == payload
+
+    def test_static_provider_contract_scoping(self):
+        provider = StaticRAAProvider([to_bytes32(1)], contract_address=address_from_label("x"))
+        assert provider.provide(make_request([[to_bytes32(0)] * 3])) is None
+
+    def test_registry_routes_by_contract(self):
+        registry = RAAProviderRegistry()
+        registry.register(SERETH_ADDRESS, StaticRAAProvider([to_bytes32(7)]))
+        provided = registry.provide(make_request([[to_bytes32(0)] * 3]))
+        assert provided[0] == [to_bytes32(7)]
+        assert registry.provide(make_request([[to_bytes32(0)] * 3], contract=address_from_label("y"))) is None
+
+    def test_registry_fallback(self):
+        registry = RAAProviderRegistry()
+        registry.set_fallback(StaticRAAProvider([to_bytes32(9)]))
+        provided = registry.provide(make_request([[to_bytes32(0)] * 3], contract=address_from_label("y")))
+        assert provided[0] == [to_bytes32(9)]
+
+
+class TestSemanticMiningPolicy:
+    @pytest.fixture
+    def policy(self):
+        return SemanticMiningPolicy(
+            SemanticMiningConfig(hms=CONFIG, buy_selectors=(BUY_ABI.selector,))
+        )
+
+    def make_pool_entries(self, sereth_chain):
+        """Pending sets (owner) plus buys referencing different marks."""
+        genesis_mark = initial_mark(SERETH_ADDRESS)
+        mark_1 = compute_mark(genesis_mark, to_bytes32(5))
+        mark_2 = compute_mark(mark_1, to_bytes32(7))
+        pool = TxPool()
+        set_1 = set_transaction(genesis_mark, 5, nonce=0, flag=HEAD_FLAG)
+        set_2 = set_transaction(mark_1, 7, nonce=1, flag=SUCCESS_FLAG)
+        buy_of_committed = buy_transaction(genesis_mark, 0, nonce=0, sender=BOB)
+        buy_of_set_1 = buy_transaction(mark_1, 5, nonce=0, sender=CAROL)
+        buy_of_set_2 = buy_transaction(mark_2, 7, nonce=1, sender=BOB)
+        # Adversarial arrival order: buys arrive before the sets they depend on.
+        pool.add(buy_of_set_2, 0.5)
+        pool.add(buy_of_set_1, 1.0)
+        pool.add(buy_of_committed, 1.5)
+        pool.add(set_2, 2.0)
+        pool.add(set_1, 3.0)
+        return pool, (set_1, set_2, buy_of_committed, buy_of_set_1, buy_of_set_2)
+
+    def test_orders_series_and_places_buys_after_their_sets(self, policy, sereth_chain):
+        pool, txs = self.make_pool_entries(sereth_chain)
+        set_1, set_2, buy_of_committed, buy_of_set_1, buy_of_set_2 = txs
+        ordered = policy.order(pool.executable_by_sender(sereth_chain.state), sereth_chain.state, 13.0)
+        position = {tx.hash: index for index, tx in enumerate(ordered)}
+        assert position[buy_of_committed.hash] < position[set_1.hash]
+        assert position[set_1.hash] < position[buy_of_set_1.hash] < position[set_2.hash]
+        assert position[set_2.hash] < position[buy_of_set_2.hash]
+
+    def test_semantic_order_makes_every_transaction_succeed(self, policy, engine, sereth_chain):
+        pool, txs = self.make_pool_entries(sereth_chain)
+        ordered = policy.order(pool.executable_by_sender(sereth_chain.state), sereth_chain.state, 13.0)
+        block, _ = sereth_chain.build_block(ordered, miner=MINER, timestamp=13.0)
+        assert all(receipt.success for receipt in block.receipts)
+
+    def test_baseline_arrival_order_fails_where_semantic_succeeds(self, engine, sereth_chain):
+        from repro.consensus.policies import FifoPolicy
+
+        pool, txs = self.make_pool_entries(sereth_chain)
+        ordered = FifoPolicy().order(pool.executable_by_sender(sereth_chain.state), sereth_chain.state, 13.0)
+        block, _ = sereth_chain.build_block(ordered, miner=MINER, timestamp=13.0)
+        assert not all(receipt.success for receipt in block.receipts)
+
+    def test_nonce_order_preserved_within_sender(self, policy, sereth_chain):
+        pool, _ = self.make_pool_entries(sereth_chain)
+        ordered = policy.order(pool.executable_by_sender(sereth_chain.state), sereth_chain.state, 13.0)
+        bob_nonces = [tx.nonce for tx in ordered if tx.sender == BOB]
+        assert bob_nonces == sorted(bob_nonces)
+
+    def test_unknown_mark_buys_go_last(self, policy, sereth_chain):
+        pool = TxPool()
+        genesis_mark = initial_mark(SERETH_ADDRESS)
+        stray = buy_transaction(to_bytes32(b"unknown-mark"), 1, nonce=0, sender=CAROL)
+        set_1 = set_transaction(genesis_mark, 5, nonce=0, flag=HEAD_FLAG)
+        pool.add(stray, 0.1)
+        pool.add(set_1, 0.2)
+        ordered = policy.order(pool.executable_by_sender(sereth_chain.state), sereth_chain.state, 13.0)
+        assert ordered[-1].hash == stray.hash
+
+    def test_foreign_traffic_ordered_by_fee(self, policy, sereth_chain):
+        pool = TxPool()
+        cheap = Transaction(sender=BOB, nonce=0, to=CAROL, value=1, gas_price=1)
+        expensive = Transaction(sender=CAROL, nonce=0, to=BOB, value=1, gas_price=10)
+        pool.add(cheap, 0.1)
+        pool.add(expensive, 0.2)
+        ordered = policy.order(pool.executable_by_sender(sereth_chain.state), sereth_chain.state, 13.0)
+        assert ordered[0].hash == expensive.hash

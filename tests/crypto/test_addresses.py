@@ -1,0 +1,96 @@
+"""Tests for address and selector derivation."""
+
+import pytest
+
+from repro.crypto.addresses import (
+    ADDRESS_LENGTH,
+    ZERO_ADDRESS,
+    address_from_label,
+    contract_address,
+    function_selector,
+    is_address,
+    to_checksum,
+)
+
+
+class TestAddressFromLabel:
+    def test_length_is_20_bytes(self):
+        assert len(address_from_label("alice")) == ADDRESS_LENGTH
+
+    def test_deterministic(self):
+        assert address_from_label("alice") == address_from_label("alice")
+
+    def test_distinct_labels_distinct_addresses(self):
+        assert address_from_label("alice") != address_from_label("bob")
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError):
+            address_from_label("")
+
+
+class TestIsAddress:
+    def test_accepts_20_bytes(self):
+        assert is_address(b"\x01" * 20)
+
+    def test_rejects_wrong_length(self):
+        assert not is_address(b"\x01" * 19)
+        assert not is_address(b"\x01" * 32)
+
+    def test_rejects_non_bytes(self):
+        assert not is_address("0x" + "01" * 20)
+
+    def test_zero_address_is_an_address(self):
+        assert is_address(ZERO_ADDRESS)
+
+
+class TestContractAddress:
+    def test_depends_on_nonce(self):
+        creator = address_from_label("deployer")
+        assert contract_address(creator, 0) != contract_address(creator, 1)
+
+    def test_depends_on_creator(self):
+        assert contract_address(address_from_label("a"), 0) != contract_address(
+            address_from_label("b"), 0
+        )
+
+    def test_result_is_20_bytes(self):
+        assert len(contract_address(address_from_label("a"), 5)) == ADDRESS_LENGTH
+
+    def test_negative_nonce_rejected(self):
+        with pytest.raises(ValueError):
+            contract_address(address_from_label("a"), -1)
+
+    def test_bad_creator_rejected(self):
+        with pytest.raises(ValueError):
+            contract_address(b"short", 0)
+
+
+class TestFunctionSelector:
+    def test_known_erc20_transfer_selector(self):
+        # The canonical ERC-20 transfer selector, a well-known constant.
+        assert function_selector("transfer(address,uint256)").hex() == "a9059cbb"
+
+    def test_selector_is_4_bytes(self):
+        assert len(function_selector("set(bytes32[3])")) == 4
+
+    def test_different_signatures_differ(self):
+        assert function_selector("set(bytes32[3])") != function_selector("buy(bytes32[3])")
+
+    def test_malformed_signature_rejected(self):
+        with pytest.raises(ValueError):
+            function_selector("not a signature")
+
+
+class TestChecksum:
+    def test_round_trip_shape(self):
+        checksummed = to_checksum(address_from_label("alice"))
+        assert checksummed.startswith("0x")
+        assert len(checksummed) == 42
+
+    def test_case_insensitive_equality(self):
+        address = address_from_label("alice")
+        assert to_checksum(address).lower() == "0x" + address.hex()
+
+    def test_rejects_non_address(self):
+        with pytest.raises(ValueError):
+            to_checksum(b"xx")

@@ -1,0 +1,124 @@
+"""Tests for the minimal ABI encoder/decoder."""
+
+import pytest
+
+from repro.crypto.addresses import address_from_label
+from repro.encoding.abi import (
+    ABIError,
+    FunctionABI,
+    decode_arguments,
+    decode_call,
+    decode_word,
+    encode_arguments,
+    encode_call,
+    encode_word,
+    selector_of,
+)
+from repro.encoding.hexutil import bytes32_from_int, to_bytes32
+
+
+class TestWordEncoding:
+    def test_uint256(self):
+        assert encode_word("uint256", 5) == bytes32_from_int(5)
+        assert decode_word("uint256", bytes32_from_int(5)) == 5
+
+    def test_bool(self):
+        assert decode_word("bool", encode_word("bool", True)) is True
+        assert decode_word("bool", encode_word("bool", False)) is False
+
+    def test_address_round_trip(self):
+        address = address_from_label("alice")
+        assert decode_word("address", encode_word("address", address)) == address
+
+    def test_bytes32_passthrough(self):
+        word = to_bytes32(123)
+        assert encode_word("bytes32", word) == word
+        assert decode_word("bytes32", word) == word
+
+    def test_short_bytes32_right_padded(self):
+        assert encode_word("bytes32", b"ab") == b"ab" + b"\x00" * 30
+
+    def test_uint_rejects_negative_and_bool(self):
+        with pytest.raises(ABIError):
+            encode_word("uint256", -1)
+        with pytest.raises(ABIError):
+            encode_word("uint256", True)
+
+    def test_unsupported_type(self):
+        with pytest.raises(ABIError):
+            encode_word("string", "x")
+        with pytest.raises(ABIError):
+            decode_word("string", b"\x00" * 32)
+
+    def test_decode_word_length_check(self):
+        with pytest.raises(ABIError):
+            decode_word("uint256", b"\x00" * 31)
+
+
+class TestArgumentListEncoding:
+    def test_fixed_bytes32_array(self):
+        words = [to_bytes32(1), to_bytes32(2), to_bytes32(3)]
+        encoded = encode_arguments(["bytes32[3]"], [words])
+        assert len(encoded) == 96
+        assert decode_arguments(["bytes32[3]"], encoded) == [words]
+
+    def test_mixed_argument_list(self):
+        alice = address_from_label("alice")
+        encoded = encode_arguments(["address", "uint256"], [alice, 7])
+        assert decode_arguments(["address", "uint256"], encoded) == [alice, 7]
+
+    def test_argument_count_mismatch(self):
+        with pytest.raises(ABIError):
+            encode_arguments(["uint256"], [1, 2])
+
+    def test_array_length_mismatch(self):
+        with pytest.raises(ABIError):
+            encode_arguments(["bytes32[3]"], [[to_bytes32(1)]])
+
+    def test_dynamic_array_unsupported(self):
+        with pytest.raises(ABIError):
+            encode_arguments(["bytes32[]"], [[to_bytes32(1)]])
+
+    def test_truncated_calldata(self):
+        with pytest.raises(ABIError):
+            decode_arguments(["uint256", "uint256"], bytes32_from_int(1))
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(ABIError):
+            decode_arguments(["uint256"], bytes32_from_int(1) + b"\x00")
+
+
+class TestFunctionABI:
+    def test_selector_matches_signature_hash(self):
+        abi = FunctionABI(name="set", argument_types=("bytes32[3]",))
+        assert abi.selector == selector_of("set(bytes32[3])")
+
+    def test_encode_decode_call(self):
+        abi = FunctionABI(name="set", argument_types=("bytes32[3]",))
+        words = [to_bytes32(1), to_bytes32(2), to_bytes32(3)]
+        calldata = abi.encode_call(words)
+        assert calldata[:4] == abi.selector
+        assert abi.decode_arguments(calldata) == [words]
+
+    def test_decode_with_wrong_selector_rejected(self):
+        set_abi = FunctionABI(name="set", argument_types=("bytes32[3]",))
+        buy_abi = FunctionABI(name="buy", argument_types=("bytes32[3]",))
+        words = [to_bytes32(0)] * 3
+        with pytest.raises(ABIError):
+            buy_abi.decode_arguments(set_abi.encode_call(words))
+
+    def test_result_round_trip(self):
+        abi = FunctionABI(name="stats", argument_types=(), return_types=("uint256", "uint256"))
+        assert abi.decode_result(abi.encode_result(3, 4)) == [3, 4]
+
+
+class TestTopLevelHelpers:
+    def test_encode_call_and_decode_call(self):
+        calldata = encode_call("set_value(uint256)", ["uint256"], [9])
+        selector, arguments = decode_call(["uint256"], calldata)
+        assert selector == selector_of("set_value(uint256)")
+        assert arguments == [9]
+
+    def test_decode_call_too_short(self):
+        with pytest.raises(ABIError):
+            decode_call(["uint256"], b"\x01\x02")

@@ -1,0 +1,89 @@
+"""Tests for hex and bytes32 helpers."""
+
+import pytest
+
+from repro.encoding.hexutil import (
+    bytes32_from_int,
+    bytes32_from_text,
+    from_hex,
+    int_from_bytes32,
+    pad_left,
+    pad_right,
+    to_bytes32,
+    to_hex,
+)
+
+
+class TestHexRoundTrip:
+    def test_to_hex_prefixes(self):
+        assert to_hex(b"\x01\x02") == "0x0102"
+
+    def test_from_hex_accepts_prefixed_and_bare(self):
+        assert from_hex("0x0102") == b"\x01\x02"
+        assert from_hex("0102") == b"\x01\x02"
+
+    def test_from_hex_pads_odd_length(self):
+        assert from_hex("0x102") == b"\x01\x02"
+
+    def test_round_trip(self):
+        data = bytes(range(40))
+        assert from_hex(to_hex(data)) == data
+
+    def test_type_errors(self):
+        with pytest.raises(TypeError):
+            to_hex("abc")  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            from_hex(b"abc")  # type: ignore[arg-type]
+
+
+class TestPadding:
+    def test_pad_left(self):
+        assert pad_left(b"\x01", 4) == b"\x00\x00\x00\x01"
+
+    def test_pad_right(self):
+        assert pad_right(b"\x01", 4) == b"\x01\x00\x00\x00"
+
+    def test_pad_overflow_raises(self):
+        with pytest.raises(ValueError):
+            pad_left(b"\x01" * 5, 4)
+        with pytest.raises(ValueError):
+            pad_right(b"\x01" * 5, 4)
+
+
+class TestBytes32:
+    def test_int_round_trip(self):
+        for value in (0, 1, 255, 2**128, 2**256 - 1):
+            assert int_from_bytes32(bytes32_from_int(value)) == value
+
+    def test_int_out_of_range(self):
+        with pytest.raises(ValueError):
+            bytes32_from_int(-1)
+        with pytest.raises(ValueError):
+            bytes32_from_int(2**256)
+
+    def test_int_from_wrong_length(self):
+        with pytest.raises(ValueError):
+            int_from_bytes32(b"\x00" * 31)
+
+    def test_text_is_right_padded(self):
+        word = bytes32_from_text("abc")
+        assert word.startswith(b"abc")
+        assert len(word) == 32
+
+    def test_text_too_long(self):
+        with pytest.raises(ValueError):
+            bytes32_from_text("x" * 33)
+
+    def test_to_bytes32_dispatches_on_type(self):
+        assert to_bytes32(5) == bytes32_from_int(5)
+        assert to_bytes32(b"\x01") == b"\x00" * 31 + b"\x01"
+        assert to_bytes32(True) == bytes32_from_int(1)
+        assert to_bytes32("hi").startswith(b"hi")
+
+    def test_to_bytes32_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            to_bytes32(1.5)  # type: ignore[arg-type]
+
+    def test_to_bytes32_of_address_pads_left(self):
+        address = b"\xaa" * 20
+        assert to_bytes32(address) == b"\x00" * 12 + address

@@ -1,0 +1,105 @@
+"""Tests for RLP encoding/decoding, including the canonical yellow-paper examples."""
+
+import pytest
+
+from repro.encoding.rlp import RLPDecodingError, rlp_decode, rlp_encode
+
+
+class TestCanonicalExamples:
+    """Examples from the Ethereum wiki / yellow paper appendix."""
+
+    def test_dog(self):
+        assert rlp_encode(b"dog") == b"\x83dog"
+
+    def test_cat_dog_list(self):
+        assert rlp_encode([b"cat", b"dog"]) == b"\xc8\x83cat\x83dog"
+
+    def test_empty_string(self):
+        assert rlp_encode(b"") == b"\x80"
+
+    def test_empty_list(self):
+        assert rlp_encode([]) == b"\xc0"
+
+    def test_integer_zero_is_empty_string(self):
+        assert rlp_encode(0) == b"\x80"
+
+    def test_encoded_integer_fifteen(self):
+        assert rlp_encode(15) == b"\x0f"
+
+    def test_encoded_integer_1024(self):
+        assert rlp_encode(1024) == b"\x82\x04\x00"
+
+    def test_set_theoretic_representation_of_three(self):
+        assert rlp_encode([[], [[]], [[], [[]]]]) == bytes.fromhex("c7c0c1c0c3c0c1c0")
+
+    def test_lorem_ipsum_long_string(self):
+        text = b"Lorem ipsum dolor sit amet, consectetur adipisicing elit"
+        assert rlp_encode(text) == b"\xb8\x38" + text
+
+    def test_single_byte_below_0x80_encodes_as_itself(self):
+        assert rlp_encode(b"a") == b"a"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "item",
+        [
+            b"",
+            b"a",
+            b"hello world",
+            b"x" * 55,
+            b"x" * 56,
+            b"y" * 1000,
+            [b"a", b"b", [b"c", [b"d"]]],
+            [b"" for _ in range(60)],
+        ],
+    )
+    def test_bytes_and_lists_round_trip(self, item):
+        assert rlp_decode(rlp_encode(item)) == item
+
+    def test_integers_round_trip_as_big_endian_bytes(self):
+        assert rlp_decode(rlp_encode(1024)) == (1024).to_bytes(2, "big")
+
+    def test_strings_round_trip_as_utf8(self):
+        assert rlp_decode(rlp_encode("dog")) == b"dog"
+
+
+class TestEncodingErrors:
+    def test_negative_integer_rejected(self):
+        with pytest.raises(ValueError):
+            rlp_encode(-1)
+
+    def test_boolean_rejected(self):
+        with pytest.raises(TypeError):
+            rlp_encode(True)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            rlp_encode(1.5)  # type: ignore[arg-type]
+
+
+class TestDecodingErrors:
+    def test_empty_input(self):
+        with pytest.raises(RLPDecodingError):
+            rlp_decode(b"")
+
+    def test_trailing_bytes(self):
+        with pytest.raises(RLPDecodingError):
+            rlp_decode(rlp_encode(b"dog") + b"\x00")
+
+    def test_truncated_string(self):
+        with pytest.raises(RLPDecodingError):
+            rlp_decode(b"\x83do")
+
+    def test_truncated_list(self):
+        with pytest.raises(RLPDecodingError):
+            rlp_decode(b"\xc8\x83cat")
+
+    def test_non_canonical_single_byte(self):
+        # 0x81 0x05 is a non-canonical encoding of the byte 0x05.
+        with pytest.raises(RLPDecodingError):
+            rlp_decode(b"\x81\x05")
+
+    def test_type_error_for_non_bytes(self):
+        with pytest.raises(TypeError):
+            rlp_decode("0x80")  # type: ignore[arg-type]

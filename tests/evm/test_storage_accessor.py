@@ -1,0 +1,84 @@
+"""Tests for the ContractStorage accessor and static-call protection."""
+
+import pytest
+
+from repro.chain.gas import GasMeter
+from repro.chain.state import WorldState
+from repro.crypto.addresses import address_from_label
+from repro.encoding.hexutil import to_bytes32
+from repro.evm.message import Revert
+from repro.evm.storage import ContractStorage, mapping_slot
+
+CONTRACT = address_from_label("a-contract")
+ALICE = address_from_label("alice")
+
+
+@pytest.fixture
+def storage():
+    return ContractStorage(WorldState(), CONTRACT, GasMeter(10_000_000))
+
+
+class TestBasicAccess:
+    def test_load_of_unset_slot_is_zero_word(self, storage):
+        assert storage.load(0) == b"\x00" * 32
+
+    def test_store_and_load(self, storage):
+        storage.store(1, to_bytes32(77))
+        assert storage.load(1) == to_bytes32(77)
+
+    def test_int_helpers(self, storage):
+        storage.store_int(2, 123)
+        assert storage.load_int(2) == 123
+
+    def test_address_helpers(self, storage):
+        storage.store_address(3, ALICE)
+        assert storage.load_address(3) == ALICE
+
+    def test_increment(self, storage):
+        assert storage.increment(4) == 1
+        assert storage.increment(4, 10) == 11
+
+    def test_increment_underflow(self, storage):
+        with pytest.raises(Revert):
+            storage.increment(4, -1)
+
+    def test_32_byte_slot_keys_accepted(self, storage):
+        key = to_bytes32(b"some-key")
+        storage.store(key, to_bytes32(5))
+        assert storage.load(key) == to_bytes32(5)
+
+    def test_invalid_slot_type_rejected(self, storage):
+        with pytest.raises(ValueError):
+            storage.load("slot")  # type: ignore[arg-type]
+
+
+class TestStaticProtection:
+    def test_static_storage_rejects_writes(self):
+        static = ContractStorage(WorldState(), CONTRACT, GasMeter(10_000_000), static=True)
+        with pytest.raises(Revert):
+            static.store(0, to_bytes32(1))
+
+    def test_static_storage_allows_reads(self):
+        static = ContractStorage(WorldState(), CONTRACT, GasMeter(10_000_000), static=True)
+        assert static.load(0) == b"\x00" * 32
+
+
+class TestGasCharging:
+    def test_reads_and_writes_consume_gas(self):
+        meter = GasMeter(10_000_000)
+        storage = ContractStorage(WorldState(), CONTRACT, meter)
+        storage.load(0)
+        after_read = meter.used
+        storage.store(0, to_bytes32(1))
+        assert meter.used > after_read > 0
+
+
+class TestMappingSlots:
+    def test_distinct_keys_distinct_slots(self):
+        assert mapping_slot(1, ALICE) != mapping_slot(1, address_from_label("bob"))
+
+    def test_distinct_bases_distinct_slots(self):
+        assert mapping_slot(1, ALICE) != mapping_slot(2, ALICE)
+
+    def test_slot_is_32_bytes(self):
+        assert len(mapping_slot(1, ALICE)) == 32

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure2_defaults(self):
+        arguments = build_parser().parse_args(["figure2"])
+        assert arguments.command == "figure2"
+        assert arguments.trials == 2
+
+    def test_market_scenario_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["market", "--scenario", "nonsense"])
+
+    def test_ablation_requires_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ablation"])
+
+
+class TestCommands:
+    def test_market_command_runs(self, capsys):
+        exit_code = main(
+            ["market", "--scenario", "semantic_mining", "--ratio", "2", "--num-buys", "20", "--seed", "5"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Market experiment" in output
+        assert "efficiency" in output
+
+    def test_sequential_command_reports_perfect_efficiency(self, capsys):
+        exit_code = main(["sequential", "--pairs", "8", "--seed", "2"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "efficiency=1.000" in output
+
+    def test_frontrunning_command_runs(self, capsys):
+        exit_code = main(["frontrunning", "--buys", "10", "--seed", "3"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "overpaid fills" in output
+
+    def test_oracle_command_runs(self, capsys):
+        exit_code = main(["oracle", "--queries", "3", "--seed", "4"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "RAA" in output and "oracle" in output
+
+    def test_figure2_command_small_sweep(self, capsys):
+        exit_code = main(
+            ["figure2", "--ratios", "1", "10", "--trials", "1", "--num-buys", "30", "--seed", "3"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "geth_unmodified" in output
+        assert "Headline claims" in output

@@ -1,0 +1,45 @@
+"""Tests for the frontrunning experiment (Section II-F / V-B)."""
+
+import pytest
+
+from repro.clients.market import READ_COMMITTED, READ_UNCOMMITTED
+from repro.experiments.frontrunning import FrontrunningConfig, run_frontrunning_experiment
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run the experiment once per victim read mode (small scale) and share."""
+    hms_victim = run_frontrunning_experiment(
+        FrontrunningConfig(num_victim_buys=20, seed=3, victim_read_mode=READ_UNCOMMITTED)
+    )
+    committed_victim = run_frontrunning_experiment(
+        FrontrunningConfig(num_victim_buys=20, seed=3, victim_read_mode=READ_COMMITTED)
+    )
+    return hms_victim, committed_victim
+
+
+class TestFrontrunningProtection:
+    def test_no_victim_ever_pays_unobserved_terms(self, results):
+        """The structural claim: mark-bound offers cannot be filled at terms the
+        victim did not observe, no matter what the attacker does."""
+        for result in results:
+            assert result.overpaid == 0
+            assert result.audit_clean
+
+    def test_attacker_actually_attacked(self, results):
+        for result in results:
+            assert result.attacks_launched > 0
+
+    def test_every_outcome_is_accounted_for(self, results):
+        for result in results:
+            assert result.filled_at_observed_terms + result.rejected <= result.victim_buys
+
+    def test_hms_victim_fills_more_orders_than_committed_victim(self, results):
+        hms_victim, committed_victim = results
+        assert hms_victim.fill_rate > committed_victim.fill_rate
+
+    def test_seed_reproducibility(self):
+        first = run_frontrunning_experiment(FrontrunningConfig(num_victim_buys=10, seed=9))
+        second = run_frontrunning_experiment(FrontrunningConfig(num_victim_buys=10, seed=9))
+        assert first.fill_rate == second.fill_rate
+        assert first.attacks_launched == second.attacks_launched

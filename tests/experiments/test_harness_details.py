@@ -1,0 +1,109 @@
+"""Unit tests for smaller harness pieces: configs, reporting, production hooks."""
+
+import pytest
+
+from repro.chain import GenesisConfig
+from repro.consensus.interval import FixedInterval
+from repro.consensus.policies import FifoPolicy
+from repro.experiments.figure2 import Figure2Config
+from repro.experiments.reporting import emit_block
+from repro.experiments.runner import ExperimentConfig, sereth_contract_address
+from repro.experiments.scenario import GETH_UNMODIFIED, SCENARIOS, SEMANTIC_MINING
+from repro.net.latency import ConstantLatency
+from repro.net.mining import BlockProductionProcess
+from repro.net.network import Network
+from repro.net.peer import Peer
+from repro.net.sim import Simulator
+
+
+class TestReporting:
+    def test_emit_block_prints_title_and_body(self, capsys):
+        emit_block("A Title", "line one\nline two")
+        output = capsys.readouterr().out
+        assert "A Title" in output
+        assert "line one" in output
+        assert "=" * 78 in output
+
+
+class TestExperimentConfig:
+    def test_duration_cap_defaults_scale_with_workload(self):
+        short = ExperimentConfig(scenario=GETH_UNMODIFIED, num_buys=10)
+        long = ExperimentConfig(scenario=GETH_UNMODIFIED, num_buys=200)
+        assert long.duration_cap > short.duration_cap
+
+    def test_explicit_max_duration_wins(self):
+        config = ExperimentConfig(scenario=GETH_UNMODIFIED, max_duration=123.0)
+        assert config.duration_cap == 123.0
+
+    def test_contract_address_is_stable(self):
+        assert sereth_contract_address() == sereth_contract_address()
+        assert len(sereth_contract_address()) == 20
+
+
+class TestFigure2Config:
+    def test_experiment_config_varies_seed_by_trial_and_ratio(self):
+        config = Figure2Config(trials=2)
+        first = config.experiment_config(GETH_UNMODIFIED, 1.0, trial=0)
+        second = config.experiment_config(GETH_UNMODIFIED, 1.0, trial=1)
+        other_ratio = config.experiment_config(GETH_UNMODIFIED, 10.0, trial=0)
+        assert first.seed != second.seed
+        assert first.seed != other_ratio.seed
+
+    def test_experiment_config_carries_scenario_and_ratio(self):
+        config = Figure2Config(num_buys=50)
+        point = config.experiment_config(SEMANTIC_MINING, 4.0, trial=0)
+        assert point.scenario is SEMANTIC_MINING
+        assert point.buys_per_set == 4.0
+        assert point.num_buys == 50
+
+
+class TestScenarioRegistry:
+    def test_three_paper_scenarios_registered(self):
+        assert set(SCENARIOS) == {"geth_unmodified", "sereth_client", "semantic_mining"}
+
+    def test_scenarios_are_immutable_dataclasses(self):
+        with pytest.raises(Exception):
+            GETH_UNMODIFIED.name = "other"  # type: ignore[misc]
+
+
+class TestBlockProductionHooks:
+    def test_on_block_callback_receives_blocks_and_winner(self):
+        simulator = Simulator()
+        network = Network(simulator, latency=ConstantLatency(0.01), seed=0)
+        genesis = GenesisConfig.for_labels(["alice"])
+        peer = network.add_peer(Peer("miner-0", genesis))
+        production = BlockProductionProcess(
+            simulator, network, interval_model=FixedInterval(5.0), seed=0
+        )
+        handle = production.register_miner(peer, policy=FifoPolicy())
+        observed = []
+        production.on_block = lambda block, winner: observed.append((block.number, winner.peer.peer_id))
+        production.start()
+        simulator.run_until(16.0)
+        production.stop()
+        assert observed == [(1, "miner-0"), (2, "miner-0"), (3, "miner-0")]
+        assert handle.policy_name == "fifo"
+        assert production.blocks_produced == 3
+
+    def test_stop_prevents_further_blocks(self):
+        simulator = Simulator()
+        network = Network(simulator, latency=ConstantLatency(0.01), seed=0)
+        genesis = GenesisConfig.for_labels(["alice"])
+        peer = network.add_peer(Peer("miner-0", genesis))
+        production = BlockProductionProcess(
+            simulator, network, interval_model=FixedInterval(5.0), seed=0
+        )
+        production.register_miner(peer, policy=FifoPolicy())
+        production.start()
+        simulator.run_until(6.0)
+        production.stop()
+        simulator.run_until(30.0)
+        assert production.blocks_produced == 1
+
+    def test_register_miner_rejects_nonpositive_hash_power(self):
+        simulator = Simulator()
+        network = Network(simulator, latency=ConstantLatency(0.01), seed=0)
+        peer = network.add_peer(Peer("miner-0", GenesisConfig.for_labels(["alice"])))
+        production = BlockProductionProcess(simulator, network)
+        with pytest.raises(ValueError):
+            production.register_miner(peer, hash_power=0.0)

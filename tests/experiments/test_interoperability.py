@@ -1,0 +1,122 @@
+"""E3: interoperability — Sereth and Geth peers coexist on one network.
+
+Section V (qualitative experiments): "The Sereth client operated
+interchangeably with Geth clients on the same network ... The Solidity smart
+contract equipped with RAA also functioned even when deployed to a Geth
+client, although of course the substitution of arguments did not take place
+and they were returned unchanged."
+"""
+
+import pytest
+
+from repro.chain import GenesisConfig, Transaction
+from repro.clients.market import Buyer, PriceSetter, READ_COMMITTED, READ_UNCOMMITTED
+from repro.consensus.interval import FixedInterval
+from repro.consensus.policies import FifoPolicy
+from repro.contracts.sereth import SET_SELECTOR, genesis_storage, initial_mark
+from repro.crypto.addresses import address_from_label
+from repro.encoding.hexutil import to_bytes32
+from repro.net.latency import ConstantLatency
+from repro.net.mining import BlockProductionProcess
+from repro.net.network import Network
+from repro.net.peer import GETH_CLIENT, Peer, SERETH_CLIENT
+from repro.net.sim import Simulator
+
+OWNER = address_from_label("owner")
+SERETH = address_from_label("sereth-exchange")
+
+
+@pytest.fixture
+def mixed_network():
+    """A geth miner, a sereth client peer, and a geth client peer."""
+    simulator = Simulator()
+    network = Network(simulator, latency=ConstantLatency(0.02), seed=0)
+    genesis = GenesisConfig.for_labels(["owner", "buyer-sereth", "buyer-geth"])
+    genesis.fund(address_from_label("miner/geth-miner"))
+    genesis.deploy_contract(SERETH, "Sereth", storage=genesis_storage(OWNER, SERETH))
+    geth_miner = network.add_peer(Peer("geth-miner", genesis, client_kind=GETH_CLIENT))
+    sereth_peer = network.add_peer(Peer("sereth-peer", genesis, client_kind=SERETH_CLIENT))
+    geth_peer = network.add_peer(Peer("geth-peer", genesis, client_kind=GETH_CLIENT))
+    sereth_peer.install_hms(SERETH, SET_SELECTOR)
+    production = BlockProductionProcess(simulator, network, interval_model=FixedInterval(10.0), seed=0)
+    production.register_miner(geth_miner, policy=FifoPolicy())
+    return simulator, production, geth_miner, sereth_peer, geth_peer
+
+
+class TestInteroperability:
+    def test_sereth_transactions_validate_on_geth_peers(self, mixed_network):
+        simulator, production, geth_miner, sereth_peer, geth_peer = mixed_network
+        setter = PriceSetter("owner", sereth_peer, simulator, SERETH)
+        setter.prime_mark(initial_mark(SERETH))
+        buyer = Buyer("buyer-sereth", sereth_peer, simulator, SERETH, read_mode=READ_UNCOMMITTED)
+        production.start()
+        simulator.schedule_at(1.0, lambda: setter.set_price(5))
+        simulator.schedule_at(2.0, lambda: buyer.buy())
+        simulator.run_until(25.0)
+        production.stop()
+        # Every peer — regardless of client software — imported the same chain.
+        heights = {peer.chain.height for peer in (geth_miner, sereth_peer, geth_peer)}
+        assert heights == {geth_miner.chain.height}
+        roots = {peer.chain.state.state_root() for peer in (geth_miner, sereth_peer, geth_peer)}
+        assert len(roots) == 1
+        receipt = geth_peer.chain.receipt_for(buyer.buy_transactions[0].hash)
+        assert receipt is not None and receipt.success
+
+    def test_raa_contract_works_on_geth_peer_without_augmentation(self, mixed_network):
+        simulator, production, geth_miner, sereth_peer, geth_peer = mixed_network
+        placeholder = [to_bytes32(11), to_bytes32(22), to_bytes32(33)]
+        geth_result = geth_peer.call_contract(SERETH, "get", [placeholder], caller=OWNER, now=1.0)
+        assert geth_result.values == (to_bytes32(33),)
+        assert geth_result.augmented_arguments is None
+
+    def test_same_call_is_augmented_on_the_sereth_peer(self, mixed_network):
+        simulator, production, geth_miner, sereth_peer, geth_peer = mixed_network
+        setter = PriceSetter("owner", sereth_peer, simulator, SERETH)
+        setter.prime_mark(initial_mark(SERETH))
+        setter.set_price(64)  # pending on the sereth peer's pool
+        placeholder = [to_bytes32(0)] * 3
+        sereth_result = sereth_peer.call_contract(SERETH, "get", [placeholder], caller=OWNER, now=1.0)
+        geth_result = geth_peer.call_contract(SERETH, "get", [placeholder], caller=OWNER, now=1.0)
+        assert sereth_result.values == (to_bytes32(64),)
+        assert geth_result.values == (to_bytes32(0),)
+
+    def test_geth_buyers_and_sereth_buyers_share_one_contract(self, mixed_network):
+        simulator, production, geth_miner, sereth_peer, geth_peer = mixed_network
+        setter = PriceSetter("owner", sereth_peer, simulator, SERETH)
+        setter.prime_mark(initial_mark(SERETH))
+        sereth_buyer = Buyer("buyer-sereth", sereth_peer, simulator, SERETH, read_mode=READ_UNCOMMITTED)
+        geth_buyer = Buyer("buyer-geth", geth_peer, simulator, SERETH, read_mode=READ_COMMITTED)
+        production.start()
+        simulator.schedule_at(1.0, lambda: setter.set_price(5))
+        simulator.schedule_at(2.0, lambda: sereth_buyer.buy())
+        simulator.schedule_at(2.5, lambda: geth_buyer.buy())
+        simulator.run_until(25.0)
+        production.stop()
+        chain = geth_miner.chain
+        sereth_receipt = chain.receipt_for(sereth_buyer.buy_transactions[0].hash)
+        geth_receipt = chain.receipt_for(geth_buyer.buy_transactions[0].hash)
+        # Both were committed; the READ-UNCOMMITTED buyer succeeded while the
+        # READ-COMMITTED buyer bought at the stale pre-set price and failed.
+        assert sereth_receipt is not None and geth_receipt is not None
+        assert sereth_receipt.success
+        assert not geth_receipt.success
+
+    def test_raa_cannot_modify_signed_transaction_inputs(self, mixed_network):
+        """The RAA restriction: a client that rewrites signed calldata produces
+        a block other peers reject (Section III-D, "testing the limits")."""
+        simulator, production, geth_miner, sereth_peer, geth_peer = mixed_network
+        from repro.contracts.sereth import SerethContract
+        from repro.core.hms.fpv import HEAD_FLAG, fpv_to_words
+
+        set_abi = SerethContract.function_by_name("set").abi
+        honest = Transaction(
+            sender=OWNER, nonce=0, to=SERETH,
+            data=set_abi.encode_call(fpv_to_words(HEAD_FLAG, initial_mark(SERETH), 5)),
+        )
+        # A malicious client rewrites the price inside the signed calldata.
+        tampered = honest.with_data(
+            set_abi.encode_call(fpv_to_words(HEAD_FLAG, initial_mark(SERETH), 500))
+        )
+        block, _ = geth_miner.chain.build_block([tampered], miner=OWNER, timestamp=10.0)
+        assert sereth_peer.receive_block(block) is False
+        assert geth_peer.receive_block(block) is False

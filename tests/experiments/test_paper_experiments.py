@@ -1,0 +1,110 @@
+"""Tests for the paper's experiment harnesses: Figure 2, sequential history,
+interoperability, headline claims, and the ablation sweeps (all at small scale)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    sweep_block_interval,
+    sweep_gossip_impairment,
+    sweep_semantic_miner_fraction,
+    sweep_submission_interval,
+)
+from repro.experiments.claims import check_headline_claims
+from repro.experiments.figure2 import Figure2Config, run_figure2
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.scenario import GETH_UNMODIFIED, SEMANTIC_MINING, SERETH_CLIENT_SCENARIO
+from repro.experiments.sequential import SequentialHistoryConfig, run_sequential_history
+
+
+@pytest.fixture(scope="module")
+def small_figure2():
+    """A reduced Figure 2 sweep: 2 ratios x 3 scenarios x 1 trial, 30 buys."""
+    config = Figure2Config(
+        ratios=(1.0, 10.0),
+        trials=1,
+        num_buys=30,
+        base=ExperimentConfig(scenario=GETH_UNMODIFIED, num_buyers=2, seed=3),
+    )
+    return run_figure2(config, keep_results=True)
+
+
+class TestFigure2Harness:
+    def test_every_point_present(self, small_figure2):
+        assert len(small_figure2.points) == 6
+        for scenario in ("geth_unmodified", "sereth_client", "semantic_mining"):
+            assert len(small_figure2.series(scenario)) == 2
+
+    def test_shape_matches_paper(self, small_figure2):
+        for ratio in small_figure2.config.ratios:
+            geth = small_figure2.point("geth_unmodified", ratio).mean_efficiency
+            sereth = small_figure2.point("sereth_client", ratio).mean_efficiency
+            semantic = small_figure2.point("semantic_mining", ratio).mean_efficiency
+            assert geth <= sereth + 0.05
+            assert sereth <= semantic + 0.05
+            assert semantic >= 0.75
+
+    def test_improvement_factor(self, small_figure2):
+        factor = small_figure2.improvement_factor(1.0, scenario="semantic_mining")
+        assert factor > 1.0
+
+    def test_unknown_point_raises(self, small_figure2):
+        with pytest.raises(KeyError):
+            small_figure2.point("geth_unmodified", 99.0)
+
+    def test_table_and_chart_render(self, small_figure2):
+        table = small_figure2.as_table()
+        chart = small_figure2.as_chart()
+        assert "geth_unmodified" in table
+        assert "semantic_mining" in table
+        assert "eta" in chart
+
+    def test_headline_claims_structure(self, small_figure2):
+        checks = check_headline_claims(small_figure2)
+        assert len(checks) >= 3
+        for check in checks:
+            assert check.claim and check.paper_value and check.measured_value
+        # The qualitative shape claims must hold even at this small scale.
+        assert checks[0].holds  # client-only HMS improves across the range
+
+
+class TestSequentialHistory:
+    def test_single_sender_history_has_perfect_efficiency(self):
+        result = run_sequential_history(SequentialHistoryConfig(num_pairs=10, seed=1))
+        assert result.report.committed == 20
+        assert result.efficiency == 1.0
+
+    def test_holds_even_under_arbitrary_miner_order(self):
+        result = run_sequential_history(
+            SequentialHistoryConfig(num_pairs=10, seed=2, random_miner_order=True)
+        )
+        assert result.efficiency == 1.0
+
+
+class TestAblations:
+    def test_semantic_miner_fraction_sweep_is_monotonic_ish(self):
+        base = ExperimentConfig(scenario=SEMANTIC_MINING, num_buys=24, num_buyers=2, buys_per_set=2.0, seed=5)
+        result = sweep_semantic_miner_fraction(
+            fractions=(0.0, 1.0), trials=1, base=base, num_miners=4
+        )
+        values = result.values("semantic_mining")
+        assert len(values) == 2
+        assert values[1] >= values[0]
+
+    def test_gossip_impairment_hurts_client_only_hms(self):
+        base = ExperimentConfig(
+            scenario=SERETH_CLIENT_SCENARIO, num_buys=24, num_buyers=2, buys_per_set=2.0, seed=5
+        )
+        result = sweep_gossip_impairment(latencies=(0.05, 5.0), trials=1, base=base)
+        sereth_points = result.series("sereth_client")
+        assert sereth_points[0].mean_efficiency >= sereth_points[-1].mean_efficiency
+
+    def test_submission_interval_sweep_runs(self):
+        base = ExperimentConfig(scenario=GETH_UNMODIFIED, num_buys=20, num_buyers=2, seed=5)
+        result = sweep_submission_interval(intervals=(0.5, 2.0), trials=1, base=base, buys_per_set=10.0)
+        assert len(result.points) == 4
+
+    def test_block_interval_sweep_baseline_degrades_with_longer_blocks(self):
+        base = ExperimentConfig(scenario=GETH_UNMODIFIED, num_buys=24, num_buyers=2, buys_per_set=4.0, seed=5)
+        result = sweep_block_interval(block_intervals=(5.0, 60.0), trials=1, base=base)
+        geth = result.series("geth_unmodified")
+        assert geth[0].mean_efficiency >= geth[-1].mean_efficiency - 0.05

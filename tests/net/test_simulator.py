@@ -1,0 +1,120 @@
+"""Tests for the discrete-event simulator and latency models."""
+
+import pytest
+
+from repro.net.latency import ConstantLatency, ImpairedLatency, NormalLatency, UniformLatency
+from repro.net.sim import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule_at(5.0, lambda: fired.append("late"))
+        simulator.schedule_at(1.0, lambda: fired.append("early"))
+        simulator.run()
+        assert fired == ["early", "late"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule_at(1.0, lambda: fired.append("first"))
+        simulator.schedule_at(1.0, lambda: fired.append("second"))
+        simulator.run()
+        assert fired == ["first", "second"]
+
+    def test_schedule_in_is_relative(self):
+        simulator = Simulator(start_time=10.0)
+        times = []
+        simulator.schedule_in(5.0, lambda: times.append(simulator.now))
+        simulator.run()
+        assert times == [15.0]
+
+    def test_cannot_schedule_in_the_past(self):
+        simulator = Simulator(start_time=10.0)
+        with pytest.raises(ValueError):
+            simulator.schedule_at(5.0, lambda: None)
+        with pytest.raises(ValueError):
+            simulator.schedule_in(-1.0, lambda: None)
+
+    def test_events_scheduled_during_events_run(self):
+        simulator = Simulator()
+        fired = []
+
+        def outer():
+            simulator.schedule_in(1.0, lambda: fired.append("inner"))
+
+        simulator.schedule_at(1.0, outer)
+        simulator.run()
+        assert fired == ["inner"]
+        assert simulator.now == 2.0
+
+    def test_cancelled_events_do_not_fire(self):
+        simulator = Simulator()
+        fired = []
+        event = simulator.schedule_at(1.0, lambda: fired.append("x"))
+        event.cancel()
+        simulator.run()
+        assert fired == []
+
+
+class TestRunModes:
+    def test_run_until_stops_at_deadline_and_advances_clock(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule_at(1.0, lambda: fired.append(1))
+        simulator.schedule_at(10.0, lambda: fired.append(10))
+        simulator.run_until(5.0)
+        assert fired == [1]
+        assert simulator.now == 5.0
+        simulator.run_until(20.0)
+        assert fired == [1, 10]
+
+    def test_run_while_condition(self):
+        simulator = Simulator()
+        fired = []
+        for index in range(10):
+            simulator.schedule_at(float(index + 1), lambda index=index: fired.append(index))
+        simulator.run_while(lambda: len(fired) < 3)
+        assert len(fired) == 3
+
+    def test_pending_events_count(self):
+        simulator = Simulator()
+        simulator.schedule_at(1.0, lambda: None)
+        cancelled = simulator.schedule_at(2.0, lambda: None)
+        cancelled.cancel()
+        assert simulator.pending_events() == 1
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        assert ConstantLatency(0.25).sample("a", "b") == 0.25
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1.0)
+
+    def test_uniform_bounds_and_determinism(self):
+        model = UniformLatency(0.1, 0.5, seed=3)
+        samples = [model.sample("a", "b") for _ in range(100)]
+        assert all(0.1 <= sample <= 0.5 for sample in samples)
+        replay = UniformLatency(0.1, 0.5, seed=3)
+        assert [replay.sample("a", "b") for _ in range(100)] == samples
+
+    def test_uniform_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0.5, 0.1)
+
+    def test_normal_floors_at_minimum(self):
+        model = NormalLatency(mean=0.01, stddev=0.5, minimum=0.005, seed=1)
+        assert all(model.sample("a", "b") >= 0.005 for _ in range(200))
+
+    def test_impaired_adds_delay_on_matching_links(self):
+        base = ConstantLatency(0.1)
+        impaired = ImpairedLatency(base, impaired_peers={"slow"}, extra_delay=2.0)
+        assert impaired.sample("slow", "b") == pytest.approx(2.1)
+        assert impaired.sample("a", "slow") == pytest.approx(2.1)
+        assert impaired.sample("a", "b") == pytest.approx(0.1)

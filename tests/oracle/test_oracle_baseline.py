@@ -1,0 +1,37 @@
+"""Tests for the oracle operator service and the RAA-vs-oracle comparison."""
+
+import pytest
+
+from repro.oracle.comparison import OracleComparisonConfig, run_raa_vs_oracle
+from repro.oracle.service import OracleOperator
+
+
+class TestOracleComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return run_raa_vs_oracle(OracleComparisonConfig(num_queries=6, seed=2))
+
+    def test_every_query_gets_answered_eventually(self, comparison):
+        assert comparison.oracle_unanswered == 0
+        assert len(comparison.oracle_latencies) == 6
+
+    def test_oracle_latency_requires_block_commits(self, comparison):
+        """A request/response oracle cannot answer before the request commits
+        and the answer commits in a later block.  With exponential block
+        intervals a lucky query can be fast, but no answer can be usable
+        before at least one further block, and on average the latency is on
+        the order of the block interval."""
+        assert min(comparison.oracle_latencies) >= 1.0
+        assert comparison.mean_oracle_latency >= comparison.config.block_interval * 0.5
+
+    def test_raa_latency_is_effectively_zero(self, comparison):
+        assert len(comparison.raa_latencies) == 6
+        assert comparison.mean_raa_latency == pytest.approx(0.0, abs=1e-9)
+
+    def test_raa_is_orders_of_magnitude_faster(self, comparison):
+        assert comparison.speedup > 100.0
+
+    def test_comparison_is_seed_deterministic(self):
+        first = run_raa_vs_oracle(OracleComparisonConfig(num_queries=3, seed=9))
+        second = run_raa_vs_oracle(OracleComparisonConfig(num_queries=3, seed=9))
+        assert first.oracle_latencies == second.oracle_latencies

@@ -1,0 +1,173 @@
+"""Property-based tests for substrate invariants: RLP, state journaling, pools,
+and miner-policy nonce preservation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.consensus.policies import ArrivalJitterPolicy, FeeArrivalPolicy, FifoPolicy, RandomPolicy
+from repro.crypto.addresses import address_from_label
+from repro.encoding.hexutil import bytes32_from_int, int_from_bytes32, to_bytes32
+from repro.encoding.rlp import rlp_decode, rlp_encode
+from repro.txpool.pool import TxPool
+
+SENDERS = [address_from_label(f"sender-{index}") for index in range(4)]
+RECIPIENT = address_from_label("recipient")
+
+
+# -- RLP ---------------------------------------------------------------------------
+
+rlp_items = st.recursive(
+    st.binary(min_size=0, max_size=80),
+    lambda children: st.lists(children, max_size=5),
+    max_leaves=25,
+)
+
+
+class TestRLPProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(rlp_items)
+    def test_round_trip(self, item):
+        assert rlp_decode(rlp_encode(item)) == item
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**128))
+    def test_integer_encoding_is_minimal_big_endian(self, value):
+        decoded = rlp_decode(rlp_encode(value))
+        assert int.from_bytes(decoded, "big") == value
+        if value:
+            assert decoded[0] != 0  # no leading zero bytes
+
+
+class TestBytes32Properties:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**256 - 1))
+    def test_int_round_trip(self, value):
+        assert int_from_bytes32(bytes32_from_int(value)) == value
+
+
+# -- WorldState journaling -----------------------------------------------------------
+
+
+class TestStateJournalProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),    # account index
+                st.integers(min_value=0, max_value=2**32),  # balance delta
+                st.integers(min_value=0, max_value=5),    # storage slot
+                st.integers(min_value=0, max_value=2**32),  # storage value
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_snapshot_revert_restores_exact_root(self, operations):
+        state = WorldState()
+        state.add_balance(SENDERS[0], 1000)
+        root_before = state.state_root()
+        snapshot = state.snapshot()
+        for account_index, delta, slot, value in operations:
+            address = SENDERS[account_index]
+            state.add_balance(address, delta)
+            state.set_storage(address, bytes32_from_int(slot), bytes32_from_int(value))
+            state.increment_nonce(address)
+        state.revert(snapshot)
+        assert state.state_root() == root_before
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=100)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_commit_matches_flat_application(self, operations):
+        journaled = WorldState()
+        flat = WorldState()
+        snapshot = journaled.snapshot()
+        for account_index, delta in operations:
+            journaled.add_balance(SENDERS[account_index], delta)
+            flat.add_balance(SENDERS[account_index], delta)
+        journaled.commit(snapshot)
+        assert journaled.state_root() == flat.state_root()
+
+
+# -- TxPool -----------------------------------------------------------------------------
+
+
+class TestPoolProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),   # sender
+                st.integers(min_value=0, max_value=6),   # nonce
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            ),
+            max_size=40,
+        )
+    )
+    def test_executable_runs_are_gapless_and_nonce_sorted(self, submissions):
+        pool = TxPool()
+        for sender_index, nonce, arrival in submissions:
+            transaction = Transaction(sender=SENDERS[sender_index], nonce=nonce, to=RECIPIENT)
+            pool.add(transaction, arrival)
+        state = WorldState()
+        executable = pool.executable_by_sender(state)
+        for sender, entries in executable.items():
+            nonces = [entry.nonce for entry in entries]
+            assert nonces == list(range(len(nonces)))  # gapless from 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=3))
+    def test_add_then_remove_leaves_pool_empty(self, sender_index):
+        pool = TxPool()
+        transaction = Transaction(sender=SENDERS[sender_index], nonce=0, to=RECIPIENT)
+        pool.add(transaction, 1.0)
+        pool.remove(transaction.hash)
+        assert len(pool) == 0
+        assert pool.pending_by_sender() == {}
+
+
+# -- Miner policies ------------------------------------------------------------------------
+
+
+def build_executable(submissions):
+    pool = TxPool()
+    for sender_index, count in enumerate(submissions):
+        for nonce in range(count):
+            transaction = Transaction(
+                sender=SENDERS[sender_index], nonce=nonce, to=RECIPIENT,
+                gas_price=1 + (nonce % 3),
+            )
+            pool.add(transaction, arrival_time=float(nonce * 7 % 5))
+    return pool.executable_by_sender(WorldState())
+
+
+class TestPolicyProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=4),
+        st.sampled_from(["fifo", "fee", "random", "jitter"]),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_every_policy_preserves_per_sender_nonce_order(self, submissions, policy_name, seed):
+        policies = {
+            "fifo": FifoPolicy(),
+            "fee": FeeArrivalPolicy(),
+            "random": RandomPolicy(seed=seed),
+            "jitter": ArrivalJitterPolicy(jitter_seconds=5.0, seed=seed),
+        }
+        executable = build_executable(submissions)
+        ordered = policies[policy_name].order(executable, WorldState(), 0.0)
+        # Same multiset of transactions in, same out.
+        assert len(ordered) == sum(len(entries) for entries in executable.values())
+        for sender in SENDERS:
+            nonces = [transaction.nonce for transaction in ordered if transaction.sender == sender]
+            assert nonces == sorted(nonces)

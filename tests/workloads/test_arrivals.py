@@ -1,0 +1,65 @@
+"""Tests for the arrival processes."""
+
+import pytest
+
+from repro.workloads.arrivals import BurstyArrivals, PoissonArrivals, RegularArrivals
+
+
+class TestRegularArrivals:
+    def test_fixed_spacing(self):
+        times = RegularArrivals(interval=2.0).times(4, start=10.0)
+        assert times == [10.0, 12.0, 14.0, 16.0]
+
+    def test_zero_events(self):
+        assert RegularArrivals().times(0, start=5.0) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegularArrivals(interval=0.0)
+        with pytest.raises(ValueError):
+            RegularArrivals().times(-1, start=0.0)
+
+
+class TestPoissonArrivals:
+    def test_count_and_monotonicity(self):
+        times = PoissonArrivals(mean_interval=1.0, seed=3).times(200, start=0.0)
+        assert len(times) == 200
+        assert all(later > earlier for earlier, later in zip(times, times[1:]))
+
+    def test_mean_gap_tracks_parameter(self):
+        times = PoissonArrivals(mean_interval=2.0, seed=5).times(3000, start=0.0)
+        gaps = [later - earlier for earlier, later in zip(times, times[1:])]
+        assert 1.7 < sum(gaps) / len(gaps) < 2.3
+
+    def test_seed_determinism(self):
+        assert PoissonArrivals(seed=9).times(50, 0.0) == PoissonArrivals(seed=9).times(50, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(mean_interval=0.0)
+
+
+class TestBurstyArrivals:
+    def test_bursts_are_tight_and_gaps_are_wide(self):
+        process = BurstyArrivals(burst_size=5, gap=20.0, spread=0.5, seed=1)
+        times = process.times(15, start=0.0)
+        assert len(times) == 15
+        # Events within a burst fall within the spread; bursts are `gap` apart.
+        first_burst = times[:5]
+        second_burst = times[5:10]
+        assert max(first_burst) - min(first_burst) <= 0.5
+        assert min(second_burst) >= 20.0
+
+    def test_partial_final_burst(self):
+        times = BurstyArrivals(burst_size=4, gap=10.0, seed=2).times(6, start=0.0)
+        assert len(times) == 6
+
+    def test_times_are_sorted(self):
+        times = BurstyArrivals(burst_size=3, gap=5.0, spread=1.0, seed=4).times(30, start=0.0)
+        assert times == sorted(times)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyArrivals(burst_size=0)
+        with pytest.raises(ValueError):
+            BurstyArrivals(gap=0.0)

@@ -1,0 +1,134 @@
+"""Tests for the price processes and the market workload scheduler."""
+
+import pytest
+
+from repro.core.metrics import MetricsCollector
+from repro.net.sim import Simulator
+from repro.workloads.market import BUY_LABEL, MarketWorkload, MarketWorkloadConfig, SET_LABEL
+from repro.workloads.prices import ConstantPrices, RandomWalkPrices, UniformPrices
+
+
+class FakeActor:
+    """Minimal stand-in for PriceSetter/Buyer used to test scheduling only."""
+
+    def __init__(self):
+        self.calls = []
+
+    def set_price(self, price):
+        self.calls.append(("set", price))
+        return _FakeTransaction()
+
+    def buy(self):
+        self.calls.append(("buy", None))
+        return _FakeTransaction()
+
+
+class _FakeTransaction:
+    _counter = 0
+
+    def __init__(self):
+        _FakeTransaction._counter += 1
+        self.hash = _FakeTransaction._counter.to_bytes(32, "big")
+        self.submitted_at = 0.0
+
+
+class TestPriceProcesses:
+    def test_random_walk_stays_in_bounds_and_is_seeded(self):
+        walk = RandomWalkPrices(initial=100, max_step=5, minimum=1, maximum=200, seed=3)
+        prices = [walk.next_price() for _ in range(500)]
+        assert all(1 <= price <= 200 for price in prices)
+        replay = RandomWalkPrices(initial=100, max_step=5, minimum=1, maximum=200, seed=3)
+        assert [replay.next_price() for _ in range(500)] == prices
+
+    def test_random_walk_steps_are_bounded(self):
+        walk = RandomWalkPrices(initial=100, max_step=3, seed=1)
+        previous = 100
+        for _ in range(100):
+            current = walk.next_price()
+            assert abs(current - previous) <= 3
+            previous = current
+
+    def test_random_walk_validation(self):
+        with pytest.raises(ValueError):
+            RandomWalkPrices(initial=0, minimum=1)
+        with pytest.raises(ValueError):
+            RandomWalkPrices(max_step=0)
+
+    def test_uniform_prices_in_range(self):
+        process = UniformPrices(minimum=10, maximum=20, seed=2)
+        assert all(10 <= process.next_price() <= 20 for _ in range(200))
+
+    def test_uniform_prices_validation(self):
+        with pytest.raises(ValueError):
+            UniformPrices(minimum=5, maximum=1)
+
+    def test_constant_prices(self):
+        assert [ConstantPrices(42).next_price() for _ in range(3)] == [42, 42, 42]
+
+
+class TestWorkloadConfig:
+    def test_num_sets_follows_ratio(self):
+        assert MarketWorkloadConfig(num_buys=100, buys_per_set=1.0).num_sets == 100
+        assert MarketWorkloadConfig(num_buys=100, buys_per_set=20.0).num_sets == 5
+        assert MarketWorkloadConfig(num_buys=100, buys_per_set=1000.0).num_sets == 1
+
+    def test_buy_window(self):
+        config = MarketWorkloadConfig(num_buys=50, submission_interval=2.0)
+        assert config.buy_window == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarketWorkloadConfig(num_buys=0)
+        with pytest.raises(ValueError):
+            MarketWorkloadConfig(buys_per_set=0)
+        with pytest.raises(ValueError):
+            MarketWorkloadConfig(submission_interval=0)
+
+
+class TestWorkloadScheduling:
+    def build(self, num_buys=10, buys_per_set=2.0, buyers=2):
+        simulator = Simulator()
+        setter = FakeActor()
+        buyer_actors = [FakeActor() for _ in range(buyers)]
+        metrics = MetricsCollector()
+        config = MarketWorkloadConfig(
+            num_buys=num_buys, buys_per_set=buys_per_set, submission_interval=1.0, start_time=10.0
+        )
+        workload = MarketWorkload(config, setter, buyer_actors, metrics, prices=ConstantPrices(50))
+        workload.schedule(simulator)
+        simulator.run()
+        return workload, setter, buyer_actors, metrics
+
+    def test_counts_match_configuration(self):
+        workload, setter, buyers, metrics = self.build(num_buys=10, buys_per_set=2.0)
+        total_buys = sum(1 for actor in buyers for call in actor.calls if call[0] == "buy")
+        total_sets = sum(1 for call in setter.calls if call[0] == "set")
+        assert total_buys == 10
+        assert total_sets == 5 + 1  # workload sets plus the opening warmup set
+
+    def test_buys_round_robin_over_buyers(self):
+        workload, setter, buyers, metrics = self.build(num_buys=10, buys_per_set=2.0, buyers=2)
+        per_buyer = [sum(1 for call in actor.calls if call[0] == "buy") for actor in buyers]
+        assert per_buyer == [5, 5]
+
+    def test_sets_are_evenly_spaced_within_the_buy_window(self):
+        workload, _, _, _ = self.build(num_buys=10, buys_per_set=2.0)
+        assert len(workload.set_times) == 5
+        gaps = [b - a for a, b in zip(workload.set_times, workload.set_times[1:])]
+        assert all(gap == pytest.approx(gaps[0]) for gap in gaps)
+        assert workload.set_times[0] >= 10.0
+        assert workload.set_times[-1] <= 10.0 + workload.config.buy_window
+
+    def test_metrics_watch_every_submission(self):
+        _, _, _, metrics = self.build(num_buys=10, buys_per_set=5.0)
+        assert metrics.watched_count(BUY_LABEL) == 10
+        assert metrics.watched_count(SET_LABEL) == 2 + 1
+
+    def test_requires_at_least_one_buyer(self):
+        config = MarketWorkloadConfig(num_buys=1)
+        with pytest.raises(ValueError):
+            MarketWorkload(config, FakeActor(), [], MetricsCollector())
+
+    def test_end_of_submissions_is_after_start(self):
+        workload, _, _, _ = self.build()
+        assert workload.end_of_submissions >= workload.config.start_time
