@@ -5,8 +5,9 @@ paper's evaluation (unmodified Geth, Sereth client, semantic mining) across
 a sweep of buy:set ratios and prints the table, the ASCII chart, and the
 headline-claim checks.
 
-Run with:  python examples/figure2_experiment.py           (reduced, ~30 s)
-           python examples/figure2_experiment.py --full    (paper-sized sweep)
+Run with:  python examples/figure2_experiment.py                (reduced, ~30 s)
+           python examples/figure2_experiment.py --full          (paper-sized sweep)
+           python examples/figure2_experiment.py --full --workers 4   (parallel)
 """
 
 from __future__ import annotations
@@ -25,6 +26,10 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--full", action="store_true", help="run the paper-sized sweep (slower)")
     parser.add_argument("--seed", type=int, default=11, help="base random seed")
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the sweep (results are identical to serial)",
+    )
     arguments = parser.parse_args()
 
     if arguments.full:
@@ -42,7 +47,9 @@ def main() -> None:
             base=ExperimentConfig(scenario=GETH_UNMODIFIED, seed=arguments.seed, num_buyers=3),
         )
 
-    result = run_figure2(config, keep_results=True)
+    result = run_figure2(
+        config, keep_results=arguments.workers <= 1, workers=arguments.workers
+    )
     emit_block("Figure 2 — transaction efficiency vs buy:set ratio", result.as_table())
     emit_block("Figure 2 — ASCII rendering", result.as_chart())
 

@@ -1,7 +1,8 @@
 """Interoperability demo: Sereth and Geth peers on one network (paper §V).
 
-Stands up a mixed network — an unmodified ("Geth") miner, a Sereth client
-peer, and a Geth client peer — and shows that Sereth transactions validate
+Stands up a mixed network through the ``repro.api`` facade — an unmodified
+("Geth") miner, a Sereth client peer, and a Geth client peer, via per-peer
+client-kind overrides — and shows that Sereth transactions validate
 everywhere, that the RAA-equipped contract still works through the Geth peer
 (arguments simply pass through unchanged), and that the READ-UNCOMMITTED
 buyer succeeds where the READ-COMMITTED buyer fails.
@@ -11,70 +12,72 @@ Run with:  python examples/interoperability_demo.py
 
 from __future__ import annotations
 
-from repro.chain import GenesisConfig
-from repro.clients.market import Buyer, PriceSetter, READ_COMMITTED, READ_UNCOMMITTED
-from repro.consensus.interval import FixedInterval
-from repro.consensus.policies import ArrivalJitterPolicy
-from repro.contracts.sereth import SET_SELECTOR, genesis_storage, initial_mark
-from repro.crypto.addresses import address_from_label
+from repro.api import Simulation, sereth_exchange_address
+from repro.clients.market import Buyer, READ_COMMITTED, READ_UNCOMMITTED
 from repro.encoding.hexutil import int_from_bytes32, to_bytes32
 from repro.experiments.reporting import emit_block
-from repro.net.latency import UniformLatency
-from repro.net.mining import BlockProductionProcess
-from repro.net.network import Network
-from repro.net.peer import GETH_CLIENT, Peer, SERETH_CLIENT
-from repro.net.sim import Simulator
 
-OWNER = address_from_label("owner")
-SERETH = address_from_label("sereth-exchange")
+SERETH = sereth_exchange_address()
 
 
 def main() -> None:
-    simulator = Simulator()
-    network = Network(simulator, latency=UniformLatency(0.02, 0.15, seed=5), seed=5)
-    genesis = GenesisConfig.for_labels(["owner", "buyer-sereth", "buyer-geth"])
-    genesis.fund(address_from_label("miner/geth-miner"))
-    genesis.deploy_contract(SERETH, "Sereth", storage=genesis_storage(OWNER, SERETH))
+    # client-0 runs the Sereth software (the scenario default); the miner and
+    # client-1 are overridden to unmodified Geth.
+    spec = (
+        Simulation.builder()
+        .scenario("sereth_client")
+        .workload("market", num_buys=1, num_buyers=2, start_time=500.0)
+        .miners(1)
+        .clients(2)
+        .client_kind("miner-0", "geth")
+        .client_kind("client-1", "geth")
+        .block_interval(13.0, fixed=True)
+        .miner_order_jitter(0.0)
+        .seed(5)
+        .build()
+    )
+    handle = Simulation(spec).start()
+    simulator = handle.simulator
+    sereth_peer = handle.peers["client-0"]
+    geth_peer = handle.peers["client-1"]
+    geth_miner = handle.peers["miner-0"]
 
-    geth_miner = network.add_peer(Peer("geth-miner", genesis, client_kind=GETH_CLIENT))
-    sereth_peer = network.add_peer(Peer("sereth-peer", genesis, client_kind=SERETH_CLIENT))
-    geth_peer = network.add_peer(Peer("geth-peer", genesis, client_kind=GETH_CLIENT))
-    sereth_peer.install_hms(SERETH, SET_SELECTOR)
-
-    production = BlockProductionProcess(simulator, network, interval_model=FixedInterval(13.0), seed=5)
-    production.register_miner(geth_miner, policy=ArrivalJitterPolicy(jitter_seconds=4.0, seed=5))
-    production.start()
-
-    setter = PriceSetter("owner", sereth_peer, simulator, SERETH)
-    setter.prime_mark(initial_mark(SERETH))
-    sereth_buyer = Buyer("buyer-sereth", sereth_peer, simulator, SERETH, read_mode=READ_UNCOMMITTED)
-    geth_buyer = Buyer("buyer-geth", geth_peer, simulator, SERETH, read_mode=READ_COMMITTED)
+    setter = handle.workload.setter  # the market owner, on the Sereth peer
+    sereth_buyer = Buyer("buyer-0", sereth_peer, simulator, SERETH, read_mode=READ_UNCOMMITTED)
+    geth_buyer = Buyer("buyer-1", geth_peer, simulator, SERETH, read_mode=READ_COMMITTED)
 
     simulator.schedule_at(1.0, lambda: setter.set_price(250))
     simulator.schedule_at(2.0, lambda: sereth_buyer.buy())
-    simulator.schedule_at(2.5, lambda: geth_buyer.buy())
-    simulator.run_until(30.0)
-    production.stop()
+    handle.run_until(3.0)
 
     # The RAA-equipped view functions behave differently on the two peers.
     placeholder = [to_bytes32(0)] * 3
-    on_sereth = sereth_peer.call_contract(SERETH, "get", [placeholder], caller=OWNER, now=3.0)
-    on_geth = geth_peer.call_contract(SERETH, "get", [placeholder], caller=OWNER, now=3.0)
+    on_sereth = sereth_peer.call_contract(SERETH, "get", [placeholder], caller=setter.address, now=3.0)
+    on_geth = geth_peer.call_contract(SERETH, "get", [placeholder], caller=setter.address, now=3.0)
     emit_block(
         "The same `get` call on both clients (before the block commits)",
         f"on the Sereth peer (RAA fills the arguments): price = {int_from_bytes32(on_sereth.values[0])}\n"
         f"on the Geth peer (arguments pass through)   : price = {int_from_bytes32(on_geth.values[0])}",
     )
 
+    # The Geth buyer reads committed state (still the genesis price) and buys
+    # at stale terms; the next block decides both buys.
+    geth_buy = geth_buyer.buy()
+    handle.run_until(30.0)
+    handle.production.stop()
+
     chain = geth_miner.chain
     rows = [
+        f"client kinds: "
+        f"{ {peer_id: peer.client_kind for peer_id, peer in sorted(handle.peers.items())} }",
         f"chain height on every peer: "
         f"{[peer.chain.height for peer in (geth_miner, sereth_peer, geth_peer)]}",
-        f"state roots agree: {len({peer.chain.state.state_root() for peer in network.peers()}) == 1}",
+        f"state roots agree: "
+        f"{len({peer.chain.state.state_root() for peer in handle.peers.values()}) == 1}",
         f"READ-UNCOMMITTED buyer succeeded: "
         f"{chain.receipt_for(sereth_buyer.buy_transactions[0].hash).success}",
         f"READ-COMMITTED buyer succeeded:   "
-        f"{chain.receipt_for(geth_buyer.buy_transactions[0].hash).success}",
+        f"{chain.receipt_for(geth_buy.hash).success}",
     ]
     emit_block("Mixed-client network after one block", "\n".join(rows))
 

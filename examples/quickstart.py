@@ -1,76 +1,61 @@
 """Quickstart: a private network, the Sereth contract, and the HMS view.
 
-Builds a three-peer simulated Ethereum network (one miner, two client
-peers running the Sereth client), deploys the Sereth dynamic-pricing
-contract through a regular contract-creation transaction, and then shows
-the difference between the READ-COMMITTED view (contract storage of the
-last published block) and the READ-UNCOMMITTED view (Hash-Mark-Set over
-the pending pool, delivered through Runtime Argument Augmentation).
+Builds a three-peer simulated Ethereum network through the ``repro.api``
+facade (one miner, two client peers running the Sereth client, the Sereth
+dynamic-pricing contract pre-deployed in genesis) and then shows the
+difference between the READ-COMMITTED view (contract storage of the last
+published block) and the READ-UNCOMMITTED view (Hash-Mark-Set over the
+pending pool, delivered through Runtime Argument Augmentation).
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro.chain import GenesisConfig
-from repro.clients.base import ContractClient
-from repro.clients.market import Buyer, PriceSetter, READ_COMMITTED, READ_UNCOMMITTED
-from repro.consensus.interval import FixedInterval
-from repro.consensus.policies import ArrivalJitterPolicy
-from repro.contracts.sereth import SET_SELECTOR, initial_mark
-from repro.crypto.addresses import address_from_label, contract_address, to_checksum
+from repro.api import Simulation, sereth_exchange_address
+from repro.clients.market import Buyer, READ_COMMITTED, READ_UNCOMMITTED
+from repro.crypto.addresses import to_checksum
 from repro.encoding.hexutil import int_from_bytes32
 from repro.experiments.reporting import emit_block
-from repro.net.latency import UniformLatency
-from repro.net.mining import BlockProductionProcess
-from repro.net.network import Network
-from repro.net.peer import Peer, SERETH_CLIENT
-from repro.net.sim import Simulator
 
 
 def main() -> None:
-    simulator = Simulator()
-    network = Network(simulator, latency=UniformLatency(0.02, 0.1, seed=1), seed=1)
-
-    # Fund the actors and stand up three Sereth peers.
-    genesis = GenesisConfig.for_labels(["owner", "buyer"])
-    genesis.fund(address_from_label("miner/miner-0"))
-    miner_peer = network.add_peer(Peer("miner-0", genesis, client_kind=SERETH_CLIENT))
-    owner_peer = network.add_peer(Peer("owner-peer", genesis, client_kind=SERETH_CLIENT))
-    buyer_peer = network.add_peer(Peer("buyer-peer", genesis, client_kind=SERETH_CLIENT))
-
-    production = BlockProductionProcess(
-        simulator, network, interval_model=FixedInterval(13.0), seed=1
+    # The facade wires the network; the market workload owns the contract and
+    # the price setter.  start_time is pushed far out so the workload's own
+    # scheduled traffic never interferes with our manual driving.
+    spec = (
+        Simulation.builder()
+        .scenario("sereth_client")
+        .workload("market", num_buys=1, num_buyers=1, start_time=500.0)
+        .miners(1)
+        .clients(2)
+        .block_interval(13.0, fixed=True)
+        .miner_order_jitter(0.0)  # order by arrival so the demo is predictable
+        .seed(1)
+        .build()
     )
-    production.register_miner(miner_peer, policy=ArrivalJitterPolicy(jitter_seconds=4.0, seed=1))
-    production.start()
-
-    # Deploy the Sereth contract from the owner account (block 1 will commit it).
-    owner = ContractClient("owner", owner_peer, simulator)
-    deployment = owner.deploy("Sereth")
-    sereth_address = contract_address(owner.address, deployment.nonce)
-    simulator.run_until(15.0)
+    handle = Simulation(spec).start()
+    simulator = handle.simulator
+    sereth_address = sereth_exchange_address()
     emit_block(
-        "Deployment",
-        f"Sereth deployed at {to_checksum(sereth_address)} in block "
-        f"{miner_peer.chain.receipt_for(deployment.hash).block_number}",
+        "Network",
+        f"peers: {sorted(handle.peers)}\n"
+        f"Sereth pre-deployed at {to_checksum(sereth_address)} (genesis)",
     )
-
-    # Every Sereth peer serves the HMS view of its own pool for this contract.
-    for peer in (miner_peer, owner_peer, buyer_peer):
-        peer.install_hms(sereth_address, SET_SELECTOR)
 
     # The owner opens trading and immediately changes the price twice; the
-    # changes are pending (uncommitted) until the next block.
-    setter = PriceSetter("owner", owner_peer, simulator, sereth_address)
-    setter.prime_mark(initial_mark(sereth_address))
-    setter.set_price(100)
-    setter.set_price(105)
-    setter.set_price(97)
+    # changes are pending (uncommitted) until the next block at t=13.
+    setter = handle.workload.setter
+    simulator.schedule_at(1.0, lambda: setter.set_price(100))
+    simulator.schedule_at(1.2, lambda: setter.set_price(105))
+    simulator.schedule_at(1.4, lambda: setter.set_price(97))
 
-    committed_buyer = Buyer("buyer", buyer_peer, simulator, sereth_address, read_mode=READ_COMMITTED)
-    hms_buyer = Buyer("buyer", buyer_peer, simulator, sereth_address, read_mode=READ_UNCOMMITTED)
-    simulator.run_until(16.0)  # let the pending sets gossip to the buyer's peer
+    # "buyer-0" is funded by the market workload's genesis; both views share
+    # the account, they just read different state.
+    buyer_peer = handle.client_peers[1]
+    committed_buyer = Buyer("buyer-0", buyer_peer, simulator, sereth_address, read_mode=READ_COMMITTED)
+    hms_buyer = Buyer("buyer-0", buyer_peer, simulator, sereth_address, read_mode=READ_UNCOMMITTED)
+    handle.run_until(2.0)  # let the pending sets gossip to the buyer's peer
 
     committed_mark, committed_price = committed_buyer.observe_market()
     pending_mark, pending_price = hms_buyer.observe_market()
@@ -81,7 +66,7 @@ def main() -> None:
                 f"READ-COMMITTED  price = {int_from_bytes32(committed_price):>4}   "
                 f"mark = {committed_mark.hex()[:16]}…",
                 f"READ-UNCOMMITTED price = {int_from_bytes32(pending_price):>4}   "
-                f"mark = {pending_mark.hex()[:16]}…  (after 3 pending sets)",
+                f"mark = {pending_mark.hex()[:16]}…  (after the pending sets)",
             ]
         ),
     )
@@ -89,12 +74,13 @@ def main() -> None:
     # Both buyers submit a buy at the terms they observed; the next block decides.
     stale_buy = committed_buyer.buy()
     fresh_buy = hms_buyer.buy()
-    simulator.run_until(45.0)
-    production.stop()
+    handle.run_until(20.0)
+    handle.production.stop()
 
-    chain = miner_peer.chain
+    chain = handle.reference_chain
     stale_receipt = chain.receipt_for(stale_buy.hash)
     fresh_receipt = chain.receipt_for(fresh_buy.hash)
+    state_roots = {peer.chain.state.state_root() for peer in handle.peers.values()}
     emit_block(
         "Outcome after the next block",
         "\n".join(
@@ -103,7 +89,7 @@ def main() -> None:
                 f"error={stale_receipt.error}",
                 f"buy using the HMS (RAA) view:    success={fresh_receipt.success}",
                 f"chain height = {chain.height}, peers agree on state root: "
-                f"{len({peer.chain.state.state_root() for peer in network.peers()}) == 1}",
+                f"{len(state_roots) == 1}",
             ]
         ),
     )

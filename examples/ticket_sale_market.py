@@ -1,139 +1,54 @@
 """A second READ-UNCOMMITTED use case: a ticket sale with surge pricing.
 
 Hash-Mark-Set is not specific to the Sereth contract — it watches any
-contract whose write function chains a hash mark.  This example points HMS
-at the TicketSale contract: an organiser changes the ticket price while a
-crowd of buyers races to purchase, and buyers using the HMS view succeed far
-more often than buyers reading committed state.
+contract whose write function chains a hash mark.  The registered
+``ticket_sale`` workload points HMS at the TicketSale contract: an organiser
+changes the ticket price while a crowd of buyers races to purchase.  Running
+the same workload under the three registered scenarios shows buyers using
+the HMS view succeeding far more often than buyers reading committed state.
 
 Run with:  python examples/ticket_sale_market.py
 """
 
 from __future__ import annotations
 
-from repro.chain import GenesisConfig, Transaction
-from repro.clients.base import ContractClient
-from repro.consensus.interval import FixedInterval
-from repro.consensus.policies import ArrivalJitterPolicy
+from repro.api import Simulation
 from repro.contracts.ticket_sale import TicketSaleContract
-from repro.core.hms.fpv import BUY_FLAG, HEAD_FLAG, SUCCESS_FLAG, compute_mark, fpv_to_words
-from repro.core.metrics import MetricsCollector
-from repro.crypto.addresses import address_from_label
-from repro.crypto.keccak import keccak256
-from repro.encoding.hexutil import int_from_bytes32, to_bytes32
 from repro.experiments.reporting import emit_block
-from repro.net.latency import UniformLatency
-from repro.net.mining import BlockProductionProcess
-from repro.net.network import Network
-from repro.net.peer import Peer, SERETH_CLIENT
-from repro.net.sim import Simulator
-
-ORGANISER = address_from_label("organiser")
-VENUE = address_from_label("ticket-sale-venue")
-SET_PRICE_ABI = TicketSaleContract.function_by_name("set_price").abi
-BUY_TICKETS_ABI = TicketSaleContract.function_by_name("buy_tickets").abi
 
 NUM_BUYERS = 6
 PRICE_CHANGES = 12
 BUYS_PER_BUYER = 4
 
 
-class TicketBuyer(ContractClient):
-    """Buys one ticket at the terms read either from committed state or from HMS."""
-
-    def __init__(self, label, peer, simulator, use_hms: bool):
-        super().__init__(label, peer, simulator)
-        self.use_hms = use_hms
-
-    def observe(self):
-        if self.use_hms:
-            placeholder = [to_bytes32(0)] * 3
-            mark = self.call(VENUE, "pending_mark", [placeholder]).values[0]
-            price = self.call(VENUE, "pending_price", [placeholder]).values[0]
-            return mark, price
-        mark, price, _remaining = self.call(VENUE, "sale_state").values
-        return mark, to_bytes32(price)
-
-    def buy_one(self):
-        mark, price = self.observe()
-        calldata = BUY_TICKETS_ABI.encode_call([BUY_FLAG, to_bytes32(mark), to_bytes32(price)], 1)
-        return self.send_transaction(to=VENUE, data=calldata)
-
-
-class Organiser(ContractClient):
-    """Surge-prices the tickets, chaining marks locally like the Sereth owner."""
-
-    def __init__(self, label, peer, simulator, genesis_mark):
-        super().__init__(label, peer, simulator)
-        self._mark = genesis_mark
-        self._sent_any = False
-
-    def set_price(self, price):
-        flag = SUCCESS_FLAG if self._sent_any else HEAD_FLAG
-        calldata = SET_PRICE_ABI.encode_call(fpv_to_words(flag, self._mark, price))
-        transaction = self.send_transaction(to=VENUE, data=calldata)
-        self._mark = compute_mark(self._mark, to_bytes32(price))
-        self._sent_any = True
-        return transaction
-
-
-def run(use_hms: bool) -> float:
-    simulator = Simulator()
-    network = Network(simulator, latency=UniformLatency(0.02, 0.12, seed=8), seed=8)
-    labels = ["organiser"] + [f"fan-{index}" for index in range(NUM_BUYERS)]
-    genesis = GenesisConfig.for_labels(labels)
-    genesis.fund(address_from_label("miner/miner-0"))
-    genesis_mark = keccak256(b"ticket-sale/genesis/", VENUE)
-    genesis.deploy_contract(
-        VENUE,
-        "TicketSale",
-        storage={
-            to_bytes32(0): to_bytes32(ORGANISER),
-            to_bytes32(1): genesis_mark,
-            to_bytes32(3): to_bytes32(TicketSaleContract.INITIAL_INVENTORY),
-        },
+def run(scenario: str) -> float:
+    spec = (
+        Simulation.builder()
+        .scenario(scenario)
+        .workload(
+            "ticket_sale",
+            num_buyers=NUM_BUYERS,
+            price_changes=PRICE_CHANGES,
+            buys_per_buyer=BUYS_PER_BUYER,
+        )
+        .miners(1)
+        .clients(1)
+        .block_interval(13.0, fixed=True)
+        .seed(8)
+        .build()
     )
-    miner_peer = network.add_peer(Peer("miner-0", genesis, client_kind=SERETH_CLIENT))
-    client_peer = network.add_peer(Peer("client-0", genesis, client_kind=SERETH_CLIENT))
-    for peer in (miner_peer, client_peer):
-        peer.install_hms(VENUE, SET_PRICE_ABI.selector)
-
-    production = BlockProductionProcess(simulator, network, interval_model=FixedInterval(13.0), seed=8)
-    production.register_miner(miner_peer, policy=ArrivalJitterPolicy(jitter_seconds=4.0, seed=8))
-    production.start()
-
-    organiser = Organiser("organiser", client_peer, simulator, genesis_mark)
-    buyers = [
-        TicketBuyer(f"fan-{index}", client_peer, simulator, use_hms=use_hms)
-        for index in range(NUM_BUYERS)
-    ]
-    metrics = MetricsCollector()
-
-    for change in range(PRICE_CHANGES):
-        price = 40 + 5 * change
-        simulator.schedule_at(1.0 + change * 4.0, lambda price=price: organiser.set_price(price))
-    buy_index = 0
-    for round_index in range(BUYS_PER_BUYER):
-        for buyer in buyers:
-            at = 2.0 + buy_index * (PRICE_CHANGES * 4.0 / (NUM_BUYERS * BUYS_PER_BUYER))
-            simulator.schedule_at(
-                at, lambda buyer=buyer: metrics.watch(buyer.buy_one(), "ticket", simulator.now)
-            )
-            buy_index += 1
-
-    simulator.run_until(1.0 + PRICE_CHANGES * 4.0 + 5 * 13.0)
-    production.stop()
-    metrics.resolve_from_chain(miner_peer.chain)
-    return metrics.report("ticket").success_rate
+    return Simulation(spec).run().report("ticket").success_rate
 
 
 def main() -> None:
-    committed_rate = run(use_hms=False)
-    hms_rate = run(use_hms=True)
+    committed_rate = run("geth_unmodified")
+    hms_rate = run("sereth_client")
+    semantic_rate = run("semantic_mining")
     emit_block(
         "Ticket sale under surge pricing — purchase success rate",
         f"buyers reading committed state : {committed_rate:.1%}\n"
         f"buyers reading the HMS view    : {hms_rate:.1%}\n"
+        f"... plus semantic mining       : {semantic_rate:.1%}\n"
         f"(fixed inventory of {TicketSaleContract.INITIAL_INVENTORY} tickets, "
         f"{PRICE_CHANGES} price changes, {NUM_BUYERS * BUYS_PER_BUYER} purchase attempts)",
     )

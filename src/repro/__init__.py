@@ -13,16 +13,25 @@ The package provides:
 * ``repro.contracts`` — the Sereth contract (Listing 1) and companions;
 * ``repro.clients`` / ``repro.workloads`` / ``repro.experiments`` — the
   dynamic-pricing market workload and the harness that regenerates the
-  paper's evaluation (Figure 2 and the headline claims).
+  paper's evaluation (Figure 2 and the headline claims);
+* ``repro.api`` — the facade everything runs through: a fluent simulation
+  builder, scenario/workload registries, the network engine, and a parallel
+  parameter-sweep runner.
 
 Quickstart::
 
-    from repro.experiments import ExperimentConfig, SEMANTIC_MINING, run_market_experiment
+    from repro.api import Simulation
 
-    result = run_market_experiment(ExperimentConfig(scenario=SEMANTIC_MINING, buys_per_set=2.0))
-    print(result.efficiency)
+    spec = (
+        Simulation.builder()
+        .scenario("semantic_mining")
+        .workload("market", buys_per_set=2.0)
+        .seed(42)
+        .build()
+    )
+    print(Simulation(spec).run().efficiency)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

@@ -1,0 +1,112 @@
+"""``repro.api`` — the single entry point for running anything in this repo.
+
+The facade has four pieces:
+
+* :class:`Simulation` / :class:`SimulationBuilder` — fluent construction of
+  an immutable :class:`SimulationSpec` describing one run;
+* the **registries** — scenarios (``geth_unmodified``, ``sereth_client``,
+  ``semantic_mining``) and workloads (``market``, ``ticket_sale``,
+  ``auction``, ``oracle``, ``sequential``, ``frontrunning``) resolved by
+  name, with decorator-based registration for plugins;
+* the **engine** — :func:`run_simulation` wires the network, miners, and
+  clients for a spec and drives the measured run loop (the only place in
+  the repository that touches ``Network``/``Peer`` directly);
+* the **sweep engine** — :class:`Sweep` expands parameter grids
+  (ratios x scenarios x trials) into specs and executes them serially or on
+  a ``multiprocessing`` pool, deterministically either way.
+
+Quickstart::
+
+    from repro.api import Simulation, Sweep
+
+    spec = (
+        Simulation.builder()
+        .scenario("semantic_mining")
+        .workload("market", buys_per_set=4.0, num_buys=50)
+        .miners(1).clients(2).seed(42)
+        .build()
+    )
+    print(Simulation(spec).run().efficiency)
+
+    figure2 = Sweep(spec).over(
+        scenario=["geth_unmodified", "sereth_client", "semantic_mining"],
+        buys_per_set=[1.0, 2.0, 10.0],
+    ).trials(3).run(workers=4)
+    figure2.to_csv("figure2.csv")
+"""
+
+from __future__ import annotations
+
+from ..experiments.scenario import (
+    GETH_UNMODIFIED,
+    SEMANTIC_MINING,
+    SERETH_CLIENT_SCENARIO,
+    Scenario,
+)
+from .builder import BuildError, Simulation, SimulationBuilder
+from .engine import (
+    SimulationHandle,
+    SimulationResult,
+    build_simulation,
+    run_simulation,
+)
+from .registry import (
+    Registry,
+    RegistryError,
+    SCENARIO_REGISTRY,
+    WORKLOAD_REGISTRY,
+    register_scenario,
+    register_workload,
+)
+from .seeding import SeedPlan, derive_seed
+from .spec import SimulationSpec, freeze_params
+from .sweep import Sweep, SweepResult, SweepRow
+from .workloads import (
+    SimulationContext,
+    Workload,
+    sereth_exchange_address,
+)
+
+__all__ = [
+    "BuildError",
+    "GETH_UNMODIFIED",
+    "Registry",
+    "RegistryError",
+    "SCENARIO_REGISTRY",
+    "SEMANTIC_MINING",
+    "SERETH_CLIENT_SCENARIO",
+    "Scenario",
+    "SeedPlan",
+    "Simulation",
+    "SimulationBuilder",
+    "SimulationContext",
+    "SimulationHandle",
+    "SimulationResult",
+    "SimulationSpec",
+    "Sweep",
+    "SweepResult",
+    "SweepRow",
+    "WORKLOAD_REGISTRY",
+    "Workload",
+    "build_simulation",
+    "derive_seed",
+    "freeze_params",
+    "register_scenario",
+    "register_workload",
+    "run_simulation",
+    "sereth_exchange_address",
+    "scenario_by_name",
+]
+
+
+def scenario_by_name(name: str) -> Scenario:
+    """Resolve a registered scenario by name (registry-backed)."""
+    return SCENARIO_REGISTRY.get(name)
+
+
+# Register the paper's three scenarios; plugins add theirs via
+# ``register_scenario`` at import time.
+for _scenario in (GETH_UNMODIFIED, SERETH_CLIENT_SCENARIO, SEMANTIC_MINING):
+    if _scenario.name not in SCENARIO_REGISTRY:
+        register_scenario(_scenario)
+del _scenario

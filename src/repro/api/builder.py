@@ -1,0 +1,202 @@
+"""The fluent builder: the front door of the facade.
+
+    from repro.api import Simulation
+
+    spec = (
+        Simulation.builder()
+        .scenario("semantic_mining")
+        .workload("market", buys_per_set=4.0)
+        .miners(3)
+        .clients(8)
+        .block_interval(13.0)
+        .seed(42)
+        .build()
+    )
+    result = Simulation(spec).run()
+
+``build()`` validates everything eagerly — scenario and workload names are
+resolved against the registries and the workload's parameters are checked by
+constructing the plugin once — so a bad configuration fails at build time
+with a precise error, not minutes into a sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, Optional, Union
+
+from ..experiments.scenario import Scenario
+from .registry import SCENARIO_REGISTRY, WORKLOAD_REGISTRY
+from .spec import MINER_POLICIES, SimulationSpec, freeze_params
+
+__all__ = ["Simulation", "SimulationBuilder", "BuildError"]
+
+
+class BuildError(ValueError):
+    """A builder configuration that cannot produce a valid spec."""
+
+
+class SimulationBuilder:
+    """Accumulates configuration and produces an immutable SimulationSpec."""
+
+    def __init__(self) -> None:
+        self._scenario: Optional[Scenario] = None
+        self._workload: str = "market"
+        self._params: Dict[str, Any] = {}
+        self._fields: Dict[str, Any] = {}
+        self._overrides: Dict[str, str] = {}
+
+    # -- what runs -----------------------------------------------------------------
+
+    def scenario(self, scenario: Union[str, Scenario]) -> "SimulationBuilder":
+        """Select the scenario by registry name or pass a Scenario instance."""
+        if isinstance(scenario, Scenario):
+            self._scenario = scenario
+        else:
+            self._scenario = SCENARIO_REGISTRY.get(scenario)
+        return self
+
+    def workload(self, name: str, **params: Any) -> "SimulationBuilder":
+        """Select the workload by registry name, with its parameters."""
+        if name not in WORKLOAD_REGISTRY:
+            raise BuildError(
+                f"unknown workload {name!r}; registered: {WORKLOAD_REGISTRY.names()}"
+            )
+        self._workload = name
+        self._params = dict(params)
+        return self
+
+    def params(self, **params: Any) -> "SimulationBuilder":
+        """Merge additional workload parameters."""
+        self._params.update(params)
+        return self
+
+    # -- network shape -------------------------------------------------------------
+
+    def miners(self, count: int) -> "SimulationBuilder":
+        self._fields["num_miners"] = count
+        return self
+
+    def clients(self, count: int) -> "SimulationBuilder":
+        self._fields["num_client_peers"] = count
+        return self
+
+    def block_interval(self, seconds: float, fixed: bool = False) -> "SimulationBuilder":
+        self._fields["block_interval"] = seconds
+        self._fields["fixed_block_interval"] = fixed
+        return self
+
+    def gossip(self, latency: float, jitter: Optional[float] = None) -> "SimulationBuilder":
+        self._fields["gossip_latency"] = latency
+        if jitter is not None:
+            self._fields["gossip_jitter"] = jitter
+        return self
+
+    def transaction_loss(self, rate: float) -> "SimulationBuilder":
+        self._fields["transaction_loss_rate"] = rate
+        return self
+
+    def miner_order_jitter(self, seconds: float) -> "SimulationBuilder":
+        self._fields["miner_order_jitter"] = seconds
+        return self
+
+    def miner_policy(self, policy: str) -> "SimulationBuilder":
+        """Force a baseline ordering policy (one of MINER_POLICIES)."""
+        if policy not in MINER_POLICIES:
+            raise BuildError(
+                f"unknown miner policy {policy!r}; expected one of {MINER_POLICIES}"
+            )
+        self._fields["miner_policy"] = policy
+        return self
+
+    def client_kind(self, peer_id: str, kind: str) -> "SimulationBuilder":
+        """Override one peer's client software (mixed Sereth/Geth networks)."""
+        self._overrides[peer_id] = kind
+        return self
+
+    def gas(
+        self,
+        block_gas_limit: Optional[int] = None,
+        max_transactions_per_block: Optional[int] = None,
+        transaction_gas_limit: Optional[int] = None,
+    ) -> "SimulationBuilder":
+        if block_gas_limit is not None:
+            self._fields["block_gas_limit"] = block_gas_limit
+        if max_transactions_per_block is not None:
+            self._fields["max_transactions_per_block"] = max_transactions_per_block
+        if transaction_gas_limit is not None:
+            self._fields["transaction_gas_limit"] = transaction_gas_limit
+        return self
+
+    # -- run shape -----------------------------------------------------------------
+
+    def seed(self, seed: int) -> "SimulationBuilder":
+        self._fields["seed"] = seed
+        return self
+
+    def settle_blocks(self, count: int) -> "SimulationBuilder":
+        self._fields["settle_blocks"] = count
+        return self
+
+    def max_duration(self, seconds: float) -> "SimulationBuilder":
+        self._fields["max_duration"] = seconds
+        return self
+
+    # -- terminal ------------------------------------------------------------------
+
+    def build(self) -> SimulationSpec:
+        """Validate and freeze the configuration into a SimulationSpec."""
+        if self._scenario is None:
+            raise BuildError(
+                "no scenario selected; call .scenario(name) with one of "
+                f"{SCENARIO_REGISTRY.names()}"
+            )
+        try:
+            spec = SimulationSpec(
+                scenario=self._scenario,
+                workload=self._workload,
+                workload_params=freeze_params(self._params),
+                client_kind_overrides=tuple(sorted(self._overrides.items())),
+                **self._fields,
+            )
+        except (TypeError, ValueError) as error:
+            raise BuildError(str(error)) from error
+        # Validate the workload parameters eagerly by constructing the plugin.
+        workload_class = WORKLOAD_REGISTRY.get(spec.workload)
+        try:
+            workload_class(spec, **spec.params)
+        except (TypeError, ValueError) as error:
+            raise BuildError(
+                f"invalid parameters for workload {spec.workload!r}: {error}"
+            ) from error
+        return spec
+
+
+class Simulation:
+    """A runnable simulation over an immutable spec."""
+
+    def __init__(self, spec: SimulationSpec) -> None:
+        self.spec = spec
+
+    @classmethod
+    def builder(cls) -> SimulationBuilder:
+        return SimulationBuilder()
+
+    @classmethod
+    def from_spec(cls, spec: SimulationSpec) -> "Simulation":
+        return cls(spec)
+
+    def with_seed(self, seed: int) -> "Simulation":
+        return Simulation(replace(self.spec, seed=seed))
+
+    def start(self):
+        """Wire the network and begin block production (interactive use)."""
+        from .engine import build_simulation
+
+        return build_simulation(self.spec).start()
+
+    def run(self):
+        """Run the workload to completion and return the SimulationResult."""
+        from .engine import run_simulation
+
+        return run_simulation(self.spec)

@@ -1,0 +1,286 @@
+"""The simulation engine: generic network wiring plus the measured run loop.
+
+This module is the single place in the repository that stands up a
+``Network`` of ``Peer`` objects, registers miners, and drives the
+discrete-event loop.  Everything experiment-specific comes from the
+:class:`~repro.api.workloads.Workload` the spec names; everything stochastic
+is seeded from one :class:`~repro.api.seeding.SeedPlan` rooted at
+``spec.seed``, so a spec is a complete, reproducible description of a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..chain.genesis import DEFAULT_INITIAL_BALANCE, GenesisConfig
+from ..consensus.interval import FixedInterval, PoissonInterval
+from ..consensus.miner import MinerConfig
+from ..consensus.policies import (
+    ArrivalJitterPolicy,
+    FeeArrivalPolicy,
+    FifoPolicy,
+    RandomPolicy,
+)
+from ..core.hms.semantic import SemanticMiningPolicy
+from ..core.metrics import MetricsCollector, ThroughputReport
+from ..crypto.addresses import address_from_label
+from ..net.latency import UniformLatency
+from ..net.mining import BlockProductionProcess
+from ..net.network import Network
+from ..net.peer import Peer, SERETH_CLIENT
+from ..net.sim import Simulator
+from .registry import WORKLOAD_REGISTRY
+from .seeding import SeedPlan
+from .spec import SimulationSpec
+from .workloads import SimulationContext, Workload
+
+__all__ = ["SimulationHandle", "SimulationResult", "run_simulation", "build_simulation"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Render extras/report values into JSON-encodable equivalents."""
+    if isinstance(value, bytes):
+        return "0x" + value.hex()
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation run produced."""
+
+    spec: SimulationSpec
+    reports: Dict[str, ThroughputReport]
+    primary_label: Optional[str]
+    blocks_produced: int
+    simulated_seconds: float
+    metrics: MetricsCollector
+    peers: List[Peer] = field(default_factory=list)
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def report(self, label: Optional[str] = None) -> ThroughputReport:
+        """The throughput report for ``label`` (default: the primary label)."""
+        key = label if label is not None else self.primary_label
+        if key is None:
+            return self.metrics.report()
+        if key not in self.reports:
+            raise KeyError(
+                f"no report for label {key!r}; available: {sorted(self.reports)}"
+            )
+        return self.reports[key]
+
+    @property
+    def efficiency(self) -> float:
+        """Transaction efficiency eta of the primary label."""
+        return self.report().efficiency
+
+    def summary(self) -> Dict[str, Any]:
+        """A stable, JSON-ready digest — identical for identical specs, and
+        the unit of comparison for serial-vs-parallel sweep equivalence."""
+        return {
+            "spec": self.spec.describe(),
+            "primary_label": self.primary_label,
+            "efficiency": self.efficiency if self.primary_label else None,
+            "reports": {
+                label: _jsonable(report.as_dict())
+                for label, report in sorted(self.reports.items())
+            },
+            "blocks_produced": self.blocks_produced,
+            "simulated_seconds": self.simulated_seconds,
+            "extras": _jsonable(self.extras),
+        }
+
+
+class SimulationHandle:
+    """A fully wired (but not yet run) simulation.
+
+    Built by :func:`build_simulation`; interactive consumers (the quickstart
+    and interoperability examples) use the exposed ``simulator``, ``peers``,
+    and ``workload`` to drive the network manually, while :meth:`run`
+    executes the standard measured loop.
+    """
+
+    def __init__(self, spec: SimulationSpec) -> None:
+        self.spec = spec
+        self.seeds = SeedPlan(spec.seed)
+        workload_class = WORKLOAD_REGISTRY.get(spec.workload)
+        self.workload: Workload = workload_class(spec, **spec.params)
+
+        self.simulator = Simulator()
+        latency = UniformLatency(
+            low=max(spec.gossip_latency - spec.gossip_jitter, 0.001),
+            high=spec.gossip_latency + spec.gossip_jitter,
+            seed=self.seeds.latency,
+        )
+        self.network = Network(
+            self.simulator,
+            latency=latency,
+            transaction_loss_rate=spec.transaction_loss_rate,
+            seed=self.seeds.network,
+        )
+
+        # Genesis: fund the workload's accounts and every miner, then let the
+        # workload pre-deploy its contracts.
+        genesis = GenesisConfig.for_labels(
+            list(self.workload.account_labels()), balance=DEFAULT_INITIAL_BALANCE
+        )
+        for miner_index in range(spec.num_miners):
+            genesis.fund(address_from_label(f"miner/miner-{miner_index}"))
+        self.workload.configure_genesis(genesis)
+        self.genesis = genesis
+
+        # Peers: miners first, then client peers, kinds from the scenario
+        # (with per-peer overrides for mixed Sereth/Geth networks).
+        self.peers: Dict[str, Peer] = {}
+        self.miner_peers: List[Peer] = []
+        self.client_peers: List[Peer] = []
+        for miner_index in range(spec.num_miners):
+            peer_id = f"miner-{miner_index}"
+            peer = self.network.add_peer(
+                Peer(peer_id, genesis, client_kind=spec.client_kind_for(peer_id))
+            )
+            self.peers[peer_id] = peer
+            self.miner_peers.append(peer)
+        for client_index in range(spec.num_client_peers):
+            peer_id = f"client-{client_index}"
+            peer = self.network.add_peer(
+                Peer(peer_id, genesis, client_kind=spec.client_kind_for(peer_id))
+            )
+            self.peers[peer_id] = peer
+            self.client_peers.append(peer)
+
+        # HMS is a property of the Sereth client software: install the
+        # workload's watched contracts on every Sereth peer.
+        for peer in self.peers.values():
+            if peer.client_kind == SERETH_CLIENT:
+                for contract_address, set_selector in self.workload.hms_targets():
+                    peer.install_hms(contract_address, set_selector)
+
+        # Mining: interval model, the production race, per-miner policies.
+        interval_model = (
+            FixedInterval(spec.block_interval)
+            if spec.fixed_block_interval
+            else PoissonInterval(mean=spec.block_interval, seed=self.seeds.block_interval)
+        )
+        self.production = BlockProductionProcess(
+            self.simulator,
+            self.network,
+            interval_model=interval_model,
+            seed=self.seeds.production,
+        )
+        miner_limits = MinerConfig(
+            gas_limit=spec.block_gas_limit,
+            max_transactions=spec.max_transactions_per_block,
+        )
+        semantic = self.workload.semantic_config()
+        scenario = spec.scenario
+        semantic_miner_count = round(spec.num_miners * scenario.semantic_miner_fraction)
+        for miner_index, peer in enumerate(self.miner_peers):
+            self.production.register_miner(
+                peer,
+                policy=self._miner_policy(miner_index, semantic, semantic_miner_count),
+                miner_address=address_from_label(f"miner/{peer.peer_id}"),
+                config=miner_limits,
+            )
+
+        # Clients and events.
+        self.metrics = MetricsCollector()
+        self.context = SimulationContext(
+            spec=spec,
+            seeds=self.seeds,
+            simulator=self.simulator,
+            network=self.network,
+            peers=self.peers,
+            miner_peers=self.miner_peers,
+            client_peers=self.client_peers,
+            metrics=self.metrics,
+        )
+        self.workload.setup(self.context)
+        self.workload.schedule(self.context)
+
+    def _miner_policy(self, miner_index: int, semantic, semantic_miner_count: int):
+        spec = self.spec
+        if spec.miner_policy is not None:
+            # An explicit override beats the scenario default, semantic included.
+            if spec.miner_policy == "random":
+                return RandomPolicy(seed=self.seeds.miner(miner_index))
+            if spec.miner_policy == "fifo":
+                return FifoPolicy()
+            if spec.miner_policy == "fee_arrival":
+                return FeeArrivalPolicy()
+            return ArrivalJitterPolicy(
+                jitter_seconds=spec.miner_order_jitter, seed=self.seeds.miner(miner_index)
+            )
+        use_semantic = (
+            spec.scenario.semantic_mining
+            and miner_index < semantic_miner_count
+            and semantic is not None
+        )
+        if use_semantic:
+            return SemanticMiningPolicy(semantic)
+        return ArrivalJitterPolicy(
+            jitter_seconds=spec.miner_order_jitter, seed=self.seeds.miner(miner_index)
+        )
+
+    # -- interactive driving --------------------------------------------------------
+
+    def start(self) -> "SimulationHandle":
+        """Begin block production (for manual run_until driving)."""
+        self.production.start()
+        return self
+
+    def run_until(self, time: float) -> "SimulationHandle":
+        self.simulator.run_until(time)
+        return self
+
+    @property
+    def reference_chain(self):
+        return self.context.reference_chain
+
+    # -- the measured loop ----------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Run the workload to completion (or the duration cap) and measure."""
+        spec, workload, simulator = self.spec, self.workload, self.simulator
+        self.production.start()
+
+        simulator.run_until(workload.end_of_submissions)
+        cap = workload.duration_cap(spec)
+        while simulator.now < cap and not workload.is_complete(self.context):
+            simulator.run_until(simulator.now + spec.block_interval)
+            # Resolve incrementally so the loop can terminate as soon as possible.
+            self.metrics.resolve_from_chain(self.reference_chain)
+        self.production.stop()
+        if workload.post_stop_drain:
+            simulator.run_until(simulator.now + workload.post_stop_drain)
+
+        extras = workload.finalize(self.context)
+        self.metrics.resolve_from_chain(self.reference_chain)
+        labels = sorted({record.label for record in self.metrics.records()})
+        reports = {label: self.metrics.report(label) for label in labels}
+        return SimulationResult(
+            spec=spec,
+            reports=reports,
+            primary_label=workload.primary_label,
+            blocks_produced=self.production.blocks_produced,
+            simulated_seconds=simulator.now,
+            metrics=self.metrics,
+            peers=list(self.peers.values()),
+            extras=extras,
+        )
+
+
+def build_simulation(spec: SimulationSpec) -> SimulationHandle:
+    """Wire up (but do not run) the simulation ``spec`` describes."""
+    return SimulationHandle(spec)
+
+
+def run_simulation(spec: SimulationSpec) -> SimulationResult:
+    """Build and run ``spec``'s simulation; the facade's one entry point."""
+    return SimulationHandle(spec).run()

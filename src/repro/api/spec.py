@@ -1,0 +1,136 @@
+"""The immutable description of one simulation run.
+
+A :class:`SimulationSpec` is everything :func:`repro.api.engine.run_simulation`
+needs to stand up a network, drive a workload, and measure it — and nothing
+else.  Specs are frozen dataclasses built from plain values, so they are
+hashable, picklable (the sweep engine ships them to worker processes), and
+diffable (``describe()`` renders a stable dictionary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+from ..experiments.scenario import Scenario
+
+__all__ = ["SimulationSpec", "freeze_params"]
+
+MINER_POLICIES = ("arrival_jitter", "random", "fifo", "fee_arrival")
+"""Baseline ordering-policy overrides a spec may request by name."""
+
+
+def freeze_params(params: Dict[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    """Canonicalize a workload parameter dict into a hashable sorted tuple."""
+    frozen = []
+    for key in sorted(params):
+        value = params[key]
+        if isinstance(value, list):
+            value = tuple(value)
+        frozen.append((key, value))
+    return tuple(frozen)
+
+
+@dataclass(frozen=True)
+class SimulationSpec:
+    """One fully specified simulation: scenario x workload x network shape."""
+
+    scenario: Scenario
+    """Which client software / read mode / mining policy combination runs."""
+    workload: str
+    """Registered workload name ("market", "ticket_sale", "auction", …)."""
+    workload_params: Tuple[Tuple[str, Any], ...] = ()
+    """Workload-specific knobs, canonicalized by :func:`freeze_params`."""
+
+    num_miners: int = 1
+    num_client_peers: int = 2
+    block_interval: float = 13.0
+    fixed_block_interval: bool = False
+    gossip_latency: float = 0.08
+    gossip_jitter: float = 0.06
+    transaction_loss_rate: float = 0.0
+    miner_order_jitter: float = 4.0
+    miner_policy: Optional[str] = None
+    """Override the baseline ordering policy (one of MINER_POLICIES); ``None``
+    keeps the scenario's default (arrival jitter, or semantic mining)."""
+    client_kind_overrides: Tuple[Tuple[str, str], ...] = ()
+    """Per-peer client-kind overrides, e.g. (("client-1", "geth"),) for a
+    mixed Sereth/Geth network."""
+    block_gas_limit: int = 30_000_000
+    max_transactions_per_block: Optional[int] = None
+    transaction_gas_limit: int = 200_000
+    seed: int = 0
+    settle_blocks: int = 6
+    max_duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.num_miners <= 0:
+            raise ValueError("num_miners must be positive")
+        if self.num_client_peers <= 0:
+            raise ValueError("num_client_peers must be positive")
+        if self.block_interval <= 0:
+            raise ValueError("block_interval must be positive")
+        if not 0.0 <= self.transaction_loss_rate < 1.0:
+            raise ValueError("transaction_loss_rate must be in [0, 1)")
+        if self.gossip_latency < 0 or self.gossip_jitter < 0:
+            raise ValueError("gossip latency and jitter cannot be negative")
+        if self.miner_policy is not None and self.miner_policy not in MINER_POLICIES:
+            raise ValueError(
+                f"unknown miner policy {self.miner_policy!r}; "
+                f"expected one of {MINER_POLICIES}"
+            )
+
+    # -- accessors ---------------------------------------------------------------------
+
+    @property
+    def params(self) -> Dict[str, Any]:
+        """The workload parameters as a plain dictionary."""
+        return dict(self.workload_params)
+
+    @property
+    def scenario_name(self) -> str:
+        return self.scenario.name
+
+    def client_kind_for(self, peer_id: str) -> str:
+        """The client software ``peer_id`` runs (scenario default or override)."""
+        for override_id, kind in self.client_kind_overrides:
+            if override_id == peer_id:
+                return kind
+        return self.scenario.client_kind
+
+    # -- derivation ---------------------------------------------------------------------
+
+    def with_seed(self, seed: int) -> "SimulationSpec":
+        return replace(self, seed=seed)
+
+    def with_params(self, **params: Any) -> "SimulationSpec":
+        """A copy with ``params`` merged into the workload parameters."""
+        merged = self.params
+        merged.update(params)
+        return replace(self, workload_params=freeze_params(merged))
+
+    def describe(self) -> Dict[str, Any]:
+        """A stable, JSON-ready rendering of the spec (for export/diffing)."""
+        return {
+            "scenario": self.scenario.name,
+            "workload": self.workload,
+            "workload_params": {key: value for key, value in self.workload_params},
+            "num_miners": self.num_miners,
+            "num_client_peers": self.num_client_peers,
+            "block_interval": self.block_interval,
+            "fixed_block_interval": self.fixed_block_interval,
+            "gossip_latency": self.gossip_latency,
+            "gossip_jitter": self.gossip_jitter,
+            "transaction_loss_rate": self.transaction_loss_rate,
+            "miner_order_jitter": self.miner_order_jitter,
+            "miner_policy": self.miner_policy,
+            "client_kind_overrides": {
+                peer_id: kind for peer_id, kind in self.client_kind_overrides
+            },
+            "block_gas_limit": self.block_gas_limit,
+            "max_transactions_per_block": self.max_transactions_per_block,
+            "transaction_gas_limit": self.transaction_gas_limit,
+            "seed": self.seed,
+            "settle_blocks": self.settle_blocks,
+            "max_duration": self.max_duration,
+        }

@@ -1,0 +1,259 @@
+"""The sweep engine: expand a parameter grid into specs and run them in parallel.
+
+A :class:`Sweep` starts from a base :class:`SimulationSpec` and varies any
+combination of dimensions — ``scenario``, spec-level fields (``block_interval``,
+``num_miners``…), or workload parameters (``buys_per_set``…) — with ``trials``
+seeded repetitions per grid cell.  Expansion is fully deterministic: every
+cell receives a per-trial seed derived from the base seed and its coordinates,
+so the same sweep produces the same specs (and therefore the same metrics)
+whether it runs serially or on a ``multiprocessing`` pool.
+
+    sweep = (
+        Sweep(base_spec)
+        .over(scenario=["geth_unmodified", "sereth_client", "semantic_mining"],
+              buys_per_set=[1.0, 2.0, 10.0])
+        .trials(3)
+    )
+    result = sweep.run(workers=4)
+    result.to_csv("figure2.csv")
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import itertools
+import json
+import multiprocessing
+from dataclasses import dataclass, field, fields as dataclass_fields, replace
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..experiments.scenario import Scenario
+from .registry import SCENARIO_REGISTRY
+from .seeding import derive_seed
+from .spec import SimulationSpec
+
+__all__ = ["Sweep", "SweepResult", "SweepRow"]
+
+_SPEC_FIELD_NAMES = {spec_field.name for spec_field in dataclass_fields(SimulationSpec)}
+
+
+def _run_job(job: Tuple[SimulationSpec, Dict[str, Any]]) -> Dict[str, Any]:
+    """Worker entry point: run one spec and return its picklable row."""
+    from .engine import run_simulation
+
+    spec, tags = job
+    result = run_simulation(spec)
+    return {"tags": tags, "summary": result.summary()}
+
+
+@dataclass
+class SweepRow:
+    """One grid cell's outcome: its coordinates plus the run's summary."""
+
+    tags: Dict[str, Any]
+    summary: Dict[str, Any]
+    result: Optional[Any] = None
+    """The live SimulationResult — populated only on serial runs that asked
+    to keep results (live results cannot cross process boundaries)."""
+
+    @property
+    def efficiency(self) -> Optional[float]:
+        return self.summary.get("efficiency")
+
+    def report(self, label: str) -> Dict[str, Any]:
+        return self.summary["reports"][label]
+
+    def matches(self, **tags: Any) -> bool:
+        return all(self.tags.get(key) == value for key, value in tags.items())
+
+
+@dataclass
+class SweepResult:
+    """All rows of a sweep, with filtering and JSON/CSV export."""
+
+    rows: List[SweepRow] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    # -- selection ------------------------------------------------------------------
+
+    def filter(self, **tags: Any) -> List[SweepRow]:
+        return [row for row in self.rows if row.matches(**tags)]
+
+    def efficiencies(self, **tags: Any) -> List[float]:
+        return [
+            row.efficiency for row in self.filter(**tags) if row.efficiency is not None
+        ]
+
+    def mean_efficiency(self, **tags: Any) -> float:
+        values = self.efficiencies(**tags)
+        if not values:
+            raise KeyError(f"no sweep rows match {tags!r}")
+        return sum(values) / len(values)
+
+    # -- export ---------------------------------------------------------------------
+
+    def to_dict(self) -> List[Dict[str, Any]]:
+        return [{"tags": row.tags, "summary": row.summary} for row in self.rows]
+
+    def to_json(self, path: Optional[Union[str, Path]] = None) -> str:
+        """Serialize every row; written to ``path`` if given."""
+        text = json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        if path is not None:
+            target = Path(path)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(text, encoding="utf-8")
+        return text
+
+    def to_csv(self, path: Optional[Union[str, Path]] = None) -> str:
+        """A flat table: tag columns plus the headline metrics per row."""
+        tag_keys: List[str] = []
+        for row in self.rows:
+            for key in row.tags:
+                if key not in tag_keys:
+                    tag_keys.append(key)
+        metric_keys = ["efficiency", "blocks_produced", "simulated_seconds"]
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(tag_keys + metric_keys)
+        for row in self.rows:
+            record = [row.tags.get(key, "") for key in tag_keys]
+            record.append(row.summary.get("efficiency"))
+            record.append(row.summary.get("blocks_produced"))
+            record.append(row.summary.get("simulated_seconds"))
+            writer.writerow(record)
+        text = buffer.getvalue()
+        if path is not None:
+            target = Path(path)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(text, encoding="utf-8")
+        return text
+
+
+class Sweep:
+    """Expands a parameter grid over a base spec and executes it."""
+
+    def __init__(self, base: SimulationSpec) -> None:
+        self.base = base
+        self._dimensions: Dict[str, List[Any]] = {}
+        self._trials = 1
+        self._explicit_jobs: Optional[List[Tuple[SimulationSpec, Dict[str, Any]]]] = None
+
+    # -- construction -----------------------------------------------------------------
+
+    @classmethod
+    def from_specs(
+        cls,
+        jobs: Sequence[Tuple[SimulationSpec, Dict[str, Any]]],
+    ) -> "Sweep":
+        """A sweep over pre-expanded (spec, tags) jobs — for callers that need
+        exact control over every spec (e.g. regenerating the paper's seeds)."""
+        if not jobs:
+            raise ValueError("a sweep needs at least one job")
+        sweep = cls(jobs[0][0])
+        sweep._explicit_jobs = [(spec, dict(tags)) for spec, tags in jobs]
+        return sweep
+
+    def over(self, **dimensions: Iterable[Any]) -> "Sweep":
+        """Add grid dimensions: ``scenario``, spec fields, or workload params."""
+        for name, values in dimensions.items():
+            values = list(values)
+            if not values:
+                raise ValueError(f"sweep dimension {name!r} has no values")
+            self._dimensions[name] = values
+        return self
+
+    def trials(self, count: int) -> "Sweep":
+        if count <= 0:
+            raise ValueError("trials must be positive")
+        self._trials = count
+        return self
+
+    # -- expansion --------------------------------------------------------------------
+
+    def _apply_dimension(
+        self, spec: SimulationSpec, name: str, value: Any
+    ) -> SimulationSpec:
+        if name == "scenario":
+            scenario = (
+                value if isinstance(value, Scenario) else SCENARIO_REGISTRY.get(value)
+            )
+            return replace(spec, scenario=scenario)
+        if name in _SPEC_FIELD_NAMES:
+            return replace(spec, **{name: value})
+        # Anything else is a workload parameter.
+        return spec.with_params(**{name: value})
+
+    @staticmethod
+    def _tag_value(name: str, value: Any) -> Any:
+        if isinstance(value, Scenario):
+            return value.name
+        return value
+
+    def jobs(self) -> List[Tuple[SimulationSpec, Dict[str, Any]]]:
+        """The fully expanded, deterministically seeded (spec, tags) list."""
+        if self._explicit_jobs is not None:
+            return [(spec, dict(tags)) for spec, tags in self._explicit_jobs]
+        names = list(self._dimensions)
+        grids = [self._dimensions[name] for name in names]
+        jobs: List[Tuple[SimulationSpec, Dict[str, Any]]] = []
+        for combo in itertools.product(*grids) if names else [()]:
+            cell_spec = self.base
+            tags: Dict[str, Any] = {}
+            for name, value in zip(names, combo):
+                cell_spec = self._apply_dimension(cell_spec, name, value)
+                tags[name] = self._tag_value(name, value)
+            for trial in range(self._trials):
+                seed = derive_seed(
+                    self.base.seed,
+                    cell_spec.scenario.name,
+                    cell_spec.workload,
+                    tuple(sorted((k, repr(v)) for k, v in tags.items())),
+                    trial,
+                )
+                trial_tags = dict(tags)
+                trial_tags["trial"] = trial
+                trial_tags["seed"] = seed
+                jobs.append((cell_spec.with_seed(seed), trial_tags))
+        return jobs
+
+    def specs(self) -> List[SimulationSpec]:
+        return [spec for spec, _tags in self.jobs()]
+
+    # -- execution --------------------------------------------------------------------
+
+    def run(self, workers: int = 1, keep_results: bool = False) -> SweepResult:
+        """Execute every job; ``workers > 1`` uses a multiprocessing pool.
+
+        Results are deterministic and identical across worker counts: each
+        job's spec fully seeds its run, and rows keep the expansion order.
+        ``keep_results`` attaches live SimulationResult objects to the rows
+        (serial runs only — live results cannot cross process boundaries).
+        """
+        jobs = self.jobs()
+        if workers > 1 and keep_results:
+            raise ValueError("keep_results requires a serial run (workers=1)")
+        if workers > 1:
+            with multiprocessing.Pool(processes=workers) as pool:
+                raw_rows = pool.map(_run_job, jobs)
+            rows = [SweepRow(tags=raw["tags"], summary=raw["summary"]) for raw in raw_rows]
+        else:
+            from .engine import run_simulation
+
+            rows = []
+            for spec, tags in jobs:
+                result = run_simulation(spec)
+                rows.append(
+                    SweepRow(
+                        tags=tags,
+                        summary=result.summary(),
+                        result=result if keep_results else None,
+                    )
+                )
+        return SweepResult(rows=rows)

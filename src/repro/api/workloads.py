@@ -1,0 +1,1035 @@
+"""Pluggable workloads: what traffic a simulation drives and how it is measured.
+
+A workload owns everything experiment-specific — which contracts exist in
+genesis, which accounts are funded, which client actors run, what they
+submit and when, and when the run is "done" — while the engine owns
+everything generic (network, peers, mining, the run loop).  Registering a
+subclass with :func:`~repro.api.registry.register_workload` makes it
+available to the builder, the sweep engine, and the CLI by name:
+
+    @register_workload("my_market")
+    class MyMarket(Workload):
+        ...
+
+    Simulation.builder().scenario("semantic_mining").workload("my_market").build()
+
+Four workloads ship out of the box — ``market`` (the paper's Figure 2
+dynamic-pricing exchange), ``ticket_sale`` (surge-priced fixed inventory),
+``auction`` (an English auction with a mark-chained bid history), and
+``oracle`` (the RAA-vs-oracle data-latency comparison) — plus the
+``sequential`` and ``frontrunning`` workloads backing the paper's
+qualitative experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from ..chain.genesis import GenesisConfig
+from ..clients.base import ContractClient
+from ..clients.market import Buyer, PriceSetter, READ_UNCOMMITTED
+from ..contracts.auction import AuctionContract
+from ..contracts.oracle import ANSWER_EVENT, OracleContract
+from ..contracts.sereth import (
+    BUY_SELECTOR,
+    SET_SELECTOR,
+    SerethContract,
+    genesis_storage,
+    initial_mark,
+)
+from ..contracts.ticket_sale import TicketSaleContract
+from ..core.audit import ChainAuditor
+from ..core.hms.fpv import (
+    BUY_FLAG,
+    HEAD_FLAG,
+    SUCCESS_FLAG,
+    compute_mark,
+    fpv_to_words,
+)
+from ..core.hms.process import HMSConfig
+from ..core.hms.semantic import SemanticMiningConfig
+from ..core.metrics import MetricsCollector
+from ..crypto.addresses import Address, address_from_label
+from ..crypto.keccak import keccak256
+from ..encoding.hexutil import bytes32_from_int, int_from_bytes32, to_bytes32
+from ..net.peer import Peer, SERETH_CLIENT
+from ..net.sim import Simulator
+from ..workloads.market import BUY_LABEL, MarketWorkload, MarketWorkloadConfig, SET_LABEL
+from ..workloads.prices import PriceProcess, RandomWalkPrices
+from .registry import register_workload
+from .seeding import SeedPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .spec import SimulationSpec
+
+__all__ = [
+    "SimulationContext",
+    "Workload",
+    "MarketSimWorkload",
+    "TicketSaleWorkload",
+    "AuctionWorkload",
+    "OracleLatencyWorkload",
+    "SequentialHistoryWorkload",
+    "FrontrunningWorkload",
+    "FrontrunningAttacker",
+    "sereth_exchange_address",
+    "OWNER_LABEL",
+    "SERETH_CONTRACT_LABEL",
+]
+
+OWNER_LABEL = "owner"
+SERETH_CONTRACT_LABEL = "sereth-exchange"
+
+
+def sereth_exchange_address() -> Address:
+    """The fixed address the experiments pre-deploy the Sereth exchange at."""
+    return address_from_label(SERETH_CONTRACT_LABEL)
+
+
+@dataclass
+class SimulationContext:
+    """Everything a workload can touch while the simulation runs."""
+
+    spec: "SimulationSpec"
+    seeds: SeedPlan
+    simulator: Simulator
+    network: object
+    peers: Dict[str, Peer]
+    miner_peers: List[Peer]
+    client_peers: List[Peer]
+    metrics: MetricsCollector
+
+    @property
+    def reference_chain(self):
+        """The chain metrics are resolved against (the first miner's)."""
+        return self.miner_peers[0].chain
+
+
+class Workload:
+    """Base class for pluggable workloads.
+
+    Lifecycle, as driven by :func:`repro.api.engine.run_simulation`:
+
+    1. ``account_labels`` / ``configure_genesis`` shape the genesis state;
+    2. ``hms_targets`` lists (contract, set_selector) pairs installed on
+       every Sereth peer; ``semantic_config`` feeds the semantic miners;
+    3. ``setup`` creates client actors, ``schedule`` books their events;
+    4. the engine runs to ``end_of_submissions``, then in block-interval
+       steps until ``is_complete`` or ``duration_cap``;
+    5. ``finalize`` computes workload-specific extras for the result.
+    """
+
+    name: str = ""
+
+    def __init__(self, spec: "SimulationSpec") -> None:
+        self.spec = spec
+
+    # -- genesis phase -----------------------------------------------------------------
+
+    def account_labels(self) -> Sequence[str]:
+        """Labels of externally-owned accounts to fund in genesis."""
+        return ()
+
+    def configure_genesis(self, genesis: GenesisConfig) -> None:
+        """Pre-deploy contracts / adjust balances before the chain starts."""
+
+    def hms_targets(self) -> Sequence[Tuple[Address, bytes]]:
+        """(contract, set_selector) pairs Sereth peers watch with HMS."""
+        return ()
+
+    def semantic_config(self) -> Optional[SemanticMiningConfig]:
+        """The HMS configuration semantic miners order blocks with."""
+        return None
+
+    # -- run phase ---------------------------------------------------------------------
+
+    def setup(self, context: SimulationContext) -> None:
+        """Create client actors against the built network."""
+
+    def schedule(self, context: SimulationContext) -> None:
+        """Book every submission event onto the simulator."""
+
+    @property
+    def end_of_submissions(self) -> float:
+        """Simulated time of the last scheduled submission."""
+        return 0.0
+
+    def is_complete(self, context: SimulationContext) -> bool:
+        """Whether every watched outcome is decided (enables early exit)."""
+        return False
+
+    def duration_cap(self, spec: "SimulationSpec") -> float:
+        """Hard stop for the run loop (spec.max_duration wins if set)."""
+        if spec.max_duration is not None:
+            return spec.max_duration
+        return self.end_of_submissions + spec.settle_blocks * spec.block_interval + 60.0
+
+    @property
+    def post_stop_drain(self) -> float:
+        """Extra simulated seconds to run after mining stops (deliveries in flight)."""
+        return 0.0
+
+    @property
+    def primary_label(self) -> Optional[str]:
+        """The metrics label whose efficiency is the headline number."""
+        return None
+
+    def finalize(self, context: SimulationContext) -> Dict[str, Any]:
+        """Workload-specific extras attached to the result."""
+        return {}
+
+
+# ======================================================================================
+# market — the paper's Figure 2 dynamic-pricing exchange
+# ======================================================================================
+
+
+@register_workload("market")
+class MarketSimWorkload(Workload):
+    """The dynamic-pricing buy/set workload of the paper's evaluation."""
+
+    name = "market"
+
+    def __init__(
+        self,
+        spec: "SimulationSpec",
+        num_buys: int = 100,
+        buys_per_set: float = 1.0,
+        submission_interval: float = 1.0,
+        start_time: float = 30.0,
+        initial_price: int = 100,
+        price_max_step: int = 5,
+        num_buyers: int = 4,
+    ) -> None:
+        super().__init__(spec)
+        if num_buyers <= 0:
+            raise ValueError("num_buyers must be positive")
+        self.num_buyers = num_buyers
+        self.initial_price = initial_price
+        self.price_max_step = price_max_step
+        # MarketWorkloadConfig validates num_buys / ratio / interval.
+        self.config = MarketWorkloadConfig(
+            num_buys=num_buys,
+            buys_per_set=buys_per_set,
+            submission_interval=submission_interval,
+            start_time=start_time,
+            initial_price=initial_price,
+        )
+        self.contract = sereth_exchange_address()
+        self.setter: Optional[PriceSetter] = None
+        self.buyers: List[Buyer] = []
+        self._market: Optional[MarketWorkload] = None
+
+    def account_labels(self) -> Sequence[str]:
+        return [OWNER_LABEL] + [f"buyer-{index}" for index in range(self.num_buyers)]
+
+    def configure_genesis(self, genesis: GenesisConfig) -> None:
+        owner_address = address_from_label(OWNER_LABEL)
+        genesis.deploy_contract(
+            self.contract, "Sereth", storage=genesis_storage(owner_address, self.contract)
+        )
+
+    def hms_targets(self) -> Sequence[Tuple[Address, bytes]]:
+        return [(self.contract, SET_SELECTOR)]
+
+    def semantic_config(self) -> Optional[SemanticMiningConfig]:
+        return SemanticMiningConfig(
+            hms=HMSConfig(contract_address=self.contract, set_selector=SET_SELECTOR),
+            buy_selectors=(BUY_SELECTOR,),
+        )
+
+    def setup(self, context: SimulationContext) -> None:
+        spec = self.spec
+        client_peers = context.client_peers
+        self.setter = PriceSetter(
+            OWNER_LABEL,
+            client_peers[0],
+            context.simulator,
+            self.contract,
+            gas_limit=spec.transaction_gas_limit,
+        )
+        self.setter.prime_mark(initial_mark(self.contract))
+        self.buyers = [
+            Buyer(
+                f"buyer-{index}",
+                client_peers[index % len(client_peers)],
+                context.simulator,
+                self.contract,
+                read_mode=spec.scenario.buyer_read_mode,
+                gas_limit=spec.transaction_gas_limit,
+            )
+            for index in range(self.num_buyers)
+        ]
+        prices: PriceProcess = RandomWalkPrices(
+            initial=self.initial_price,
+            max_step=self.price_max_step,
+            seed=context.seeds.prices,
+        )
+        self._market = MarketWorkload(
+            self.config, self.setter, self.buyers, context.metrics, prices=prices
+        )
+
+    def schedule(self, context: SimulationContext) -> None:
+        assert self._market is not None
+        self._market.schedule(context.simulator, deploy_time=0.2)
+
+    @property
+    def end_of_submissions(self) -> float:
+        assert self._market is not None
+        return self._market.end_of_submissions
+
+    def is_complete(self, context: SimulationContext) -> bool:
+        records = context.metrics.records(BUY_LABEL)
+        return len(records) == self.config.num_buys and all(
+            record.committed for record in records
+        )
+
+    def duration_cap(self, spec: "SimulationSpec") -> float:
+        if spec.max_duration is not None:
+            return spec.max_duration
+        window = self.config.num_buys * self.config.submission_interval
+        return (
+            self.config.start_time
+            + window
+            + spec.settle_blocks * spec.block_interval
+            + 60.0
+        )
+
+    @property
+    def primary_label(self) -> Optional[str]:
+        return BUY_LABEL
+
+    def finalize(self, context: SimulationContext) -> Dict[str, Any]:
+        return {"contract": self.contract}
+
+
+# ======================================================================================
+# ticket_sale — surge pricing over a fixed inventory
+# ======================================================================================
+
+TICKET_LABEL = "ticket"
+_TICKET_VENUE_LABEL = "ticket-sale-venue"
+_TICKET_SET_ABI = TicketSaleContract.function_by_name("set_price").abi
+_TICKET_BUY_ABI = TicketSaleContract.function_by_name("buy_tickets").abi
+
+
+class _TicketBuyer(ContractClient):
+    """Buys one ticket at terms read from committed state or the HMS view."""
+
+    def __init__(self, label, peer, simulator, venue: Address, use_hms: bool) -> None:
+        super().__init__(label, peer, simulator)
+        self.venue = venue
+        self.use_hms = use_hms
+
+    def observe(self) -> Tuple[bytes, bytes]:
+        if self.use_hms:
+            placeholder = [to_bytes32(0)] * 3
+            mark = self.call(self.venue, "pending_mark", [placeholder]).values[0]
+            price = self.call(self.venue, "pending_price", [placeholder]).values[0]
+            return mark, price
+        mark, price, _remaining = self.call(self.venue, "sale_state").values
+        return mark, to_bytes32(price)
+
+    def buy_one(self):
+        mark, price = self.observe()
+        calldata = _TICKET_BUY_ABI.encode_call(
+            [BUY_FLAG, to_bytes32(mark), to_bytes32(price)], 1
+        )
+        return self.send_transaction(to=self.venue, data=calldata)
+
+
+class _TicketOrganiser(ContractClient):
+    """Surge-prices the tickets, chaining marks locally like the Sereth owner."""
+
+    def __init__(self, label, peer, simulator, venue: Address, genesis_mark: bytes) -> None:
+        super().__init__(label, peer, simulator)
+        self.venue = venue
+        self._mark = genesis_mark
+        self._sent_any = False
+
+    def set_price(self, price: int):
+        flag = SUCCESS_FLAG if self._sent_any else HEAD_FLAG
+        calldata = _TICKET_SET_ABI.encode_call(fpv_to_words(flag, self._mark, price))
+        transaction = self.send_transaction(to=self.venue, data=calldata)
+        self._mark = compute_mark(self._mark, to_bytes32(price))
+        self._sent_any = True
+        return transaction
+
+
+@register_workload("ticket_sale")
+class TicketSaleWorkload(Workload):
+    """Fans race a surge-priced ticket sale; the organiser keeps repricing."""
+
+    name = "ticket_sale"
+
+    def __init__(
+        self,
+        spec: "SimulationSpec",
+        num_buyers: int = 6,
+        price_changes: int = 12,
+        buys_per_buyer: int = 4,
+        change_interval: float = 4.0,
+        base_price: int = 40,
+        surge_step: int = 5,
+    ) -> None:
+        super().__init__(spec)
+        if num_buyers <= 0 or price_changes <= 0 or buys_per_buyer <= 0:
+            raise ValueError("num_buyers, price_changes, buys_per_buyer must be positive")
+        if change_interval <= 0:
+            raise ValueError("change_interval must be positive")
+        self.num_buyers = num_buyers
+        self.price_changes = price_changes
+        self.buys_per_buyer = buys_per_buyer
+        self.change_interval = change_interval
+        self.base_price = base_price
+        self.surge_step = surge_step
+        self.venue = address_from_label(_TICKET_VENUE_LABEL)
+        self.genesis_mark = keccak256(b"ticket-sale/genesis/", self.venue)
+        self._last_event = 0.0
+
+    def account_labels(self) -> Sequence[str]:
+        return ["organiser"] + [f"fan-{index}" for index in range(self.num_buyers)]
+
+    def configure_genesis(self, genesis: GenesisConfig) -> None:
+        genesis.deploy_contract(
+            self.venue,
+            "TicketSale",
+            storage={
+                to_bytes32(0): to_bytes32(address_from_label("organiser")),
+                to_bytes32(1): self.genesis_mark,
+                to_bytes32(3): to_bytes32(TicketSaleContract.INITIAL_INVENTORY),
+            },
+        )
+
+    def hms_targets(self) -> Sequence[Tuple[Address, bytes]]:
+        return [(self.venue, _TICKET_SET_ABI.selector)]
+
+    def semantic_config(self) -> Optional[SemanticMiningConfig]:
+        return SemanticMiningConfig(
+            hms=HMSConfig(
+                contract_address=self.venue, set_selector=_TICKET_SET_ABI.selector
+            ),
+            buy_selectors=(_TICKET_BUY_ABI.selector,),
+        )
+
+    def setup(self, context: SimulationContext) -> None:
+        use_hms = self.spec.scenario.buyer_read_mode == READ_UNCOMMITTED
+        client_peers = context.client_peers
+        self.organiser = _TicketOrganiser(
+            "organiser", client_peers[0], context.simulator, self.venue, self.genesis_mark
+        )
+        self.buyers = [
+            _TicketBuyer(
+                f"fan-{index}",
+                client_peers[index % len(client_peers)],
+                context.simulator,
+                self.venue,
+                use_hms=use_hms,
+            )
+            for index in range(self.num_buyers)
+        ]
+
+    def schedule(self, context: SimulationContext) -> None:
+        simulator, metrics = context.simulator, context.metrics
+        for change in range(self.price_changes):
+            price = self.base_price + self.surge_step * change
+            at = 1.0 + change * self.change_interval
+            simulator.schedule_at(at, lambda price=price: self.organiser.set_price(price))
+            self._last_event = max(self._last_event, at)
+        total_buys = self.num_buyers * self.buys_per_buyer
+        window = self.price_changes * self.change_interval
+        buy_index = 0
+        for _round in range(self.buys_per_buyer):
+            for buyer in self.buyers:
+                at = 2.0 + buy_index * (window / total_buys)
+                simulator.schedule_at(
+                    at,
+                    lambda buyer=buyer: metrics.watch(
+                        buyer.buy_one(), TICKET_LABEL, simulator.now
+                    ),
+                )
+                self._last_event = max(self._last_event, at)
+                buy_index += 1
+
+    @property
+    def end_of_submissions(self) -> float:
+        return self._last_event
+
+    def is_complete(self, context: SimulationContext) -> bool:
+        records = context.metrics.records(TICKET_LABEL)
+        total = self.num_buyers * self.buys_per_buyer
+        return len(records) == total and all(record.committed for record in records)
+
+    @property
+    def primary_label(self) -> Optional[str]:
+        return TICKET_LABEL
+
+    def finalize(self, context: SimulationContext) -> Dict[str, Any]:
+        remaining = context.reference_chain.state.get_storage(
+            self.venue, to_bytes32(3)
+        )
+        return {"contract": self.venue, "tickets_remaining": int_from_bytes32(remaining)}
+
+
+# ======================================================================================
+# auction — an English auction over a mark-chained bid history
+# ======================================================================================
+
+BID_LABEL = "bid"
+_AUCTION_LABEL = "auction-house"
+_BID_ABI = AuctionContract.function_by_name("bid").abi
+
+
+class _Bidder(ContractClient):
+    """Outbids the high bid it can see (committed state or the HMS view)."""
+
+    def __init__(self, label, peer, simulator, auction: Address, use_hms: bool, increment: int) -> None:
+        super().__init__(label, peer, simulator)
+        self.auction = auction
+        self.use_hms = use_hms
+        self.increment = increment
+
+    def observe(self) -> Tuple[bytes, int]:
+        """The (mark, high bid) this bidder believes is current."""
+        if self.use_hms:
+            placeholder = [to_bytes32(0)] * 3
+            mark = self.call(self.auction, "pending_mark", [placeholder]).values[0]
+            high = self.call(self.auction, "pending_high_bid", [placeholder]).values[0]
+            return mark, int_from_bytes32(high)
+        mark, high, _bidder = self.call(self.auction, "auction_state").values
+        return mark, high
+
+    def bid_once(self):
+        observed_mark, observed_high = self.observe()
+        committed_mark = self.call(self.auction, "auction_state").values[0]
+        # Head candidate if our view equals committed state, successor if we
+        # are chaining onto a pending bid — mirroring the Sereth price setter.
+        flag = HEAD_FLAG if observed_mark == committed_mark else SUCCESS_FLAG
+        amount = observed_high + self.increment
+        calldata = _BID_ABI.encode_call(fpv_to_words(flag, observed_mark, amount))
+        return self.send_transaction(to=self.auction, data=calldata, value=amount)
+
+
+@register_workload("auction")
+class AuctionWorkload(Workload):
+    """Bidders race an open-outcry auction; every accepted bid moves the mark."""
+
+    name = "auction"
+
+    def __init__(
+        self,
+        spec: "SimulationSpec",
+        num_bidders: int = 4,
+        bids_per_bidder: int = 3,
+        bid_interval: float = 2.0,
+        increment: int = 10,
+    ) -> None:
+        super().__init__(spec)
+        if num_bidders <= 0 or bids_per_bidder <= 0:
+            raise ValueError("num_bidders and bids_per_bidder must be positive")
+        if bid_interval <= 0 or increment <= 0:
+            raise ValueError("bid_interval and increment must be positive")
+        self.num_bidders = num_bidders
+        self.bids_per_bidder = bids_per_bidder
+        self.bid_interval = bid_interval
+        self.increment = increment
+        self.auction = address_from_label(_AUCTION_LABEL)
+        self.genesis_mark = keccak256(b"auction/genesis/", self.auction)
+        self._last_event = 0.0
+
+    def account_labels(self) -> Sequence[str]:
+        return ["seller"] + [f"bidder-{index}" for index in range(self.num_bidders)]
+
+    def configure_genesis(self, genesis: GenesisConfig) -> None:
+        seller = address_from_label("seller")
+        genesis.deploy_contract(
+            self.auction,
+            "Auction",
+            storage={
+                to_bytes32(0): to_bytes32(seller),
+                to_bytes32(1): self.genesis_mark,
+                to_bytes32(2): to_bytes32(0),
+                to_bytes32(3): to_bytes32(seller),
+                to_bytes32(4): to_bytes32(0),
+                to_bytes32(5): to_bytes32(0),
+            },
+        )
+
+    def hms_targets(self) -> Sequence[Tuple[Address, bytes]]:
+        return [(self.auction, _BID_ABI.selector)]
+
+    def semantic_config(self) -> Optional[SemanticMiningConfig]:
+        return SemanticMiningConfig(
+            hms=HMSConfig(contract_address=self.auction, set_selector=_BID_ABI.selector),
+            buy_selectors=(),
+        )
+
+    def setup(self, context: SimulationContext) -> None:
+        use_hms = self.spec.scenario.buyer_read_mode == READ_UNCOMMITTED
+        client_peers = context.client_peers
+        self.bidders = [
+            _Bidder(
+                f"bidder-{index}",
+                client_peers[index % len(client_peers)],
+                context.simulator,
+                self.auction,
+                use_hms=use_hms,
+                increment=self.increment,
+            )
+            for index in range(self.num_bidders)
+        ]
+
+    def schedule(self, context: SimulationContext) -> None:
+        simulator, metrics = context.simulator, context.metrics
+        bid_index = 0
+        for _round in range(self.bids_per_bidder):
+            for bidder in self.bidders:
+                at = 1.0 + bid_index * self.bid_interval
+                simulator.schedule_at(
+                    at,
+                    lambda bidder=bidder: metrics.watch(
+                        bidder.bid_once(), BID_LABEL, simulator.now
+                    ),
+                )
+                self._last_event = max(self._last_event, at)
+                bid_index += 1
+
+    @property
+    def end_of_submissions(self) -> float:
+        return self._last_event
+
+    def is_complete(self, context: SimulationContext) -> bool:
+        records = context.metrics.records(BID_LABEL)
+        total = self.num_bidders * self.bids_per_bidder
+        return len(records) == total and all(record.committed for record in records)
+
+    @property
+    def primary_label(self) -> Optional[str]:
+        return BID_LABEL
+
+    def finalize(self, context: SimulationContext) -> Dict[str, Any]:
+        state = context.reference_chain.state
+        return {
+            "contract": self.auction,
+            "high_bid": int_from_bytes32(state.get_storage(self.auction, to_bytes32(2))),
+            "accepted_bids": int_from_bytes32(
+                state.get_storage(self.auction, to_bytes32(4))
+            ),
+        }
+
+
+# ======================================================================================
+# oracle — RAA versus a conventional request/response oracle
+# ======================================================================================
+
+_ORACLE_REQUEST_ABI = OracleContract.function_by_name("request").abi
+
+
+@register_workload("oracle")
+class OracleLatencyWorkload(Workload):
+    """Measures data latency of RAA view calls versus an oracle round trip."""
+
+    name = "oracle"
+
+    def __init__(
+        self,
+        spec: "SimulationSpec",
+        num_queries: int = 10,
+        query_interval: float = 10.0,
+        price_change_interval: float = 5.0,
+    ) -> None:
+        super().__init__(spec)
+        if num_queries <= 0 or query_interval <= 0 or price_change_interval <= 0:
+            raise ValueError("oracle workload intervals and counts must be positive")
+        self.num_queries = num_queries
+        self.query_interval = query_interval
+        self.price_change_interval = price_change_interval
+        self.sereth_address = sereth_exchange_address()
+        self.oracle_address = address_from_label("oracle-contract")
+        self.raa_latencies: List[float] = []
+        self.request_times: Dict[int, float] = {}
+
+    def account_labels(self) -> Sequence[str]:
+        return ["oracle-owner", "oracle-consumer", "oracle-operator"]
+
+    def configure_genesis(self, genesis: GenesisConfig) -> None:
+        genesis.deploy_contract(
+            self.sereth_address,
+            "Sereth",
+            storage=genesis_storage(address_from_label("oracle-owner"), self.sereth_address),
+        )
+        genesis.deploy_contract(
+            self.oracle_address,
+            "Oracle",
+            storage={
+                to_bytes32(0): to_bytes32(address_from_label("oracle-operator")),
+                to_bytes32(1): to_bytes32(0),
+            },
+        )
+
+    def hms_targets(self) -> Sequence[Tuple[Address, bytes]]:
+        return [(self.sereth_address, SET_SELECTOR)]
+
+    def semantic_config(self) -> Optional[SemanticMiningConfig]:
+        return SemanticMiningConfig(
+            hms=HMSConfig(contract_address=self.sereth_address, set_selector=SET_SELECTOR),
+            buy_selectors=(BUY_SELECTOR,),
+        )
+
+    @property
+    def total_duration(self) -> float:
+        return (
+            self.num_queries * self.query_interval
+            + 6 * self.spec.block_interval
+        )
+
+    def setup(self, context: SimulationContext) -> None:
+        simulator = context.simulator
+        miner_peer = context.miner_peers[0]
+        client_peer = context.client_peers[0]
+
+        self.setter = PriceSetter(
+            "oracle-owner", client_peer, simulator, self.sereth_address
+        )
+        self.setter.prime_mark(initial_mark(self.sereth_address))
+
+        # Imported lazily: repro.oracle's package init pulls in the facade,
+        # so a module-level import here would be circular.
+        from ..oracle.service import OracleOperator
+
+        def price_source(query: bytes) -> bytes:
+            return miner_peer.chain.state.get_storage(
+                self.sereth_address, bytes32_from_int(2)
+            )
+
+        self.operator = OracleOperator(
+            "oracle-operator",
+            miner_peer,
+            simulator,
+            self.oracle_address,
+            data_source=price_source,
+        )
+        self.consumer = ContractClient("oracle-consumer", client_peer, simulator)
+
+    def schedule(self, context: SimulationContext) -> None:
+        simulator = context.simulator
+        self.operator.start()
+
+        def change_price(step: int):
+            def fire() -> None:
+                self.setter.set_price(100 + step)
+
+            return fire
+
+        price_steps = int(self.total_duration / self.price_change_interval)
+        for step in range(price_steps):
+            simulator.schedule_at(
+                0.5 + step * self.price_change_interval, change_price(step)
+            )
+
+        expected_request_ids = iter(range(self.num_queries))
+
+        def query_via_both():
+            def fire() -> None:
+                # RAA path: a local view call answers immediately.
+                started = simulator.now
+                placeholder = [to_bytes32(0)] * 3
+                self.consumer.call(self.sereth_address, "get", [placeholder])
+                self.raa_latencies.append(simulator.now - started)
+                # Oracle path: request must commit, then the answer must commit.
+                request_id = next(expected_request_ids)
+                self.request_times[request_id] = started
+                self.consumer.send_transaction(
+                    to=self.oracle_address,
+                    data=_ORACLE_REQUEST_ABI.encode_call(to_bytes32(b"sereth-price")),
+                )
+
+            return fire
+
+        for query_index in range(self.num_queries):
+            simulator.schedule_at(5.0 + query_index * self.query_interval, query_via_both())
+
+    @property
+    def end_of_submissions(self) -> float:
+        return 5.0 + (self.num_queries - 1) * self.query_interval
+
+    def duration_cap(self, spec: "SimulationSpec") -> float:
+        if spec.max_duration is not None:
+            return spec.max_duration
+        return self.total_duration
+
+    @property
+    def post_stop_drain(self) -> float:
+        return 2 * self.spec.block_interval
+
+    def finalize(self, context: SimulationContext) -> Dict[str, Any]:
+        self.operator.stop()
+        chain = context.client_peers[0].chain
+        answer_commit_times: Dict[int, float] = {}
+        for block in chain.blocks():
+            for receipt in block.receipts:
+                if not receipt.success:
+                    continue
+                for log in receipt.logs:
+                    if (
+                        log.address == self.oracle_address
+                        and log.topics
+                        and log.topics[0] == ANSWER_EVENT
+                    ):
+                        request_id = int_from_bytes32(log.topics[1])
+                        answer_commit_times.setdefault(request_id, block.timestamp)
+        oracle_latencies: List[float] = []
+        unanswered = 0
+        for request_id, started in self.request_times.items():
+            if request_id in answer_commit_times:
+                oracle_latencies.append(answer_commit_times[request_id] - started)
+            else:
+                unanswered += 1
+        return {
+            "raa_latencies": list(self.raa_latencies),
+            "oracle_latencies": oracle_latencies,
+            "oracle_unanswered": unanswered,
+        }
+
+
+# ======================================================================================
+# sequential — the single-sender sanity experiment (Section V)
+# ======================================================================================
+
+_SERETH_SET_ABI = SerethContract.function_by_name("set").abi
+_SERETH_BUY_ABI = SerethContract.function_by_name("buy").abi
+
+
+@register_workload("sequential")
+class SequentialHistoryWorkload(Workload):
+    """One account alternates set/buy; nonce order pins the history."""
+
+    name = "sequential"
+
+    def __init__(
+        self,
+        spec: "SimulationSpec",
+        num_pairs: int = 25,
+        submission_interval: float = 1.0,
+    ) -> None:
+        super().__init__(spec)
+        if num_pairs <= 0 or submission_interval <= 0:
+            raise ValueError("num_pairs and submission_interval must be positive")
+        self.num_pairs = num_pairs
+        self.submission_interval = submission_interval
+        self.contract = sereth_exchange_address()
+
+    def account_labels(self) -> Sequence[str]:
+        return ["solo-trader"]
+
+    def configure_genesis(self, genesis: GenesisConfig) -> None:
+        trader = address_from_label("solo-trader")
+        genesis.deploy_contract(
+            self.contract, "Sereth", storage=genesis_storage(trader, self.contract)
+        )
+
+    def hms_targets(self) -> Sequence[Tuple[Address, bytes]]:
+        return [(self.contract, SET_SELECTOR)]
+
+    def setup(self, context: SimulationContext) -> None:
+        self.setter = PriceSetter(
+            "solo-trader", context.client_peers[0], context.simulator, self.contract
+        )
+        self.setter.prime_mark(initial_mark(self.contract))
+
+    def schedule(self, context: SimulationContext) -> None:
+        simulator, metrics = context.simulator, context.metrics
+        setter = self.setter
+
+        def make_pair(pair_index: int):
+            price = 100 + pair_index
+
+            def fire() -> None:
+                set_transaction = setter.set_price(price)
+                metrics.watch(set_transaction, SET_LABEL, submitted_at=set_transaction.submitted_at)
+                # Issued by the same account immediately after its set,
+                # referencing the mark that set will install.
+                offer = [BUY_FLAG, setter._last_mark, to_bytes32(price)]
+                calldata = _SERETH_BUY_ABI.encode_call(offer)
+                buy_transaction = setter.send_transaction(to=self.contract, data=calldata)
+                metrics.watch(buy_transaction, BUY_LABEL, submitted_at=buy_transaction.submitted_at)
+
+            return fire
+
+        for pair_index in range(self.num_pairs):
+            simulator.schedule_at(
+                1.0 + pair_index * self.submission_interval, make_pair(pair_index)
+            )
+
+    @property
+    def end_of_submissions(self) -> float:
+        return 1.0 + self.num_pairs * self.submission_interval
+
+    def is_complete(self, context: SimulationContext) -> bool:
+        records = context.metrics.records()
+        return len(records) == 2 * self.num_pairs and all(
+            record.committed for record in records
+        )
+
+    def duration_cap(self, spec: "SimulationSpec") -> float:
+        if spec.max_duration is not None:
+            return spec.max_duration
+        return self.end_of_submissions + 8 * spec.block_interval
+
+
+# ======================================================================================
+# frontrunning — attacker races victim buys with price rises
+# ======================================================================================
+
+VICTIM_BUY_LABEL = "victim-buy"
+
+
+class FrontrunningAttacker(ContractClient):
+    """Watches its peer's pool for victim buys and races them with price rises."""
+
+    def __init__(self, label, peer, simulator, contract_address, markup, poll_interval=0.25):
+        super().__init__(label, peer, simulator)
+        self.contract_address = contract_address
+        self.markup = markup
+        self.poll_interval = poll_interval
+        self.attacks_launched = 0
+        self._seen_buys: set = set()
+        self._running = False
+
+    def start(self) -> None:
+        self._running = True
+        self.simulator.schedule_in(self.poll_interval, self._poll)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _poll(self) -> None:
+        if not self._running:
+            return
+        for transaction, _arrival in self.peer.pool.transactions_with_arrival():
+            if transaction.to != self.contract_address or transaction.selector != BUY_SELECTOR:
+                continue
+            if transaction.hash in self._seen_buys or transaction.sender == self.address:
+                continue
+            self._seen_buys.add(transaction.hash)
+            self._attack(transaction)
+        self.simulator.schedule_in(self.poll_interval, self._poll)
+
+    def _attack(self, victim_buy) -> None:
+        """Submit a price rise intended to land ahead of the victim's buy.
+
+        The attacker is not the contract owner in spirit, but the contract
+        accepts sets from anyone who knows the current mark — which the
+        attacker, running a Sereth peer, can read from its own HMS view.
+        """
+        provider = self.peer.hms_provider(self.contract_address)
+        if provider is None:
+            return
+        view = provider.view()
+        observed_price = int_from_bytes32(victim_buy.data[4 + 64 : 4 + 96])
+        new_price = observed_price + self.markup
+        fpv = fpv_to_words(SUCCESS_FLAG, view.mark, new_price)
+        self.send_transaction(to=self.contract_address, data=_SERETH_SET_ABI.encode_call(fpv))
+        self.attacks_launched += 1
+
+
+@register_workload("frontrunning")
+class FrontrunningWorkload(Workload):
+    """An attacker monitors the pending pool and races every victim buy."""
+
+    name = "frontrunning"
+
+    def __init__(
+        self,
+        spec: "SimulationSpec",
+        num_victim_buys: int = 40,
+        buy_interval: float = 2.0,
+        attack_markup: int = 25,
+        victim_read_mode: Optional[str] = None,
+    ) -> None:
+        super().__init__(spec)
+        if num_victim_buys <= 0 or buy_interval <= 0:
+            raise ValueError("num_victim_buys and buy_interval must be positive")
+        self.num_victim_buys = num_victim_buys
+        self.buy_interval = buy_interval
+        self.attack_markup = attack_markup
+        self.victim_read_mode = victim_read_mode or spec.scenario.buyer_read_mode
+        self.contract = sereth_exchange_address()
+
+    def account_labels(self) -> Sequence[str]:
+        return ["market-owner", "victim", "frontrunner"]
+
+    def configure_genesis(self, genesis: GenesisConfig) -> None:
+        genesis.deploy_contract(
+            self.contract,
+            "Sereth",
+            storage=genesis_storage(address_from_label("market-owner"), self.contract),
+        )
+
+    def hms_targets(self) -> Sequence[Tuple[Address, bytes]]:
+        return [(self.contract, SET_SELECTOR)]
+
+    def semantic_config(self) -> Optional[SemanticMiningConfig]:
+        return SemanticMiningConfig(
+            hms=HMSConfig(contract_address=self.contract, set_selector=SET_SELECTOR),
+            buy_selectors=(BUY_SELECTOR,),
+        )
+
+    def setup(self, context: SimulationContext) -> None:
+        simulator = context.simulator
+        victim_peer = context.client_peers[0]
+        attacker_peer = context.client_peers[-1]
+        self.owner = PriceSetter("market-owner", victim_peer, simulator, self.contract)
+        self.owner.prime_mark(initial_mark(self.contract))
+        self.victim = Buyer(
+            "victim", victim_peer, simulator, self.contract, read_mode=self.victim_read_mode
+        )
+        self.attacker = FrontrunningAttacker(
+            "frontrunner", attacker_peer, simulator, self.contract, markup=self.attack_markup
+        )
+
+    def schedule(self, context: SimulationContext) -> None:
+        simulator, metrics = context.simulator, context.metrics
+        simulator.schedule_at(0.5, lambda: self.owner.set_price(100))
+        for buy_index in range(self.num_victim_buys):
+            at = 5.0 + buy_index * self.buy_interval
+            simulator.schedule_at(
+                at,
+                lambda: metrics.watch(self.victim.buy(), VICTIM_BUY_LABEL, simulator.now),
+            )
+        self.attacker.start()
+
+    @property
+    def end_of_submissions(self) -> float:
+        return 5.0 + self.num_victim_buys * self.buy_interval
+
+    def is_complete(self, context: SimulationContext) -> bool:
+        records = context.metrics.records(VICTIM_BUY_LABEL)
+        return len(records) == self.num_victim_buys and all(
+            record.committed for record in records
+        )
+
+    def duration_cap(self, spec: "SimulationSpec") -> float:
+        if spec.max_duration is not None:
+            return spec.max_duration
+        return self.end_of_submissions + 6 * spec.block_interval
+
+    @property
+    def primary_label(self) -> Optional[str]:
+        return VICTIM_BUY_LABEL
+
+    def finalize(self, context: SimulationContext) -> Dict[str, Any]:
+        self.attacker.stop()
+        auditor = ChainAuditor(
+            contract_address=self.contract,
+            set_selector=SET_SELECTOR,
+            buy_selector=BUY_SELECTOR,
+            initial_mark=initial_mark(self.contract),
+        )
+        audit = auditor.audit_chain(context.reference_chain)
+        return {
+            "attacks_launched": self.attacker.attacks_launched,
+            "overpaid": len(audit.violations_of_kind("buy_wrongly_succeeded")),
+            "audit_clean": audit.is_clean,
+        }

@@ -1,26 +1,30 @@
-"""Command-line interface for running the paper's experiments.
+"""Command-line interface for running the paper's experiments via ``repro.api``.
 
 Usage (after ``pip install -e .``)::
 
-    python -m repro.cli figure2 --ratios 1 2 10 20 --trials 2
-    python -m repro.cli market --scenario semantic_mining --ratio 2
-    python -m repro.cli sequential
-    python -m repro.cli frontrunning --victim-read-mode read_committed
-    python -m repro.cli oracle
-    python -m repro.cli ablation --name miner_fraction
+    repro figure2 --ratios 1 2 10 20 --trials 2 --workers 4
+    repro market --scenario semantic_mining --ratio 2
+    repro sequential
+    repro frontrunning --victim-read-mode read_committed
+    repro oracle
+    repro ablation --name miner_fraction
+    repro sweep --workload market --scenarios geth_unmodified semantic_mining \
+        --over buys_per_set=1,2,10 --trials 2 --workers 4 --csv out.csv
+    repro list
 
-Every subcommand prints the same tables the benchmark harness produces, so
-the CLI is the quickest way to poke at a single configuration without going
-through pytest.
+Every subcommand resolves scenarios and workloads through the
+:mod:`repro.api` registries and executes through the facade's engine; the
+``sweep`` subcommand exposes the parallel grid runner directly.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from .analysis.plotting import format_percentage, format_table
+from .api import SCENARIO_REGISTRY, Simulation, Sweep, WORKLOAD_REGISTRY
 from .experiments.ablations import (
     sweep_block_interval,
     sweep_gossip_impairment,
@@ -31,8 +35,8 @@ from .experiments.claims import check_headline_claims
 from .experiments.figure2 import Figure2Config, run_figure2
 from .experiments.frontrunning import FrontrunningConfig, run_frontrunning_experiment
 from .experiments.reporting import emit_block
-from .experiments.runner import ExperimentConfig, run_market_experiment
-from .experiments.scenario import GETH_UNMODIFIED, SCENARIOS, scenario_by_name
+from .experiments.runner import ExperimentConfig
+from .experiments.scenario import GETH_UNMODIFIED, SCENARIOS
 from .experiments.sequential import SequentialHistoryConfig, run_sequential_history
 from .oracle.comparison import OracleComparisonConfig, run_raa_vs_oracle
 
@@ -52,6 +56,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure2.add_argument("--trials", type=int, default=2)
     figure2.add_argument("--num-buys", type=int, default=100)
     figure2.add_argument("--seed", type=int, default=11)
+    figure2.add_argument("--workers", type=int, default=1, help="parallel worker processes")
 
     market = subparsers.add_parser("market", help="run one market experiment data point")
     market.add_argument("--scenario", choices=sorted(SCENARIOS), default="sereth_client")
@@ -83,6 +88,29 @@ def build_parser() -> argparse.ArgumentParser:
         required=True,
     )
     ablation.add_argument("--trials", type=int, default=2)
+    ablation.add_argument("--workers", type=int, default=1)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run an arbitrary scenario x parameter grid through repro.api"
+    )
+    sweep.add_argument("--workload", default="market", help="registered workload name")
+    sweep.add_argument(
+        "--scenarios", nargs="+", default=["geth_unmodified", "sereth_client", "semantic_mining"]
+    )
+    sweep.add_argument(
+        "--over",
+        nargs="*",
+        default=[],
+        metavar="NAME=V1,V2,...",
+        help="extra grid dimensions, e.g. buys_per_set=1,2,10 block_interval=5,13",
+    )
+    sweep.add_argument("--trials", type=int, default=1)
+    sweep.add_argument("--workers", type=int, default=1)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--json", dest="json_path", default=None, help="write rows as JSON")
+    sweep.add_argument("--csv", dest="csv_path", default=None, help="write rows as CSV")
+
+    subparsers.add_parser("list", help="list registered scenarios and workloads")
     return parser
 
 
@@ -93,7 +121,8 @@ def _command_figure2(arguments: argparse.Namespace) -> int:
         num_buys=arguments.num_buys,
         base=ExperimentConfig(scenario=GETH_UNMODIFIED, seed=arguments.seed),
     )
-    result = run_figure2(config, keep_results=True)
+    keep_results = arguments.workers <= 1
+    result = run_figure2(config, keep_results=keep_results, workers=arguments.workers)
     emit_block("Figure 2 — transaction efficiency vs buy:set ratio", result.as_table())
     emit_block("Figure 2 — chart", result.as_chart())
     checks = check_headline_claims(result)
@@ -103,16 +132,29 @@ def _command_figure2(arguments: argparse.Namespace) -> int:
 
 
 def _command_market(arguments: argparse.Namespace) -> int:
-    config = ExperimentConfig(
-        scenario=scenario_by_name(arguments.scenario),
-        buys_per_set=arguments.ratio,
-        num_buys=arguments.num_buys,
-        block_interval=arguments.block_interval,
-        seed=arguments.seed,
+    spec = (
+        Simulation.builder()
+        .scenario(arguments.scenario)
+        .workload("market", buys_per_set=arguments.ratio, num_buys=arguments.num_buys)
+        .block_interval(arguments.block_interval)
+        .seed(arguments.seed)
+        .build()
     )
-    result = run_market_experiment(config)
-    summary = result.summary()
-    rows = [[key, value] for key, value in summary.items()]
+    result = Simulation(spec).run()
+    buy_report = result.report()
+    set_report = result.reports["set"]
+    rows = [
+        ["scenario", arguments.scenario],
+        ["buys_per_set", arguments.ratio],
+        ["seed", arguments.seed],
+        ["efficiency", result.efficiency],
+        ["buys_successful", buy_report.successful],
+        ["buys_committed", buy_report.committed],
+        ["sets_successful", set_report.successful],
+        ["sets_committed", set_report.committed],
+        ["blocks", result.blocks_produced],
+        ["simulated_seconds", result.simulated_seconds],
+    ]
     emit_block(
         f"Market experiment — {arguments.scenario} at {arguments.ratio:g} buys/set",
         format_table(["metric", "value"], rows),
@@ -174,10 +216,18 @@ def _command_oracle(arguments: argparse.Namespace) -> int:
 
 def _command_ablation(arguments: argparse.Namespace) -> int:
     sweeps = {
-        "miner_fraction": lambda: sweep_semantic_miner_fraction(trials=arguments.trials),
-        "gossip": lambda: sweep_gossip_impairment(trials=arguments.trials),
-        "submission_interval": lambda: sweep_submission_interval(trials=arguments.trials),
-        "block_interval": lambda: sweep_block_interval(trials=arguments.trials),
+        "miner_fraction": lambda: sweep_semantic_miner_fraction(
+            trials=arguments.trials, workers=arguments.workers
+        ),
+        "gossip": lambda: sweep_gossip_impairment(
+            trials=arguments.trials, workers=arguments.workers
+        ),
+        "submission_interval": lambda: sweep_submission_interval(
+            trials=arguments.trials, workers=arguments.workers
+        ),
+        "block_interval": lambda: sweep_block_interval(
+            trials=arguments.trials, workers=arguments.workers
+        ),
     }
     result = sweeps[arguments.name]()
     rows = [
@@ -191,6 +241,84 @@ def _command_ablation(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_dimensions(pairs: Sequence[str]) -> Dict[str, List[Any]]:
+    """Parse ``name=v1,v2,...`` grid dimensions (numbers where possible)."""
+
+    def convert(token: str) -> Any:
+        for cast in (int, float):
+            try:
+                return cast(token)
+            except ValueError:
+                continue
+        return token
+
+    dimensions: Dict[str, List[Any]] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"bad --over dimension {pair!r}; expected NAME=V1,V2,...")
+        name, _, values = pair.partition("=")
+        dimensions[name] = [convert(token) for token in values.split(",") if token]
+    return dimensions
+
+
+def _command_sweep(arguments: argparse.Namespace) -> int:
+    try:
+        base = (
+            Simulation.builder()
+            .scenario(arguments.scenarios[0])
+            .workload(arguments.workload)
+            .seed(arguments.seed)
+            .build()
+        )
+        sweep = Sweep(base).over(scenario=list(arguments.scenarios))
+        dimensions = _parse_dimensions(arguments.over)
+        if dimensions:
+            sweep = sweep.over(**dimensions)
+        sweep = sweep.trials(arguments.trials)
+        sweep.jobs()  # expand eagerly so grid-value errors surface here
+    except (KeyError, TypeError, ValueError) as error:
+        # Registry misses and bad grid values should read as usage errors,
+        # not tracebacks.
+        message = error.args[0] if error.args else error
+        raise SystemExit(f"repro sweep: {message}")
+    result = sweep.run(workers=arguments.workers)
+    if arguments.json_path:
+        result.to_json(arguments.json_path)
+    if arguments.csv_path:
+        result.to_csv(arguments.csv_path)
+    table_rows = [
+        [
+            str(row.tags.get("scenario", "")),
+            ", ".join(
+                f"{key}={value}"
+                for key, value in row.tags.items()
+                if key not in ("scenario", "seed")
+            ),
+            "-" if row.efficiency is None else format_percentage(row.efficiency),
+        ]
+        for row in result.rows
+    ]
+    emit_block(
+        f"Sweep — {arguments.workload} ({len(result)} runs, {arguments.workers} workers)",
+        format_table(["scenario", "cell", "efficiency"], table_rows),
+    )
+    return 0
+
+
+def _command_list(arguments: argparse.Namespace) -> int:
+    emit_block(
+        "Registered scenarios",
+        "\n".join(
+            f"{name}  (clients={SCENARIO_REGISTRY.get(name).client_kind}, "
+            f"reads={SCENARIO_REGISTRY.get(name).buyer_read_mode}, "
+            f"semantic_mining={SCENARIO_REGISTRY.get(name).semantic_mining})"
+            for name in SCENARIO_REGISTRY.names()
+        ),
+    )
+    emit_block("Registered workloads", "\n".join(WORKLOAD_REGISTRY.names()))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     arguments = build_parser().parse_args(argv)
@@ -201,6 +329,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "frontrunning": _command_frontrunning,
         "oracle": _command_oracle,
         "ablation": _command_ablation,
+        "sweep": _command_sweep,
+        "list": _command_list,
     }
     return handlers[arguments.command](arguments)
 

@@ -20,7 +20,8 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from ..analysis.stats import SummaryStats, summarize
-from .runner import ExperimentConfig, run_market_experiment
+from ..api.sweep import Sweep
+from .runner import ExperimentConfig, experiment_spec
 from .scenario import GETH_UNMODIFIED, SEMANTIC_MINING, SERETH_CLIENT_SCENARIO, Scenario
 
 __all__ = [
@@ -63,14 +64,14 @@ class AblationResult:
 
 
 def _run_point(
-    base: ExperimentConfig, scenario: Scenario, trials: int, **overrides
+    base: ExperimentConfig, scenario: Scenario, trials: int, workers: int = 1, **overrides
 ) -> List[float]:
-    efficiencies = []
+    jobs = []
     for trial in range(trials):
         config = replace(base, scenario=scenario, seed=base.seed + 101 * trial, **overrides)
-        result = run_market_experiment(config)
-        efficiencies.append(result.buy_report.success_rate)
-    return efficiencies
+        jobs.append((experiment_spec(config), {"trial": trial}))
+    rows = Sweep.from_specs(jobs).run(workers=workers).rows
+    return [row.report("buy")["success_rate"] for row in rows]
 
 
 def sweep_semantic_miner_fraction(
@@ -78,13 +79,14 @@ def sweep_semantic_miner_fraction(
     trials: int = 2,
     base: Optional[ExperimentConfig] = None,
     num_miners: int = 4,
+    workers: int = 1,
 ) -> AblationResult:
     """A1: efficiency versus the fraction of hash power running semantic mining."""
     base = base or ExperimentConfig(scenario=SEMANTIC_MINING, buys_per_set=2.0)
     points: List[AblationPoint] = []
     for fraction in fractions:
         scenario = SEMANTIC_MINING.with_semantic_fraction(fraction)
-        efficiencies = _run_point(base, scenario, trials, num_miners=num_miners)
+        efficiencies = _run_point(base, scenario, trials, workers=workers, num_miners=num_miners)
         points.append(
             AblationPoint(
                 parameter=fraction,
@@ -104,6 +106,7 @@ def sweep_gossip_impairment(
     latencies: Sequence[float] = (0.05, 0.5, 2.0, 5.0),
     trials: int = 2,
     base: Optional[ExperimentConfig] = None,
+    workers: int = 1,
 ) -> AblationResult:
     """A2: efficiency versus TxPool gossip latency for the Sereth-client scenario."""
     base = base or ExperimentConfig(scenario=SERETH_CLIENT_SCENARIO, buys_per_set=2.0)
@@ -111,7 +114,8 @@ def sweep_gossip_impairment(
     for scenario in (SERETH_CLIENT_SCENARIO, SEMANTIC_MINING):
         for latency in latencies:
             efficiencies = _run_point(
-                base, scenario, trials, gossip_latency=latency, gossip_jitter=latency / 2
+                base, scenario, trials, workers=workers,
+                gossip_latency=latency, gossip_jitter=latency / 2,
             )
             points.append(
                 AblationPoint(
@@ -133,6 +137,7 @@ def sweep_submission_interval(
     trials: int = 2,
     base: Optional[ExperimentConfig] = None,
     buys_per_set: float = 10.0,
+    workers: int = 1,
 ) -> AblationResult:
     """A3: sensitivity to the buy submission interval at a high read ratio."""
     base = base or ExperimentConfig(scenario=GETH_UNMODIFIED, buys_per_set=buys_per_set)
@@ -140,7 +145,7 @@ def sweep_submission_interval(
     for scenario in (GETH_UNMODIFIED, SERETH_CLIENT_SCENARIO):
         for interval in intervals:
             efficiencies = _run_point(
-                base, scenario, trials,
+                base, scenario, trials, workers=workers,
                 submission_interval=interval, buys_per_set=buys_per_set,
             )
             points.append(
@@ -162,13 +167,14 @@ def sweep_block_interval(
     block_intervals: Sequence[float] = (5.0, 13.0, 30.0, 60.0),
     trials: int = 2,
     base: Optional[ExperimentConfig] = None,
+    workers: int = 1,
 ) -> AblationResult:
     """A4: efficiency versus the block interval for baseline and HMS clients."""
     base = base or ExperimentConfig(scenario=GETH_UNMODIFIED, buys_per_set=4.0)
     points: List[AblationPoint] = []
     for scenario in (GETH_UNMODIFIED, SERETH_CLIENT_SCENARIO, SEMANTIC_MINING):
         for block_interval in block_intervals:
-            efficiencies = _run_point(base, scenario, trials, block_interval=block_interval)
+            efficiencies = _run_point(base, scenario, trials, workers=workers, block_interval=block_interval)
             points.append(
                 AblationPoint(
                     parameter=block_interval,

@@ -94,11 +94,16 @@ def check_headline_claims(figure2: Figure2Result) -> List[ClaimCheck]:
         )
     )
 
-    # Claim 4: sets always succeed (single owner, program order).
+    # Claim 4: sets always succeed (single owner, program order).  Sweep runs
+    # record per-trial set efficiencies in the points themselves (they survive
+    # parallel execution); fall back to live results for hand-built figures.
     set_rates: List[float] = []
     for point in figure2.points:
-        for result in point.results:
-            set_rates.append(result.set_report.efficiency)
+        if point.set_efficiencies:
+            set_rates.extend(point.set_efficiencies)
+        else:
+            for result in point.results:
+                set_rates.append(result.set_report.efficiency)
     if set_rates:
         checks.append(
             ClaimCheck(

@@ -13,7 +13,13 @@ from typing import Dict, List, Optional, Sequence
 
 from ..analysis.plotting import ascii_chart, format_percentage, format_table
 from ..analysis.stats import SummaryStats, summarize
-from .runner import ExperimentConfig, ExperimentResult, run_market_experiment
+from ..api.sweep import Sweep
+from .runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    experiment_spec,
+    result_from_simulation,
+)
 from .scenario import GETH_UNMODIFIED, SEMANTIC_MINING, SERETH_CLIENT_SCENARIO, Scenario
 
 __all__ = [
@@ -61,6 +67,10 @@ class Figure2Point:
     efficiencies: List[float]
     stats: SummaryStats
     results: List[ExperimentResult] = field(default_factory=list)
+    set_efficiencies: List[float] = field(default_factory=list)
+    """Per-trial efficiency of the ``set`` transactions (claim 4 evidence);
+    populated from the sweep summaries, so it survives parallel runs where
+    live results cannot."""
 
     @property
     def mean_efficiency(self) -> float:
@@ -123,21 +133,49 @@ class Figure2Result:
         return ascii_chart(series, labels, title="eta vs buy:set ratio")
 
 
-def run_figure2(config: Optional[Figure2Config] = None, keep_results: bool = False) -> Figure2Result:
-    """Run the full Figure 2 sweep."""
+def run_figure2(
+    config: Optional[Figure2Config] = None,
+    keep_results: bool = False,
+    workers: int = 1,
+) -> Figure2Result:
+    """Run the full Figure 2 sweep through the :mod:`repro.api` sweep engine.
+
+    ``workers > 1`` executes the grid on a multiprocessing pool; the metrics
+    are identical to the serial run (every cell's spec fully seeds its run),
+    but live results cannot cross process boundaries, so ``keep_results``
+    requires the serial path.
+    """
     config = config or Figure2Config()
+    jobs = []
+    experiment_configs: List[ExperimentConfig] = []
+    for scenario in config.scenarios:
+        for ratio in config.ratios:
+            for trial in range(config.trials):
+                experiment = config.experiment_config(scenario, ratio, trial)
+                experiment_configs.append(experiment)
+                jobs.append(
+                    (
+                        experiment_spec(experiment),
+                        {"scenario": scenario.name, "ratio": ratio, "trial": trial},
+                    )
+                )
+    sweep_result = Sweep.from_specs(jobs).run(workers=workers, keep_results=keep_results)
+
+    # Regroup rows (still in expansion order) into per-(scenario, ratio) points.
+    rows_by_cell: Dict[tuple, List] = {}
+    for row, experiment in zip(sweep_result.rows, experiment_configs):
+        key = (row.tags["scenario"], row.tags["ratio"])
+        rows_by_cell.setdefault(key, []).append((row, experiment))
     points: List[Figure2Point] = []
     for scenario in config.scenarios:
         for ratio in config.ratios:
-            efficiencies: List[float] = []
-            results: List[ExperimentResult] = []
-            for trial in range(config.trials):
-                result = run_market_experiment(
-                    config.experiment_config(scenario, ratio, trial)
-                )
-                efficiencies.append(result.buy_report.success_rate)
-                if keep_results:
-                    results.append(result)
+            cell = rows_by_cell[(scenario.name, ratio)]
+            efficiencies = [row.report("buy")["success_rate"] for row, _ in cell]
+            results = [
+                result_from_simulation(experiment, row.result)
+                for row, experiment in cell
+                if row.result is not None
+            ]
             points.append(
                 Figure2Point(
                     scenario=scenario.name,
@@ -145,6 +183,7 @@ def run_figure2(config: Optional[Figure2Config] = None, keep_results: bool = Fal
                     efficiencies=efficiencies,
                     stats=summarize(efficiencies),
                     results=results,
+                    set_efficiencies=[row.report("set")["efficiency"] for row, _ in cell],
                 )
             )
     return Figure2Result(config=config, points=points)

@@ -17,33 +17,29 @@ this), or ``rejected`` (the attack, or simple staleness, made it fail).
 The frontrunning *harm* metric of interest is whether a victim ever pays a
 price other than the one it observed — with mark-bound offers this is
 structurally impossible, and the experiment's auditor double-checks it.
+
+The attacker/victim wiring lives in :mod:`repro.api.workloads` as the
+registered ``frontrunning`` workload; this module keeps the historical
+config/result types and runs the spec through the facade.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
-from ..chain.genesis import DEFAULT_INITIAL_BALANCE, GenesisConfig
-from ..clients.base import ContractClient
-from ..clients.market import Buyer, PriceSetter, READ_COMMITTED, READ_UNCOMMITTED
-from ..consensus.interval import PoissonInterval
-from ..consensus.policies import ArrivalJitterPolicy
-from ..contracts.sereth import BUY_SELECTOR, SET_SELECTOR, SerethContract, genesis_storage, initial_mark
-from ..core.audit import ChainAuditor
-from ..core.hms.fpv import SUCCESS_FLAG, compute_mark, fpv_from_calldata, fpv_to_words
-from ..core.metrics import MetricsCollector
-from ..crypto.addresses import address_from_label
-from ..encoding.hexutil import int_from_bytes32, to_bytes32
-from ..net.latency import UniformLatency
-from ..net.mining import BlockProductionProcess
-from ..net.network import Network
-from ..net.peer import Peer, SERETH_CLIENT
-from ..net.sim import Simulator
+from ..api.engine import run_simulation
+from ..api.spec import SimulationSpec, freeze_params
+from ..api.workloads import FrontrunningAttacker, VICTIM_BUY_LABEL
+from ..clients.market import READ_UNCOMMITTED
+from .scenario import SERETH_CLIENT_SCENARIO
 
-__all__ = ["FrontrunningConfig", "FrontrunningResult", "run_frontrunning_experiment"]
-
-_SET_ABI = SerethContract.function_by_name("set").abi
+__all__ = [
+    "FrontrunningConfig",
+    "FrontrunningResult",
+    "run_frontrunning_experiment",
+    "FrontrunningAttacker",
+]
 
 
 @dataclass
@@ -77,126 +73,40 @@ class FrontrunningResult:
         return self.filled_at_observed_terms / self.victim_buys if self.victim_buys else 0.0
 
 
-class FrontrunningAttacker(ContractClient):
-    """Watches its peer's pool for victim buys and races them with price rises."""
-
-    def __init__(self, label, peer, simulator, contract_address, markup, poll_interval=0.25):
-        super().__init__(label, peer, simulator)
-        self.contract_address = contract_address
-        self.markup = markup
-        self.poll_interval = poll_interval
-        self.attacks_launched = 0
-        self._seen_buys: set = set()
-        self._running = False
-
-    def start(self) -> None:
-        self._running = True
-        self.simulator.schedule_in(self.poll_interval, self._poll)
-
-    def stop(self) -> None:
-        self._running = False
-
-    def _poll(self) -> None:
-        if not self._running:
-            return
-        for transaction, _arrival in self.peer.pool.transactions_with_arrival():
-            if transaction.to != self.contract_address or transaction.selector != BUY_SELECTOR:
-                continue
-            if transaction.hash in self._seen_buys or transaction.sender == self.address:
-                continue
-            self._seen_buys.add(transaction.hash)
-            self._attack(transaction)
-        self.simulator.schedule_in(self.poll_interval, self._poll)
-
-    def _attack(self, victim_buy) -> None:
-        """Submit a price rise intended to land ahead of the victim's buy.
-
-        The attacker is not the contract owner in spirit, but the contract
-        accepts sets from anyone who knows the current mark — which the
-        attacker, running a Sereth peer, can read from its own HMS view.
-        """
-        provider = self.peer.hms_provider(self.contract_address)
-        if provider is None:
-            return
-        view = provider.view()
-        observed_price = int_from_bytes32(victim_buy.data[4 + 64 : 4 + 96])
-        new_price = observed_price + self.markup
-        fpv = fpv_to_words(SUCCESS_FLAG, view.mark, new_price)
-        self.send_transaction(to=self.contract_address, data=_SET_ABI.encode_call(fpv))
-        self.attacks_launched += 1
+def frontrunning_spec(config: FrontrunningConfig) -> SimulationSpec:
+    """The facade spec for a frontrunning run (victim on client-0, attacker
+    on client-1, everyone on Sereth clients so the pool is observable)."""
+    return SimulationSpec(
+        scenario=SERETH_CLIENT_SCENARIO,
+        workload="frontrunning",
+        workload_params=freeze_params(
+            {
+                "num_victim_buys": config.num_victim_buys,
+                "buy_interval": config.buy_interval,
+                "attack_markup": config.attack_markup,
+                "victim_read_mode": config.victim_read_mode,
+            }
+        ),
+        num_miners=1,
+        num_client_peers=2,
+        block_interval=config.block_interval,
+        gossip_latency=0.07,
+        gossip_jitter=0.05,
+        seed=config.seed,
+    )
 
 
 def run_frontrunning_experiment(config: Optional[FrontrunningConfig] = None) -> FrontrunningResult:
     """Run the attacker-vs-victim workload and audit the committed history."""
     config = config or FrontrunningConfig()
-    simulator = Simulator()
-    network = Network(simulator, latency=UniformLatency(0.02, 0.12, seed=config.seed), seed=config.seed)
-
-    owner_label, victim_label, attacker_label = "market-owner", "victim", "frontrunner"
-    contract = address_from_label("sereth-exchange")
-    genesis = GenesisConfig.for_labels([owner_label, victim_label, attacker_label], DEFAULT_INITIAL_BALANCE)
-    genesis.fund(address_from_label("miner/miner-0"))
-    genesis.deploy_contract(
-        contract, "Sereth", storage=genesis_storage(address_from_label(owner_label), contract)
-    )
-
-    miner_peer = network.add_peer(Peer("miner-0", genesis, client_kind=SERETH_CLIENT))
-    victim_peer = network.add_peer(Peer("victim-peer", genesis, client_kind=SERETH_CLIENT))
-    attacker_peer = network.add_peer(Peer("attacker-peer", genesis, client_kind=SERETH_CLIENT))
-    for peer in (miner_peer, victim_peer, attacker_peer):
-        peer.install_hms(contract, SET_SELECTOR)
-
-    production = BlockProductionProcess(
-        simulator, network,
-        interval_model=PoissonInterval(mean=config.block_interval, seed=config.seed + 1),
-        seed=config.seed + 2,
-    )
-    production.register_miner(
-        miner_peer, policy=ArrivalJitterPolicy(jitter_seconds=4.0, seed=config.seed + 3)
-    )
-
-    owner = PriceSetter(owner_label, victim_peer, simulator, contract)
-    owner.prime_mark(initial_mark(contract))
-    victim = Buyer(victim_label, victim_peer, simulator, contract, read_mode=config.victim_read_mode)
-    attacker = FrontrunningAttacker(
-        attacker_label, attacker_peer, simulator, contract, markup=config.attack_markup
-    )
-    metrics = MetricsCollector()
-
-    simulator.schedule_at(0.5, lambda: owner.set_price(100))
-    for buy_index in range(config.num_victim_buys):
-        at = 5.0 + buy_index * config.buy_interval
-        simulator.schedule_at(
-            at, lambda: metrics.watch(victim.buy(), "victim-buy", simulator.now)
-        )
-    attacker.start()
-    production.start()
-
-    deadline = 5.0 + config.num_victim_buys * config.buy_interval + 6 * config.block_interval
-    simulator.run_until(deadline)
-    attacker.stop()
-    production.stop()
-    metrics.resolve_from_chain(miner_peer.chain)
-
-    # What did the victim actually pay?  A successful buy's offer equals the
-    # price in force at execution by contract construction; the auditor
-    # verifies that from the committed history alone.
-    auditor = ChainAuditor(
-        contract_address=contract,
-        set_selector=SET_SELECTOR,
-        buy_selector=BUY_SELECTOR,
-        initial_mark=initial_mark(contract),
-    )
-    audit = auditor.audit_chain(miner_peer.chain)
-
-    report = metrics.report("victim-buy")
-    overpaid = len(audit.violations_of_kind("buy_wrongly_succeeded"))
+    result = run_simulation(frontrunning_spec(config))
+    report = result.reports[VICTIM_BUY_LABEL]
     return FrontrunningResult(
         config=config,
         victim_buys=report.submitted,
         filled_at_observed_terms=report.successful,
         rejected=report.committed - report.successful,
-        attacks_launched=attacker.attacks_launched,
-        overpaid=overpaid,
-        audit_clean=audit.is_clean,
+        attacks_launched=result.extras["attacks_launched"],
+        overpaid=result.extras["overpaid"],
+        audit_clean=result.extras["audit_clean"],
     )

@@ -1,11 +1,12 @@
-"""The experiment runner: build a network, run the market workload, measure.
+"""The market experiment runner, rebuilt on the :mod:`repro.api` facade.
 
 One call to :func:`run_market_experiment` produces one data point of
-Figure 2: it stands up a private network (miners + client peers), deploys
-the Sereth contract, schedules the buy/set workload for the requested
-buy:set ratio, runs the discrete-event simulation until every watched
-transaction has been committed (or the time cap is hit), and returns the
-state-throughput metrics.
+Figure 2.  The network wiring that used to live here — genesis, peers,
+miners, HMS installation, the run loop — is now owned by
+:func:`repro.api.engine.run_simulation`; this module only translates the
+historical :class:`ExperimentConfig` into a :class:`~repro.api.SimulationSpec`
+for the ``market`` workload and adapts the result back, preserving the exact
+metrics (and seeds) of the original runner.
 """
 
 from __future__ import annotations
@@ -13,28 +14,32 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..chain.genesis import DEFAULT_INITIAL_BALANCE, GenesisConfig
-from ..clients.market import Buyer, PriceSetter
-from ..consensus.interval import FixedInterval, PoissonInterval
-from ..consensus.miner import MinerConfig
-from ..consensus.policies import ArrivalJitterPolicy
-from ..contracts.sereth import BUY_SELECTOR, SET_SELECTOR, genesis_storage, initial_mark
-from ..core.hms.process import HMSConfig
-from ..core.hms.semantic import SemanticMiningConfig, SemanticMiningPolicy
+from ..api.engine import SimulationResult, run_simulation
+from ..api.spec import SimulationSpec, freeze_params
+from ..api.workloads import (
+    OWNER_LABEL,
+    SERETH_CONTRACT_LABEL,
+    sereth_exchange_address,
+)
 from ..core.metrics import MetricsCollector, ThroughputReport
-from ..crypto.addresses import Address, address_from_label
-from ..net.latency import UniformLatency
-from ..net.mining import BlockProductionProcess
-from ..net.network import Network
-from ..net.peer import Peer, SERETH_CLIENT
-from ..net.sim import Simulator
-from ..workloads.market import BUY_LABEL, MarketWorkload, MarketWorkloadConfig, SET_LABEL
-from ..workloads.prices import PriceProcess, RandomWalkPrices
+from ..crypto.addresses import Address
+from ..net.peer import Peer
+from ..workloads.market import BUY_LABEL, SET_LABEL
 from .scenario import Scenario
 
-__all__ = ["ExperimentConfig", "ExperimentResult", "run_market_experiment"]
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_market_experiment",
+    "experiment_spec",
+    "result_from_simulation",
+    "sereth_contract_address",
+]
 
-OWNER_LABEL = "owner"
+
+def sereth_contract_address() -> Address:
+    """The fixed address the experiments pre-deploy the Sereth exchange at."""
+    return sereth_exchange_address()
 
 
 @dataclass
@@ -109,164 +114,55 @@ class ExperimentResult:
         }
 
 
-SERETH_CONTRACT_LABEL = "sereth-exchange"
+def experiment_spec(config: ExperimentConfig) -> SimulationSpec:
+    """Translate an ExperimentConfig into the facade's SimulationSpec."""
+    return SimulationSpec(
+        scenario=config.scenario,
+        workload="market",
+        workload_params=freeze_params(
+            {
+                "num_buys": config.num_buys,
+                "buys_per_set": config.buys_per_set,
+                "submission_interval": config.submission_interval,
+                "start_time": config.start_time,
+                "initial_price": config.initial_price,
+                "price_max_step": config.price_max_step,
+                "num_buyers": config.num_buyers,
+            }
+        ),
+        num_miners=config.num_miners,
+        num_client_peers=config.num_client_peers,
+        block_interval=config.block_interval,
+        fixed_block_interval=config.fixed_block_interval,
+        gossip_latency=config.gossip_latency,
+        gossip_jitter=config.gossip_jitter,
+        transaction_loss_rate=config.transaction_loss_rate,
+        miner_order_jitter=config.miner_order_jitter,
+        block_gas_limit=config.block_gas_limit,
+        max_transactions_per_block=config.max_transactions_per_block,
+        transaction_gas_limit=config.transaction_gas_limit,
+        seed=config.seed,
+        settle_blocks=config.settle_blocks,
+        max_duration=config.max_duration,
+    )
 
 
-def sereth_contract_address() -> Address:
-    """The fixed address the experiments pre-deploy the Sereth exchange at."""
-    return address_from_label(SERETH_CONTRACT_LABEL)
-
-
-def _build_genesis(config: ExperimentConfig) -> GenesisConfig:
-    labels = [OWNER_LABEL] + [f"buyer-{index}" for index in range(config.num_buyers)]
-    genesis = GenesisConfig.for_labels(labels, balance=DEFAULT_INITIAL_BALANCE)
-    for miner_index in range(config.num_miners):
-        genesis.fund(address_from_label(f"miner/miner-{miner_index}"))
-    owner_address = address_from_label(OWNER_LABEL)
-    contract = sereth_contract_address()
-    genesis.deploy_contract(contract, "Sereth", storage=genesis_storage(owner_address, contract))
-    return genesis
-
-
-def _build_peers(config: ExperimentConfig, genesis: GenesisConfig, network: Network) -> Dict[str, Peer]:
-    peers: Dict[str, Peer] = {}
-    for miner_index in range(config.num_miners):
-        peer_id = f"miner-{miner_index}"
-        peers[peer_id] = network.add_peer(
-            Peer(peer_id, genesis, client_kind=config.scenario.client_kind)
-        )
-    for client_index in range(config.num_client_peers):
-        peer_id = f"client-{client_index}"
-        peers[peer_id] = network.add_peer(
-            Peer(peer_id, genesis, client_kind=config.scenario.client_kind)
-        )
-    return peers
+def result_from_simulation(
+    config: ExperimentConfig, simulation: SimulationResult
+) -> ExperimentResult:
+    """Adapt a facade result back into the historical ExperimentResult."""
+    return ExperimentResult(
+        config=config,
+        buy_report=simulation.reports[BUY_LABEL],
+        set_report=simulation.reports[SET_LABEL],
+        blocks_produced=simulation.blocks_produced,
+        simulated_seconds=simulation.simulated_seconds,
+        contract=sereth_contract_address(),
+        metrics=simulation.metrics,
+        peers=simulation.peers,
+    )
 
 
 def run_market_experiment(config: ExperimentConfig) -> ExperimentResult:
     """Run one data point of the dynamic-pricing market experiment."""
-    scenario = config.scenario
-    simulator = Simulator()
-    latency = UniformLatency(
-        low=max(config.gossip_latency - config.gossip_jitter, 0.001),
-        high=config.gossip_latency + config.gossip_jitter,
-        seed=config.seed,
-    )
-    network = Network(
-        simulator,
-        latency=latency,
-        transaction_loss_rate=config.transaction_loss_rate,
-        seed=config.seed,
-    )
-    genesis = _build_genesis(config)
-    peers = _build_peers(config, genesis, network)
-
-    client_peers = [peers[f"client-{index}"] for index in range(config.num_client_peers)]
-    owner_peer = client_peers[0]
-    sereth_address = sereth_contract_address()
-
-    # HMS/RAA is a property of the Sereth client software: install it on every
-    # Sereth peer, for the contract the experiment is about.
-    if scenario.client_kind == SERETH_CLIENT:
-        for peer in peers.values():
-            peer.install_hms(sereth_address, SET_SELECTOR)
-
-    # Mining.
-    interval_model = (
-        FixedInterval(config.block_interval)
-        if config.fixed_block_interval
-        else PoissonInterval(mean=config.block_interval, seed=config.seed + 1)
-    )
-    production = BlockProductionProcess(
-        simulator, network, interval_model=interval_model, seed=config.seed + 2
-    )
-    semantic_config = SemanticMiningConfig(
-        hms=HMSConfig(contract_address=sereth_address, set_selector=SET_SELECTOR),
-        buy_selectors=(BUY_SELECTOR,),
-    )
-    semantic_miner_count = round(config.num_miners * scenario.semantic_miner_fraction)
-    miner_limits = MinerConfig(
-        gas_limit=config.block_gas_limit,
-        max_transactions=config.max_transactions_per_block,
-    )
-    for miner_index in range(config.num_miners):
-        peer = peers[f"miner-{miner_index}"]
-        use_semantic = scenario.semantic_mining and miner_index < semantic_miner_count
-        policy = (
-            SemanticMiningPolicy(semantic_config)
-            if use_semantic
-            else ArrivalJitterPolicy(
-                jitter_seconds=config.miner_order_jitter, seed=config.seed + 10 + miner_index
-            )
-        )
-        production.register_miner(
-            peer,
-            policy=policy,
-            miner_address=address_from_label(f"miner/{peer.peer_id}"),
-            config=miner_limits,
-        )
-
-    # Clients.
-    metrics = MetricsCollector()
-    setter = PriceSetter(
-        OWNER_LABEL, owner_peer, simulator, sereth_address,
-        gas_limit=config.transaction_gas_limit,
-    )
-    setter.prime_mark(initial_mark(sereth_address))
-    buyers = [
-        Buyer(
-            f"buyer-{index}",
-            client_peers[index % len(client_peers)],
-            simulator,
-            sereth_address,
-            read_mode=scenario.buyer_read_mode,
-            gas_limit=config.transaction_gas_limit,
-        )
-        for index in range(config.num_buyers)
-    ]
-
-    # The Sereth contract is pre-deployed in the genesis state (the exchange
-    # exists before trading opens); the workload starts with the opening price.
-    workload_config = MarketWorkloadConfig(
-        num_buys=config.num_buys,
-        buys_per_set=config.buys_per_set,
-        submission_interval=config.submission_interval,
-        start_time=config.start_time,
-        initial_price=config.initial_price,
-    )
-    prices: PriceProcess = RandomWalkPrices(
-        initial=config.initial_price, max_step=config.price_max_step, seed=config.seed + 3
-    )
-    workload = MarketWorkload(workload_config, setter, buyers, metrics, prices=prices)
-    workload.schedule(simulator, deploy_time=0.2)
-
-    production.start()
-
-    # Run until every watched buy is committed (or the cap is reached).
-    def all_buys_committed() -> bool:
-        records = metrics.records(BUY_LABEL)
-        return len(records) == config.num_buys and all(record.committed for record in records)
-
-    end_of_submissions = workload.end_of_submissions
-    simulator.run_until(end_of_submissions)
-    while simulator.now < config.duration_cap and not all_buys_committed():
-        simulator.run_until(simulator.now + config.block_interval)
-        # Resolve incrementally so the loop can terminate as soon as possible.
-        reference_chain = peers["miner-0"].chain
-        metrics.resolve_from_chain(reference_chain)
-    production.stop()
-
-    reference_chain = peers["miner-0"].chain
-    metrics.resolve_from_chain(reference_chain)
-    buy_report = metrics.report(BUY_LABEL)
-    set_report = metrics.report(SET_LABEL)
-    return ExperimentResult(
-        config=config,
-        buy_report=buy_report,
-        set_report=set_report,
-        blocks_produced=production.blocks_produced,
-        simulated_seconds=simulator.now,
-        contract=sereth_address,
-        metrics=metrics,
-        peers=list(peers.values()),
-    )
+    return result_from_simulation(config, run_simulation(experiment_spec(config)))

@@ -6,31 +6,21 @@ possible history, where real time order equals nonce order equals block
 order.  As expected, the transaction failure rate was zero and the
 transaction efficiency η was 1.0."
 
-Here a single account both sets the price and buys, alternating; because all
-transactions share one sender, nonce order pins the block order and every
-transaction must succeed regardless of scenario or miner policy.
+The workload itself (one account alternating set/buy) lives in
+:mod:`repro.api.workloads` as the registered ``sequential`` workload; this
+module keeps the historical config/result types and runs the spec through
+the facade.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
-from ..chain.genesis import GenesisConfig
-from ..clients.market import PriceSetter
-from ..consensus.interval import PoissonInterval
-from ..consensus.policies import ArrivalJitterPolicy, RandomPolicy
-from ..contracts.sereth import SerethContract, genesis_storage, initial_mark
-from ..core.hms.fpv import BUY_FLAG
-from ..core.metrics import MetricsCollector, ThroughputReport
-from ..crypto.addresses import address_from_label
-from ..encoding.hexutil import to_bytes32
-from ..net.latency import UniformLatency
-from ..net.mining import BlockProductionProcess
-from ..net.network import Network
-from ..net.peer import GETH_CLIENT, Peer
-from ..net.sim import Simulator
-from .runner import sereth_contract_address
+from ..api.engine import run_simulation
+from ..api.spec import SimulationSpec, freeze_params
+from ..core.metrics import ThroughputReport
+from .scenario import GETH_UNMODIFIED
 
 __all__ = ["SequentialHistoryConfig", "SequentialHistoryResult", "run_sequential_history"]
 
@@ -59,71 +49,29 @@ class SequentialHistoryResult:
         return self.report.efficiency
 
 
+def sequential_spec(config: SequentialHistoryConfig) -> SimulationSpec:
+    """The facade spec for a sequential-history run."""
+    return SimulationSpec(
+        scenario=GETH_UNMODIFIED,
+        workload="sequential",
+        workload_params=freeze_params(
+            {
+                "num_pairs": config.num_pairs,
+                "submission_interval": config.submission_interval,
+            }
+        ),
+        num_miners=1,
+        num_client_peers=1,
+        block_interval=config.block_interval,
+        gossip_latency=0.06,
+        gossip_jitter=0.04,
+        miner_policy="random" if config.random_miner_order else "arrival_jitter",
+        seed=config.seed,
+    )
+
+
 def run_sequential_history(config: Optional[SequentialHistoryConfig] = None) -> SequentialHistoryResult:
     """Run the single-sender experiment and report its efficiency."""
     config = config or SequentialHistoryConfig()
-    simulator = Simulator()
-    network = Network(simulator, latency=UniformLatency(0.02, 0.1, seed=config.seed), seed=config.seed)
-
-    trader_label = "solo-trader"
-    trader_address = address_from_label(trader_label)
-    contract = sereth_contract_address()
-    genesis = GenesisConfig.for_labels([trader_label])
-    genesis.fund(address_from_label("miner/miner-0"))
-    genesis.deploy_contract(contract, "Sereth", storage=genesis_storage(trader_address, contract))
-
-    miner_peer = network.add_peer(Peer("miner-0", genesis, client_kind=GETH_CLIENT))
-    client_peer = network.add_peer(Peer("client-0", genesis, client_kind=GETH_CLIENT))
-
-    production = BlockProductionProcess(
-        simulator,
-        network,
-        interval_model=PoissonInterval(mean=config.block_interval, seed=config.seed + 1),
-        seed=config.seed + 2,
-    )
-    policy = (
-        RandomPolicy(seed=config.seed + 3)
-        if config.random_miner_order
-        else ArrivalJitterPolicy(seed=config.seed + 3)
-    )
-    production.register_miner(miner_peer, policy=policy)
-
-    metrics = MetricsCollector()
-    # One account plays both roles: it tracks its own mark chain in program
-    # order, so every set references the correct previous mark and every buy
-    # references the mark/price its immediately preceding set installed.
-    setter = PriceSetter(trader_label, client_peer, simulator, contract)
-    setter.prime_mark(initial_mark(contract))
-
-    def make_pair(pair_index: int):
-        price = 100 + pair_index
-
-        def fire() -> None:
-            set_transaction = setter.set_price(price)
-            metrics.watch(set_transaction, "set", submitted_at=set_transaction.submitted_at)
-            # The buy is issued by the same account immediately after its set,
-            # referencing the mark that set will install.
-            offer = [BUY_FLAG, setter._last_mark, to_bytes32(price)]
-            calldata = SerethContract.function_by_name("buy").abi.encode_call(offer)
-            buy_transaction = setter.send_transaction(to=contract, data=calldata)
-            metrics.watch(buy_transaction, "buy", submitted_at=buy_transaction.submitted_at)
-
-        return fire
-
-    for pair_index in range(config.num_pairs):
-        simulator.schedule_at(1.0 + pair_index * config.submission_interval, make_pair(pair_index))
-
-    production.start()
-    deadline = 1.0 + config.num_pairs * config.submission_interval + 8 * config.block_interval
-
-    def all_committed() -> bool:
-        records = metrics.records()
-        return len(records) == 2 * config.num_pairs and all(r.committed for r in records)
-
-    while simulator.now < deadline and not all_committed():
-        simulator.run_until(simulator.now + config.block_interval)
-        metrics.resolve_from_chain(miner_peer.chain)
-    production.stop()
-    metrics.resolve_from_chain(miner_peer.chain)
-
-    return SequentialHistoryResult(config=config, report=metrics.report())
+    result = run_simulation(sequential_spec(config))
+    return SequentialHistoryResult(config=config, report=result.metrics.report())

@@ -6,37 +6,22 @@ committed, then the operator's answering transaction must be committed,
 before the consumer can read the value — at least one to two block intervals
 of latency.  RAA answers a local view call immediately.
 
-``run_raa_vs_oracle`` measures both paths on the same network: a consumer
-repeatedly wants the current Sereth price; via the oracle it issues request
-transactions and waits for answers, via RAA it calls ``get`` on its Sereth
-peer.  The result reports the data latency distribution of each path (this
-is benchmark A5 in DESIGN.md).
+The consumer/operator wiring lives in :mod:`repro.api.workloads` as the
+registered ``oracle`` workload (so it is also sweepable like any other);
+this module keeps the historical config/result types and runs the spec
+through the facade (this is benchmark A5 in DESIGN.md).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
-from ..chain.genesis import GenesisConfig
-from ..clients.base import ContractClient
-from ..clients.market import PriceSetter
-from ..consensus.interval import PoissonInterval
-from ..consensus.policies import ArrivalJitterPolicy
-from ..contracts.oracle import ANSWER_EVENT, OracleContract
-from ..contracts.sereth import SET_SELECTOR, genesis_storage, initial_mark
-from ..crypto.addresses import address_from_label
-from ..encoding.hexutil import bytes32_from_int, int_from_bytes32, to_bytes32
-from ..net.latency import UniformLatency
-from ..net.mining import BlockProductionProcess
-from ..net.network import Network
-from ..net.peer import Peer, SERETH_CLIENT
-from ..net.sim import Simulator
-from .service import OracleOperator
+from ..api.engine import run_simulation
+from ..api.spec import SimulationSpec, freeze_params
+from ..experiments.scenario import SERETH_CLIENT_SCENARIO
 
 __all__ = ["OracleComparisonConfig", "OracleComparisonResult", "run_raa_vs_oracle"]
-
-_REQUEST_ABI = OracleContract.function_by_name("request").abi
 
 
 @dataclass
@@ -80,123 +65,34 @@ class OracleComparisonResult:
         return self.mean_oracle_latency / raa
 
 
+def oracle_comparison_spec(config: OracleComparisonConfig) -> SimulationSpec:
+    """The facade spec for an oracle-comparison run."""
+    return SimulationSpec(
+        scenario=SERETH_CLIENT_SCENARIO,
+        workload="oracle",
+        workload_params=freeze_params(
+            {
+                "num_queries": config.num_queries,
+                "query_interval": config.query_interval,
+                "price_change_interval": config.price_change_interval,
+            }
+        ),
+        num_miners=1,
+        num_client_peers=1,
+        block_interval=config.block_interval,
+        gossip_latency=0.06,
+        gossip_jitter=0.04,
+        seed=config.seed,
+    )
+
+
 def run_raa_vs_oracle(config: Optional[OracleComparisonConfig] = None) -> OracleComparisonResult:
     """Run both data paths side by side on one simulated network."""
     config = config or OracleComparisonConfig()
-    simulator = Simulator()
-    network = Network(simulator, latency=UniformLatency(0.02, 0.1, seed=config.seed), seed=config.seed)
-
-    owner = "oracle-owner"
-    consumer = "oracle-consumer"
-    operator_label = "oracle-operator"
-    sereth_address = address_from_label("sereth-exchange")
-    oracle_address = address_from_label("oracle-contract")
-
-    genesis = GenesisConfig.for_labels([owner, consumer, operator_label])
-    genesis.fund(address_from_label("miner/miner-0"))
-    genesis.deploy_contract(
-        sereth_address, "Sereth", storage=genesis_storage(address_from_label(owner), sereth_address)
-    )
-    genesis.deploy_contract(
-        oracle_address,
-        "Oracle",
-        storage={
-            to_bytes32(0): to_bytes32(address_from_label(operator_label)),
-            to_bytes32(1): to_bytes32(0),
-        },
-    )
-
-    miner_peer = network.add_peer(Peer("miner-0", genesis, client_kind=SERETH_CLIENT))
-    client_peer = network.add_peer(Peer("client-0", genesis, client_kind=SERETH_CLIENT))
-    for peer in (miner_peer, client_peer):
-        peer.install_hms(sereth_address, SET_SELECTOR)
-
-    production = BlockProductionProcess(
-        simulator,
-        network,
-        interval_model=PoissonInterval(mean=config.block_interval, seed=config.seed + 1),
-        seed=config.seed + 2,
-    )
-    production.register_miner(miner_peer, policy=ArrivalJitterPolicy(seed=config.seed + 3))
-
-    # Price setter keeps the Sereth price moving so there is fresh data to fetch.
-    setter = PriceSetter(owner, client_peer, simulator, sereth_address)
-    setter.prime_mark(initial_mark(sereth_address))
-
-    def change_price(step: int):
-        def fire() -> None:
-            setter.set_price(100 + step)
-
-        return fire
-
-    total_duration = config.num_queries * config.query_interval + 6 * config.block_interval
-    price_steps = int(total_duration / config.price_change_interval)
-    for step in range(price_steps):
-        simulator.schedule_at(0.5 + step * config.price_change_interval, change_price(step))
-
-    # The oracle operator answers with the committed Sereth price at answer time.
-    def price_source(query: bytes) -> bytes:
-        return miner_peer.chain.state.get_storage(sereth_address, bytes32_from_int(2))
-
-    operator = OracleOperator(
-        operator_label, miner_peer, simulator, oracle_address, data_source=price_source
-    )
-    operator.start()
-
-    consumer_client = ContractClient(consumer, client_peer, simulator)
-    raa_latencies: List[float] = []
-    request_times: Dict[int, float] = {}
-    expected_request_ids = iter(range(config.num_queries))
-
-    def query_via_both():
-        def fire() -> None:
-            # RAA path: a local view call answers immediately; latency is the
-            # (simulated) zero-duration call, recorded as 0 plus nothing else.
-            started = simulator.now
-            placeholder = [to_bytes32(0)] * 3
-            consumer_client.call(sereth_address, "get", [placeholder])
-            raa_latencies.append(simulator.now - started)
-            # Oracle path: send a request transaction; the answer becomes
-            # readable only after the operator's answer transaction commits.
-            request_id = next(expected_request_ids)
-            request_times[request_id] = started
-            consumer_client.send_transaction(
-                to=oracle_address, data=_REQUEST_ABI.encode_call(to_bytes32(b"sereth-price"))
-            )
-
-        return fire
-
-    for query_index in range(config.num_queries):
-        simulator.schedule_at(5.0 + query_index * config.query_interval, query_via_both())
-
-    production.start()
-    simulator.run_until(total_duration)
-    production.stop()
-    simulator.run_until(total_duration + 2 * config.block_interval)
-
-    # An oracle answer is usable once the answering transaction is committed:
-    # find, for each request id, the block timestamp of the answer.
-    oracle_latencies: List[float] = []
-    unanswered = 0
-    chain = client_peer.chain
-    answer_commit_times: Dict[int, float] = {}
-    for block in chain.blocks():
-        for receipt in block.receipts:
-            if not receipt.success:
-                continue
-            for log in receipt.logs:
-                if log.address == oracle_address and log.topics and log.topics[0] == ANSWER_EVENT:
-                    request_id = int_from_bytes32(log.topics[1])
-                    answer_commit_times.setdefault(request_id, block.timestamp)
-    for request_id, started in request_times.items():
-        if request_id in answer_commit_times:
-            oracle_latencies.append(answer_commit_times[request_id] - started)
-        else:
-            unanswered += 1
-
+    result = run_simulation(oracle_comparison_spec(config))
     return OracleComparisonResult(
         config=config,
-        raa_latencies=raa_latencies,
-        oracle_latencies=oracle_latencies,
-        oracle_unanswered=unanswered,
+        raa_latencies=result.extras["raa_latencies"],
+        oracle_latencies=result.extras["oracle_latencies"],
+        oracle_unanswered=result.extras["oracle_unanswered"],
     )

@@ -1,0 +1,126 @@
+"""Sweep engine tests: grid expansion, deterministic seeding, serial == parallel."""
+
+import json
+
+import pytest
+
+from repro.api import Simulation, Sweep, derive_seed
+
+
+def small_base(seed: int = 3):
+    return (
+        Simulation.builder()
+        .scenario("geth_unmodified")
+        .workload("market", num_buys=8, num_buyers=2, buys_per_set=2.0)
+        .miners(1)
+        .clients(2)
+        .settle_blocks(3)
+        .seed(seed)
+        .build()
+    )
+
+
+class TestGridExpansion:
+    def test_cell_count_is_the_product_of_dimensions_and_trials(self):
+        sweep = (
+            Sweep(small_base())
+            .over(scenario=["geth_unmodified", "semantic_mining"], buys_per_set=[1.0, 2.0, 4.0])
+            .trials(3)
+        )
+        jobs = sweep.jobs()
+        assert len(jobs) == 2 * 3 * 3
+
+    def test_dimensions_land_in_the_right_place(self):
+        jobs = (
+            Sweep(small_base())
+            .over(scenario=["semantic_mining"], buys_per_set=[4.0], block_interval=[5.0])
+            .jobs()
+        )
+        spec, tags = jobs[0]
+        assert spec.scenario.name == "semantic_mining"  # scenario dimension
+        assert spec.block_interval == 5.0  # spec-field dimension
+        assert spec.params["buys_per_set"] == 4.0  # workload-param dimension
+        assert tags["scenario"] == "semantic_mining"
+        assert tags["trial"] == 0
+
+    def test_per_trial_seeds_are_deterministic_and_distinct(self):
+        sweep = Sweep(small_base()).over(buys_per_set=[1.0, 2.0]).trials(2)
+        seeds = [spec.seed for spec in sweep.specs()]
+        assert len(set(seeds)) == len(seeds)  # every cell/trial differs
+        assert seeds == [spec.seed for spec in sweep.specs()]  # stable re-expansion
+
+    def test_seed_derivation_is_rooted_at_the_base_seed(self):
+        first = [spec.seed for spec in Sweep(small_base(seed=1)).over(buys_per_set=[1.0]).specs()]
+        second = [spec.seed for spec in Sweep(small_base(seed=2)).over(buys_per_set=[1.0]).specs()]
+        assert first != second
+
+    def test_empty_dimension_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            Sweep(small_base()).over(buys_per_set=[])
+
+    def test_bad_trials_rejected(self):
+        with pytest.raises(ValueError):
+            Sweep(small_base()).trials(0)
+
+    def test_derive_seed_is_stable(self):
+        assert derive_seed(3, "a", 1) == derive_seed(3, "a", 1)
+        assert derive_seed(3, "a", 1) != derive_seed(3, "a", 2)
+
+
+class TestExecution:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return (
+            Sweep(small_base())
+            .over(
+                scenario=["geth_unmodified", "sereth_client", "semantic_mining"],
+                buys_per_set=[1.0, 2.0, 10.0],
+            )
+            .trials(1)
+        )
+
+    def test_serial_and_parallel_runs_are_byte_identical(self, sweep):
+        """The acceptance criterion: a 3-scenario x 3-ratio sweep with
+        workers=4 produces byte-identical metrics to the serial run."""
+        serial = sweep.run(workers=1)
+        parallel = sweep.run(workers=4)
+        assert serial.to_json() == parallel.to_json()
+        assert serial.to_csv() == parallel.to_csv()
+
+    def test_rows_carry_efficiency_and_reports(self, sweep):
+        result = sweep.run(workers=1)
+        assert len(result) == 9
+        for row in result:
+            assert 0.0 <= row.efficiency <= 1.0
+            assert row.report("buy")["submitted"] == 8
+
+    def test_filter_and_mean_efficiency(self, sweep):
+        result = sweep.run(workers=1)
+        semantic = result.filter(scenario="semantic_mining")
+        assert len(semantic) == 3
+        assert result.mean_efficiency(scenario="semantic_mining") >= result.mean_efficiency(
+            scenario="geth_unmodified"
+        )
+        with pytest.raises(KeyError):
+            result.mean_efficiency(scenario="nonexistent")
+
+    def test_exports_write_files(self, sweep, tmp_path):
+        result = sweep.run(workers=1)
+        json_path = tmp_path / "rows.json"
+        csv_path = tmp_path / "rows.csv"
+        result.to_json(json_path)
+        result.to_csv(csv_path)
+        rows = json.loads(json_path.read_text())
+        assert len(rows) == 9
+        header = csv_path.read_text().splitlines()[0]
+        assert "scenario" in header and "efficiency" in header
+
+    def test_keep_results_requires_serial(self, sweep):
+        with pytest.raises(ValueError, match="serial"):
+            sweep.run(workers=2, keep_results=True)
+
+    def test_keep_results_attaches_live_results(self):
+        sweep = Sweep(small_base()).over(buys_per_set=[1.0]).trials(1)
+        result = sweep.run(workers=1, keep_results=True)
+        assert result.rows[0].result is not None
+        assert result.rows[0].result.reports["buy"].submitted == 8
