@@ -41,11 +41,19 @@ _SPEC_FIELD_NAMES = {spec_field.name for spec_field in dataclass_fields(Simulati
 
 def _run_job(job: Tuple[SimulationSpec, Dict[str, Any]]) -> Dict[str, Any]:
     """Worker entry point: run one spec and return its picklable row."""
+    from ..chain.trie import clear_root_cache
+    from ..crypto.keccak import clear_hash_cache
     from .engine import run_simulation
 
     spec, tags = job
     result = run_simulation(spec)
-    return {"tags": tags, "summary": result.summary()}
+    row = {"tags": tags, "summary": result.summary()}
+    # Pool workers are long-lived: drop the per-run memos (digests and
+    # ordered-trie roots) so a large sweep's memory stays bounded by one run,
+    # not the whole grid.
+    clear_hash_cache()
+    clear_root_cache()
+    return row
 
 
 @dataclass

@@ -17,6 +17,13 @@ referenced by their Keccak-256 hash, exactly like the real structure, so
 roots computed here match the shape (and the collision resistance) of
 Ethereum's, even though this reproduction does not need byte-for-byte
 mainnet compatibility.
+
+Incremental commitment: every node memoises its RLP form and its reference
+(inline RLP or hash).  A ``put``/``delete`` clears those memos only along the
+mutated path, so a subsequent ``root()`` re-encodes O(changed path) nodes
+instead of the whole structure — the difference between per-block commits
+costing O(depth) and O(n) as history grows.  ``delete`` is structural
+(leaf removal with extension/branch collapse), not a rebuild.
 """
 
 from __future__ import annotations
@@ -26,7 +33,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..crypto.keccak import keccak256
 from ..encoding.rlp import rlp_decode, rlp_encode
 
-__all__ = ["MerklePatriciaTrie", "trie_root", "ordered_trie_root", "verify_proof", "ProofError"]
+__all__ = [
+    "MerklePatriciaTrie",
+    "trie_root",
+    "ordered_trie_root",
+    "clear_root_cache",
+    "verify_proof",
+    "ProofError",
+]
 
 EMPTY_ROOT = keccak256(rlp_encode(b""))
 
@@ -75,16 +89,75 @@ def _common_prefix_length(left: Sequence[int], right: Sequence[int]) -> int:
     return length
 
 
-class MerklePatriciaTrie:
-    """An in-memory hexary Merkle Patricia trie with proofs."""
+class _Node:
+    """Base of the three node kinds; carries the encoding memo.
+
+    ``rlp_memo`` is the node's RLP structure, ``ref_memo`` the parent-visible
+    reference (the RLP structure itself when its encoding is < 32 bytes, the
+    32-byte Keccak hash otherwise).  Both are cleared whenever the node or
+    anything beneath it changes; mutation helpers on the trie clear them
+    bottom-up along exactly the touched path.
+    """
+
+    __slots__ = ("rlp_memo", "ref_memo")
+
+    kind = ""
 
     def __init__(self) -> None:
-        # Internal representation: nested Python node structures.
-        #   None                      — empty
-        #   ("leaf", nibbles, value)
-        #   ("ext", nibbles, child)
-        #   ("branch", [16 children], value-or-None)
-        self._root_node = None
+        self.rlp_memo = None
+        self.ref_memo = None
+
+    def invalidate(self) -> None:
+        self.rlp_memo = None
+        self.ref_memo = None
+
+
+class _Leaf(_Node):
+    __slots__ = ("path", "value")
+
+    kind = "leaf"
+
+    def __init__(self, path: List[int], value: bytes) -> None:
+        super().__init__()
+        self.path = path
+        self.value = value
+
+
+class _Extension(_Node):
+    __slots__ = ("path", "child")
+
+    kind = "ext"
+
+    def __init__(self, path: List[int], child: "_Node") -> None:
+        super().__init__()
+        self.path = path
+        self.child = child
+
+
+class _Branch(_Node):
+    __slots__ = ("children", "value")
+
+    kind = "branch"
+
+    def __init__(self, children: List[Optional["_Node"]], value: Optional[bytes]) -> None:
+        super().__init__()
+        self.children = children
+        self.value = value
+
+    def child_count(self) -> int:
+        return sum(1 for child in self.children if child is not None)
+
+
+class MerklePatriciaTrie:
+    """An in-memory hexary Merkle Patricia trie with proofs.
+
+    Node encodings are memoised per node and invalidated along the mutated
+    path, so ``root()`` after k single-key updates costs O(k · depth)
+    re-encodings regardless of how many keys the trie holds.
+    """
+
+    def __init__(self) -> None:
+        self._root_node: Optional[_Node] = None
         self._items: Dict[bytes, bytes] = {}
 
     # -- public API -----------------------------------------------------------------
@@ -110,25 +183,26 @@ class MerklePatriciaTrie:
         self._root_node = self._insert(self._root_node, _to_nibbles(key), value)
 
     def delete(self, key: bytes) -> None:
-        """Remove ``key`` (no-op when absent).  Rebuilds from the item map —
-        deletion is rare in this codebase (only storage clears), so clarity
-        wins over an incremental delete."""
+        """Remove ``key`` (no-op when absent) by structural deletion: the
+        leaf is unlinked and any single-child branches / chained extensions
+        left behind collapse back into canonical form."""
         key = bytes(key)
         if key not in self._items:
             return
         del self._items[key]
-        self._root_node = None
-        for stored_key, stored_value in self._items.items():
-            self._root_node = self._insert(self._root_node, _to_nibbles(stored_key), stored_value)
+        self._root_node = self._delete(self._root_node, _to_nibbles(key))
 
     def root(self) -> bytes:
         """The 32-byte Merkle root (the hash of the empty string for an empty trie)."""
-        if self._root_node is None:
+        node = self._root_node
+        if node is None:
             return EMPTY_ROOT
-        encoded = self._encode_node(self._root_node)
-        if isinstance(encoded, bytes) and len(encoded) == 32:
-            return encoded
-        return keccak256(rlp_encode(self._node_to_rlp(self._root_node)))
+        reference = self._encode_node(node)
+        if isinstance(reference, bytes) and len(reference) == 32:
+            return reference
+        # The root node is embedded (its encoding is < 32 bytes): the root is
+        # the hash of that encoding.
+        return keccak256(rlp_encode(self._node_to_rlp(node)))
 
     def items(self) -> List[Tuple[bytes, bytes]]:
         return sorted(self._items.items())
@@ -142,114 +216,189 @@ class MerklePatriciaTrie:
         nibbles = _to_nibbles(bytes(key))
         while node is not None:
             proof.append(rlp_encode(self._node_to_rlp(node)))
-            kind = node[0]
-            if kind == "leaf":
+            if node.kind == "leaf":
                 break
-            if kind == "ext":
-                _, path, child = node
-                if nibbles[: len(path)] != list(path):
+            if node.kind == "ext":
+                path = node.path
+                if nibbles[: len(path)] != path:
                     break
                 nibbles = nibbles[len(path):]
-                node = child
+                node = node.child
                 continue
             # branch
-            _, children, value = node
             if not nibbles:
                 break
-            child = children[nibbles[0]]
+            node = node.children[nibbles[0]]
             nibbles = nibbles[1:]
-            node = child
         return proof
 
     # -- insertion ---------------------------------------------------------------------
 
-    def _insert(self, node, nibbles: List[int], value: bytes):
+    def _insert(self, node: Optional[_Node], nibbles: List[int], value: bytes) -> _Node:
         if node is None:
-            return ("leaf", nibbles, value)
-        kind = node[0]
-        if kind == "leaf":
+            return _Leaf(nibbles, value)
+        if node.kind == "leaf":
             return self._insert_into_leaf(node, nibbles, value)
-        if kind == "ext":
+        if node.kind == "ext":
             return self._insert_into_extension(node, nibbles, value)
         return self._insert_into_branch(node, nibbles, value)
 
-    def _insert_into_leaf(self, node, nibbles, value):
-        _, existing_path, existing_value = node
-        if list(existing_path) == list(nibbles):
-            return ("leaf", nibbles, value)
-        common = _common_prefix_length(existing_path, nibbles)
-        branch_children: List[object] = [None] * 16
-        branch_value = None
-        remaining_existing = list(existing_path[common:])
-        remaining_new = list(nibbles[common:])
+    def _insert_into_leaf(self, node: _Leaf, nibbles: List[int], value: bytes) -> _Node:
+        if node.path == nibbles:
+            node.value = value
+            node.invalidate()
+            return node
+        common = _common_prefix_length(node.path, nibbles)
+        branch_children: List[Optional[_Node]] = [None] * 16
+        branch_value: Optional[bytes] = None
+        remaining_existing = node.path[common:]
+        remaining_new = nibbles[common:]
         if not remaining_existing:
-            branch_value = existing_value
+            branch_value = node.value
         else:
-            branch_children[remaining_existing[0]] = ("leaf", remaining_existing[1:], existing_value)
+            branch_children[remaining_existing[0]] = _Leaf(remaining_existing[1:], node.value)
         if not remaining_new:
             branch_value = value
         else:
-            branch_children[remaining_new[0]] = ("leaf", remaining_new[1:], value)
-        branch = ("branch", branch_children, branch_value)
+            branch_children[remaining_new[0]] = _Leaf(remaining_new[1:], value)
+        branch = _Branch(branch_children, branch_value)
         if common:
-            return ("ext", list(nibbles[:common]), branch)
+            return _Extension(nibbles[:common], branch)
         return branch
 
-    def _insert_into_extension(self, node, nibbles, value):
-        _, path, child = node
-        common = _common_prefix_length(path, nibbles)
-        if common == len(path):
-            new_child = self._insert(child, list(nibbles[common:]), value)
-            return ("ext", list(path), new_child)
-        branch_children: List[object] = [None] * 16
-        branch_value = None
+    def _insert_into_extension(self, node: _Extension, nibbles: List[int], value: bytes) -> _Node:
+        common = _common_prefix_length(node.path, nibbles)
+        if common == len(node.path):
+            node.child = self._insert(node.child, nibbles[common:], value)
+            node.invalidate()
+            return node
+        branch_children: List[Optional[_Node]] = [None] * 16
+        branch_value: Optional[bytes] = None
         # The existing extension's remainder.
-        remaining_path = list(path[common:])
-        descendant = child if len(remaining_path) == 1 else ("ext", remaining_path[1:], child)
+        remaining_path = node.path[common:]
+        if len(remaining_path) == 1:
+            descendant: _Node = node.child
+        else:
+            descendant = _Extension(remaining_path[1:], node.child)
         branch_children[remaining_path[0]] = descendant
         # The new key's remainder.
-        remaining_new = list(nibbles[common:])
+        remaining_new = nibbles[common:]
         if not remaining_new:
             branch_value = value
         else:
-            branch_children[remaining_new[0]] = ("leaf", remaining_new[1:], value)
-        branch = ("branch", branch_children, branch_value)
+            branch_children[remaining_new[0]] = _Leaf(remaining_new[1:], value)
+        branch = _Branch(branch_children, branch_value)
         if common:
-            return ("ext", list(nibbles[:common]), branch)
+            return _Extension(nibbles[:common], branch)
         return branch
 
-    def _insert_into_branch(self, node, nibbles, value):
-        _, children, branch_value = node
-        children = list(children)
+    def _insert_into_branch(self, node: _Branch, nibbles: List[int], value: bytes) -> _Node:
         if not nibbles:
-            return ("branch", children, value)
+            node.value = value
+            node.invalidate()
+            return node
         index = nibbles[0]
-        children[index] = self._insert(children[index], list(nibbles[1:]), value)
-        return ("branch", children, branch_value)
+        node.children[index] = self._insert(node.children[index], nibbles[1:], value)
+        node.invalidate()
+        return node
+
+    # -- deletion ----------------------------------------------------------------------
+
+    def _delete(self, node: Optional[_Node], nibbles: List[int]) -> Optional[_Node]:
+        """Remove ``nibbles`` from the subtree under ``node``; returns the
+        canonical replacement subtree (None when it becomes empty).
+
+        The caller guarantees the key is present, so every path below ends in
+        a leaf removal or a branch-value clear; on the way back up any branch
+        left with a single child and no value collapses into its child.
+        """
+        if node is None:  # pragma: no cover - guarded by the item map
+            return None
+        if node.kind == "leaf":
+            # The item map guarantees node.path == nibbles.
+            return None
+        if node.kind == "ext":
+            node.child = self._delete(node.child, nibbles[len(node.path):])
+            return self._collapse_extension(node)
+        # branch
+        if not nibbles:
+            node.value = None
+        else:
+            index = nibbles[0]
+            node.children[index] = self._delete(node.children[index], nibbles[1:])
+        return self._collapse_branch(node)
+
+    def _collapse_extension(self, node: _Extension) -> Optional[_Node]:
+        """Re-canonicalise an extension whose child subtree just changed."""
+        child = node.child
+        if child is None:
+            return None
+        if child.kind == "leaf":
+            # ext(p) + leaf(q) -> leaf(p + q)
+            return _Leaf(node.path + child.path, child.value)
+        if child.kind == "ext":
+            # ext(p) + ext(q) -> ext(p + q)
+            return _Extension(node.path + child.path, child.child)
+        node.invalidate()
+        return node
+
+    def _collapse_branch(self, node: _Branch) -> Optional[_Node]:
+        """Collapse a branch that may have lost children or its value."""
+        count = node.child_count()
+        if count == 0:
+            if node.value is None:
+                return None
+            # Only the value slot remains: the branch becomes a leaf with an
+            # empty path.
+            return _Leaf([], node.value)
+        if count == 1 and node.value is None:
+            # A single child: splice the branch out, prefixing the child with
+            # the nibble that selected it.
+            index = next(
+                child_index
+                for child_index, child in enumerate(node.children)
+                if child is not None
+            )
+            child = node.children[index]
+            if child.kind == "leaf":
+                return _Leaf([index] + child.path, child.value)
+            if child.kind == "ext":
+                return _Extension([index] + child.path, child.child)
+            return _Extension([index], child)
+        node.invalidate()
+        return node
 
     # -- encoding -----------------------------------------------------------------------
 
-    def _node_to_rlp(self, node):
-        kind = node[0]
-        if kind == "leaf":
-            _, path, value = node
-            return [_hex_prefix_encode(path, True), value]
-        if kind == "ext":
-            _, path, child = node
-            return [_hex_prefix_encode(path, False), self._encode_node(child)]
-        _, children, value = node
-        encoded_children = [self._encode_node(child) if child is not None else b"" for child in children]
-        return encoded_children + [value if value is not None else b""]
+    def _node_to_rlp(self, node: _Node):
+        memo = node.rlp_memo
+        if memo is not None:
+            return memo
+        if node.kind == "leaf":
+            rlp_form = [_hex_prefix_encode(node.path, True), node.value]
+        elif node.kind == "ext":
+            rlp_form = [_hex_prefix_encode(node.path, False), self._encode_node(node.child)]
+        else:
+            rlp_form = [
+                self._encode_node(child) if child is not None else b""
+                for child in node.children
+            ]
+            rlp_form.append(node.value if node.value is not None else b"")
+        node.rlp_memo = rlp_form
+        return rlp_form
 
-    def _encode_node(self, node):
+    def _encode_node(self, node: Optional[_Node]):
         """Return the node reference: inline RLP if < 32 bytes, else its hash."""
         if node is None:
             return b""
+        memo = node.ref_memo
+        if memo is not None:
+            return memo
         rlp_form = self._node_to_rlp(node)
         encoded = rlp_encode(rlp_form)
-        if len(encoded) < 32:
-            return rlp_form
-        return keccak256(encoded)
+        reference = rlp_form if len(encoded) < 32 else keccak256(encoded)
+        node.ref_memo = reference
+        return reference
 
 
 def trie_root(items: Dict[bytes, bytes]) -> bytes:
@@ -260,13 +409,45 @@ def trie_root(items: Dict[bytes, bytes]) -> bytes:
     return trie.root()
 
 
-def ordered_trie_root(values: Sequence[bytes]) -> bytes:
-    """Root of a trie keyed by RLP-encoded list index — how Ethereum commits to
-    a block's transaction and receipt lists."""
+def _ordered_trie_root_uncached(values: Tuple[bytes, ...]) -> bytes:
     trie = MerklePatriciaTrie()
     for index, value in enumerate(values):
         trie.put(rlp_encode(index), value)
     return trie.root()
+
+
+_ORDERED_ROOT_CACHE: Dict[Tuple[bytes, ...], bytes] = {}
+_ORDERED_ROOT_CACHE_MAX = 4096
+
+
+def clear_root_cache() -> None:
+    """Drop the ordered-trie-root memo (pure ``values -> root`` pairs).
+
+    Part of the per-engine-run cache lifecycle: long-lived sweep workers
+    clear this together with the keccak digest memo so their memory stays
+    bounded by one run.
+    """
+    _ORDERED_ROOT_CACHE.clear()
+
+
+def ordered_trie_root(values: Sequence[bytes]) -> bytes:
+    """Root of a trie keyed by RLP-encoded list index — how Ethereum commits to
+    a block's transaction and receipt lists.
+
+    Memoised on the value tuple: the miner that builds a block and every peer
+    that validates it compute the same commitment over the same list, so each
+    distinct list is committed once per process.  The memo is bounded (FIFO
+    eviction) and holds only pure ``values -> root`` pairs.
+    """
+    key = tuple(bytes(value) for value in values)
+    cached = _ORDERED_ROOT_CACHE.get(key)
+    if cached is not None:
+        return cached
+    root = _ordered_trie_root_uncached(key)
+    if len(_ORDERED_ROOT_CACHE) >= _ORDERED_ROOT_CACHE_MAX:
+        _ORDERED_ROOT_CACHE.pop(next(iter(_ORDERED_ROOT_CACHE)))
+    _ORDERED_ROOT_CACHE[key] = root
+    return root
 
 
 def verify_proof(root: bytes, key: bytes, value: bytes, proof: Sequence[bytes]) -> bool:

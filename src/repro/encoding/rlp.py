@@ -48,9 +48,22 @@ def _to_binary(item: RLPItem) -> bytes:
 
 def rlp_encode(item: RLPItem) -> bytes:
     """Encode an item (bytes, int, str, or nested sequence) as RLP."""
+    # Exact-type fast path for the two overwhelmingly common cases (raw bytes
+    # and small lists of encodables); subclasses and other types fall through
+    # to the general conversion.
+    if type(item) is bytes:
+        length = len(item)
+        if length == 1 and item[0] < 0x80:
+            return item
+        if length < 56:
+            return bytes((0x80 + length,)) + item
+        return _encode_length(length, 0x80) + item
     if isinstance(item, (list, tuple)):
         payload = b"".join(rlp_encode(element) for element in item)
-        return _encode_length(len(payload), 0xC0) + payload
+        payload_length = len(payload)
+        if payload_length < 56:
+            return bytes((0xC0 + payload_length,)) + payload
+        return _encode_length(payload_length, 0xC0) + payload
     raw = _to_binary(item)
     if len(raw) == 1 and raw[0] < 0x80:
         return raw

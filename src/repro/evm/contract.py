@@ -96,7 +96,15 @@ class Contract:
 
     @classmethod
     def functions(cls) -> Dict[bytes, ContractFunction]:
-        """Selector → function metadata for every declared entry point."""
+        """Selector → function metadata for every declared entry point.
+
+        Built once per class and memoised (``dir()`` + selector hashing on
+        every dispatch was a measurable slice of EVM execution); the returned
+        table is shared, so callers must treat it as read-only.
+        """
+        cached = cls.__dict__.get("_functions_table")
+        if cached is not None:
+            return cached
         table: Dict[bytes, ContractFunction] = {}
         for attribute_name in dir(cls):
             attribute = getattr(cls, attribute_name)
@@ -116,6 +124,7 @@ class Contract:
                 raa_arguments=metadata["raa_arguments"],
             )
             table[declared.selector] = declared
+        cls._functions_table = table
         return table
 
     @classmethod

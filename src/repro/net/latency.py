@@ -11,6 +11,18 @@ from __future__ import annotations
 import random
 from typing import Optional, Protocol
 
+def _seeded_rng(seed: Optional[int]) -> random.Random:
+    """An RNG for one model instance.
+
+    ``seed=None`` draws fresh OS entropy, so two models built without an
+    explicit seed never share a stream.  (The old default of ``seed=0`` made
+    every unseeded instance replay the *same* sequence — a silent correlation
+    between supposedly independent links.)  Reproducible runs must thread a
+    spec-derived seed, as :class:`repro.api.engine.SimulationHandle` does via
+    :class:`~repro.api.seeding.SeedPlan`.
+    """
+    return random.Random(seed)
+
 __all__ = [
     "LatencyModel",
     "ConstantLatency",
@@ -42,12 +54,14 @@ class ConstantLatency:
 class UniformLatency:
     """Deliveries take a uniform random time in [low, high] seconds."""
 
-    def __init__(self, low: float = 0.02, high: float = 0.2, seed: int = 0) -> None:
+    def __init__(
+        self, low: float = 0.02, high: float = 0.2, seed: Optional[int] = None
+    ) -> None:
         if low < 0 or high < low:
             raise ValueError("require 0 <= low <= high")
         self.low = low
         self.high = high
-        self._rng = random.Random(seed)
+        self._rng = _seeded_rng(seed)
 
     def sample(self, source_id: str, destination_id: str) -> float:
         return self._rng.uniform(self.low, self.high)
@@ -57,14 +71,18 @@ class NormalLatency:
     """Gaussian latency with a floor, modelling a typical WAN distribution."""
 
     def __init__(
-        self, mean: float = 0.1, stddev: float = 0.03, minimum: float = 0.005, seed: int = 0
+        self,
+        mean: float = 0.1,
+        stddev: float = 0.03,
+        minimum: float = 0.005,
+        seed: Optional[int] = None,
     ) -> None:
         if mean < 0 or stddev < 0 or minimum < 0:
             raise ValueError("latency parameters cannot be negative")
         self.mean = mean
         self.stddev = stddev
         self.minimum = minimum
-        self._rng = random.Random(seed)
+        self._rng = _seeded_rng(seed)
 
     def sample(self, source_id: str, destination_id: str) -> float:
         return max(self.minimum, self._rng.gauss(self.mean, self.stddev))

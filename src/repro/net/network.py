@@ -43,7 +43,7 @@ class Network:
         block_latency: Optional[LatencyModel] = None,
         transaction_loss_rate: float = 0.0,
         block_loss_rate: float = 0.0,
-        seed: int = 0,
+        seed: Optional[int] = None,
     ) -> None:
         if not 0.0 <= transaction_loss_rate < 1.0 or not 0.0 <= block_loss_rate < 1.0:
             raise ValueError("loss rates must be in [0, 1)")
@@ -54,6 +54,8 @@ class Network:
         self.block_loss_rate = block_loss_rate
         self.stats = NetworkStats()
         self._peers: Dict[str, Peer] = {}
+        # seed=None draws fresh OS entropy; reproducible runs thread a
+        # spec-derived seed (SeedPlan.network) through here.
         self._rng = random.Random(seed)
 
     # -- membership -----------------------------------------------------------------

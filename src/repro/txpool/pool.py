@@ -9,6 +9,7 @@ block or made stale by an advancing account nonce.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -46,6 +47,9 @@ class TxPool:
     def __init__(self, max_size: Optional[int] = None) -> None:
         self._entries: Dict[bytes, PoolEntry] = {}
         self._by_sender: Dict[Address, Dict[int, PoolEntry]] = {}
+        # Arrival order, maintained sorted by (arrival_time, hash): HMS views
+        # read this list directly instead of re-sorting the pool every call.
+        self._order: List[Tuple[float, bytes]] = []
         self.max_size = max_size
         self.dropped_count = 0
 
@@ -55,23 +59,36 @@ class TxPool:
         """Add a transaction; returns False if it was already known or dropped.
 
         A replacement transaction (same sender and nonce) supersedes the old
-        one, mirroring gas-price replacement in real pools.
+        one, mirroring gas-price replacement in real pools.  A replacement
+        never grows the pool, so it is admitted even when the pool is at
+        ``max_size``; the capacity gate only applies to genuinely new slots.
         """
         if transaction.hash in self._entries:
             return False
-        if self.max_size is not None and len(self._entries) >= self.max_size:
+        sender_entries = self._by_sender.get(transaction.sender)
+        existing = sender_entries.get(transaction.nonce) if sender_entries else None
+        if existing is not None and existing.transaction.gas_price >= transaction.gas_price:
+            return False
+        if existing is None and self.max_size is not None and len(self._entries) >= self.max_size:
             self.dropped_count += 1
             return False
         entry = PoolEntry(transaction=transaction, arrival_time=arrival_time)
-        sender_entries = self._by_sender.setdefault(transaction.sender, {})
-        existing = sender_entries.get(transaction.nonce)
         if existing is not None:
-            if existing.transaction.gas_price >= transaction.gas_price:
-                return False
             self._entries.pop(existing.hash, None)
+            self._discard_order(existing)
+        if sender_entries is None:
+            sender_entries = self._by_sender.setdefault(transaction.sender, {})
         sender_entries[transaction.nonce] = entry
         self._entries[transaction.hash] = entry
+        insort(self._order, (arrival_time, transaction.hash))
         return True
+
+    def _discard_order(self, entry: PoolEntry) -> None:
+        """Drop ``entry``'s (arrival_time, hash) slot from the order index."""
+        slot = (entry.arrival_time, entry.hash)
+        index = bisect_left(self._order, slot)
+        if index < len(self._order) and self._order[index] == slot:
+            del self._order[index]
 
     # -- lookup -----------------------------------------------------------------
 
@@ -89,15 +106,25 @@ class TxPool:
         return len(self._entries)
 
     def entries(self) -> List[PoolEntry]:
-        """All pending entries, ordered by arrival time (the concurrent history)."""
-        return sorted(self._entries.values(), key=lambda entry: (entry.arrival_time, entry.hash))
+        """All pending entries, ordered by arrival time (the concurrent history).
+
+        The order is maintained incrementally on add/remove, so a view is a
+        single pass over the index — no per-call sort.
+        """
+        entries = self._entries
+        return [entries[transaction_hash] for _, transaction_hash in self._order]
 
     def transactions_with_arrival(self) -> List[Tuple[Transaction, float]]:
         """``(transaction, arrival_time)`` pairs — the shape HMS consumes."""
-        return [(entry.transaction, entry.arrival_time) for entry in self.entries()]
+        entries = self._entries
+        return [
+            (entries[transaction_hash].transaction, arrival_time)
+            for arrival_time, transaction_hash in self._order
+        ]
 
     def transactions(self) -> List[Transaction]:
-        return [entry.transaction for entry in self.entries()]
+        entries = self._entries
+        return [entries[transaction_hash].transaction for _, transaction_hash in self._order]
 
     def pending_by_sender(self) -> Dict[Address, List[PoolEntry]]:
         """Per-sender pending entries in nonce order (the miner's raw material)."""
@@ -131,6 +158,7 @@ class TxPool:
         entry = self._entries.pop(transaction_hash, None)
         if entry is None:
             return None
+        self._discard_order(entry)
         sender_entries = self._by_sender.get(entry.sender)
         if sender_entries is not None:
             stored = sender_entries.get(entry.nonce)
@@ -162,3 +190,4 @@ class TxPool:
     def clear(self) -> None:
         self._entries.clear()
         self._by_sender.clear()
+        self._order.clear()

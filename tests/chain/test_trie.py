@@ -158,3 +158,108 @@ class TestProofs:
         trie = MerklePatriciaTrie()
         trie.put(b"only", b"entry")
         assert verify_proof(trie.root(), b"only", b"entry", trie.prove(b"only"))
+
+
+class TestStructuralDelete:
+    """The incremental trie: structural delete + memoised encodings."""
+
+    def rebuild_root(self, items):
+        rebuilt = MerklePatriciaTrie()
+        for key, value in items.items():
+            rebuilt.put(key, value)
+        return rebuilt.root()
+
+    def test_interleaved_put_delete_proofs_round_trip(self):
+        trie = MerklePatriciaTrie()
+        live = {}
+        script = [
+            ("put", b"do", b"verb"),
+            ("put", b"dog", b"puppy"),
+            ("put", b"doge", b"coin"),
+            ("del", b"dog", None),
+            ("put", b"horse", b"stallion"),
+            ("put", b"dodge", b"car"),
+            ("del", b"do", None),
+            ("put", b"dog", b"again"),
+            ("del", b"doge", None),
+            ("put", b"dot", b"punct"),
+            ("del", b"dodge", None),
+        ]
+        for action, key, value in script:
+            if action == "put":
+                trie.put(key, value)
+                live[key] = value
+            else:
+                trie.delete(key)
+                live.pop(key, None)
+            root = trie.root()
+            assert root == self.rebuild_root(live)
+            for live_key, live_value in live.items():
+                assert verify_proof(root, live_key, live_value, trie.prove(live_key))
+
+    def test_branch_collapses_to_leaf_after_delete(self):
+        trie = MerklePatriciaTrie()
+        trie.put(b"\x12\x34", b"a")
+        single_root = trie.root()
+        trie.put(b"\x12\x35", b"b")  # splits into a branch
+        trie.delete(b"\x12\x35")  # must collapse back
+        assert trie.root() == single_root
+
+    def test_branch_value_delete_collapses(self):
+        trie = MerklePatriciaTrie()
+        trie.put(b"\x12", b"short")  # becomes a branch value under the other key's path
+        trie.put(b"\x12\x34", b"long")
+        trie.delete(b"\x12")
+        assert trie.root() == self.rebuild_root({b"\x12\x34": b"long"})
+        trie.put(b"\x12", b"short")
+        trie.delete(b"\x12\x34")
+        assert trie.root() == self.rebuild_root({b"\x12": b"short"})
+
+    def test_delete_everything_returns_to_empty_root(self):
+        trie = MerklePatriciaTrie()
+        keys = [bytes([index, index * 3 % 256]) for index in range(30)]
+        for index, key in enumerate(keys):
+            trie.put(key, b"v%d" % index)
+        for key in keys:
+            trie.delete(key)
+        assert trie.root() == EMPTY_ROOT
+        assert len(trie) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["put", "delete"]),
+                st.binary(min_size=1, max_size=6),
+                st.binary(min_size=0, max_size=12),
+            ),
+            max_size=60,
+        )
+    )
+    def test_property_incremental_root_equals_rebuild(self, operations):
+        """The tentpole invariant: memoised incremental roots never diverge
+        from a from-scratch rebuild, across arbitrary put/delete interleavings
+        (an empty put value is a delete)."""
+        trie = MerklePatriciaTrie()
+        model = {}
+        for action, key, value in operations:
+            if action == "put":
+                trie.put(key, value)
+                if value:
+                    model[key] = value
+                else:
+                    model.pop(key, None)
+            else:
+                trie.delete(key)
+                model.pop(key, None)
+        assert trie.root() == self.rebuild_root(model)
+        assert dict(trie.items()) == model
+
+    def test_root_is_stable_across_repeated_calls(self):
+        trie = MerklePatriciaTrie()
+        for index in range(10):
+            trie.put(b"key-%d" % index, b"value-%d" % index)
+        assert trie.root() == trie.root()
+        trie.delete(b"key-3")
+        first = trie.root()
+        assert trie.root() == first

@@ -89,3 +89,26 @@ class TestPermutation:
         state = list(range(25))
         keccak_f1600(state)
         assert state == list(range(25))
+
+
+class TestHashCacheLifecycle:
+    def test_clear_and_stats(self):
+        from repro.crypto.keccak import clear_hash_cache, hash_cache_stats, keccak256
+
+        clear_hash_cache()
+        baseline = hash_cache_stats()
+        assert baseline["size"] == 0
+        keccak256(b"lifecycle-probe")
+        keccak256(b"lifecycle-probe")
+        stats = hash_cache_stats()
+        assert stats["size"] == 1
+        assert stats["hits"] >= 1
+        clear_hash_cache()
+        assert hash_cache_stats()["size"] == 0
+
+    def test_clearing_does_not_change_digests(self):
+        from repro.crypto.keccak import clear_hash_cache, keccak256
+
+        before = keccak256(b"stable-across-clear")
+        clear_hash_cache()
+        assert keccak256(b"stable-across-clear") == before

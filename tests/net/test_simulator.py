@@ -118,3 +118,27 @@ class TestLatencyModels:
         assert impaired.sample("slow", "b") == pytest.approx(2.1)
         assert impaired.sample("a", "slow") == pytest.approx(2.1)
         assert impaired.sample("a", "b") == pytest.approx(0.1)
+
+
+class TestLatencySeeding:
+    """Unseeded models must not share RNG streams (the old ``seed=0`` default
+    made every construction site outside the engine replay one sequence)."""
+
+    def test_unseeded_uniform_models_are_independent(self):
+        first = UniformLatency(0.0, 1.0)
+        second = UniformLatency(0.0, 1.0)
+        assert [first.sample("a", "b") for _ in range(16)] != [
+            second.sample("a", "b") for _ in range(16)
+        ]
+
+    def test_unseeded_normal_models_are_independent(self):
+        first = NormalLatency(mean=0.5, stddev=0.2, minimum=0.0)
+        second = NormalLatency(mean=0.5, stddev=0.2, minimum=0.0)
+        assert [first.sample("a", "b") for _ in range(16)] != [
+            second.sample("a", "b") for _ in range(16)
+        ]
+
+    def test_explicit_seeds_still_replay(self):
+        assert [
+            UniformLatency(0.0, 1.0, seed=9).sample("a", "b") for _ in range(8)
+        ] == [UniformLatency(0.0, 1.0, seed=9).sample("a", "b") for _ in range(8)]

@@ -143,3 +143,77 @@ class TestRemoval:
         pool.clear()
         assert len(pool) == 0
         assert pool.pending_by_sender() == {}
+
+
+class TestReplacementAtCapacity:
+    """Regression: a gas-price replacement does not grow the pool, so it must
+    be admitted even when the pool sits at ``max_size``."""
+
+    def test_replacement_accepted_when_pool_full(self):
+        pool = TxPool(max_size=1)
+        cheap = make_transaction(gas_price=1)
+        expensive = make_transaction(gas_price=5)
+        assert pool.add(cheap, 1.0)
+        assert len(pool) == 1  # at capacity
+        assert pool.add(expensive, 2.0)
+        assert expensive.hash in pool
+        assert cheap.hash not in pool
+        assert len(pool) == 1
+        assert pool.dropped_count == 0
+
+    def test_lower_priced_replacement_still_rejected_when_full(self):
+        pool = TxPool(max_size=1)
+        expensive = make_transaction(gas_price=5)
+        pool.add(expensive, 1.0)
+        assert not pool.add(make_transaction(gas_price=2), 2.0)
+        assert expensive.hash in pool
+
+    def test_new_sender_still_dropped_when_full(self):
+        pool = TxPool(max_size=1)
+        pool.add(make_transaction(sender=ALICE), 1.0)
+        assert not pool.add(make_transaction(sender=CAROL), 2.0)
+        assert pool.dropped_count == 1
+
+    def test_replacement_updates_arrival_order(self):
+        pool = TxPool(max_size=2)
+        first = make_transaction(sender=ALICE, nonce=0, gas_price=1)
+        other = make_transaction(sender=CAROL, nonce=0, gas_price=1)
+        replacement = make_transaction(sender=ALICE, nonce=0, gas_price=9)
+        pool.add(first, 1.0)
+        pool.add(other, 2.0)
+        assert pool.add(replacement, 3.0)
+        ordered = [entry.transaction.hash for entry in pool.entries()]
+        assert ordered == [other.hash, replacement.hash]
+
+
+class TestArrivalOrderIndex:
+    """entries() reads the maintained order index; it must match a sort."""
+
+    def test_order_matches_sorted_after_churn(self):
+        pool = TxPool()
+        transactions = [
+            make_transaction(sender=sender, nonce=nonce, gas_price=1 + nonce)
+            for sender in (ALICE, CAROL)
+            for nonce in range(8)
+        ]
+        arrivals = [7.0, 1.0, 5.0, 3.0, 9.0, 2.0, 8.0, 4.0, 6.5, 0.5, 2.5, 7.5, 1.5, 9.5, 3.5, 0.1]
+        for transaction, arrival in zip(transactions, arrivals):
+            pool.add(transaction, arrival)
+        for transaction in transactions[::3]:
+            pool.remove(transaction.hash)
+        entries = pool.entries()
+        assert entries == sorted(
+            entries, key=lambda entry: (entry.arrival_time, entry.hash)
+        )
+        assert len(entries) == len(pool)
+        assert [pair for pair in pool.transactions_with_arrival()] == [
+            (entry.transaction, entry.arrival_time) for entry in entries
+        ]
+
+    def test_clear_resets_order_index(self):
+        pool = TxPool()
+        pool.add(make_transaction(), 1.0)
+        pool.clear()
+        assert pool.entries() == []
+        assert pool.add(make_transaction(), 2.0)
+        assert len(pool.entries()) == 1
