@@ -1,0 +1,55 @@
+"""One attack-matrix cell end to end: displacement vs the HMS defense.
+
+Runs the paper's Section II-F frontrunner (the ``displacement`` adversary)
+against the committed-read baseline and against full HMS (semantic mining),
+on the attacker-free ``victim_market`` workload, and prints the harm
+comparison — the Section V-B claim in two simulation runs:
+
+    python examples/attack_matrix_demo.py
+"""
+
+from repro.api import Simulation
+
+
+def run_cell(defense: str):
+    spec = (
+        Simulation.builder()
+        .scenario(defense)
+        .workload("victim_market", num_victim_buys=12, buy_interval=2.0)
+        .adversary("displacement", markup=25)
+        .miners(1)
+        .clients(2)
+        .gossip(0.07, 0.05)
+        .seed(11)
+        .build()
+    )
+    result = Simulation(spec).run()
+    return result.adversary_reports["displacement"], result.extras
+
+
+def main() -> int:
+    print("displacement adversary vs two defenses (12 victim buys each)\n")
+    header = f"{'defense':<18} {'attacks':>7} {'harmed':>7} {'filled':>7} {'overpaid':>9}"
+    print(header)
+    print("-" * len(header))
+    harm_under_hms = None
+    for defense in ("geth_unmodified", "semantic_mining"):
+        report, extras = run_cell(defense)
+        print(
+            f"{defense:<18} {report['attempts']:>7} {report['victim_harm']:>7} "
+            f"{report['victim_filled']:>7} {extras['overpaid']:>9}"
+        )
+        if defense == "semantic_mining":
+            harm_under_hms = report["victim_harm"]
+    print()
+    if harm_under_hms == 0:
+        print("Section V-B reproduced: zero victim harm under the HMS defense —")
+        print("mark-bound offers turn every frontrun into a no-op, and semantic")
+        print("mining keeps the victims' correctly bound buys succeeding.")
+        return 0
+    print(f"UNEXPECTED: HMS defense showed {harm_under_hms} harmed victims")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""``repro.adversary`` — the pluggable attacker/defense subsystem.
+
+The paper's security claim (Section V-B: mark-bound offers structurally
+prevent frontrunning) deserves more than one hard-coded attacker.  This
+package gives attacks the same ecosystem treatment workloads got:
+
+* :class:`~repro.adversary.base.Adversary` — the strategy base class, with
+  lifecycle hooks (``on_pending_tx``, ``on_block``, ``on_tick``) driven from
+  the adversary's own peer by the engine;
+* :data:`~repro.adversary.registry.ADVERSARY_REGISTRY` — decorator-based
+  registration, mirroring the workload registry, so
+  ``Simulation.builder().adversary("displacement")`` resolves by name;
+* five shipped strategies — ``displacement``, ``insertion``,
+  ``suppression``, ``censoring_miner``, and ``stale_oracle`` — each probing
+  a different edge of the threat surface (see
+  :mod:`repro.adversary.strategies`).
+
+The defense side of the matrix is the existing scenario axis: the
+committed-read baseline (``geth_unmodified``), the HMS view
+(``sereth_client``), and full HMS with semantic mining
+(``semantic_mining``).  :mod:`repro.experiments.attack_matrix` sweeps every
+adversary against every defense and reports per-cell victim-harm.
+"""
+
+from __future__ import annotations
+
+from .base import Adversary, AdversaryTarget
+from .registry import ADVERSARY_REGISTRY, register_adversary
+from .strategies import (
+    VICTIM_BUY_LABEL,
+    CensoringMinerAdversary,
+    DisplacementAdversary,
+    FrontrunningAttacker,
+    InsertionAdversary,
+    StaleOracleAdversary,
+    SuppressionAdversary,
+)
+
+__all__ = [
+    "ADVERSARY_REGISTRY",
+    "Adversary",
+    "AdversaryTarget",
+    "CensoringMinerAdversary",
+    "DisplacementAdversary",
+    "FrontrunningAttacker",
+    "InsertionAdversary",
+    "StaleOracleAdversary",
+    "SuppressionAdversary",
+    "VICTIM_BUY_LABEL",
+    "register_adversary",
+]

@@ -1,0 +1,33 @@
+"""The adversary registry: attack strategies resolved by name.
+
+Mirrors :mod:`repro.api.registry` — an attack strategy registers itself once
+(by decorating its :class:`~repro.adversary.base.Adversary` subclass) and
+every consumer — the builder, the engine, the attack-matrix experiment, the
+CLI — resolves it by name:
+
+    @register_adversary("displacement")
+    class DisplacementAdversary(Adversary):
+        ...
+
+    Simulation.builder().adversary("displacement", markup=25).build()
+
+The registry reuses the generic write-once :class:`~repro.registry.Registry`
+so adversaries get the same duplicate-name protection and error messages as
+scenarios and workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..registry import Registry
+
+__all__ = ["ADVERSARY_REGISTRY", "register_adversary"]
+
+# The process-wide adversary registry; entries are Adversary subclasses.
+ADVERSARY_REGISTRY: Registry = Registry("adversary")
+
+
+def register_adversary(name: Optional[str] = None):
+    """Class decorator registering an :class:`Adversary` subclass by name."""
+    return ADVERSARY_REGISTRY.register(name)

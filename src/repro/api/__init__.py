@@ -5,9 +5,11 @@ The facade has four pieces:
 * :class:`Simulation` / :class:`SimulationBuilder` — fluent construction of
   an immutable :class:`SimulationSpec` describing one run;
 * the **registries** — scenarios (``geth_unmodified``, ``sereth_client``,
-  ``semantic_mining``) and workloads (``market``, ``ticket_sale``,
-  ``auction``, ``oracle``, ``sequential``, ``frontrunning``) resolved by
-  name, with decorator-based registration for plugins;
+  ``semantic_mining``), workloads (``market``, ``ticket_sale``, ``auction``,
+  ``oracle``, ``sequential``, ``victim_market``, ``frontrunning``), and
+  adversaries (``displacement``, ``insertion``, ``suppression``,
+  ``censoring_miner``, ``stale_oracle`` — see :mod:`repro.adversary`)
+  resolved by name, with decorator-based registration for plugins;
 * the **engine** — :func:`run_simulation` wires the network, miners, and
   clients for a spec and drives the measured run loop (the only place in
   the repository that touches ``Network``/``Peer`` directly);
@@ -37,6 +39,7 @@ Quickstart::
 
 from __future__ import annotations
 
+from ..adversary import ADVERSARY_REGISTRY, Adversary, AdversaryTarget, register_adversary
 from ..experiments.scenario import (
     GETH_UNMODIFIED,
     SEMANTIC_MINING,
@@ -59,7 +62,7 @@ from .registry import (
     register_workload,
 )
 from .seeding import SeedPlan, derive_seed
-from .spec import SimulationSpec, freeze_params
+from .spec import SimulationSpec, freeze_adversaries, freeze_params
 from .sweep import Sweep, SweepResult, SweepRow
 from .workloads import (
     SimulationContext,
@@ -68,6 +71,9 @@ from .workloads import (
 )
 
 __all__ = [
+    "ADVERSARY_REGISTRY",
+    "Adversary",
+    "AdversaryTarget",
     "BuildError",
     "GETH_UNMODIFIED",
     "Registry",
@@ -90,7 +96,9 @@ __all__ = [
     "Workload",
     "build_simulation",
     "derive_seed",
+    "freeze_adversaries",
     "freeze_params",
+    "register_adversary",
     "register_scenario",
     "register_workload",
     "run_simulation",

@@ -23,8 +23,9 @@ with a precise error, not minutes into a sweep.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
+from ..adversary import ADVERSARY_REGISTRY
 from ..experiments.scenario import Scenario
 from .registry import SCENARIO_REGISTRY, WORKLOAD_REGISTRY
 from .spec import MINER_POLICIES, SimulationSpec, freeze_params
@@ -45,6 +46,7 @@ class SimulationBuilder:
         self._params: Dict[str, Any] = {}
         self._fields: Dict[str, Any] = {}
         self._overrides: Dict[str, str] = {}
+        self._adversaries: List[Tuple[str, Tuple[Tuple[str, Any], ...]]] = []
 
     # -- what runs -----------------------------------------------------------------
 
@@ -69,6 +71,15 @@ class SimulationBuilder:
     def params(self, **params: Any) -> "SimulationBuilder":
         """Merge additional workload parameters."""
         self._params.update(params)
+        return self
+
+    def adversary(self, name: str, **params: Any) -> "SimulationBuilder":
+        """Add an attack strategy by registry name; call repeatedly to stack."""
+        if name not in ADVERSARY_REGISTRY:
+            raise BuildError(
+                f"unknown adversary {name!r}; registered: {ADVERSARY_REGISTRY.names()}"
+            )
+        self._adversaries.append((name, freeze_params(params)))
         return self
 
     # -- network shape -------------------------------------------------------------
@@ -156,12 +167,14 @@ class SimulationBuilder:
                 scenario=self._scenario,
                 workload=self._workload,
                 workload_params=freeze_params(self._params),
+                adversaries=tuple(self._adversaries),
                 client_kind_overrides=tuple(sorted(self._overrides.items())),
                 **self._fields,
             )
         except (TypeError, ValueError) as error:
             raise BuildError(str(error)) from error
-        # Validate the workload parameters eagerly by constructing the plugin.
+        # Validate workload and adversary parameters eagerly by constructing
+        # the plugins once.
         workload_class = WORKLOAD_REGISTRY.get(spec.workload)
         try:
             workload_class(spec, **spec.params)
@@ -169,6 +182,14 @@ class SimulationBuilder:
             raise BuildError(
                 f"invalid parameters for workload {spec.workload!r}: {error}"
             ) from error
+        for name, params in spec.adversaries:
+            adversary_class = ADVERSARY_REGISTRY.get(name)
+            try:
+                adversary_class(spec, **dict(params))
+            except (TypeError, ValueError) as error:
+                raise BuildError(
+                    f"invalid parameters for adversary {name!r}: {error}"
+                ) from error
         return spec
 
 

@@ -10,9 +10,11 @@ is seeded from one :class:`~repro.api.seeding.SeedPlan` rooted at
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..adversary import ADVERSARY_REGISTRY, Adversary, AdversaryTarget
 from ..chain.genesis import DEFAULT_INITIAL_BALANCE, GenesisConfig
 from ..consensus.interval import FixedInterval, PoissonInterval
 from ..consensus.miner import MinerConfig
@@ -63,6 +65,9 @@ class SimulationResult:
     metrics: MetricsCollector
     peers: List[Peer] = field(default_factory=list)
     extras: Dict[str, Any] = field(default_factory=dict)
+    adversary_reports: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    """Per-adversary attack metrics, keyed by strategy name (``name@index``
+    when the same strategy runs more than once)."""
 
     def report(self, label: Optional[str] = None) -> ThroughputReport:
         """The throughput report for ``label`` (default: the primary label)."""
@@ -94,6 +99,10 @@ class SimulationResult:
             "blocks_produced": self.blocks_produced,
             "simulated_seconds": self.simulated_seconds,
             "extras": _jsonable(self.extras),
+            "adversaries": {
+                key: _jsonable(report)
+                for key, report in sorted(self.adversary_reports.items())
+            },
         }
 
 
@@ -111,6 +120,12 @@ class SimulationHandle:
         self.seeds = SeedPlan(spec.seed)
         workload_class = WORKLOAD_REGISTRY.get(spec.workload)
         self.workload: Workload = workload_class(spec, **spec.params)
+        self.adversaries: List[Adversary] = []
+        for adversary_index, (adversary_name, adversary_params) in enumerate(spec.adversaries):
+            adversary_class = ADVERSARY_REGISTRY.get(adversary_name)
+            adversary = adversary_class(spec, **dict(adversary_params))
+            adversary.assign_index(adversary_index)
+            self.adversaries.append(adversary)
 
         self.simulator = Simulator()
         latency = UniformLatency(
@@ -132,6 +147,9 @@ class SimulationHandle:
         )
         for miner_index in range(spec.num_miners):
             genesis.fund(address_from_label(f"miner/miner-{miner_index}"))
+        for adversary in self.adversaries:
+            for label in adversary.account_labels():
+                genesis.fund(address_from_label(label))
         self.workload.configure_genesis(genesis)
         self.genesis = genesis
 
@@ -154,6 +172,15 @@ class SimulationHandle:
             )
             self.peers[peer_id] = peer
             self.client_peers.append(peer)
+        # Adversaries observe from their own peers, always running the Sereth
+        # client: an attacker deploys the best software available regardless
+        # of what the defense scenario gives its victims.
+        self.adversary_peers: List[Peer] = []
+        for adversary_index in range(len(self.adversaries)):
+            peer_id = f"adversary-{adversary_index}"
+            peer = self.network.add_peer(Peer(peer_id, genesis, client_kind=SERETH_CLIENT))
+            self.peers[peer_id] = peer
+            self.adversary_peers.append(peer)
 
         # HMS is a property of the Sereth client software: install the
         # workload's watched contracts on every Sereth peer.
@@ -200,9 +227,40 @@ class SimulationHandle:
             miner_peers=self.miner_peers,
             client_peers=self.client_peers,
             metrics=self.metrics,
+            adversary_peers=self.adversary_peers,
+            production=self.production,
         )
         self.workload.setup(self.context)
         self.workload.schedule(self.context)
+
+        # Adversaries bind last (they attack whatever the workload stood up)
+        # with RNG streams derived from the run's seed plan.
+        target = self._adversary_target()
+        for adversary_index, adversary in enumerate(self.adversaries):
+            adversary.bind(
+                self.context,
+                self.adversary_peers[adversary_index],
+                target,
+                random.Random(self.seeds.adversary(adversary_index, adversary.name)),
+            )
+            adversary.start()
+
+    def _adversary_target(self) -> Optional[AdversaryTarget]:
+        """What the adversaries attack, derived from the workload's HMS wiring."""
+        semantic = self.workload.semantic_config()
+        if semantic is not None:
+            return AdversaryTarget(
+                contract_address=semantic.hms.contract_address,
+                set_selector=semantic.hms.set_selector,
+                buy_selectors=tuple(semantic.buy_selectors),
+            )
+        targets = list(self.workload.hms_targets())
+        if targets:
+            contract_address, set_selector = targets[0]
+            return AdversaryTarget(
+                contract_address=contract_address, set_selector=set_selector
+            )
+        return None
 
     def _miner_policy(self, miner_index: int, semantic, semantic_miner_count: int):
         spec = self.spec
@@ -257,6 +315,8 @@ class SimulationHandle:
             # Resolve incrementally so the loop can terminate as soon as possible.
             self.metrics.resolve_from_chain(self.reference_chain)
         self.production.stop()
+        for adversary in self.adversaries:
+            adversary.stop()
         if workload.post_stop_drain:
             simulator.run_until(simulator.now + workload.post_stop_drain)
 
@@ -273,7 +333,23 @@ class SimulationHandle:
             metrics=self.metrics,
             peers=list(self.peers.values()),
             extras=extras,
+            adversary_reports=self._adversary_reports(),
         )
+
+    def _adversary_reports(self) -> Dict[str, Dict[str, Any]]:
+        """Digest every adversary's attack into the result's metrics block."""
+        name_counts: Dict[str, int] = {}
+        for adversary in self.adversaries:
+            name_counts[adversary.name] = name_counts.get(adversary.name, 0) + 1
+        reports: Dict[str, Dict[str, Any]] = {}
+        for adversary in self.adversaries:
+            key = (
+                adversary.name
+                if name_counts[adversary.name] == 1
+                else f"{adversary.name}@{adversary.index}"
+            )
+            reports[key] = adversary.report(self.context, self.workload.primary_label)
+        return reports
 
 
 def build_simulation(spec: SimulationSpec) -> SimulationHandle:

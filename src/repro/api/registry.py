@@ -5,11 +5,17 @@ itself once (either by decorating its class or by calling ``add``) and every
 consumer — the builder, the sweep engine, the CLI — resolves it by name.
 Adding a new workload to the system is therefore a single self-registering
 module, not a new runner script.
+
+The registry machinery itself lives in :mod:`repro.registry` (it is shared
+with the adversary ecosystem); this module holds the scenario and workload
+instances and re-exports the classes for backward compatibility.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generic, Iterator, List, Optional, TypeVar
+from typing import Optional
+
+from ..registry import Registry, RegistryError
 
 __all__ = [
     "Registry",
@@ -19,63 +25,6 @@ __all__ = [
     "register_workload",
     "register_scenario",
 ]
-
-T = TypeVar("T")
-
-
-class RegistryError(KeyError):
-    """Lookup of a name that was never registered."""
-
-
-class Registry(Generic[T]):
-    """A write-once mapping from names to registered components."""
-
-    def __init__(self, kind: str) -> None:
-        self.kind = kind
-        self._entries: Dict[str, T] = {}
-
-    def add(self, name: str, entry: T, replace: bool = False) -> T:
-        """Register ``entry`` under ``name``; duplicate names are an error."""
-        if not name or not isinstance(name, str):
-            raise ValueError(f"{self.kind} name must be a non-empty string")
-        if name in self._entries and not replace:
-            raise ValueError(f"duplicate {self.kind} name {name!r}")
-        self._entries[name] = entry
-        return entry
-
-    def register(self, name: Optional[str] = None) -> Callable[[T], T]:
-        """Decorator form of :meth:`add`; uses ``entry.name`` if no name given."""
-
-        def decorate(entry: T) -> T:
-            key = name or getattr(entry, "name", None)
-            if key is None:
-                raise ValueError(
-                    f"cannot infer a {self.kind} name; pass one to register()"
-                )
-            return self.add(key, entry)
-
-        return decorate
-
-    def get(self, name: str) -> T:
-        try:
-            return self._entries[name]
-        except KeyError:
-            raise RegistryError(
-                f"unknown {self.kind} {name!r}; registered: {sorted(self._entries)}"
-            ) from None
-
-    def names(self) -> List[str]:
-        return sorted(self._entries)
-
-    def __contains__(self, name: object) -> bool:
-        return name in self._entries
-
-    def __iter__(self) -> Iterator[str]:
-        return iter(sorted(self._entries))
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
 
 # The two process-wide registries the facade consults.  Scenario entries are
 # ``repro.experiments.scenario.Scenario`` instances; workload entries are

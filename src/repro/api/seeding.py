@@ -79,3 +79,12 @@ class SeedPlan:
     def derived(self, *labels: object) -> int:
         """A fresh stream for ``labels`` (arrival processes, workload extras…)."""
         return derive_seed(self.root, *labels)
+
+    def adversary(self, index: int, name: str) -> int:
+        """The RNG stream for the ``index``-th adversary of the spec.
+
+        Keyed by position *and* strategy name, so editing the adversary list
+        reshuffles exactly the streams whose coordinates changed — and a run
+        is byte-identical serially and under the multiprocessing sweep.
+        """
+        return self.derived("adversary", index, name)

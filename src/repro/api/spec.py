@@ -14,7 +14,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from ..experiments.scenario import Scenario
 
-__all__ = ["SimulationSpec", "freeze_params"]
+__all__ = ["SimulationSpec", "freeze_params", "freeze_adversaries"]
 
 MINER_POLICIES = ("arrival_jitter", "random", "fifo", "fee_arrival")
 """Baseline ordering-policy overrides a spec may request by name."""
@@ -31,6 +31,24 @@ def freeze_params(params: Dict[str, Any]) -> Tuple[Tuple[str, Any], ...]:
     return tuple(frozen)
 
 
+def freeze_adversaries(adversaries) -> Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...]:
+    """Canonicalize ``(name, params)`` adversary entries into hashable tuples.
+
+    Accepts bare names, ``(name, params-dict)`` pairs, or already-frozen
+    entries, so specs can be written by hand as naturally as via the builder.
+    """
+    frozen = []
+    for entry in adversaries:
+        if isinstance(entry, str):
+            name, params = entry, {}
+        else:
+            name, params = entry
+        if isinstance(params, dict):
+            params = freeze_params(params)
+        frozen.append((name, tuple(params)))
+    return tuple(frozen)
+
+
 @dataclass(frozen=True)
 class SimulationSpec:
     """One fully specified simulation: scenario x workload x network shape."""
@@ -41,6 +59,11 @@ class SimulationSpec:
     """Registered workload name ("market", "ticket_sale", "auction", …)."""
     workload_params: Tuple[Tuple[str, Any], ...] = ()
     """Workload-specific knobs, canonicalized by :func:`freeze_params`."""
+    adversaries: Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...] = ()
+    """Attack strategies running alongside the workload, as ``(name, params)``
+    entries canonicalized by :func:`freeze_adversaries`.  Names resolve
+    against :data:`repro.adversary.ADVERSARY_REGISTRY` (the builder and the
+    engine validate them; the spec only checks shape, to stay import-light)."""
 
     num_miners: int = 1
     num_client_peers: int = 2
@@ -79,6 +102,20 @@ class SimulationSpec:
                 f"unknown miner policy {self.miner_policy!r}; "
                 f"expected one of {MINER_POLICIES}"
             )
+        try:
+            frozen_adversaries = freeze_adversaries(self.adversaries)
+        except (TypeError, ValueError) as error:
+            raise ValueError(
+                f"adversaries entries must be names or (name, params) pairs: {error}"
+            ) from error
+        for name, _params in frozen_adversaries:
+            if not name or not isinstance(name, str):
+                raise ValueError(
+                    f"adversaries entries must be (name, params) tuples, got {name!r}"
+                )
+        # Canonicalize in place (frozen dataclass) so hand-written specs using
+        # bare names or params dicts hash/describe like builder-made ones.
+        object.__setattr__(self, "adversaries", frozen_adversaries)
 
     # -- accessors ---------------------------------------------------------------------
 
@@ -115,6 +152,10 @@ class SimulationSpec:
             "scenario": self.scenario.name,
             "workload": self.workload,
             "workload_params": {key: value for key, value in self.workload_params},
+            "adversaries": [
+                {"name": name, "params": {key: value for key, value in params}}
+                for name, params in self.adversaries
+            ],
             "num_miners": self.num_miners,
             "num_client_peers": self.num_client_peers,
             "block_interval": self.block_interval,

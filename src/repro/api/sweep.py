@@ -108,7 +108,12 @@ class SweepResult:
     # -- export ---------------------------------------------------------------------
 
     def to_dict(self) -> List[Dict[str, Any]]:
-        return [{"tags": row.tags, "summary": row.summary} for row in self.rows]
+        # Tag dicts are rebuilt key-sorted so exported artifacts diff cleanly
+        # across runs regardless of dimension declaration order.
+        return [
+            {"tags": dict(sorted(row.tags.items())), "summary": row.summary}
+            for row in self.rows
+        ]
 
     def to_json(self, path: Optional[Union[str, Path]] = None) -> str:
         """Serialize every row; written to ``path`` if given."""
@@ -120,12 +125,13 @@ class SweepResult:
         return text
 
     def to_csv(self, path: Optional[Union[str, Path]] = None) -> str:
-        """A flat table: tag columns plus the headline metrics per row."""
-        tag_keys: List[str] = []
-        for row in self.rows:
-            for key in row.tags:
-                if key not in tag_keys:
-                    tag_keys.append(key)
+        """A flat table: tag columns plus the headline metrics per row.
+
+        Tag columns are emitted in sorted order (not first-seen insertion
+        order) so CSV artifacts from the same grid diff cleanly no matter
+        how the sweep's dimensions were declared.
+        """
+        tag_keys = sorted({key for row in self.rows for key in row.tags})
         metric_keys = ["efficiency", "blocks_produced", "simulated_seconds"]
         buffer = io.StringIO()
         writer = csv.writer(buffer, lineterminator="\n")

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
+from ..adversary.strategies import VICTIM_BUY_LABEL, FrontrunningAttacker
 from ..chain.genesis import GenesisConfig
 from ..clients.base import ContractClient
 from ..clients.market import Buyer, PriceSetter, READ_UNCOMMITTED
@@ -71,8 +72,10 @@ __all__ = [
     "AuctionWorkload",
     "OracleLatencyWorkload",
     "SequentialHistoryWorkload",
+    "VictimMarketWorkload",
     "FrontrunningWorkload",
     "FrontrunningAttacker",
+    "VICTIM_BUY_LABEL",
     "sereth_exchange_address",
     "OWNER_LABEL",
     "SERETH_CONTRACT_LABEL",
@@ -89,7 +92,7 @@ def sereth_exchange_address() -> Address:
 
 @dataclass
 class SimulationContext:
-    """Everything a workload can touch while the simulation runs."""
+    """Everything a workload (or adversary) can touch while the simulation runs."""
 
     spec: "SimulationSpec"
     seeds: SeedPlan
@@ -99,6 +102,12 @@ class SimulationContext:
     miner_peers: List[Peer]
     client_peers: List[Peer]
     metrics: MetricsCollector
+    adversary_peers: List[Peer] = field(default_factory=list)
+    """The per-adversary observation peers (separate from client peers so
+    workload actor placement is unaffected by attackers joining)."""
+    production: object = None
+    """The block production process — exposed so adversarial strategies can
+    subvert miner policies (censoring miners)."""
 
     @property
     def reference_chain(self):
@@ -879,86 +888,54 @@ class SequentialHistoryWorkload(Workload):
 
 
 # ======================================================================================
-# frontrunning — attacker races victim buys with price rises
+# victim_market — an attackable market with no built-in attacker
 # ======================================================================================
 
-VICTIM_BUY_LABEL = "victim-buy"
+# FrontrunningAttacker and VICTIM_BUY_LABEL moved to repro.adversary.strategies
+# in the adversary-subsystem refactor; they are re-imported at the top of this
+# module so `from repro.api.workloads import FrontrunningAttacker` keeps
+# working for existing experiments and notebooks.
 
 
-class FrontrunningAttacker(ContractClient):
-    """Watches its peer's pool for victim buys and races them with price rises."""
+@register_workload("victim_market")
+class VictimMarketWorkload(Workload):
+    """An owner prices a Sereth market; a victim buys at the terms it observes.
 
-    def __init__(self, label, peer, simulator, contract_address, markup, poll_interval=0.25):
-        super().__init__(label, peer, simulator)
-        self.contract_address = contract_address
-        self.markup = markup
-        self.poll_interval = poll_interval
-        self.attacks_launched = 0
-        self._seen_buys: set = set()
-        self._running = False
+    The attack-surface workload of the adversary matrix: it drives no attack
+    itself, so whatever harm the victim suffers is attributable to the
+    adversaries the spec plugs in.  The ``frontrunning`` workload subclasses
+    this with its historical hard-coded attacker.
+    """
 
-    def start(self) -> None:
-        self._running = True
-        self.simulator.schedule_in(self.poll_interval, self._poll)
-
-    def stop(self) -> None:
-        self._running = False
-
-    def _poll(self) -> None:
-        if not self._running:
-            return
-        for transaction, _arrival in self.peer.pool.transactions_with_arrival():
-            if transaction.to != self.contract_address or transaction.selector != BUY_SELECTOR:
-                continue
-            if transaction.hash in self._seen_buys or transaction.sender == self.address:
-                continue
-            self._seen_buys.add(transaction.hash)
-            self._attack(transaction)
-        self.simulator.schedule_in(self.poll_interval, self._poll)
-
-    def _attack(self, victim_buy) -> None:
-        """Submit a price rise intended to land ahead of the victim's buy.
-
-        The attacker is not the contract owner in spirit, but the contract
-        accepts sets from anyone who knows the current mark — which the
-        attacker, running a Sereth peer, can read from its own HMS view.
-        """
-        provider = self.peer.hms_provider(self.contract_address)
-        if provider is None:
-            return
-        view = provider.view()
-        observed_price = int_from_bytes32(victim_buy.data[4 + 64 : 4 + 96])
-        new_price = observed_price + self.markup
-        fpv = fpv_to_words(SUCCESS_FLAG, view.mark, new_price)
-        self.send_transaction(to=self.contract_address, data=_SERETH_SET_ABI.encode_call(fpv))
-        self.attacks_launched += 1
-
-
-@register_workload("frontrunning")
-class FrontrunningWorkload(Workload):
-    """An attacker monitors the pending pool and races every victim buy."""
-
-    name = "frontrunning"
+    name = "victim_market"
 
     def __init__(
         self,
         spec: "SimulationSpec",
         num_victim_buys: int = 40,
         buy_interval: float = 2.0,
-        attack_markup: int = 25,
         victim_read_mode: Optional[str] = None,
+        initial_price: int = 100,
+        reprice_interval: Optional[float] = None,
+        reprice_step: int = 5,
     ) -> None:
         super().__init__(spec)
         if num_victim_buys <= 0 or buy_interval <= 0:
             raise ValueError("num_victim_buys and buy_interval must be positive")
+        if initial_price <= 0:
+            raise ValueError("initial_price must be positive")
+        if reprice_interval is not None and reprice_interval <= 0:
+            raise ValueError("reprice_interval must be positive when given")
         self.num_victim_buys = num_victim_buys
         self.buy_interval = buy_interval
-        self.attack_markup = attack_markup
         self.victim_read_mode = victim_read_mode or spec.scenario.buyer_read_mode
+        self.initial_price = initial_price
+        self.reprice_interval = reprice_interval
+        self.reprice_step = reprice_step
         self.contract = sereth_exchange_address()
 
     def account_labels(self) -> Sequence[str]:
-        return ["market-owner", "victim", "frontrunner"]
+        return ["market-owner", "victim"]
 
     def configure_genesis(self, genesis: GenesisConfig) -> None:
         genesis.deploy_contract(
@@ -979,26 +956,33 @@ class FrontrunningWorkload(Workload):
     def setup(self, context: SimulationContext) -> None:
         simulator = context.simulator
         victim_peer = context.client_peers[0]
-        attacker_peer = context.client_peers[-1]
         self.owner = PriceSetter("market-owner", victim_peer, simulator, self.contract)
         self.owner.prime_mark(initial_mark(self.contract))
         self.victim = Buyer(
             "victim", victim_peer, simulator, self.contract, read_mode=self.victim_read_mode
         )
-        self.attacker = FrontrunningAttacker(
-            "frontrunner", attacker_peer, simulator, self.contract, markup=self.attack_markup
-        )
 
     def schedule(self, context: SimulationContext) -> None:
         simulator, metrics = context.simulator, context.metrics
-        simulator.schedule_at(0.5, lambda: self.owner.set_price(100))
+        simulator.schedule_at(0.5, lambda: self.owner.set_price(self.initial_price))
+        if self.reprice_interval is not None:
+            # A moving market: delay-based attacks (suppression, censorship)
+            # only bite when the terms a victim observed can go stale.
+            reprice_index = 1
+            at = 0.5 + self.reprice_interval
+            while at < self.end_of_submissions:
+                price = self.initial_price + reprice_index * self.reprice_step
+                simulator.schedule_at(
+                    at, lambda price=price: self.owner.set_price(price)
+                )
+                reprice_index += 1
+                at += self.reprice_interval
         for buy_index in range(self.num_victim_buys):
             at = 5.0 + buy_index * self.buy_interval
             simulator.schedule_at(
                 at,
                 lambda: metrics.watch(self.victim.buy(), VICTIM_BUY_LABEL, simulator.now),
             )
-        self.attacker.start()
 
     @property
     def end_of_submissions(self) -> float:
@@ -1020,7 +1004,6 @@ class FrontrunningWorkload(Workload):
         return VICTIM_BUY_LABEL
 
     def finalize(self, context: SimulationContext) -> Dict[str, Any]:
-        self.attacker.stop()
         auditor = ChainAuditor(
             contract_address=self.contract,
             set_selector=SET_SELECTOR,
@@ -1029,7 +1012,58 @@ class FrontrunningWorkload(Workload):
         )
         audit = auditor.audit_chain(context.reference_chain)
         return {
-            "attacks_launched": self.attacker.attacks_launched,
             "overpaid": len(audit.violations_of_kind("buy_wrongly_succeeded")),
             "audit_clean": audit.is_clean,
         }
+
+
+# ======================================================================================
+# frontrunning — the victim market with its historical hard-coded attacker
+# ======================================================================================
+
+
+@register_workload("frontrunning")
+class FrontrunningWorkload(VictimMarketWorkload):
+    """An attacker monitors the pending pool and races every victim buy."""
+
+    name = "frontrunning"
+
+    def __init__(
+        self,
+        spec: "SimulationSpec",
+        num_victim_buys: int = 40,
+        buy_interval: float = 2.0,
+        attack_markup: int = 25,
+        victim_read_mode: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            spec,
+            num_victim_buys=num_victim_buys,
+            buy_interval=buy_interval,
+            victim_read_mode=victim_read_mode,
+        )
+        self.attack_markup = attack_markup
+
+    def account_labels(self) -> Sequence[str]:
+        return list(super().account_labels()) + ["frontrunner"]
+
+    def setup(self, context: SimulationContext) -> None:
+        super().setup(context)
+        attacker_peer = context.client_peers[-1]
+        self.attacker = FrontrunningAttacker(
+            "frontrunner",
+            attacker_peer,
+            context.simulator,
+            self.contract,
+            markup=self.attack_markup,
+        )
+
+    def schedule(self, context: SimulationContext) -> None:
+        super().schedule(context)
+        self.attacker.start()
+
+    def finalize(self, context: SimulationContext) -> Dict[str, Any]:
+        self.attacker.stop()
+        extras = super().finalize(context)
+        extras["attacks_launched"] = self.attacker.attacks_launched
+        return extras

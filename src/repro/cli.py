@@ -8,9 +8,11 @@ Usage (after ``pip install -e .``)::
     repro frontrunning --victim-read-mode read_committed
     repro oracle
     repro ablation --name miner_fraction
+    repro attack-matrix --adversaries displacement insertion --workers 4
     repro sweep --workload market --scenarios geth_unmodified semantic_mining \
         --over buys_per_set=1,2,10 --trials 2 --workers 4 --csv out.csv
     repro list
+    repro list --adversaries
 
 Every subcommand resolves scenarios and workloads through the
 :mod:`repro.api` registries and executes through the facade's engine; the
@@ -24,7 +26,14 @@ import sys
 from typing import Any, Dict, List, Optional, Sequence
 
 from .analysis.plotting import format_percentage, format_table
-from .api import SCENARIO_REGISTRY, Simulation, Sweep, WORKLOAD_REGISTRY
+from .api import ADVERSARY_REGISTRY, SCENARIO_REGISTRY, Simulation, Sweep, WORKLOAD_REGISTRY
+from .experiments.attack_matrix import (
+    DEFAULT_ADVERSARIES,
+    DEFAULT_DEFENSES,
+    HMS_DEFENSE,
+    AttackMatrixConfig,
+    run_attack_matrix,
+)
 from .experiments.ablations import (
     sweep_block_interval,
     sweep_gossip_impairment,
@@ -90,6 +99,35 @@ def build_parser() -> argparse.ArgumentParser:
     ablation.add_argument("--trials", type=int, default=2)
     ablation.add_argument("--workers", type=int, default=1)
 
+    attack_matrix = subparsers.add_parser(
+        "attack-matrix", help="run every adversary against every defense configuration"
+    )
+    attack_matrix.add_argument(
+        "--adversaries",
+        nargs="+",
+        default=list(DEFAULT_ADVERSARIES),
+        help="registered adversary names to run as matrix rows",
+    )
+    attack_matrix.add_argument(
+        "--defenses",
+        nargs="+",
+        default=list(DEFAULT_DEFENSES),
+        help="scenario names to run as defense columns",
+    )
+    attack_matrix.add_argument("--buys", type=int, default=20, help="victim buys per cell")
+    attack_matrix.add_argument(
+        "--reprice-interval",
+        type=float,
+        default=None,
+        help="owner repricing period (moving-market regime for delay attacks); "
+        "default: one opening set only, the paper's V-B market",
+    )
+    attack_matrix.add_argument("--trials", type=int, default=1)
+    attack_matrix.add_argument("--workers", type=int, default=1)
+    attack_matrix.add_argument("--seed", type=int, default=11)
+    attack_matrix.add_argument("--no-control", action="store_true", help="skip the adversary-free control row")
+    attack_matrix.add_argument("--json", dest="json_path", default=None, help="write cells as JSON")
+
     sweep = subparsers.add_parser(
         "sweep", help="run an arbitrary scenario x parameter grid through repro.api"
     )
@@ -110,7 +148,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--json", dest="json_path", default=None, help="write rows as JSON")
     sweep.add_argument("--csv", dest="csv_path", default=None, help="write rows as CSV")
 
-    subparsers.add_parser("list", help="list registered scenarios and workloads")
+    listing = subparsers.add_parser(
+        "list", help="list registered scenarios, workloads, and adversaries"
+    )
+    listing.add_argument(
+        "--adversaries",
+        action="store_true",
+        help="show only the registered attack strategies",
+    )
     return parser
 
 
@@ -241,6 +286,57 @@ def _command_ablation(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_attack_matrix(arguments: argparse.Namespace) -> int:
+    try:
+        config = AttackMatrixConfig(
+            adversaries=tuple(arguments.adversaries),
+            defenses=tuple(arguments.defenses),
+            num_victim_buys=arguments.buys,
+            reprice_interval=arguments.reprice_interval,
+            trials=arguments.trials,
+            include_control=not arguments.no_control,
+            seed=arguments.seed,
+        )
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        raise SystemExit(f"repro attack-matrix: {message}")
+    result = run_attack_matrix(config, workers=arguments.workers)
+    if arguments.json_path:
+        import json
+        from pathlib import Path
+
+        target = Path(arguments.json_path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    emit_block(
+        f"Attack matrix — {len(config.adversaries)} adversaries x "
+        f"{len(config.defenses)} defenses, {config.num_victim_buys} victim buys/cell",
+        format_table(
+            ["adversary", "defense", "attempts", "successes", "profit", "harm", "harm%", "latency", "overpaid"],
+            result.as_rows(),
+        ),
+    )
+    verdicts = [
+        ["mark-bound offers held everywhere (overpaid == 0)", "yes" if result.structurally_sound else "NO"],
+    ]
+    headline_cell_ran = (
+        "displacement" in config.adversaries and HMS_DEFENSE in config.defenses
+    )
+    verdicts.append(
+        [
+            f"displacement harmless under {HMS_DEFENSE} (Section V-B)",
+            ("yes" if result.hms_protected else "NO")
+            if headline_cell_ran
+            else "n/a (cell not in grid)",
+        ]
+    )
+    emit_block("Verdicts", format_table(["claim", "holds"], verdicts))
+    return 0 if result.hms_protected and result.structurally_sound else 1
+
+
 def _parse_dimensions(pairs: Sequence[str]) -> Dict[str, List[Any]]:
     """Parse ``name=v1,v2,...`` grid dimensions (numbers where possible)."""
 
@@ -306,6 +402,13 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
 
 
 def _command_list(arguments: argparse.Namespace) -> int:
+    adversary_lines = "\n".join(
+        f"{name}  ({(ADVERSARY_REGISTRY.get(name).__doc__ or name).strip().splitlines()[0]})"
+        for name in ADVERSARY_REGISTRY.names()
+    )
+    if arguments.adversaries:
+        emit_block("Registered adversaries", adversary_lines)
+        return 0
     emit_block(
         "Registered scenarios",
         "\n".join(
@@ -316,6 +419,7 @@ def _command_list(arguments: argparse.Namespace) -> int:
         ),
     )
     emit_block("Registered workloads", "\n".join(WORKLOAD_REGISTRY.names()))
+    emit_block("Registered adversaries", adversary_lines)
     return 0
 
 
@@ -329,6 +433,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "frontrunning": _command_frontrunning,
         "oracle": _command_oracle,
         "ablation": _command_ablation,
+        "attack-matrix": _command_attack_matrix,
         "sweep": _command_sweep,
         "list": _command_list,
     }

@@ -35,6 +35,7 @@ __all__ = [
     "FifoPolicy",
     "RandomPolicy",
     "ArrivalJitterPolicy",
+    "CensoringPolicy",
 ]
 
 
@@ -146,6 +147,53 @@ class ArrivalJitterPolicy:
             )
 
         return merge_sender_queues(executable, head_key=key)
+
+
+class CensoringPolicy:
+    """Wrap another policy and refuse to include transactions matching a predicate.
+
+    The adversarial extreme of miner privilege (Section II-C): a miner is
+    free to leave any pending transaction out of its blocks.  Censoring a
+    transaction also truncates the rest of that sender's nonce run — later
+    nonces are no longer gaplessly executable without the censored one — so
+    the nonce invariant is preserved by construction.  The transaction stays
+    in the pool; an honest miner winning a later block can still include it,
+    which is why censorship resistance in these experiments scales with the
+    fraction of honest hash power.
+    """
+
+    name = "censoring"
+
+    def __init__(
+        self,
+        inner: OrderingPolicy,
+        should_censor: Callable[[Transaction], bool],
+        on_censor: Optional[Callable[[Transaction, float], None]] = None,
+    ) -> None:
+        self.inner = inner
+        self.should_censor = should_censor
+        self.on_censor = on_censor
+        self.censored_count = 0
+
+    def order(
+        self,
+        executable: Dict[Address, List[PoolEntry]],
+        state: WorldState,
+        timestamp: float,
+    ) -> List[Transaction]:
+        admitted: Dict[Address, List[PoolEntry]] = {}
+        for sender, entries in executable.items():
+            kept: List[PoolEntry] = []
+            for entry in entries:
+                if self.should_censor(entry.transaction):
+                    self.censored_count += 1
+                    if self.on_censor is not None:
+                        self.on_censor(entry.transaction, timestamp)
+                    break
+                kept.append(entry)
+            if kept:
+                admitted[sender] = kept
+        return self.inner.order(admitted, state, timestamp)
 
 
 class RandomPolicy:

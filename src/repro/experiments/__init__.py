@@ -8,6 +8,12 @@ from .ablations import (
     sweep_semantic_miner_fraction,
     sweep_submission_interval,
 )
+from .attack_matrix import (
+    AttackMatrixCell,
+    AttackMatrixConfig,
+    AttackMatrixResult,
+    run_attack_matrix,
+)
 from .claims import ClaimCheck, check_headline_claims
 from .figure2 import DEFAULT_RATIOS, Figure2Config, Figure2Point, Figure2Result, run_figure2
 from .frontrunning import (
@@ -42,6 +48,10 @@ __all__ = [
     "sweep_gossip_impairment",
     "sweep_semantic_miner_fraction",
     "sweep_submission_interval",
+    "AttackMatrixCell",
+    "AttackMatrixConfig",
+    "AttackMatrixResult",
+    "run_attack_matrix",
     "ClaimCheck",
     "check_headline_claims",
     "FrontrunningConfig",

@@ -1,0 +1,329 @@
+"""The attack matrix: every adversary against every defense configuration.
+
+Section V-B's claim — mark-bound offers structurally prevent frontrunning —
+is only as strong as the set of attacks it is tested against.  This
+experiment turns the security evaluation from one anecdote into a grid:
+each registered adversary runs against each defense configuration (the
+scenario axis: committed-read baseline, HMS view, HMS + semantic mining) on
+the attacker-free ``victim_market`` workload, and every cell reports the
+attack's attempts, successes, profit, and the victim-harm it caused.
+
+Two notions of harm are tracked per cell:
+
+* ``victim_harm`` — victim buys that did not fill at the observed terms
+  (rejected or never committed).  Read latency alone causes some of this in
+  the committed-read baseline, which is why the matrix includes a
+  ``(control)`` row with no adversary at all: the attack's *marginal* harm
+  is the cell minus the control.
+* ``overpaid`` — victim buys filled at terms the victim did not observe.
+  The paper's structural claim says this is zero in every cell; the
+  chain auditor independently verifies it.
+
+The headline acceptance check is :meth:`AttackMatrixResult.hms_protected`:
+under the full HMS defense (semantic mining), the displacement attack —
+the paper's Section II-F frontrunner — causes zero victim harm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+# api submodule imports (not the package root): this module is pulled in by
+# repro.experiments, which repro.api's own init loads for the scenario axis.
+from ..adversary import ADVERSARY_REGISTRY
+from ..api.builder import Simulation
+from ..api.registry import SCENARIO_REGISTRY
+from ..api.seeding import derive_seed
+from ..api.spec import SimulationSpec
+from ..api.sweep import Sweep
+from ..api.workloads import VICTIM_BUY_LABEL
+
+__all__ = [
+    "DEFAULT_ADVERSARIES",
+    "DEFAULT_DEFENSES",
+    "HMS_DEFENSE",
+    "CONTROL_ROW",
+    "AttackMatrixConfig",
+    "AttackMatrixCell",
+    "AttackMatrixResult",
+    "attack_matrix_jobs",
+    "run_attack_matrix",
+]
+
+DEFAULT_ADVERSARIES: Tuple[str, ...] = (
+    "displacement",
+    "insertion",
+    "suppression",
+    "censoring_miner",
+    "stale_oracle",
+)
+DEFAULT_DEFENSES: Tuple[str, ...] = (
+    "geth_unmodified",
+    "sereth_client",
+    "semantic_mining",
+)
+HMS_DEFENSE = "semantic_mining"
+"""The full HMS deployment (view + semantic mining) — the paper's defense."""
+
+CONTROL_ROW = "(control)"
+"""Row label for the adversary-free control cells."""
+
+
+@dataclass(frozen=True)
+class AttackMatrixConfig:
+    """Shape of the attack-matrix sweep."""
+
+    adversaries: Tuple[str, ...] = DEFAULT_ADVERSARIES
+    defenses: Tuple[str, ...] = DEFAULT_DEFENSES
+    num_victim_buys: int = 20
+    buy_interval: float = 2.0
+    reprice_interval: Optional[float] = None
+    """``None`` (default) reproduces the paper's V-B market: one opening set,
+    then only attackers move the price — the regime in which semantic mining
+    drives frontrunning harm to zero.  Setting an interval makes the owner
+    keep repricing, which gives delay-based attacks (suppression, censorship,
+    stale oracle) stale terms to exploit — but concurrent owner writes also
+    fork the HMS series under attack, so harm is no longer expected to be
+    zero anywhere; delay attacks additionally show up in the latency column
+    either way."""
+    block_interval: float = 13.0
+    num_miners: int = 2
+    """Two miners so a censoring miner controls half the hash power, not all."""
+    max_transactions_per_block: Optional[int] = 12
+    """Finite block capacity so fee-bump suppression has something to exhaust."""
+    trials: int = 1
+    include_control: bool = True
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if not self.adversaries:
+            raise ValueError("the matrix needs at least one adversary")
+        if not self.defenses:
+            raise ValueError("the matrix needs at least one defense")
+        for name in self.adversaries:
+            ADVERSARY_REGISTRY.get(name)  # fail fast on unknown strategies
+        for name in self.defenses:
+            SCENARIO_REGISTRY.get(name)  # and on unknown defense scenarios
+        if self.trials <= 0:
+            raise ValueError("trials must be positive")
+
+
+@dataclass
+class AttackMatrixCell:
+    """One (adversary, defense) cell, aggregated over its trials."""
+
+    adversary: str
+    defense: str
+    trials: int
+    attempts: int
+    successes: int
+    profit: float
+    victim_submitted: int
+    victim_filled: int
+    victim_harm: int
+    victim_latency: Optional[float]
+    """Mean commit latency of the victim's buys (seconds) — how delay-based
+    attacks show up even when a static market keeps fills succeeding."""
+    overpaid: int
+    audit_clean: bool
+
+    @property
+    def harm_rate(self) -> float:
+        if self.victim_submitted == 0:
+            return 0.0
+        return self.victim_harm / self.victim_submitted
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "adversary": self.adversary,
+            "defense": self.defense,
+            "trials": self.trials,
+            "attempts": self.attempts,
+            "successes": self.successes,
+            "profit": self.profit,
+            "victim_submitted": self.victim_submitted,
+            "victim_filled": self.victim_filled,
+            "victim_harm": self.victim_harm,
+            "harm_rate": self.harm_rate,
+            "victim_latency": self.victim_latency,
+            "overpaid": self.overpaid,
+            "audit_clean": self.audit_clean,
+        }
+
+
+@dataclass
+class AttackMatrixResult:
+    """Every cell of the matrix, with the paper's acceptance checks."""
+
+    config: AttackMatrixConfig
+    cells: List[AttackMatrixCell] = field(default_factory=list)
+
+    def cell(self, adversary: str, defense: str) -> AttackMatrixCell:
+        for candidate in self.cells:
+            if candidate.adversary == adversary and candidate.defense == defense:
+                return candidate
+        raise KeyError(f"no matrix cell for ({adversary!r}, {defense!r})")
+
+    # -- acceptance checks -------------------------------------------------------------
+
+    @property
+    def hms_protected(self) -> bool:
+        """Section V-B reproduced: displacement causes zero victim harm under
+        the full HMS defense (when both are part of the grid)."""
+        if HMS_DEFENSE not in self.config.defenses:
+            return True
+        if "displacement" not in self.config.adversaries:
+            return True
+        return self.cell("displacement", HMS_DEFENSE).victim_harm == 0
+
+    @property
+    def structurally_sound(self) -> bool:
+        """No victim overpaid in any cell — the mark-bound-offer invariant."""
+        return all(cell.overpaid == 0 and cell.audit_clean for cell in self.cells)
+
+    # -- rendering ---------------------------------------------------------------------
+
+    def as_rows(self) -> List[List[str]]:
+        """Table rows: adversary x defense with the headline numbers."""
+        rows = []
+        for cell in self.cells:
+            rows.append(
+                [
+                    cell.adversary,
+                    cell.defense,
+                    str(cell.attempts),
+                    str(cell.successes),
+                    f"{cell.profit:g}",
+                    f"{cell.victim_harm}/{cell.victim_submitted}",
+                    f"{cell.harm_rate:.0%}",
+                    "-" if cell.victim_latency is None else f"{cell.victim_latency:.1f}s",
+                    str(cell.overpaid),
+                ]
+            )
+        return rows
+
+    def to_dict(self) -> List[Dict[str, Any]]:
+        return [cell.as_dict() for cell in self.cells]
+
+
+def _cell_spec(config: AttackMatrixConfig, adversary: Optional[str], defense: str) -> SimulationSpec:
+    """The facade spec for one matrix cell (``adversary=None`` is the control)."""
+    builder = (
+        Simulation.builder()
+        .scenario(defense)
+        .workload(
+            "victim_market",
+            num_victim_buys=config.num_victim_buys,
+            buy_interval=config.buy_interval,
+            reprice_interval=config.reprice_interval,
+        )
+        .miners(config.num_miners)
+        .clients(2)
+        .block_interval(config.block_interval)
+        .gossip(0.07, 0.05)
+        .gas(max_transactions_per_block=config.max_transactions_per_block)
+        .seed(config.seed)
+    )
+    if adversary is not None:
+        builder = builder.adversary(adversary)
+    return builder.build()
+
+
+def attack_matrix_jobs(
+    config: AttackMatrixConfig,
+) -> List[Tuple[SimulationSpec, Dict[str, Any]]]:
+    """The deterministically seeded (spec, tags) grid the sweep engine runs.
+
+    Per-trial seeds derive from the config seed and the cell coordinates, so
+    the same matrix produces the same numbers serially or on a worker pool.
+    """
+    rows: List[Optional[str]] = list(config.adversaries)
+    if config.include_control:
+        rows.insert(0, None)
+    jobs: List[Tuple[SimulationSpec, Dict[str, Any]]] = []
+    for adversary in rows:
+        row_label = adversary if adversary is not None else CONTROL_ROW
+        for defense in config.defenses:
+            base = _cell_spec(config, adversary, defense)
+            for trial in range(config.trials):
+                seed = derive_seed(config.seed, "attack-matrix", row_label, defense, trial)
+                tags = {
+                    "adversary": row_label,
+                    "defense": defense,
+                    "trial": trial,
+                    "seed": seed,
+                }
+                jobs.append((base.with_seed(seed), tags))
+    return jobs
+
+
+def run_attack_matrix(
+    config: Optional[AttackMatrixConfig] = None, workers: int = 1
+) -> AttackMatrixResult:
+    """Run the full grid and aggregate each cell over its trials."""
+    config = config or AttackMatrixConfig()
+    jobs = attack_matrix_jobs(config)
+    sweep_result = Sweep.from_specs(jobs).run(workers=workers)
+
+    aggregated: Dict[Tuple[str, str], Dict[str, Any]] = {}
+    for row in sweep_result.rows:
+        key = (row.tags["adversary"], row.tags["defense"])
+        bucket = aggregated.setdefault(
+            key,
+            {
+                "trials": 0,
+                "attempts": 0,
+                "successes": 0,
+                "profit": 0.0,
+                "victim_submitted": 0,
+                "victim_filled": 0,
+                "victim_harm": 0,
+                "latencies": [],
+                "overpaid": 0,
+                "audit_clean": True,
+            },
+        )
+        bucket["trials"] += 1
+        extras = row.summary["extras"]
+        bucket["overpaid"] += extras.get("overpaid", 0)
+        bucket["audit_clean"] = bucket["audit_clean"] and extras.get("audit_clean", True)
+        # Victim metrics come straight off the watched label so control cells
+        # (no adversary report) aggregate identically to attacked ones.
+        victim_report = row.summary["reports"][VICTIM_BUY_LABEL]
+        bucket["victim_submitted"] += victim_report["submitted"]
+        bucket["victim_filled"] += victim_report["successful"]
+        bucket["victim_harm"] += victim_report["submitted"] - victim_report["successful"]
+        if victim_report.get("mean_commit_latency") is not None:
+            bucket["latencies"].append(victim_report["mean_commit_latency"])
+        for report in row.summary.get("adversaries", {}).values():
+            bucket["attempts"] += report["attempts"]
+            bucket["successes"] += report["successes"]
+            bucket["profit"] += report["profit"]
+
+    result = AttackMatrixResult(config=config)
+    rows: List[Optional[str]] = list(config.adversaries)
+    if config.include_control:
+        rows.insert(0, None)
+    for adversary in rows:
+        row_label = adversary if adversary is not None else CONTROL_ROW
+        for defense in config.defenses:
+            bucket = aggregated[(row_label, defense)]
+            latencies = bucket["latencies"]
+            result.cells.append(
+                AttackMatrixCell(
+                    adversary=row_label,
+                    defense=defense,
+                    trials=bucket["trials"],
+                    attempts=bucket["attempts"],
+                    successes=bucket["successes"],
+                    profit=bucket["profit"],
+                    victim_submitted=bucket["victim_submitted"],
+                    victim_filled=bucket["victim_filled"],
+                    victim_harm=bucket["victim_harm"],
+                    victim_latency=(sum(latencies) / len(latencies)) if latencies else None,
+                    overpaid=bucket["overpaid"],
+                    audit_clean=bucket["audit_clean"],
+                )
+            )
+    return result

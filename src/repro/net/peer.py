@@ -108,6 +108,19 @@ class Peer:
     def hms_provider(self, contract_address: Address) -> Optional[HMSRAAProvider]:
         return self._hms_providers.get(contract_address)
 
+    def override_raa_provider(self, contract_address: Address, provider: object) -> None:
+        """Replace the RAA provider answering for one contract on this peer.
+
+        The hook adversarial data services (and tests) use to interpose on
+        the peer's reads; HMS must already be installed so the registry and
+        the engine wiring exist.
+        """
+        if self._raa_registry is None:
+            raise ValueError(
+                f"peer {self.peer_id} has no RAA registry; install HMS before overriding"
+            )
+        self._raa_registry.register(contract_address, provider)
+
     # -- transaction handling -------------------------------------------------------------
 
     def submit_transaction(self, transaction: Transaction, now: float) -> bool:

@@ -1,0 +1,83 @@
+"""Attack-matrix experiment tests (the acceptance grid, at smoke scale)."""
+
+import pytest
+
+from repro.experiments.attack_matrix import (
+    CONTROL_ROW,
+    AttackMatrixConfig,
+    attack_matrix_jobs,
+    run_attack_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_result():
+    config = AttackMatrixConfig(
+        adversaries=("displacement", "insertion"),
+        defenses=("geth_unmodified", "semantic_mining"),
+        num_victim_buys=8,
+        seed=3,
+    )
+    return run_attack_matrix(config, workers=1)
+
+
+class TestMatrixShape:
+    def test_all_cells_present_including_control(self, smoke_result):
+        assert len(smoke_result.cells) == 3 * 2  # (control + 2 adversaries) x 2 defenses
+        assert smoke_result.cell(CONTROL_ROW, "geth_unmodified").attempts == 0
+
+    def test_unknown_adversary_fails_fast(self):
+        with pytest.raises(KeyError, match="unknown adversary"):
+            AttackMatrixConfig(adversaries=("nope",))
+
+    def test_cell_lookup_raises_for_missing_cells(self, smoke_result):
+        with pytest.raises(KeyError):
+            smoke_result.cell("displacement", "sereth_client")
+
+    def test_as_dict_rows_are_json_shaped(self, smoke_result):
+        for cell in smoke_result.to_dict():
+            assert {"adversary", "defense", "attempts", "victim_harm", "harm_rate"} <= set(cell)
+
+
+class TestAcceptance:
+    def test_displacement_harms_the_baseline(self, smoke_result):
+        assert smoke_result.cell("displacement", "geth_unmodified").victim_harm > 0
+
+    def test_hms_shows_zero_victim_harm_under_displacement(self, smoke_result):
+        """The headline acceptance criterion (paper Section V-B)."""
+        assert smoke_result.cell("displacement", "semantic_mining").victim_harm == 0
+        assert smoke_result.hms_protected
+
+    def test_mark_bound_offers_hold_in_every_cell(self, smoke_result):
+        assert smoke_result.structurally_sound
+
+    def test_attackers_actually_attacked(self, smoke_result):
+        for adversary in ("displacement", "insertion"):
+            for defense in ("geth_unmodified", "semantic_mining"):
+                assert smoke_result.cell(adversary, defense).attempts > 0
+
+
+class TestJobExpansion:
+    def test_trials_multiply_jobs(self):
+        config = AttackMatrixConfig(
+            adversaries=("displacement",),
+            defenses=("semantic_mining",),
+            num_victim_buys=4,
+            trials=3,
+            include_control=False,
+        )
+        jobs = attack_matrix_jobs(config)
+        assert len(jobs) == 3
+        assert len({spec.seed for spec, _tags in jobs}) == 3
+
+    def test_every_adversary_cell_carries_its_adversary(self):
+        config = AttackMatrixConfig(
+            adversaries=("suppression",),
+            defenses=("semantic_mining",),
+            num_victim_buys=4,
+            include_control=True,
+        )
+        jobs = attack_matrix_jobs(config)
+        by_row = {tags["adversary"]: spec for spec, tags in jobs}
+        assert by_row[CONTROL_ROW].adversaries == ()
+        assert by_row["suppression"].adversaries[0][0] == "suppression"
