@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Experiment-engine performance harness: writes ``BENCH_experiments.json``.
+
+Measures the experiment layer the way `substrate_perf.py` measures the chain
+substrate — rows/second through the generic experiment lifecycle for one
+figure2 smoke grid, in three execution modes:
+
+* ``fresh_rows_per_s``        — a plain in-memory sweep (no checkpoint);
+* ``checkpointed_rows_per_s`` — the same sweep writing its JSONL checkpoint
+  row by row (the durability overhead the resumable path pays);
+* ``resumed_rows_per_s``      — re-running against the complete checkpoint
+  (zero cells execute; this is the resume fast path and should be orders of
+  magnitude above the other two).
+
+Every mode checksums its exported rows: ``outputs_identical`` certifies that
+checkpoint durability and resumption changed nothing observable.
+
+Baseline protocol (same as the substrate harness): the first run — or
+``--record-baseline`` — stores its numbers under ``"baseline"``; later runs
+keep that baseline, update ``"current"``, and report per-metric ``"speedup"``
+(current / baseline: all metrics here are throughputs, higher is better).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/experiments_perf.py
+    PYTHONPATH=src python benchmarks/experiments_perf.py --quick --workers 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.api import ExperimentOptions, run_experiment
+
+METRICS = ("fresh_rows_per_s", "checkpointed_rows_per_s", "resumed_rows_per_s")
+
+
+def _rows_checksum(run) -> str:
+    return hashlib.sha256(run.export_frame().to_json().encode("utf-8")).hexdigest()
+
+
+def run_grid(experiment: str, workers: int, smoke: bool, repeats: int) -> Dict[str, Any]:
+    """Best-of-``repeats`` rows/second for the three execution modes."""
+    results: Dict[str, Any] = {"metrics": {}, "checksums": {}, "rows": None}
+    best: Dict[str, float] = {}
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory() as scratch:
+            checkpoint = Path(scratch) / "sweep.jsonl"
+
+            started = time.perf_counter()
+            fresh = run_experiment(
+                experiment, ExperimentOptions(smoke=smoke, workers=workers)
+            )
+            fresh_elapsed = time.perf_counter() - started
+            rows = len(fresh.frame)
+
+            started = time.perf_counter()
+            checkpointed = run_experiment(
+                experiment,
+                ExperimentOptions(smoke=smoke, workers=workers, checkpoint=checkpoint),
+            )
+            checkpointed_elapsed = time.perf_counter() - started
+
+            started = time.perf_counter()
+            resumed = run_experiment(
+                experiment,
+                ExperimentOptions(smoke=smoke, workers=workers, checkpoint=checkpoint),
+            )
+            resumed_elapsed = time.perf_counter() - started
+
+        results["rows"] = rows
+        best["fresh_rows_per_s"] = max(
+            best.get("fresh_rows_per_s", 0.0), rows / fresh_elapsed
+        )
+        best["checkpointed_rows_per_s"] = max(
+            best.get("checkpointed_rows_per_s", 0.0), rows / checkpointed_elapsed
+        )
+        best["resumed_rows_per_s"] = max(
+            best.get("resumed_rows_per_s", 0.0), rows / resumed_elapsed
+        )
+        results["checksums"] = {
+            "fresh": _rows_checksum(fresh),
+            "checkpointed": _rows_checksum(checkpointed),
+            "resumed": _rows_checksum(resumed),
+        }
+        results["claims_pass"] = fresh.passed
+    results["metrics"] = {name: round(value, 3) for name, value in best.items()}
+    checksums = results["checksums"]
+    results["outputs_identical"] = len(set(checksums.values())) == 1
+    return results
+
+
+def compute_speedup(baseline: Dict[str, float], current: Dict[str, float]) -> Dict[str, float]:
+    speedup = {}
+    for name in METRICS:
+        baseline_value, current_value = baseline.get(name), current.get(name)
+        if not baseline_value or not current_value:
+            continue
+        speedup[name] = round(current_value / baseline_value, 3)
+    return speedup
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--experiment", default="figure2", help="registered experiment to time")
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-N timing")
+    parser.add_argument(
+        "--quick", action="store_true", help="single repeat (CI smoke)"
+    )
+    parser.add_argument(
+        "--record-baseline",
+        action="store_true",
+        help="store this run as the baseline (overwriting any existing one)",
+    )
+    parser.add_argument("--output", default="BENCH_experiments.json")
+    arguments = parser.parse_args()
+
+    repeats = 1 if arguments.quick else arguments.repeats
+    run = run_grid(arguments.experiment, arguments.workers, smoke=True, repeats=repeats)
+    run["experiment"] = arguments.experiment
+    run["workers"] = arguments.workers
+
+    output = Path(arguments.output)
+    report: Dict[str, Any] = {}
+    if output.exists():
+        try:
+            report = json.loads(output.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            report = {}
+    if arguments.record_baseline or "baseline" not in report:
+        report["baseline"] = run
+    report["current"] = run
+    report["speedup"] = compute_speedup(
+        report["baseline"]["metrics"], run["metrics"]
+    )
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+    print(json.dumps(report["current"], indent=2, sort_keys=True))
+    print(f"speedup vs baseline: {report['speedup']}")
+    if not run["outputs_identical"]:
+        raise SystemExit("exported rows differ across execution modes")
+    if not run["claims_pass"]:
+        raise SystemExit("claim gates failed on the benchmark grid")
+
+
+if __name__ == "__main__":
+    main()

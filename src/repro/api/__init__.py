@@ -15,7 +15,12 @@ The facade has four pieces:
   the repository that touches ``Network``/``Peer`` directly);
 * the **sweep engine** — :class:`Sweep` expands parameter grids
   (ratios x scenarios x trials) into specs and executes them serially or on
-  a ``multiprocessing`` pool, deterministically either way.
+  a ``multiprocessing`` pool, deterministically either way — resumably,
+  when given a JSONL ``checkpoint``;
+* the **experiment layer** — :mod:`repro.api.experiment` drives registered,
+  declarative experiments (``figure2``, ``attack_matrix``, …) through one
+  ``plan -> execute -> analyze -> check_claims -> export`` lifecycle, with
+  results analyzed in a columnar :class:`~repro.api.frame.ResultFrame`.
 
 Quickstart::
 
@@ -35,6 +40,10 @@ Quickstart::
         buys_per_set=[1.0, 2.0, 10.0],
     ).trials(3).run(workers=4)
     figure2.to_csv("figure2.csv")
+
+    from repro.api import run_experiment, ExperimentOptions
+    run = run_experiment("figure2", ExperimentOptions(workers=4))
+    assert run.passed  # the paper's headline claim gates
 """
 
 from __future__ import annotations
@@ -47,12 +56,27 @@ from ..experiments.scenario import (
     Scenario,
 )
 from .builder import BuildError, Simulation, SimulationBuilder
+from .checkpoint import CheckpointMismatchError, SweepCheckpoint, sweep_digest
 from .engine import (
     SimulationHandle,
     SimulationResult,
     build_simulation,
     run_simulation,
 )
+from .experiment import (
+    Claim,
+    ClaimCheck,
+    EXPERIMENT_REGISTRY,
+    Experiment,
+    ExperimentOptions,
+    ExperimentRun,
+    GridExperiment,
+    execute_plan,
+    plan_experiment,
+    register_experiment,
+    run_experiment,
+)
+from .frame import GroupBy, ResultFrame
 from .registry import (
     Registry,
     RegistryError,
@@ -63,7 +87,7 @@ from .registry import (
 )
 from .seeding import SeedPlan, derive_seed
 from .spec import SimulationSpec, freeze_adversaries, freeze_params
-from .sweep import Sweep, SweepResult, SweepRow
+from .sweep import EmptySelectionError, Sweep, SweepResult, SweepRow
 from .workloads import (
     SimulationContext,
     Workload,
@@ -75,9 +99,20 @@ __all__ = [
     "Adversary",
     "AdversaryTarget",
     "BuildError",
+    "CheckpointMismatchError",
+    "Claim",
+    "ClaimCheck",
+    "EXPERIMENT_REGISTRY",
+    "EmptySelectionError",
+    "Experiment",
+    "ExperimentOptions",
+    "ExperimentRun",
     "GETH_UNMODIFIED",
+    "GridExperiment",
+    "GroupBy",
     "Registry",
     "RegistryError",
+    "ResultFrame",
     "SCENARIO_REGISTRY",
     "SEMANTIC_MINING",
     "SERETH_CLIENT_SCENARIO",
@@ -90,20 +125,26 @@ __all__ = [
     "SimulationResult",
     "SimulationSpec",
     "Sweep",
+    "SweepCheckpoint",
     "SweepResult",
     "SweepRow",
     "WORKLOAD_REGISTRY",
     "Workload",
     "build_simulation",
     "derive_seed",
+    "execute_plan",
     "freeze_adversaries",
     "freeze_params",
     "register_adversary",
+    "register_experiment",
     "register_scenario",
+    "plan_experiment",
     "register_workload",
+    "run_experiment",
     "run_simulation",
     "sereth_exchange_address",
     "scenario_by_name",
+    "sweep_digest",
 ]
 
 

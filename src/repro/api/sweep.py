@@ -30,11 +30,32 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..experiments.scenario import Scenario
+from .checkpoint import SweepCheckpoint, sweep_digest
 from .registry import SCENARIO_REGISTRY
 from .seeding import derive_seed
 from .spec import SimulationSpec
 
-__all__ = ["Sweep", "SweepResult", "SweepRow"]
+__all__ = ["EmptySelectionError", "Sweep", "SweepResult", "SweepRow", "apply_dimension"]
+
+
+def apply_dimension(spec: SimulationSpec, name: str, value: Any) -> SimulationSpec:
+    """Apply one named knob to a spec: ``scenario``, a spec field, or —
+    anything else — a workload parameter.  Shared by the sweep grid expander
+    and the experiment engine's scalar overrides."""
+    if name == "scenario":
+        scenario = value if isinstance(value, Scenario) else SCENARIO_REGISTRY.get(value)
+        return replace(spec, scenario=scenario)
+    if name in _SPEC_FIELD_NAMES:
+        return replace(spec, **{name: value})
+    return spec.with_params(**{name: value})
+
+
+class EmptySelectionError(KeyError):
+    """A selection over sweep rows matched nothing usable.
+
+    Subclasses :class:`KeyError` so callers that guarded against the old
+    behaviour keep working; the message says whether no row matched at all
+    or the matching rows simply carry no efficiency metric."""
 
 _SPEC_FIELD_NAMES = {spec_field.name for spec_field in dataclass_fields(SimulationSpec)}
 
@@ -89,10 +110,15 @@ class SweepResult:
     def __iter__(self):
         return iter(self.rows)
 
+    def __getitem__(self, index):
+        return self.rows[index]
+
     # -- selection ------------------------------------------------------------------
 
-    def filter(self, **tags: Any) -> List[SweepRow]:
-        return [row for row in self.rows if row.matches(**tags)]
+    def filter(self, **tags: Any) -> "SweepResult":
+        """The matching rows as a new SweepResult — chainable, like
+        :meth:`ResultFrame.filter` (it still iterates/indexes like a list)."""
+        return SweepResult(rows=[row for row in self.rows if row.matches(**tags)])
 
     def efficiencies(self, **tags: Any) -> List[float]:
         return [
@@ -100,10 +126,22 @@ class SweepResult:
         ]
 
     def mean_efficiency(self, **tags: Any) -> float:
-        values = self.efficiencies(**tags)
+        matching = self.filter(**tags)
+        if not matching:
+            raise EmptySelectionError(f"no sweep rows match {tags!r}")
+        values = [row.efficiency for row in matching if row.efficiency is not None]
         if not values:
-            raise KeyError(f"no sweep rows match {tags!r}")
+            raise EmptySelectionError(
+                f"{len(matching)} sweep rows match {tags!r} but none carries an "
+                "efficiency metric (the workload has no primary label)"
+            )
         return sum(values) / len(values)
+
+    def to_frame(self) -> "Any":
+        """This result as a columnar :class:`~repro.api.frame.ResultFrame`."""
+        from .frame import ResultFrame
+
+        return ResultFrame.from_sweep(self)
 
     # -- export ---------------------------------------------------------------------
 
@@ -194,15 +232,7 @@ class Sweep:
     def _apply_dimension(
         self, spec: SimulationSpec, name: str, value: Any
     ) -> SimulationSpec:
-        if name == "scenario":
-            scenario = (
-                value if isinstance(value, Scenario) else SCENARIO_REGISTRY.get(value)
-            )
-            return replace(spec, scenario=scenario)
-        if name in _SPEC_FIELD_NAMES:
-            return replace(spec, **{name: value})
-        # Anything else is a workload parameter.
-        return spec.with_params(**{name: value})
+        return apply_dimension(spec, name, value)
 
     @staticmethod
     def _tag_value(name: str, value: Any) -> Any:
@@ -242,17 +272,35 @@ class Sweep:
 
     # -- execution --------------------------------------------------------------------
 
-    def run(self, workers: int = 1, keep_results: bool = False) -> SweepResult:
+    def run(
+        self,
+        workers: int = 1,
+        keep_results: bool = False,
+        checkpoint: Optional[Union[str, Path]] = None,
+    ) -> SweepResult:
         """Execute every job; ``workers > 1`` uses a multiprocessing pool.
 
         Results are deterministic and identical across worker counts: each
         job's spec fully seeds its run, and rows keep the expansion order.
         ``keep_results`` attaches live SimulationResult objects to the rows
         (serial runs only — live results cannot cross process boundaries).
+
+        ``checkpoint`` names a JSONL file keyed by the job list's content
+        digest: every completed row is appended as it finishes, and a re-run
+        against the same file executes only the rows the file is missing.
+        Serial, parallel, and resumed runs all produce the same rows, so
+        their exports are byte-identical.
         """
         jobs = self.jobs()
         if workers > 1 and keep_results:
             raise ValueError("keep_results requires a serial run (workers=1)")
+        if checkpoint is not None:
+            if keep_results:
+                raise ValueError(
+                    "keep_results cannot be combined with a checkpoint "
+                    "(live results cannot be persisted)"
+                )
+            return self._run_checkpointed(jobs, workers, checkpoint)
         if workers > 1:
             with multiprocessing.Pool(processes=workers) as pool:
                 raw_rows = pool.map(_run_job, jobs)
@@ -270,4 +318,34 @@ class Sweep:
                         result=result if keep_results else None,
                     )
                 )
+        return SweepResult(rows=rows)
+
+    def _run_checkpointed(
+        self,
+        jobs: List[Tuple[SimulationSpec, Dict[str, Any]]],
+        workers: int,
+        checkpoint: Union[str, Path],
+    ) -> SweepResult:
+        """Run only the rows the checkpoint file is missing, recording each
+        completion incrementally (``imap`` streams parallel rows back in
+        order, so an interrupted pool loses only in-flight cells)."""
+        store = SweepCheckpoint.load(checkpoint, sweep_digest(jobs), len(jobs))
+        store.begin()
+        pending = [(index, jobs[index]) for index in store.missing()]
+        if pending and workers > 1:
+            with multiprocessing.Pool(processes=workers) as pool:
+                for (index, (_spec, tags)), raw in zip(
+                    pending, pool.imap(_run_job, [job for _index, job in pending])
+                ):
+                    store.record(index, raw["tags"], raw["summary"])
+        elif pending:
+            from .engine import run_simulation
+
+            for index, (spec, tags) in pending:
+                result = run_simulation(spec)
+                store.record(index, tags, result.summary())
+        rows = []
+        for index in range(len(jobs)):
+            payload = store.row(index)
+            rows.append(SweepRow(tags=payload["tags"], summary=payload["summary"]))
         return SweepResult(rows=rows)

@@ -1,22 +1,34 @@
 """Command-line interface for running the paper's experiments via ``repro.api``.
 
-Usage (after ``pip install -e .``)::
+The generic experiment commands drive any experiment registered in
+:data:`repro.api.experiment.EXPERIMENT_REGISTRY` through the shared
+``plan -> execute -> analyze -> check_claims -> export`` lifecycle::
+
+    repro run figure2 --workers 4 --export out/
+    repro run attack_matrix --smoke --checkpoint matrix.jsonl
+    repro run ablation --set name=gossip --trials 2
+    repro claims figure2                      # claim gates only (exit != 0 on failure)
+    repro list --experiments
+
+``--checkpoint FILE`` makes the sweep resumable: completed cells append to a
+JSONL file keyed by the grid's digest, and a re-run executes only the
+missing cells (byte-identical exports either way).  ``--set NAME=VALUE``
+overrides experiment knobs: a comma list replaces a sweep dimension, a
+scalar lands on the base spec.
+
+The historical per-experiment subcommands remain as thin wrappers::
 
     repro figure2 --ratios 1 2 10 20 --trials 2 --workers 4
     repro market --scenario semantic_mining --ratio 2
-    repro sequential
-    repro frontrunning --victim-read-mode read_committed
-    repro oracle
-    repro ablation --name miner_fraction
+    repro sequential | frontrunning | oracle | ablation --name miner_fraction
     repro attack-matrix --adversaries displacement insertion --workers 4
     repro sweep --workload market --scenarios geth_unmodified semantic_mining \
         --over buys_per_set=1,2,10 --trials 2 --workers 4 --csv out.csv
-    repro list
-    repro list --adversaries
+    repro list [--adversaries]
 
-Every subcommand resolves scenarios and workloads through the
-:mod:`repro.api` registries and executes through the facade's engine; the
-``sweep`` subcommand exposes the parallel grid runner directly.
+Every subcommand resolves scenarios, workloads, adversaries, and
+experiments through the :mod:`repro.api` registries and executes through
+the facade's engine.
 """
 
 from __future__ import annotations
@@ -26,7 +38,18 @@ import sys
 from typing import Any, Dict, List, Optional, Sequence
 
 from .analysis.plotting import format_percentage, format_table
-from .api import ADVERSARY_REGISTRY, SCENARIO_REGISTRY, Simulation, Sweep, WORKLOAD_REGISTRY
+from .api import (
+    ADVERSARY_REGISTRY,
+    CheckpointMismatchError,
+    EXPERIMENT_REGISTRY,
+    ExperimentOptions,
+    SCENARIO_REGISTRY,
+    Simulation,
+    Sweep,
+    WORKLOAD_REGISTRY,
+    execute_plan,
+    plan_experiment,
+)
 from .experiments.attack_matrix import (
     DEFAULT_ADVERSARIES,
     DEFAULT_DEFENSES,
@@ -59,6 +82,46 @@ def build_parser() -> argparse.ArgumentParser:
         "Smart Contract Performance' (ICDCS 2019).",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser(
+        "run", help="run any registered experiment through the generic lifecycle"
+    )
+    run.add_argument("experiment", help="registered experiment name (see `repro list --experiments`)")
+    run.add_argument("--smoke", action="store_true", help="run the reduced CI-sized grid")
+    run.add_argument("--workers", type=int, default=1, help="parallel worker processes")
+    run.add_argument("--seed", type=int, default=None, help="root seed (default: the experiment's)")
+    run.add_argument("--trials", type=int, default=None, help="trials per grid cell")
+    run.add_argument(
+        "--set",
+        dest="overrides",
+        nargs="*",
+        default=[],
+        metavar="NAME=VALUE",
+        help="experiment overrides; comma lists become sweep dimensions "
+        "(e.g. --set buys_per_set=1,2,10 name=gossip)",
+    )
+    run.add_argument(
+        "--checkpoint",
+        default=None,
+        help="JSONL checkpoint file: completed cells are recorded as they "
+        "finish, and a re-run executes only the missing ones",
+    )
+    run.add_argument(
+        "--export", dest="export_dir", default=None, help="write JSON/CSV/Markdown/claims artifacts here"
+    )
+    run.add_argument("--no-claims", action="store_true", help="skip the claim gates (always exit 0)")
+
+    claims = subparsers.add_parser(
+        "claims", help="evaluate an experiment's claim gates (smoke grid by default)"
+    )
+    claims.add_argument("experiment", help="registered experiment name")
+    claims.add_argument("--full", action="store_true", help="run the full grid instead of the smoke grid")
+    claims.add_argument("--workers", type=int, default=1)
+    claims.add_argument("--seed", type=int, default=None)
+    claims.add_argument(
+        "--set", dest="overrides", nargs="*", default=[], metavar="NAME=VALUE",
+        help="experiment overrides (as for `repro run`)",
+    )
 
     figure2 = subparsers.add_parser("figure2", help="run the Figure 2 ratio sweep")
     figure2.add_argument("--ratios", type=float, nargs="+", default=[1.0, 2.0, 4.0, 10.0, 20.0])
@@ -149,14 +212,111 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--csv", dest="csv_path", default=None, help="write rows as CSV")
 
     listing = subparsers.add_parser(
-        "list", help="list registered scenarios, workloads, and adversaries"
+        "list", help="list registered scenarios, workloads, adversaries, and experiments"
     )
     listing.add_argument(
         "--adversaries",
         action="store_true",
         help="show only the registered attack strategies",
     )
+    listing.add_argument(
+        "--experiments",
+        action="store_true",
+        help="show only the registered experiments and their claim gates",
+    )
     return parser
+
+
+def _convert_token(token: str) -> Any:
+    for cast in (int, float):
+        try:
+            return cast(token)
+        except ValueError:
+            continue
+    lowered = token.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    return token
+
+
+def _parse_overrides(pairs: Sequence[str]) -> Dict[str, Any]:
+    """Parse ``--set NAME=VALUE`` overrides; ``V1,V2,...`` becomes a list."""
+    overrides: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"bad --set override {pair!r}; expected NAME=VALUE")
+        name, _, raw = pair.partition("=")
+        if "," in raw:
+            overrides[name] = [_convert_token(token) for token in raw.split(",") if token]
+        else:
+            overrides[name] = _convert_token(raw)
+    return overrides
+
+
+def _emit_claims(checks) -> None:
+    rows = [
+        [check.claim[:58], check.paper_value, check.measured_value, "yes" if check.holds else "NO"]
+        for check in checks
+    ]
+    if rows:
+        emit_block("Claim gates", format_table(["claim", "paper", "measured", "holds"], rows))
+    else:
+        emit_block("Claim gates", "(this experiment declares no claims)")
+
+
+def _plan_experiment(command: str, name: str, options: ExperimentOptions):
+    """Resolve and plan an experiment, rendering plan-time problems (unknown
+    name, bad override) as usage errors.  Execution errors are *not*
+    wrapped — a bug deep in a sweep deserves its traceback."""
+    try:
+        return plan_experiment(name, options)
+    except (KeyError, TypeError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        raise SystemExit(f"repro {command}: {message}")
+
+
+def _command_run(arguments: argparse.Namespace) -> int:
+    options = ExperimentOptions(
+        workers=arguments.workers,
+        smoke=arguments.smoke,
+        seed=arguments.seed,
+        trials=arguments.trials,
+        checkpoint=arguments.checkpoint,
+        overrides=_parse_overrides(arguments.overrides),
+    )
+    experiment, options, sweep = _plan_experiment("run", arguments.experiment, options)
+    try:
+        run = execute_plan(experiment, options, sweep)
+    except CheckpointMismatchError as error:
+        raise SystemExit(f"repro run: {error}")
+    emit_block(
+        f"{experiment.name} — {experiment.description} "
+        f"({len(run.frame)} rows{', smoke grid' if arguments.smoke else ''})",
+        run.export_frame().to_markdown().rstrip("\n"),
+    )
+    _emit_claims(run.claim_checks)
+    if arguments.export_dir:
+        paths = run.export(arguments.export_dir)
+        emit_block(
+            "Artifacts",
+            "\n".join(f"{kind}: {path}" for kind, path in sorted(paths.items())),
+        )
+    if arguments.no_claims:
+        return 0
+    return 0 if run.passed else 1
+
+
+def _command_claims(arguments: argparse.Namespace) -> int:
+    options = ExperimentOptions(
+        workers=arguments.workers,
+        smoke=not arguments.full,
+        seed=arguments.seed,
+        overrides=_parse_overrides(arguments.overrides),
+    )
+    experiment, options, sweep = _plan_experiment("claims", arguments.experiment, options)
+    run = execute_plan(experiment, options, sweep)
+    _emit_claims(run.claim_checks)
+    return 0 if run.passed else 1
 
 
 def _command_figure2(arguments: argparse.Namespace) -> int:
@@ -406,8 +566,16 @@ def _command_list(arguments: argparse.Namespace) -> int:
         f"{name}  ({(ADVERSARY_REGISTRY.get(name).__doc__ or name).strip().splitlines()[0]})"
         for name in ADVERSARY_REGISTRY.names()
     )
+    experiment_lines = "\n".join(
+        f"{name}  ({EXPERIMENT_REGISTRY.get(name).description}; "
+        f"{len(EXPERIMENT_REGISTRY.get(name).claims)} claim gate(s))"
+        for name in EXPERIMENT_REGISTRY.names()
+    )
     if arguments.adversaries:
         emit_block("Registered adversaries", adversary_lines)
+        return 0
+    if arguments.experiments:
+        emit_block("Registered experiments", experiment_lines)
         return 0
     emit_block(
         "Registered scenarios",
@@ -420,6 +588,7 @@ def _command_list(arguments: argparse.Namespace) -> int:
     )
     emit_block("Registered workloads", "\n".join(WORKLOAD_REGISTRY.names()))
     emit_block("Registered adversaries", adversary_lines)
+    emit_block("Registered experiments", experiment_lines)
     return 0
 
 
@@ -427,6 +596,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     arguments = build_parser().parse_args(argv)
     handlers = {
+        "run": _command_run,
+        "claims": _command_claims,
         "figure2": _command_figure2,
         "market": _command_market,
         "sequential": _command_sequential,

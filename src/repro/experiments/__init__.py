@@ -1,6 +1,13 @@
-"""Experiment harness: scenarios, the market experiment runner, and the paper's sweeps."""
+"""Experiment harness: the paper's experiments as registered plugins.
+
+Importing this package registers every shipped experiment in
+:data:`repro.api.experiment.EXPERIMENT_REGISTRY` (``figure2``,
+``sequential``, ``frontrunning``, ``oracle``, ``ablation``,
+``attack_matrix``), alongside the historical per-experiment entry points,
+which remain as thin wrappers."""
 
 from .ablations import (
+    AblationExperiment,
     AblationPoint,
     AblationResult,
     sweep_block_interval,
@@ -11,16 +18,30 @@ from .ablations import (
 from .attack_matrix import (
     AttackMatrixCell,
     AttackMatrixConfig,
+    AttackMatrixExperiment,
     AttackMatrixResult,
     run_attack_matrix,
 )
 from .claims import ClaimCheck, check_headline_claims
-from .figure2 import DEFAULT_RATIOS, Figure2Config, Figure2Point, Figure2Result, run_figure2
+from .figure2 import (
+    DEFAULT_RATIOS,
+    Figure2Config,
+    Figure2Experiment,
+    Figure2Point,
+    Figure2Result,
+    run_figure2,
+)
 from .frontrunning import (
     FrontrunningConfig,
+    FrontrunningExperiment,
     FrontrunningResult,
     run_frontrunning_experiment,
 )
+# Imported for its registration side effect (the "oracle" experiment).  Bound
+# as a module, not an attribute: when the import chain *starts* at
+# repro.oracle, that module is still mid-execution here and its class names
+# do not exist yet — registration completes when its own import finishes.
+from ..oracle import comparison as _oracle_comparison  # noqa: F401
 from .runner import (
     ExperimentConfig,
     ExperimentResult,
@@ -37,11 +58,13 @@ from .scenario import (
 )
 from .sequential import (
     SequentialHistoryConfig,
+    SequentialHistoryExperiment,
     SequentialHistoryResult,
     run_sequential_history,
 )
 
 __all__ = [
+    "AblationExperiment",
     "AblationPoint",
     "AblationResult",
     "sweep_block_interval",
@@ -50,15 +73,18 @@ __all__ = [
     "sweep_submission_interval",
     "AttackMatrixCell",
     "AttackMatrixConfig",
+    "AttackMatrixExperiment",
     "AttackMatrixResult",
     "run_attack_matrix",
     "ClaimCheck",
     "check_headline_claims",
     "FrontrunningConfig",
+    "FrontrunningExperiment",
     "FrontrunningResult",
     "run_frontrunning_experiment",
     "DEFAULT_RATIOS",
     "Figure2Config",
+    "Figure2Experiment",
     "Figure2Point",
     "Figure2Result",
     "run_figure2",
@@ -73,6 +99,7 @@ __all__ = [
     "Scenario",
     "scenario_by_name",
     "SequentialHistoryConfig",
+    "SequentialHistoryExperiment",
     "SequentialHistoryResult",
     "run_sequential_history",
 ]

@@ -20,13 +20,19 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from ..analysis.stats import SummaryStats, summarize
+from ..api.experiment import Experiment, ExperimentOptions, register_experiment
+from ..api.frame import ResultFrame
+from ..api.seeding import derive_seed
 from ..api.sweep import Sweep
+from .claims import ablation_claims
 from .runner import ExperimentConfig, experiment_spec
 from .scenario import GETH_UNMODIFIED, SEMANTIC_MINING, SERETH_CLIENT_SCENARIO, Scenario
 
 __all__ = [
+    "AblationExperiment",
     "AblationPoint",
     "AblationResult",
+    "ABLATION_NAMES",
     "sweep_semantic_miner_fraction",
     "sweep_gossip_impairment",
     "sweep_submission_interval",
@@ -72,6 +78,124 @@ def _run_point(
         jobs.append((experiment_spec(config), {"trial": trial}))
     rows = Sweep.from_specs(jobs).run(workers=workers).rows
     return [row.report("buy")["success_rate"] for row in rows]
+
+
+ABLATION_NAMES = ("miner_fraction", "gossip", "submission_interval", "block_interval")
+
+
+@register_experiment
+class AblationExperiment(Experiment):
+    """All four ablation sweeps behind one registered experiment.
+
+    ``repro run ablation --set name=<which>`` picks the sweep
+    (:data:`ABLATION_NAMES`; default ``miner_fraction``).  Each cell runs the
+    market workload with one knob varied, tagged ``(ablation, scenario,
+    parameter, trial)``, with per-cell seeds derived from the root seed and
+    the cell coordinates.
+    """
+
+    name = "ablation"
+    description = (
+        "One-dimensional ablations of the market experiment (A1-A4): "
+        "miner_fraction | gossip | submission_interval | block_interval"
+    )
+    default_trials = 2
+    smoke_trials = 1
+    default_seed = 0
+    claims = ablation_claims()
+    export_columns = (
+        "ablation",
+        "scenario",
+        "parameter",
+        "trial",
+        "seed",
+        "eta",
+        "blocks_produced",
+        "simulated_seconds",
+    )
+
+    def _cells(self, which: str, smoke: bool):
+        """(scenario label, parameter value, scenario object, config overrides)
+        for every grid cell of the chosen ablation."""
+        if which == "miner_fraction":
+            values = (0.0, 1.0) if smoke else (0.0, 0.25, 0.5, 0.75, 1.0)
+            return [
+                (
+                    "semantic_mining",
+                    value,
+                    SEMANTIC_MINING.with_semantic_fraction(value),
+                    {"num_miners": 4, "buys_per_set": 2.0},
+                )
+                for value in values
+            ]
+        if which == "gossip":
+            values = (0.05, 2.0) if smoke else (0.05, 0.5, 2.0, 5.0)
+            return [
+                (
+                    scenario.name,
+                    value,
+                    scenario,
+                    {
+                        "gossip_latency": value,
+                        "gossip_jitter": value / 2,
+                        "buys_per_set": 2.0,
+                    },
+                )
+                for scenario in (SERETH_CLIENT_SCENARIO, SEMANTIC_MINING)
+                for value in values
+            ]
+        if which == "submission_interval":
+            values = (0.25, 2.0) if smoke else (0.25, 0.5, 1.0, 2.0)
+            return [
+                (
+                    scenario.name,
+                    value,
+                    scenario,
+                    {"submission_interval": value, "buys_per_set": 10.0},
+                )
+                for scenario in (GETH_UNMODIFIED, SERETH_CLIENT_SCENARIO)
+                for value in values
+            ]
+        if which == "block_interval":
+            values = (5.0, 30.0) if smoke else (5.0, 13.0, 30.0, 60.0)
+            return [
+                (
+                    scenario.name,
+                    value,
+                    scenario,
+                    {"block_interval": value, "buys_per_set": 4.0},
+                )
+                for scenario in (GETH_UNMODIFIED, SERETH_CLIENT_SCENARIO, SEMANTIC_MINING)
+                for value in values
+            ]
+        raise KeyError(f"unknown ablation {which!r}; expected one of {ABLATION_NAMES}")
+
+    def plan(self, options: ExperimentOptions) -> Sweep:
+        which = options.override("name", "miner_fraction")
+        root = self.seed(options)
+        num_buys = 30 if options.smoke else 100
+        jobs = []
+        for label, value, scenario, overrides in self._cells(which, options.smoke):
+            for trial in range(self.trials(options)):
+                seed = derive_seed(root, "ablation", which, label, value, trial)
+                config = replace(
+                    ExperimentConfig(scenario=scenario, seed=seed, num_buys=num_buys),
+                    **overrides,
+                )
+                tags = {
+                    "ablation": which,
+                    "scenario": label,
+                    "parameter": value,
+                    "trial": trial,
+                    "seed": seed,
+                }
+                jobs.append((experiment_spec(config), tags))
+        return Sweep.from_specs(jobs)
+
+    def analyze(self, frame: ResultFrame, options: ExperimentOptions) -> ResultFrame:
+        return frame.derive(
+            eta=lambda row: row["summary"]["reports"]["buy"]["success_rate"],
+        )
 
 
 def sweep_semantic_miner_fraction(

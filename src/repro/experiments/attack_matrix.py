@@ -33,11 +33,14 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 # repro.experiments, which repro.api's own init loads for the scenario axis.
 from ..adversary import ADVERSARY_REGISTRY
 from ..api.builder import Simulation
+from ..api.experiment import Experiment, ExperimentOptions, register_experiment
+from ..api.frame import ResultFrame
 from ..api.registry import SCENARIO_REGISTRY
 from ..api.seeding import derive_seed
 from ..api.spec import SimulationSpec
 from ..api.sweep import Sweep
 from ..api.workloads import VICTIM_BUY_LABEL
+from .claims import attack_matrix_claims
 
 __all__ = [
     "DEFAULT_ADVERSARIES",
@@ -46,6 +49,7 @@ __all__ = [
     "CONTROL_ROW",
     "AttackMatrixConfig",
     "AttackMatrixCell",
+    "AttackMatrixExperiment",
     "AttackMatrixResult",
     "attack_matrix_jobs",
     "run_attack_matrix",
@@ -205,6 +209,92 @@ class AttackMatrixResult:
 
     def to_dict(self) -> List[Dict[str, Any]]:
         return [cell.as_dict() for cell in self.cells]
+
+
+@register_experiment
+class AttackMatrixExperiment(Experiment):
+    """The registry form of the attack matrix: every adversary against every
+    defense (plus a control row), claim-gated on the paper's Section V-B cell
+    and the no-overpayment invariant across the whole grid.
+
+    Overrides: ``adversaries`` / ``defenses`` (lists of registered names),
+    ``buys`` (victim buys per cell), ``reprice_interval``, ``control``
+    (set falsy to drop the adversary-free row).
+    """
+
+    name = "attack_matrix"
+    description = (
+        "Every registered adversary against every defense scenario on the "
+        "attacker-free victim market"
+    )
+    default_trials = 1
+    default_seed = 11
+    claims = attack_matrix_claims()
+    export_columns = (
+        "adversary",
+        "defense",
+        "trial",
+        "seed",
+        "victim_submitted",
+        "victim_filled",
+        "victim_harm",
+        "attempts",
+        "successes",
+        "profit",
+        "victim_latency",
+        "overpaid",
+        "audit_clean",
+    )
+
+    @staticmethod
+    def _name_list(value) -> tuple:
+        """A bare name (``--set adversaries=displacement``) means a
+        one-element list, not an iterable of characters."""
+        return (value,) if isinstance(value, str) else tuple(value)
+
+    def matrix_config(self, options: ExperimentOptions) -> AttackMatrixConfig:
+        smoke = options.smoke
+        adversaries = options.override(
+            "adversaries",
+            ("displacement", "insertion") if smoke else DEFAULT_ADVERSARIES,
+        )
+        defenses = options.override(
+            "defenses",
+            ("geth_unmodified", HMS_DEFENSE) if smoke else DEFAULT_DEFENSES,
+        )
+        return AttackMatrixConfig(
+            adversaries=self._name_list(adversaries),
+            defenses=self._name_list(defenses),
+            num_victim_buys=options.override("buys", 8 if smoke else 20),
+            reprice_interval=options.override("reprice_interval"),
+            trials=self.trials(options),
+            include_control=bool(options.override("control", True)),
+            seed=self.seed(options),
+        )
+
+    def plan(self, options: ExperimentOptions) -> Sweep:
+        return Sweep.from_specs(attack_matrix_jobs(self.matrix_config(options)))
+
+    def analyze(self, frame: ResultFrame, options: ExperimentOptions) -> ResultFrame:
+        def victim(row, key):
+            return row["summary"]["reports"][VICTIM_BUY_LABEL][key]
+
+        def attack_total(row, key):
+            return sum(
+                report[key] for report in row["summary"].get("adversaries", {}).values()
+            )
+
+        return frame.derive(
+            victim_submitted=lambda row: victim(row, "submitted"),
+            victim_filled=lambda row: victim(row, "successful"),
+            victim_harm=lambda row: victim(row, "submitted") - victim(row, "successful"),
+            victim_latency=lambda row: victim(row, "mean_commit_latency"),
+            attempts=lambda row: attack_total(row, "attempts"),
+            successes=lambda row: attack_total(row, "successes"),
+            profit=lambda row: attack_total(row, "profit"),
+            overpaid=lambda row: row["summary"]["extras"].get("overpaid", 0),
+            audit_clean=lambda row: row["summary"]["extras"].get("audit_clean", True),
+        )
 
 
 def _cell_spec(config: AttackMatrixConfig, adversary: Optional[str], defense: str) -> SimulationSpec:

@@ -29,13 +29,17 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..api.engine import run_simulation
+from ..api.experiment import ExperimentOptions, GridExperiment, register_experiment
+from ..api.frame import ResultFrame
 from ..api.spec import SimulationSpec, freeze_params
 from ..api.workloads import FrontrunningAttacker, VICTIM_BUY_LABEL
 from ..clients.market import READ_UNCOMMITTED
+from .claims import frontrunning_claims
 from .scenario import SERETH_CLIENT_SCENARIO
 
 __all__ = [
     "FrontrunningConfig",
+    "FrontrunningExperiment",
     "FrontrunningResult",
     "run_frontrunning_experiment",
     "FrontrunningAttacker",
@@ -94,6 +98,51 @@ def frontrunning_spec(config: FrontrunningConfig) -> SimulationSpec:
         gossip_jitter=0.05,
         seed=config.seed,
     )
+
+
+@register_experiment
+class FrontrunningExperiment(GridExperiment):
+    """The registry form of the frontrunning experiment: the victim runs
+    under *both* read modes as a sweep dimension, and the claim gates assert
+    the structural no-overpayment invariant plus the HMS-view fill advantage."""
+
+    name = "frontrunning"
+    description = (
+        "Frontrunning attacker vs victim under both read modes; mark-bound "
+        "offers must never fill at unobserved terms"
+    )
+    workload = "frontrunning"
+    scenario = "sereth_client"
+    base_params = {"num_victim_buys": 40, "buy_interval": 2.0, "attack_markup": 25}
+    smoke_params = {"num_victim_buys": 10}
+    dimensions = {"victim_read_mode": ["read_committed", "read_uncommitted"]}
+    spec_fields = {
+        "num_miners": 1,
+        "num_client_peers": 2,
+        "gossip_latency": 0.07,
+        "gossip_jitter": 0.05,
+    }
+    default_seed = 0
+    claims = frontrunning_claims()
+    export_columns = (
+        "victim_read_mode",
+        "trial",
+        "seed",
+        "eta",
+        "attacks_launched",
+        "overpaid",
+        "audit_clean",
+        "blocks_produced",
+        "simulated_seconds",
+    )
+
+    def analyze(self, frame: ResultFrame, options: ExperimentOptions) -> ResultFrame:
+        return frame.derive(
+            eta=lambda row: row["summary"]["reports"][VICTIM_BUY_LABEL]["success_rate"],
+            attacks_launched=lambda row: row["summary"]["extras"]["attacks_launched"],
+            overpaid=lambda row: row["summary"]["extras"]["overpaid"],
+            audit_clean=lambda row: row["summary"]["extras"]["audit_clean"],
+        )
 
 
 def run_frontrunning_experiment(config: Optional[FrontrunningConfig] = None) -> FrontrunningResult:

@@ -18,11 +18,19 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..api.engine import run_simulation
+from ..api.experiment import ExperimentOptions, GridExperiment, register_experiment
+from ..api.frame import ResultFrame
 from ..api.spec import SimulationSpec, freeze_params
 from ..core.metrics import ThroughputReport
+from .claims import sequential_claims
 from .scenario import GETH_UNMODIFIED
 
-__all__ = ["SequentialHistoryConfig", "SequentialHistoryResult", "run_sequential_history"]
+__all__ = [
+    "SequentialHistoryConfig",
+    "SequentialHistoryExperiment",
+    "SequentialHistoryResult",
+    "run_sequential_history",
+]
 
 
 @dataclass
@@ -68,6 +76,46 @@ def sequential_spec(config: SequentialHistoryConfig) -> SimulationSpec:
         miner_policy="random" if config.random_miner_order else "arrival_jitter",
         seed=config.seed,
     )
+
+
+@register_experiment
+class SequentialHistoryExperiment(GridExperiment):
+    """The registry form of the sequential-history sanity test: a single
+    sender under the fully arbitrary miner ordering must still commit a
+    perfect history (claim gate: η = 1.0 for both transaction labels)."""
+
+    name = "sequential"
+    description = (
+        "Sequential-history sanity test: one sender, nonce order pins the "
+        "history, eta must be 1.0"
+    )
+    workload = "sequential"
+    scenario = "geth_unmodified"
+    base_params = {"num_pairs": 25, "submission_interval": 1.0}
+    smoke_params = {"num_pairs": 8}
+    spec_fields = {
+        "num_miners": 1,
+        "num_client_peers": 1,
+        "gossip_latency": 0.06,
+        "gossip_jitter": 0.04,
+        "miner_policy": "random",
+    }
+    default_seed = 0
+    claims = sequential_claims()
+    export_columns = (
+        "trial",
+        "seed",
+        "buy_eta",
+        "set_eta",
+        "blocks_produced",
+        "simulated_seconds",
+    )
+
+    def analyze(self, frame: ResultFrame, options: ExperimentOptions) -> ResultFrame:
+        return frame.derive(
+            buy_eta=lambda row: row["summary"]["reports"]["buy"]["efficiency"],
+            set_eta=lambda row: row["summary"]["reports"]["set"]["efficiency"],
+        )
 
 
 def run_sequential_history(config: Optional[SequentialHistoryConfig] = None) -> SequentialHistoryResult:

@@ -18,10 +18,19 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..api.engine import run_simulation
+from ..api.experiment import ExperimentOptions, GridExperiment, register_experiment
+from ..api.frame import ResultFrame
+from ..api.frame import mean as _frame_mean
 from ..api.spec import SimulationSpec, freeze_params
+from ..experiments.claims import oracle_claims
 from ..experiments.scenario import SERETH_CLIENT_SCENARIO
 
-__all__ = ["OracleComparisonConfig", "OracleComparisonResult", "run_raa_vs_oracle"]
+__all__ = [
+    "OracleComparisonConfig",
+    "OracleComparisonExperiment",
+    "OracleComparisonResult",
+    "run_raa_vs_oracle",
+]
 
 
 @dataclass
@@ -84,6 +93,55 @@ def oracle_comparison_spec(config: OracleComparisonConfig) -> SimulationSpec:
         gossip_jitter=0.04,
         seed=config.seed,
     )
+
+
+@register_experiment
+class OracleComparisonExperiment(GridExperiment):
+    """The registry form of the RAA-vs-oracle comparison (benchmark A5):
+    both data paths run side by side on one network; the claim gate asserts
+    RAA's local view call beats the oracle's committed round trip."""
+
+    name = "oracle"
+    description = (
+        "RAA vs a conventional request/response oracle: latency until "
+        "intra-block data is usable"
+    )
+    workload = "oracle"
+    scenario = "sereth_client"
+    base_params = {
+        "num_queries": 10,
+        "query_interval": 10.0,
+        "price_change_interval": 5.0,
+    }
+    smoke_params = {"num_queries": 3}
+    spec_fields = {
+        "num_miners": 1,
+        "num_client_peers": 1,
+        "gossip_latency": 0.06,
+        "gossip_jitter": 0.04,
+    }
+    default_seed = 0
+    claims = oracle_claims()
+    export_columns = (
+        "trial",
+        "seed",
+        "mean_raa_latency",
+        "mean_oracle_latency",
+        "oracle_unanswered",
+        "blocks_produced",
+        "simulated_seconds",
+    )
+
+    def analyze(self, frame: ResultFrame, options: ExperimentOptions) -> ResultFrame:
+        return frame.derive(
+            mean_raa_latency=lambda row: _frame_mean(
+                row["summary"]["extras"]["raa_latencies"]
+            ),
+            mean_oracle_latency=lambda row: _frame_mean(
+                row["summary"]["extras"]["oracle_latencies"]
+            ),
+            oracle_unanswered=lambda row: row["summary"]["extras"]["oracle_unanswered"],
+        )
 
 
 def run_raa_vs_oracle(config: Optional[OracleComparisonConfig] = None) -> OracleComparisonResult:

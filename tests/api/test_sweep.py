@@ -4,7 +4,8 @@ import json
 
 import pytest
 
-from repro.api import Simulation, Sweep, derive_seed
+from repro.api import EmptySelectionError, Simulation, Sweep, derive_seed
+from repro.api.sweep import SweepResult, SweepRow
 
 
 def small_base(seed: int = 3):
@@ -104,6 +105,21 @@ class TestExecution:
         with pytest.raises(KeyError):
             result.mean_efficiency(scenario="nonexistent")
 
+    def test_filter_returns_a_chainable_sweep_result(self, sweep):
+        result = sweep.run(workers=1)
+        filtered = result.filter(scenario="semantic_mining")
+        assert isinstance(filtered, SweepResult)
+        # chains like a ResultFrame, and still indexes/iterates like a list
+        chained = filtered.filter(buys_per_set=1.0)
+        assert len(chained) == 1
+        assert chained[0].tags["scenario"] == "semantic_mining"
+        assert chained.mean_efficiency() == chained[0].efficiency
+
+    def test_to_frame_flattens_into_a_result_frame(self, sweep):
+        frame = sweep.run(workers=1).to_frame()
+        assert len(frame) == 9
+        assert "scenario" in frame.column_names and "efficiency" in frame.column_names
+
     def test_exports_write_files(self, sweep, tmp_path):
         result = sweep.run(workers=1)
         json_path = tmp_path / "rows.json"
@@ -124,3 +140,81 @@ class TestExecution:
         result = sweep.run(workers=1, keep_results=True)
         assert result.rows[0].result is not None
         assert result.rows[0].result.reports["buy"].submitted == 8
+
+
+class TestEmptySelections:
+    def test_no_matching_rows_raises_a_clear_error(self):
+        result = SweepResult(rows=[SweepRow(tags={"scenario": "geth"}, summary={})])
+        with pytest.raises(EmptySelectionError, match="no sweep rows match"):
+            result.mean_efficiency(scenario="other")
+
+    def test_rows_without_an_efficiency_metric_raise_not_zero_divide(self):
+        """Rows exist but the workload has no primary label: the old code
+        surfaced a misleading 'no rows match'; now the error says exactly
+        what is missing (and EmptySelectionError is still a KeyError)."""
+        rows = [SweepRow(tags={"scenario": "geth"}, summary={"efficiency": None})]
+        result = SweepResult(rows=rows)
+        with pytest.raises(EmptySelectionError, match="none carries an efficiency"):
+            result.mean_efficiency(scenario="geth")
+        assert issubclass(EmptySelectionError, KeyError)
+
+
+class TestCheckpointedExecution:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return Sweep(small_base()).over(buys_per_set=[1.0, 2.0]).trials(1)
+
+    def test_checkpointed_run_matches_a_plain_run(self, sweep, tmp_path):
+        plain = sweep.run(workers=1)
+        checkpointed = sweep.run(workers=1, checkpoint=tmp_path / "ck.jsonl")
+        assert plain.to_json() == checkpointed.to_json()
+        assert plain.to_csv() == checkpointed.to_csv()
+
+    def test_interrupted_checkpoint_resumes_only_missing_rows(self, sweep, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        complete = sweep.run(workers=1, checkpoint=path)
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:2]))  # header + first row: "interrupted"
+        resumed = sweep.run(workers=1, checkpoint=path)
+        assert resumed.to_json() == complete.to_json()
+
+    def test_parallel_checkpointed_run_is_identical_to_serial(self, sweep, tmp_path):
+        serial = sweep.run(workers=1, checkpoint=tmp_path / "serial.jsonl")
+        parallel = sweep.run(workers=2, checkpoint=tmp_path / "parallel.jsonl")
+        assert serial.to_json() == parallel.to_json()
+
+    def test_keep_results_is_incompatible_with_checkpoints(self, sweep, tmp_path):
+        with pytest.raises(ValueError, match="checkpoint"):
+            sweep.run(workers=1, keep_results=True, checkpoint=tmp_path / "ck.jsonl")
+
+    def test_row_line_missing_fields_is_dropped_not_fatal(self, sweep, tmp_path):
+        """A parseable row line that lacks tags/summary (hand-edited or oddly
+        truncated) drops that row only — the resume still proceeds from the
+        intact rows instead of aborting with a KeyError."""
+        path = tmp_path / "ck.jsonl"
+        complete = sweep.run(workers=1, checkpoint=path)
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text(lines[0] + lines[1] + json.dumps({"index": 1, "tags": {}}) + "\n")
+        resumed = sweep.run(workers=1, checkpoint=path)
+        assert resumed.to_json() == complete.to_json()
+
+    def test_begin_compaction_is_atomic(self, sweep, tmp_path, monkeypatch):
+        """begin() stages its rewrite through a temp file: a crash mid-compaction
+        must leave the previous checkpoint's completed rows on disk."""
+        from repro.api import checkpoint as checkpoint_module
+
+        real_replace = checkpoint_module.os.replace
+        path = tmp_path / "ck.jsonl"
+        sweep.run(workers=1, checkpoint=path)
+        before = path.read_text()
+
+        def crash(*args):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(checkpoint_module.os, "replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            sweep.run(workers=1, checkpoint=path)
+        monkeypatch.setattr(checkpoint_module.os, "replace", real_replace)
+        assert path.read_text() == before  # prior rows survived the failed rewrite
+        resumed = sweep.run(workers=1, checkpoint=path)
+        assert len(resumed.rows) == 2
