@@ -1,0 +1,237 @@
+#!/usr/bin/env python
+"""Engine performance harness: measures per-trial sweep throughput and writes
+``BENCH_engine.json``.
+
+Where ``substrate_perf.py`` times the chain primitives (trie, keccak, pool)
+and ``experiments_perf.py`` times the experiment lifecycle's execution modes,
+this harness times the simulation *engine* itself — the layer between them:
+world-state forking, block build/validate, gossip delivery, and worker warmup.
+
+* ``fresh_rows_per_s`` — the figure2 smoke sweep run serially through
+  :func:`repro.api.experiment.run_experiment` (no checkpoint), rows/second
+  (higher is better).  This is the headline number: how many grid cells the
+  engine clears per second of wall time.  *Fresh* means fresh process
+  state: every per-process memo (digests, trie roots, wire encodings,
+  genesis templates) is cleared before each timed repeat, so the number is
+  what a brand-new sweep worker sees on a grid it has never run — repeating
+  an identical grid against warm memos would flatter the engine for work a
+  real sweep never gets back.
+* ``cold_trial_s``     — one figure2 smoke cell with every per-process cache
+  cleared first (the first-trial-in-a-fresh-worker cost; lower is better);
+* ``warm_trial_s``     — the same cell immediately re-run with warm
+  per-process caches (the steady-state worker cost; lower is better).
+
+Checksums: the sweep's exported rows and the single cell's summary are
+SHA-256'd so any engine change that alters observable output is caught;
+``outputs_identical`` certifies current == baseline output (it is ``null``
+when sizes differ, i.e. nothing comparable was measured).
+
+Baseline protocol (same as the substrate harness): the first run — or
+``--record-baseline`` — stores its numbers under ``"baseline"``; later runs
+keep that baseline, update ``"current"``, and report per-metric ``"speedup"``
+(always oriented so higher is better).  A ``speedup`` block is only emitted
+when the baseline and current runs used the same sizes and worker count —
+comparing across grids or worker counts is meaningless.
+
+``--smoke`` (CI): single repeat, and the run **fails** if its output
+checksums differ from the committed baseline's — machine speed varies across
+runners but observable output must not.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/engine_perf.py
+    PYTHONPATH=src python benchmarks/engine_perf.py --smoke
+    PYTHONPATH=src python benchmarks/engine_perf.py --record-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Tuple
+
+SECONDS_METRICS = {"cold_trial_s", "warm_trial_s"}
+THROUGHPUT_METRICS = {"fresh_rows_per_s"}
+METRICS = tuple(sorted(SECONDS_METRICS | THROUGHPUT_METRICS))
+
+
+def _clear_engine_caches() -> None:
+    """Drop every per-process memo the engine consults, via the lifecycle
+    hooks when present (``getattr`` fallbacks let this harness time builds
+    that predate a given hook)."""
+    from repro.chain import trie as trie_module
+    from repro.crypto import keccak as keccak_module
+
+    keccak_module.clear_hash_cache()
+    trie_module.clear_root_cache()
+    for module_name, hook_name in (
+        ("repro.chain.wire", "clear_wire_cache"),
+        ("repro.chain.genesis", "clear_genesis_cache"),
+    ):
+        import importlib
+
+        hook = getattr(importlib.import_module(module_name), hook_name, None)
+        if hook is not None:
+            hook()
+
+
+def _sweep_and_cell():
+    """The figure2 smoke sweep plus its first cell's spec."""
+    from repro.api import ExperimentOptions
+    from repro.api.experiment import plan_experiment
+
+    _experiment, _options, sweep = plan_experiment(
+        "figure2", ExperimentOptions(smoke=True, workers=1)
+    )
+    jobs = sweep.jobs()
+    return sweep, jobs[0][0], len(jobs)
+
+
+def bench_fresh_sweep(workers: int) -> Tuple[float, int, str]:
+    """The figure2 smoke sweep through the experiment engine from fresh
+    process state; returns (elapsed, rows, checksum-of-exported-rows)."""
+    from repro.api import ExperimentOptions, run_experiment
+
+    _clear_engine_caches()
+    started = time.perf_counter()
+    run = run_experiment("figure2", ExperimentOptions(smoke=True, workers=workers))
+    elapsed = time.perf_counter() - started
+    rows = len(run.frame)
+    checksum = hashlib.sha256(run.export_frame().to_json().encode("utf-8")).hexdigest()
+    return elapsed, rows, checksum
+
+
+def bench_trial(spec, cold: bool) -> Tuple[float, str]:
+    """One simulation trial; ``cold`` clears every per-process cache first."""
+    from repro.api.engine import run_simulation
+
+    if cold:
+        _clear_engine_caches()
+    started = time.perf_counter()
+    result = run_simulation(spec)
+    elapsed = time.perf_counter() - started
+    checksum = hashlib.sha256(
+        json.dumps(result.summary(), sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    return elapsed, checksum
+
+
+def run_benchmarks(workers: int, repeats: int) -> Dict[str, Any]:
+    _sweep, cell_spec, rows = _sweep_and_cell()
+    checksums: Dict[str, str] = {}
+    best: Dict[str, float] = {}
+    for _ in range(repeats):
+        elapsed, sweep_rows, sweep_checksum = bench_fresh_sweep(workers)
+        best["fresh_rows_per_s"] = max(
+            best.get("fresh_rows_per_s", 0.0), sweep_rows / elapsed
+        )
+        checksums["sweep_rows"] = sweep_checksum
+
+    for _ in range(repeats):
+        cold_elapsed, cell_checksum = bench_trial(cell_spec, cold=True)
+        warm_elapsed, warm_checksum = bench_trial(cell_spec, cold=False)
+        assert warm_checksum == cell_checksum, "warm trial changed observable output"
+        best["cold_trial_s"] = min(best.get("cold_trial_s", float("inf")), cold_elapsed)
+        best["warm_trial_s"] = min(best.get("warm_trial_s", float("inf")), warm_elapsed)
+        checksums["figure2_cell"] = cell_checksum
+
+    metrics = {name: round(value, 4) for name, value in best.items()}
+    for name in METRICS:
+        print(f"  {name:20s} {metrics[name]:10.4f}")
+    return {
+        "metrics": metrics,
+        "checksums": checksums,
+        "sizes": {"sweep_rows": rows},
+        "workers": workers,
+    }
+
+
+def compute_speedup(baseline: Dict[str, Any], current: Dict[str, Any]) -> Dict[str, float]:
+    """Per-metric speedup, higher is better — or ``{}`` (refusal) when the
+    runs measured different grids or worker counts."""
+    if baseline.get("sizes") != current.get("sizes"):
+        return {}
+    if baseline.get("workers") != current.get("workers"):
+        return {}
+    speedup: Dict[str, float] = {}
+    for name, current_value in current["metrics"].items():
+        baseline_value = baseline["metrics"].get(name)
+        if not baseline_value or not current_value:
+            continue
+        if name in THROUGHPUT_METRICS:
+            speedup[name] = round(current_value / baseline_value, 3)
+        else:
+            speedup[name] = round(baseline_value / current_value, 3)
+    return speedup
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=1,
+                        help="sweep worker count (pinned and recorded; speedup "
+                             "is refused across differing counts)")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-N timing")
+    parser.add_argument("--smoke", action="store_true",
+                        help="single repeat; fail if output checksums differ "
+                             "from the committed baseline")
+    parser.add_argument("--record-baseline", action="store_true",
+                        help="store this run as the baseline (overwriting any existing one)")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_engine.json",
+    )
+    arguments = parser.parse_args()
+
+    repeats = 1 if arguments.smoke else arguments.repeats
+    print(f"engine benchmarks (workers={arguments.workers}, best of {repeats}):")
+    run = run_benchmarks(arguments.workers, repeats)
+
+    report: Dict[str, Any] = {}
+    if arguments.output.exists():
+        try:
+            report = json.loads(arguments.output.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            report = {}
+
+    committed_baseline = report.get("baseline")
+    if arguments.smoke and committed_baseline is not None:
+        if committed_baseline.get("sizes") == run["sizes"] and (
+            committed_baseline.get("checksums") != run["checksums"]
+        ):
+            raise SystemExit(
+                "engine output checksums differ from the committed baseline:\n"
+                f"  baseline: {committed_baseline.get('checksums')}\n"
+                f"  current:  {run['checksums']}"
+            )
+
+    if arguments.record_baseline or "baseline" not in report:
+        report["baseline"] = run
+    report["current"] = run
+    report["speedup"] = compute_speedup(report["baseline"], run)
+    baseline = report["baseline"]
+    report["outputs_identical"] = (
+        baseline["checksums"] == run["checksums"]
+        if baseline.get("sizes") == run["sizes"]
+        else None
+    )
+
+    arguments.output.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {arguments.output}")
+    if report["speedup"]:
+        print("speedup vs baseline: " + ", ".join(
+            f"{name}={value}x" for name, value in sorted(report["speedup"].items())
+        ))
+    elif report["baseline"] is not run:
+        print("speedup refused: baseline and current differ in sizes or workers")
+    if report["outputs_identical"] is False:
+        raise SystemExit("engine output differs from baseline")
+
+
+if __name__ == "__main__":
+    main()

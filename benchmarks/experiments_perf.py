@@ -19,6 +19,10 @@ Baseline protocol (same as the substrate harness): the first run — or
 ``--record-baseline`` — stores its numbers under ``"baseline"``; later runs
 keep that baseline, update ``"current"``, and report per-metric ``"speedup"``
 (current / baseline: all metrics here are throughputs, higher is better).
+The worker count is pinned per run and recorded next to the metrics, and a
+``speedup`` block is only emitted when the baseline and current runs used
+the same grid size *and* worker count — a 1-worker "current" against a
+4-worker "baseline" is not a measurement, it is a category error.
 
 Usage::
 
@@ -96,10 +100,17 @@ def run_grid(experiment: str, workers: int, smoke: bool, repeats: int) -> Dict[s
     return results
 
 
-def compute_speedup(baseline: Dict[str, float], current: Dict[str, float]) -> Dict[str, float]:
+def compute_speedup(baseline: Dict[str, Any], current: Dict[str, Any]) -> Dict[str, float]:
+    """Per-metric current/baseline ratios — or ``{}`` (an explicit refusal)
+    when the two runs measured different grids or worker counts, in which
+    case the ratios would compare apples to oranges."""
+    comparable_keys = ("experiment", "rows", "workers")
+    if any(baseline.get(key) != current.get(key) for key in comparable_keys):
+        return {}
     speedup = {}
     for name in METRICS:
-        baseline_value, current_value = baseline.get(name), current.get(name)
+        baseline_value = baseline["metrics"].get(name)
+        current_value = current["metrics"].get(name)
         if not baseline_value or not current_value:
             continue
         speedup[name] = round(current_value / baseline_value, 3)
@@ -137,13 +148,21 @@ def main() -> None:
     if arguments.record_baseline or "baseline" not in report:
         report["baseline"] = run
     report["current"] = run
-    report["speedup"] = compute_speedup(
-        report["baseline"]["metrics"], run["metrics"]
-    )
+    report["speedup"] = compute_speedup(report["baseline"], run)
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")
 
     print(json.dumps(report["current"], indent=2, sort_keys=True))
-    print(f"speedup vs baseline: {report['speedup']}")
+    if report["speedup"]:
+        print(f"speedup vs baseline: {report['speedup']}")
+    else:
+        print(
+            "speedup refused: baseline "
+            f"(experiment={report['baseline'].get('experiment')!r}, "
+            f"rows={report['baseline'].get('rows')}, "
+            f"workers={report['baseline'].get('workers')}) is not comparable to "
+            f"current (experiment={run.get('experiment')!r}, rows={run.get('rows')}, "
+            f"workers={run.get('workers')})"
+        )
     if not run["outputs_identical"]:
         raise SystemExit("exported rows differ across execution modes")
     if not run["claims_pass"]:

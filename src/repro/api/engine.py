@@ -15,7 +15,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..adversary import ADVERSARY_REGISTRY, Adversary, AdversaryTarget
+from ..chain.apply_cache import BlockApplyCache
 from ..chain.genesis import DEFAULT_INITIAL_BALANCE, GenesisConfig
+from ..chain.wire import clear_wire_cache
 from ..consensus.interval import FixedInterval, PoissonInterval
 from ..consensus.miner import MinerConfig
 from ..consensus.policies import (
@@ -115,7 +117,7 @@ class SimulationHandle:
     executes the standard measured loop.
     """
 
-    def __init__(self, spec: SimulationSpec) -> None:
+    def __init__(self, spec: SimulationSpec, simulator: Optional[Simulator] = None) -> None:
         self.spec = spec
         self.seeds = SeedPlan(spec.seed)
         workload_class = WORKLOAD_REGISTRY.get(spec.workload)
@@ -127,7 +129,17 @@ class SimulationHandle:
             adversary.assign_index(adversary_index)
             self.adversaries.append(adversary)
 
-        self.simulator = Simulator()
+        # Warm workers hand in a reused Simulator; reset() makes it
+        # indistinguishable from a fresh one, so results are identical.
+        if simulator is None:
+            simulator = Simulator()
+        else:
+            simulator.reset()
+        self.simulator = simulator
+        # One block-application cache per trial: all peers share validated
+        # post-states (forked copy-on-write), and the cache dies with the
+        # handle so nothing leaks across sweep cells.
+        self.apply_cache = BlockApplyCache()
         latency = UniformLatency(
             low=max(spec.gossip_latency - spec.gossip_jitter, 0.001),
             high=spec.gossip_latency + spec.gossip_jitter,
@@ -161,14 +173,24 @@ class SimulationHandle:
         for miner_index in range(spec.num_miners):
             peer_id = f"miner-{miner_index}"
             peer = self.network.add_peer(
-                Peer(peer_id, genesis, client_kind=spec.client_kind_for(peer_id))
+                Peer(
+                    peer_id,
+                    genesis,
+                    client_kind=spec.client_kind_for(peer_id),
+                    apply_cache=self.apply_cache,
+                )
             )
             self.peers[peer_id] = peer
             self.miner_peers.append(peer)
         for client_index in range(spec.num_client_peers):
             peer_id = f"client-{client_index}"
             peer = self.network.add_peer(
-                Peer(peer_id, genesis, client_kind=spec.client_kind_for(peer_id))
+                Peer(
+                    peer_id,
+                    genesis,
+                    client_kind=spec.client_kind_for(peer_id),
+                    apply_cache=self.apply_cache,
+                )
             )
             self.peers[peer_id] = peer
             self.client_peers.append(peer)
@@ -178,7 +200,14 @@ class SimulationHandle:
         self.adversary_peers: List[Peer] = []
         for adversary_index in range(len(self.adversaries)):
             peer_id = f"adversary-{adversary_index}"
-            peer = self.network.add_peer(Peer(peer_id, genesis, client_kind=SERETH_CLIENT))
+            peer = self.network.add_peer(
+                Peer(
+                    peer_id,
+                    genesis,
+                    client_kind=SERETH_CLIENT,
+                    apply_cache=self.apply_cache,
+                )
+            )
             self.peers[peer_id] = peer
             self.adversary_peers.append(peer)
 
@@ -306,6 +335,15 @@ class SimulationHandle:
     def run(self) -> SimulationResult:
         """Run the workload to completion (or the duration cap) and measure."""
         spec, workload, simulator = self.spec, self.workload, self.simulator
+        try:
+            return self._run_measured(spec, workload, simulator)
+        finally:
+            # The wire-encoding memo pins every gossiped object; dropping it
+            # here scopes it to the trial for *every* caller, not only the
+            # sweep workers that also clear it explicitly.
+            clear_wire_cache()
+
+    def _run_measured(self, spec, workload, simulator) -> SimulationResult:
         self.production.start()
 
         simulator.run_until(workload.end_of_submissions)
@@ -352,11 +390,19 @@ class SimulationHandle:
         return reports
 
 
-def build_simulation(spec: SimulationSpec) -> SimulationHandle:
-    """Wire up (but do not run) the simulation ``spec`` describes."""
-    return SimulationHandle(spec)
+def build_simulation(
+    spec: SimulationSpec, simulator: Optional[Simulator] = None
+) -> SimulationHandle:
+    """Wire up (but do not run) the simulation ``spec`` describes.
+
+    Passing a ``simulator`` reuses it (after a reset) instead of allocating
+    a fresh event loop — the warm-worker path of the sweep engine.
+    """
+    return SimulationHandle(spec, simulator=simulator)
 
 
-def run_simulation(spec: SimulationSpec) -> SimulationResult:
+def run_simulation(
+    spec: SimulationSpec, simulator: Optional[Simulator] = None
+) -> SimulationResult:
     """Build and run ``spec``'s simulation; the facade's one entry point."""
-    return SimulationHandle(spec).run()
+    return SimulationHandle(spec, simulator=simulator).run()

@@ -60,20 +60,38 @@ class EmptySelectionError(KeyError):
 _SPEC_FIELD_NAMES = {spec_field.name for spec_field in dataclass_fields(SimulationSpec)}
 
 
+_PROCESS_SIMULATOR = None
+"""The per-process reusable event loop for warm sweep workers (lazily built;
+``Simulator.reset`` drains it between trials)."""
+
+
+def _process_simulator():
+    global _PROCESS_SIMULATOR
+    if _PROCESS_SIMULATOR is None:
+        from ..net.sim import Simulator
+
+        _PROCESS_SIMULATOR = Simulator()
+    return _PROCESS_SIMULATOR
+
+
 def _run_job(job: Tuple[SimulationSpec, Dict[str, Any]]) -> Dict[str, Any]:
-    """Worker entry point: run one spec and return its picklable row."""
-    from ..chain.trie import clear_root_cache
-    from ..crypto.keccak import clear_hash_cache
+    """Worker entry point: run one spec and return its picklable row.
+
+    Workers are deliberately kept *warm* between jobs: the keccak digest and
+    ordered-trie-root memos are bounded LRUs whose entries are pure
+    input->output pairs, so leaving them populated across a grid's trials
+    changes nothing observable while saving every repeated hash; the genesis
+    template memo likewise persists per process.  Only the wire-encoding
+    memo is unbounded (it pins gossiped objects), so it is cleared after
+    every trial.
+    """
+    from ..chain.wire import clear_wire_cache
     from .engine import run_simulation
 
     spec, tags = job
-    result = run_simulation(spec)
+    result = run_simulation(spec, simulator=_process_simulator())
     row = {"tags": tags, "summary": result.summary()}
-    # Pool workers are long-lived: drop the per-run memos (digests and
-    # ordered-trie roots) so a large sweep's memory stays bounded by one run,
-    # not the whole grid.
-    clear_hash_cache()
-    clear_root_cache()
+    clear_wire_cache()
     return row
 
 
@@ -305,19 +323,21 @@ class Sweep:
             with multiprocessing.Pool(processes=workers) as pool:
                 raw_rows = pool.map(_run_job, jobs)
             rows = [SweepRow(tags=raw["tags"], summary=raw["summary"]) for raw in raw_rows]
-        else:
+        elif keep_results:
+            # Live results keep their peers (and, transitively, the event
+            # loop), so each trial gets a private Simulator.
             from .engine import run_simulation
 
             rows = []
             for spec, tags in jobs:
                 result = run_simulation(spec)
-                rows.append(
-                    SweepRow(
-                        tags=tags,
-                        summary=result.summary(),
-                        result=result if keep_results else None,
-                    )
-                )
+                rows.append(SweepRow(tags=tags, summary=result.summary(), result=result))
+        else:
+            # Serial runs take the same warm path as a pool worker.
+            rows = [
+                SweepRow(tags=raw["tags"], summary=raw["summary"])
+                for raw in map(_run_job, jobs)
+            ]
         return SweepResult(rows=rows)
 
     def _run_checkpointed(
@@ -339,11 +359,9 @@ class Sweep:
                 ):
                     store.record(index, raw["tags"], raw["summary"])
         elif pending:
-            from .engine import run_simulation
-
             for index, (spec, tags) in pending:
-                result = run_simulation(spec)
-                store.record(index, tags, result.summary())
+                raw = _run_job((spec, tags))
+                store.record(index, raw["tags"], raw["summary"])
         rows = []
         for index in range(len(jobs)):
             payload = store.row(index)

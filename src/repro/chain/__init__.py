@@ -14,11 +14,15 @@ from .errors import (
 )
 from .executor import BlockContext, TransactionExecutor, ValueTransferExecutor
 from .gas import GasMeter, GasSchedule, OutOfGas
+from .apply_cache import BlockApplyCache
 from .genesis import (
     DEFAULT_INITIAL_BALANCE,
     ContractAllocation,
     GenesisConfig,
     build_genesis,
+    build_genesis_cached,
+    clear_genesis_cache,
+    genesis_digest,
 )
 from .logs import LogBloom, LogIndex, LogQuery, MatchedLog, bloom_for_block
 from .receipt import LogEntry, Receipt, receipts_root
@@ -35,6 +39,9 @@ from .wire import (
     encode_header,
     encode_receipt,
     encode_transaction,
+    clear_wire_cache,
+    wire_cache_stats,
+    wire_encoding,
 )
 
 __all__ = [
@@ -61,6 +68,10 @@ __all__ = [
     "ContractAllocation",
     "GenesisConfig",
     "build_genesis",
+    "build_genesis_cached",
+    "clear_genesis_cache",
+    "genesis_digest",
+    "BlockApplyCache",
     "LogEntry",
     "Receipt",
     "receipts_root",
@@ -85,4 +96,7 @@ __all__ = [
     "encode_header",
     "encode_receipt",
     "encode_transaction",
+    "wire_encoding",
+    "clear_wire_cache",
+    "wire_cache_stats",
 ]

@@ -1,0 +1,103 @@
+"""Cross-peer sharing of block application results.
+
+Every peer in the simulated network validates a gossiped block by replaying
+it against its own head state.  The network models no forks, all peers start
+from the same genesis, and replay is a pure function of (parent state,
+block) — so when four peers sit on the same state lineage, four replays of
+the same block are three replays too many.
+
+A :class:`BlockApplyCache` shared by the peers of one simulation keys each
+block application by ``(parent lineage token, block hash)``.  The first
+chain to apply a block — the miner at build time, or the first validator —
+stores the post-state as a frozen *template*; every later import on the same
+lineage forks the template (O(1) with the copy-on-write
+:class:`~repro.chain.state.WorldState`) instead of replaying.
+
+Lineage tokens are opaque identity objects: two chains hold the same token
+exactly when their head states were produced by the same sequence of cached
+applications from the same genesis, which makes a cache hit a proof that the
+parent states are byte-identical.  Entries built by an honest
+``Blockchain.build_block`` are only stored after the block's transaction
+signatures check out, so a block that full validation would reject never
+enters the cache and still gets rejected by every peer (see
+``tests/chain/test_apply_cache.py``).
+
+The cache is scoped to one simulation (the engine creates one per
+:class:`~repro.api.engine.SimulationHandle`), so it dies with the trial and
+never leaks memory across sweep cells.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+__all__ = ["BlockApplyCache"]
+
+
+class _LineageToken:
+    """Identity marker for one state lineage position (repr aids debugging)."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<lineage {self.label}>"
+
+
+class BlockApplyCache:
+    """Shares (post-state, lineage) across peers importing the same blocks."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[object, bytes], Tuple[object, object]] = {}
+        self._genesis_tokens: Dict[bytes, _LineageToken] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def genesis_token(self, genesis_hash: bytes) -> _LineageToken:
+        """The shared lineage token for chains starting from ``genesis_hash``."""
+        token = self._genesis_tokens.get(genesis_hash)
+        if token is None:
+            token = _LineageToken(f"genesis:{genesis_hash.hex()[:8]}")
+            self._genesis_tokens[genesis_hash] = token
+        return token
+
+    def lookup(
+        self, parent_token: object, block_hash: bytes
+    ) -> Optional[Tuple[object, object]]:
+        """The ``(post_token, post_state_template)`` for applying ``block_hash``
+        on ``parent_token``'s lineage, or None (counted as hit/miss)."""
+        if parent_token is None:
+            return None
+        entry = self._entries.get((parent_token, block_hash))
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def store(self, parent_token: object, block_hash: bytes, post_state: object) -> object:
+        """Record the outcome of applying ``block_hash`` and return the
+        post-application lineage token.
+
+        ``post_state`` becomes a frozen template: callers must only ever
+        ``fork()`` it.  The first writer wins — a concurrent identical
+        application (same lineage, same block) yields the same outcome by
+        construction, so the existing entry's token is returned.
+        """
+        key = (parent_token, block_hash)
+        existing = self._entries.get(key)
+        if existing is not None:
+            return existing[0]
+        post_token = _LineageToken(f"block:{block_hash.hex()[:8]}")
+        self._entries[key] = (post_token, post_state)
+        return post_token
+
+    def clear(self) -> None:
+        """Drop every cached application (tokens for live chains stay valid
+        as dictionary keys; their entries simply have to be recomputed)."""
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}

@@ -12,10 +12,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..crypto.addresses import Address
+from .apply_cache import BlockApplyCache
 from .block import Block, BlockHeader, transactions_root
 from .errors import InvalidBlock, ValidationError
 from .executor import BlockContext, TransactionExecutor
-from .genesis import GenesisConfig, build_genesis
+from .genesis import GenesisConfig, build_genesis_cached
 from .receipt import Receipt, receipts_root
 from .state import WorldState
 from .transaction import Transaction
@@ -68,12 +69,23 @@ class Blockchain:
         self,
         executor: TransactionExecutor,
         genesis_config: Optional[GenesisConfig] = None,
+        apply_cache: Optional[BlockApplyCache] = None,
     ) -> None:
         self.executor = executor
-        genesis_block, genesis_state = build_genesis(genesis_config or GenesisConfig())
+        self.apply_cache = apply_cache
+        # Genesis states are built once per process per distinct config and
+        # shared as frozen templates; every chain works on its own O(1) fork.
+        genesis_block, genesis_state = build_genesis_cached(
+            genesis_config or GenesisConfig()
+        )
         self._blocks: List[Block] = [genesis_block]
         self._blocks_by_hash: Dict[bytes, Block] = {genesis_block.hash: genesis_block}
-        self._state = genesis_state
+        self._state = genesis_state.fork()
+        self._state_token = (
+            apply_cache.genesis_token(genesis_block.hash)
+            if apply_cache is not None
+            else None
+        )
         self._receipts_by_tx: Dict[bytes, Receipt] = {}
 
     # -- inspection -----------------------------------------------------------
@@ -137,7 +149,7 @@ class Blockchain:
             gas_limit=parent.header.gas_limit,
             difficulty=difficulty,
         )
-        working_state = self._state.copy()
+        working_state = self._state.fork()
         receipts = execute_transactions(self.executor, working_state, transactions, context)
         header = BlockHeader(
             parent_hash=parent.hash,
@@ -153,7 +165,22 @@ class Blockchain:
             nonce=nonce,
             extra_data=extra_data,
         )
-        return Block(header=header, transactions=transactions, receipts=receipts), working_state
+        block = Block(header=header, transactions=transactions, receipts=receipts)
+        if self.apply_cache is not None and all(
+            transaction.signature_is_valid() for transaction in transactions
+        ):
+            # Publish the build outcome so every peer on the same lineage can
+            # import this block with an O(1) fork instead of a full replay.
+            # The header's roots are commitments *derived from* this very
+            # execution, so the only validation a replay would add beyond
+            # them is the signature check performed above; a block carrying
+            # a tampered transaction is deliberately not cached and gets
+            # rejected by every peer's full validation, exactly as before.
+            # The stored state becomes a frozen shared template, so the
+            # caller receives a private fork of it, never the template.
+            self.apply_cache.store(self._state_token, block.hash, working_state)
+            working_state = working_state.fork()
+        return block, working_state
 
     # -- block import / validation ----------------------------------------------
 
@@ -186,9 +213,9 @@ class Blockchain:
             gas_limit=block.header.gas_limit,
             difficulty=block.header.difficulty,
         )
-        replay_state = self._state.copy()
+        replay_state = self._state.fork()
         replay_receipts = execute_transactions(
-            self.executor, replay_state, list(block.transactions), context
+            self.executor, replay_state, block.transactions, context
         )
         if replay_state.state_root() != block.header.state_root:
             raise ValidationError(
@@ -201,11 +228,39 @@ class Blockchain:
         return replay_state
 
     def add_block(self, block: Block) -> Block:
-        """Validate and append ``block``, advancing the head state."""
-        new_state = self.validate_block(block)
+        """Validate and append ``block``, advancing the head state.
+
+        With an :class:`~repro.chain.apply_cache.BlockApplyCache` attached,
+        a block already applied on this chain's exact state lineage (by the
+        miner that built it or the first validating peer) is imported by
+        forking the cached post-state instead of replaying — the cache key
+        proves the parent states are identical, so the replay would
+        reproduce the cached outcome bit for bit.
+        """
+        cached = None
+        if self.apply_cache is not None:
+            cached = self.apply_cache.lookup(self._state_token, block.hash)
+        if cached is not None:
+            if block.header.parent_hash != self.head.hash:  # defense in depth:
+                # a lineage-token hit implies the parent matches.
+                raise InvalidBlock(
+                    f"block {block.number} does not extend the local head"
+                )
+            post_token, template = cached
+            new_state = template.fork()
+        else:
+            new_state = self.validate_block(block)
+            if self.apply_cache is not None:
+                post_token = self.apply_cache.store(
+                    self._state_token, block.hash, new_state
+                )
+                new_state = new_state.fork()  # the stored template stays frozen
+            else:
+                post_token = None
         self._blocks.append(block)
         self._blocks_by_hash[block.hash] = block
         self._state = new_state
+        self._state_token = post_token
         for receipt in block.receipts:
             self._receipts_by_tx[receipt.transaction_hash] = receipt
         return block

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -11,7 +13,14 @@ from .block import Block, BlockHeader, transactions_root
 from .receipt import receipts_root
 from .state import WorldState
 
-__all__ = ["ContractAllocation", "GenesisConfig", "build_genesis"]
+__all__ = [
+    "ContractAllocation",
+    "GenesisConfig",
+    "build_genesis",
+    "build_genesis_cached",
+    "genesis_digest",
+    "clear_genesis_cache",
+]
 
 DEFAULT_INITIAL_BALANCE = 10**24
 """One million ether (in wei) — ample for every experiment workload."""
@@ -96,3 +105,60 @@ def build_genesis(config: GenesisConfig) -> Tuple[Block, WorldState]:
         extra_data=config.extra_data,
     )
     return Block(header=header, transactions=[], receipts=[]), state
+
+
+def genesis_digest(config: GenesisConfig) -> bytes:
+    """Content digest of a genesis configuration (the template cache key).
+
+    Keyed by *content*, not object identity, so a caller that mutates a
+    config after building from it simply lands on a different cache entry.
+    """
+    payload = repr(
+        (
+            sorted(config.allocations.items()),
+            sorted(
+                (
+                    address,
+                    allocation.code_name,
+                    sorted(allocation.storage.items()),
+                    allocation.balance,
+                )
+                for address, allocation in config.contracts.items()
+            ),
+            config.gas_limit,
+            config.difficulty,
+            config.timestamp,
+            config.extra_data,
+        )
+    ).encode("utf-8")
+    return hashlib.sha256(payload).digest()
+
+
+_GENESIS_CACHE: "OrderedDict[bytes, Tuple[Block, WorldState]]" = OrderedDict()
+_GENESIS_CACHE_MAX = 32
+
+
+def build_genesis_cached(config: GenesisConfig) -> Tuple[Block, WorldState]:
+    """Per-process memo over :func:`build_genesis`, keyed by content digest.
+
+    Sweep workers build the same genesis for every peer of every trial of a
+    grid cell; this returns one shared frozen template instead.  Callers
+    MUST treat the returned state as immutable and work on ``fork()``s of
+    it (which is what :class:`~repro.chain.chain.Blockchain` does).
+    """
+    digest = genesis_digest(config)
+    entry = _GENESIS_CACHE.get(digest)
+    if entry is None:
+        entry = build_genesis(config)
+        _GENESIS_CACHE[digest] = entry
+        while len(_GENESIS_CACHE) > _GENESIS_CACHE_MAX:
+            _GENESIS_CACHE.popitem(last=False)
+    else:
+        _GENESIS_CACHE.move_to_end(digest)
+    return entry
+
+
+def clear_genesis_cache() -> None:
+    """Drop the genesis template memo (lifecycle hook, mirrors
+    :func:`repro.crypto.keccak.clear_hash_cache`)."""
+    _GENESIS_CACHE.clear()

@@ -5,6 +5,26 @@ be rolled back while remaining *included* in the block — the behaviour the
 paper calls out as the reason raw throughput overstates useful work.  A
 state root (a deterministic commitment over all accounts) lets validating
 peers check that replaying a block reproduces the miner's announced state.
+
+States are copy-on-write.  :meth:`fork` is O(1): the child shares the
+parent's account mapping and copies an account only when it is first
+mutated, so the per-block "copy the whole world" cost the original
+implementation paid (one deep dict copy per block build *and* per peer
+validation) disappears.  The sharing protocol:
+
+* every state is a frozen ``_base`` mapping (shared with its ancestors and
+  siblings, never written) plus a private ``_overlay`` of accounts this
+  state has created or rewritten;
+* reads consult the overlay first, then the base;
+* the first mutation of an account copies it into the overlay
+  (:meth:`touch`), after which it is mutated in place;
+* forking seals the overlay into a fresh merged base (O(accounts), paid
+  once per sealed state no matter how many forks are taken) and hands the
+  child the shared base with an empty overlay.
+
+Because the base is frozen, an account object reachable from two states is
+never mutated — which is also what lets :class:`~repro.chain.account.Account`
+memoise its RLP encoding for the incremental :meth:`state_root`.
 """
 
 from __future__ import annotations
@@ -19,60 +39,98 @@ from .errors import UnknownAccount
 
 __all__ = ["WorldState"]
 
+_ABSENT = object()
+"""Journal sentinel: the address had no overlay entry when first touched."""
+
 
 class WorldState:
-    """A journaled account store.
+    """A journaled, copy-on-write account store.
 
-    Snapshots are implemented by stacking copy-on-write journals: each
-    snapshot records the prior value (or absence) of every account touched
-    after it was taken, so ``revert`` is O(touched accounts).
+    Snapshots are implemented by journaling overlay slots: each snapshot
+    level records the overlay entry (or its absence) for every account first
+    touched at that level, so ``revert`` is O(touched accounts).  The frozen
+    base is never written, so reverting simply restores overlay slots.
     """
 
+    __slots__ = ("_base", "_overlay", "_journal", "_root_cache")
+
     def __init__(self, accounts: Optional[Dict[Address, Account]] = None) -> None:
-        self._accounts: Dict[Address, Account] = dict(accounts or {})
-        self._journal: List[Dict[Address, Optional[Account]]] = []
+        self._base: Dict[Address, Account] = dict(accounts or {})
+        self._overlay: Dict[Address, Account] = {}
+        self._journal: List[Dict[Address, object]] = []
+        self._root_cache: Optional[bytes] = None
 
     # -- account access -----------------------------------------------------
 
+    def _lookup(self, address: Address) -> Optional[Account]:
+        account = self._overlay.get(address)
+        if account is not None:
+            return account
+        return self._base.get(address)
+
     def account_exists(self, address: Address) -> bool:
-        return address in self._accounts
+        return address in self._overlay or address in self._base
 
     def get_account(self, address: Address) -> Account:
-        """Return the account at ``address``, raising if it does not exist."""
-        try:
-            return self._accounts[address]
-        except KeyError:
-            raise UnknownAccount(f"no account at 0x{address.hex()}") from None
+        """Return the account at ``address`` for READING, raising if absent.
 
-    def get_or_create_account(self, address: Address) -> Account:
-        """Return the account at ``address``, creating an empty one if needed."""
+        The returned object may be shared with other states; mutate accounts
+        only through :meth:`touch` (or the ``set_*`` helpers), never directly.
+        """
+        account = self._lookup(address)
+        if account is None:
+            raise UnknownAccount(f"no account at 0x{address.hex()}")
+        return account
+
+    def _mutable_account(self, address: Address) -> Account:
+        """The account at ``address``, owned by this state and journaled at
+        the current snapshot level — the single copy-on-write choke point.
+
+        An account is copied at most once per (fork, journal level): once
+        privately owned and recorded, later touches mutate it in place.
+        """
+        overlay = self._overlay
+        self._root_cache = None
+        if self._journal:
+            top = self._journal[-1]
+            if address in top:
+                return overlay[address]
+            if address in overlay:
+                prior = top[address] = overlay[address]
+            else:
+                top[address] = _ABSENT
+                prior = self._base.get(address)
+            account = prior.copy() if prior is not None else self._new_account(address)
+            overlay[address] = account
+            return account
+        account = overlay.get(address)
+        if account is None:
+            prior = self._base.get(address)
+            account = prior.copy() if prior is not None else self._new_account(address)
+            overlay[address] = account
+        return account
+
+    @staticmethod
+    def _new_account(address: Address) -> Account:
         if not is_address(address):
             raise ValueError("expected a 20-byte address")
-        if address not in self._accounts:
-            self._record_touch(address)
-            self._accounts[address] = Account()
-        return self._accounts[address]
+        return Account()
 
-    def _record_touch(self, address: Address) -> None:
-        if not self._journal:
-            return
-        journal = self._journal[-1]
-        if address not in journal:
-            existing = self._accounts.get(address)
-            journal[address] = existing.copy() if existing is not None else None
+    def get_or_create_account(self, address: Address) -> Account:
+        """Return a mutable account at ``address``, creating one if needed."""
+        return self.touch(address)
 
     def touch(self, address: Address) -> Account:
-        """Return the account for mutation, journaling its prior value."""
-        account = self.get_or_create_account(address)
-        self._record_touch(address)
+        """Return the account for mutation (copy-on-write + journaled)."""
+        account = self._mutable_account(address)
+        account.drop_encoding_cache()
         return account
 
     # -- balances and nonces -------------------------------------------------
 
     def get_balance(self, address: Address) -> int:
-        if address not in self._accounts:
-            return 0
-        return self._accounts[address].balance
+        account = self._lookup(address)
+        return account.balance if account is not None else 0
 
     def set_balance(self, address: Address, balance: int) -> None:
         if balance < 0:
@@ -89,9 +147,8 @@ class WorldState:
         self.set_balance(address, balance - amount)
 
     def get_nonce(self, address: Address) -> int:
-        if address not in self._accounts:
-            return 0
-        return self._accounts[address].nonce
+        account = self._lookup(address)
+        return account.nonce if account is not None else 0
 
     def increment_nonce(self, address: Address) -> None:
         self.touch(address).nonce += 1
@@ -99,9 +156,10 @@ class WorldState:
     # -- storage --------------------------------------------------------------
 
     def get_storage(self, address: Address, slot: bytes) -> bytes:
-        if address not in self._accounts:
+        account = self._lookup(address)
+        if account is None:
             return b"\x00" * 32
-        return self._accounts[address].get_storage(slot)
+        return account.get_storage(slot)
 
     def set_storage(self, address: Address, slot: bytes, value: bytes) -> None:
         self.touch(address).set_storage(slot, value)
@@ -110,9 +168,8 @@ class WorldState:
         self.touch(address).code = code
 
     def get_code(self, address: Address) -> Optional[str]:
-        if address not in self._accounts:
-            return None
-        return self._accounts[address].code
+        account = self._lookup(address)
+        return account.code if account is not None else None
 
     # -- snapshots -----------------------------------------------------------
 
@@ -125,13 +182,14 @@ class WorldState:
         """Undo all changes made since ``snapshot_id`` (inclusive of later ones)."""
         if snapshot_id < 0 or snapshot_id >= len(self._journal):
             raise ValueError(f"unknown snapshot id {snapshot_id}")
+        overlay = self._overlay
         while len(self._journal) > snapshot_id:
-            journal = self._journal.pop()
-            for address, previous in journal.items():
-                if previous is None:
-                    self._accounts.pop(address, None)
+            for address, prior in self._journal.pop().items():
+                if prior is _ABSENT:
+                    overlay.pop(address, None)
                 else:
-                    self._accounts[address] = previous
+                    overlay[address] = prior
+        self._root_cache = None
 
     def commit(self, snapshot_id: int) -> None:
         """Discard the journal level, folding changes into the level below."""
@@ -146,21 +204,75 @@ class WorldState:
 
     # -- commitments ----------------------------------------------------------
 
+    def _merged(self) -> Dict[Address, Account]:
+        if not self._overlay:
+            return self._base
+        merged = dict(self._base)
+        merged.update(self._overlay)
+        return merged
+
     def state_root(self) -> bytes:
-        """Deterministic commitment over every account (address-sorted)."""
-        items = sorted(self._accounts.items())
-        return keccak256(rlp_encode([[address, account.encode()] for address, account in items]))
+        """Deterministic commitment over every account (address-sorted).
+
+        The commitment bytes are identical to the pre-copy-on-write
+        implementation; only the work is incremental — unchanged accounts
+        reuse their memoised encodings and an unchanged state reuses the
+        whole root.
+        """
+        root = self._root_cache
+        if root is None:
+            items = sorted(self._merged().items())
+            root = keccak256(
+                rlp_encode([[address, account.encode()] for address, account in items])
+            )
+            self._root_cache = root
+        return root
+
+    # -- forking ---------------------------------------------------------------
+
+    def _seal(self) -> None:
+        """Fold the overlay into a fresh base so forks can share it.
+
+        Paid once per sealed state regardless of how many forks are taken;
+        ancestors holding references to the old base are unaffected because
+        the merged mapping is a new dict.
+        """
+        if self._overlay:
+            merged = dict(self._base)
+            merged.update(self._overlay)
+            self._base = merged
+            self._overlay = {}
+
+    def fork(self) -> "WorldState":
+        """An O(1) copy-on-write child sharing this state's accounts.
+
+        Mutating either state never affects the other: writes land in the
+        writer's private overlay, copying the account first.  Forking a
+        state with open snapshots falls back to a materialised deep copy
+        (journals cannot be shared).
+        """
+        if self._journal:
+            return WorldState(
+                {address: account.copy() for address, account in self._merged().items()}
+            )
+        self._seal()
+        child = WorldState.__new__(WorldState)
+        child._base = self._base
+        child._overlay = {}
+        child._journal = []
+        child._root_cache = self._root_cache
+        return child
 
     def copy(self) -> "WorldState":
-        """Deep copy of the state (journals are not copied)."""
-        return WorldState({address: account.copy() for address, account in self._accounts.items()})
+        """Alias of :meth:`fork` (kept for the pre-copy-on-write API)."""
+        return self.fork()
 
     def accounts(self) -> Iterator[Tuple[Address, Account]]:
-        """Iterate over (address, account) pairs."""
-        return iter(self._accounts.items())
+        """Iterate over (address, account) pairs (read-only)."""
+        return iter(self._merged().items())
 
     def __len__(self) -> int:
-        return len(self._accounts)
+        return len(self._merged())
 
     def __contains__(self, address: object) -> bool:
-        return address in self._accounts
+        return address in self._overlay or address in self._base

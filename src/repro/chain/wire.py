@@ -27,6 +27,9 @@ __all__ = [
     "decode_receipt",
     "encode_block",
     "decode_block",
+    "wire_encoding",
+    "clear_wire_cache",
+    "wire_cache_stats",
 ]
 
 _TIMESTAMP_SCALE = 1_000_000
@@ -205,3 +208,63 @@ def decode_block(payload: bytes) -> Block:
     transactions = [decode_transaction(item) for item in fields[1]]
     receipts = [decode_receipt(item) for item in fields[2]]
     return Block(header=header, transactions=transactions, receipts=receipts)
+
+
+# -- per-object encoding memo ----------------------------------------------------------
+
+_ENCODERS = {
+    Transaction: encode_transaction,
+    Block: encode_block,
+    BlockHeader: encode_header,
+    Receipt: encode_receipt,
+}
+
+_WIRE_CACHE: dict = {}
+"""``id(artefact) -> (artefact, payload)``.  Holding a strong reference to
+the artefact pins its ``id`` for the life of the entry, which is what makes
+the id-keyed lookup sound; :func:`clear_wire_cache` bounds the lifetime."""
+
+_WIRE_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def wire_encoding(artefact: Union[Transaction, Block, BlockHeader, Receipt]) -> bytes:
+    """The artefact's wire encoding, computed at most once per object.
+
+    Gossiped artefacts are immutable once sealed, so the gossip layer hands
+    the *same* frozen object to every neighbour and memoises the bytes it
+    would have put on a real wire (for traffic accounting and persisted
+    traces) instead of paying an encode/decode round trip per hop.
+
+    Entries hold strong references; sweep workers call
+    :func:`clear_wire_cache` between trials (the same lifecycle as
+    :func:`repro.crypto.keccak.clear_hash_cache`) so nothing leaks across
+    runs.
+    """
+    key = id(artefact)
+    entry = _WIRE_CACHE.get(key)
+    if entry is not None and entry[0] is artefact:
+        _WIRE_CACHE_STATS["hits"] += 1
+        return entry[1]
+    encoder = _ENCODERS.get(type(artefact))
+    if encoder is None:
+        raise TypeError(f"no wire encoding for {type(artefact).__name__}")
+    payload = encoder(artefact)
+    _WIRE_CACHE[key] = (artefact, payload)
+    _WIRE_CACHE_STATS["misses"] += 1
+    return payload
+
+
+def clear_wire_cache() -> None:
+    """Drop every memoised wire encoding (and the artefact references
+    pinning them).  Always safe: the memo only caches pure object->bytes
+    pairs for immutable artefacts."""
+    _WIRE_CACHE.clear()
+
+
+def wire_cache_stats() -> dict:
+    """Hit/miss/size counters of the wire-encoding memo."""
+    return {
+        "hits": _WIRE_CACHE_STATS["hits"],
+        "misses": _WIRE_CACHE_STATS["misses"],
+        "size": len(_WIRE_CACHE),
+    }

@@ -186,8 +186,58 @@ class Keccak256:
         return self.digest().hex()
 
 
+def _load_native_backend():
+    """The compiled Keccak-256 one-shot, verified digest-for-digest against
+    the pure-Python sponge on padding-boundary vectors; ``None`` (pure
+    Python everywhere) when no compiler is available, the build fails, or
+    any vector disagrees — the backend may be faster, never different."""
+    try:
+        from .keccak_native import load_native_keccak256
+
+        native = load_native_keccak256()
+    except Exception:
+        return None
+    if native is None:
+        return None
+    vectors = (
+        b"",
+        b"abc",
+        bytes(range(256)),
+        b"\x00" * 32,
+        b"x" * 135,
+        b"y" * 136,
+        b"z" * 137,
+        b"w" * 272,
+    )
+    try:
+        for vector in vectors:
+            if native(vector) != Keccak256(vector).digest():
+                return None
+    except Exception:
+        return None
+    return native
+
+
+_NATIVE_KECCAK256 = None
+_NATIVE_BACKEND_PROBED = False
+"""The backend loads lazily on the first digest computation, not at import:
+importing the package must never shell out to a compiler or touch the
+filesystem (CLI ``--help``, test collection, sandboxes)."""
+
+
+def _native_backend():
+    global _NATIVE_KECCAK256, _NATIVE_BACKEND_PROBED
+    if not _NATIVE_BACKEND_PROBED:
+        _NATIVE_KECCAK256 = _load_native_backend()
+        _NATIVE_BACKEND_PROBED = True
+    return _NATIVE_KECCAK256
+
+
 @lru_cache(maxsize=200_000)
 def _keccak256_cached(data: bytes) -> bytes:
+    native = _native_backend()
+    if native is not None:
+        return native(data)
     return Keccak256(data).digest()
 
 

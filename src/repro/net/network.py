@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 from ..chain.block import Block
 from ..chain.transaction import Transaction
+from ..chain.wire import wire_encoding
 from .latency import ConstantLatency, LatencyModel
 from .peer import Peer
 from .sim import Simulator
@@ -23,7 +24,13 @@ __all__ = ["NetworkStats", "Network"]
 
 @dataclass
 class NetworkStats:
-    """Counters about gossip traffic."""
+    """Counters about gossip traffic.
+
+    Byte counters measure what a real devp2p network would have shipped:
+    the wire encoding is computed once per artefact (see
+    :func:`repro.chain.wire.wire_encoding`) and counted once per scheduled
+    delivery hop — the origin's own immediate block import is not a hop.
+    """
 
     transactions_broadcast: int = 0
     transaction_deliveries: int = 0
@@ -31,6 +38,8 @@ class NetworkStats:
     blocks_broadcast: int = 0
     block_deliveries: int = 0
     blocks_dropped: int = 0
+    transaction_bytes: int = 0
+    block_bytes: int = 0
 
 
 class Network:
@@ -79,8 +88,14 @@ class Network:
     # -- gossip -----------------------------------------------------------------------
 
     def broadcast_transaction(self, origin: Peer, transaction: Transaction) -> None:
-        """Deliver ``transaction`` to every other peer after a sampled latency."""
+        """Deliver ``transaction`` to every other peer after a sampled latency.
+
+        Zero-copy: every neighbour receives the *same* frozen transaction
+        object (peers must never mutate gossiped artefacts); the wire bytes
+        are memoised per object and only their size is accounted per hop.
+        """
         self.stats.transactions_broadcast += 1
+        wire_size = len(wire_encoding(transaction))
         for peer in self._peers.values():
             if peer is origin:
                 continue
@@ -88,6 +103,7 @@ class Network:
                 self.stats.transactions_dropped += 1
                 continue
             delay = self.latency.sample(origin.peer_id, peer.peer_id)
+            self.stats.transaction_bytes += wire_size
             self._schedule_transaction_delivery(peer, transaction, delay)
 
     def _schedule_transaction_delivery(
@@ -100,8 +116,13 @@ class Network:
         self.simulator.schedule_in(delay, deliver)
 
     def broadcast_block(self, origin: Optional[Peer], block: Block) -> None:
-        """Deliver ``block`` to every peer (including the origin, immediately)."""
+        """Deliver ``block`` to every peer (including the origin, immediately).
+
+        Zero-copy, like :meth:`broadcast_transaction`: one frozen block
+        object for every neighbour, one memoised wire encoding per block.
+        """
         self.stats.blocks_broadcast += 1
+        wire_size = len(wire_encoding(block))
         for peer in self._peers.values():
             if origin is not None and peer is origin:
                 # The miner imports its own block with no network delay.
@@ -113,6 +134,7 @@ class Network:
             delay = self.block_latency.sample(
                 origin.peer_id if origin is not None else "network", peer.peer_id
             )
+            self.stats.block_bytes += wire_size
             self._schedule_block_delivery(peer, block, delay)
 
     def _schedule_block_delivery(self, peer: Peer, block: Block, delay: float) -> None:

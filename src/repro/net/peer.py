@@ -5,6 +5,13 @@ The difference between a "Geth" peer and a "Sereth" peer is exactly what the
 paper describes: the Sereth peer additionally runs the HMS/RAA machinery —
 an RAA provider wired to its *own* pool and state — while speaking the same
 protocol on the wire, which is why the two interoperate on one network.
+
+Gossip invariants (the zero-copy contract): transactions and blocks arriving
+over the network are frozen objects shared with every other peer.  A peer
+may keep references to them (pool entries, chain storage) but must NEVER
+mutate them — a peer that wants a variant transaction builds a new object.
+A peer's own world state is always a private copy-on-write fork, so local
+view calls and replays never leak into a neighbour.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..chain.apply_cache import BlockApplyCache
 from ..chain.block import Block
 from ..chain.chain import Blockchain
 from ..chain.errors import ChainError
@@ -53,13 +61,14 @@ class Peer:
         client_kind: str = GETH_CLIENT,
         registry: Optional[ContractRegistry] = None,
         pool_max_size: Optional[int] = None,
+        apply_cache: Optional[BlockApplyCache] = None,
     ) -> None:
         if client_kind not in (GETH_CLIENT, SERETH_CLIENT):
             raise ValueError(f"unknown client kind {client_kind!r}")
         self.peer_id = peer_id
         self.client_kind = client_kind
         self.engine = ExecutionEngine(registry=registry or default_registry())
-        self.chain = Blockchain(self.engine, genesis)
+        self.chain = Blockchain(self.engine, genesis, apply_cache=apply_cache)
         self.pool = TxPool(max_size=pool_max_size)
         self.stats = PeerStats()
         self.network = None  # set by Network.add_peer

@@ -46,6 +46,19 @@ class Simulator:
         """Current simulation time in seconds."""
         return self._now
 
+    def reset(self, start_time: float = 0.0) -> None:
+        """Drain the event heap and rewind to a just-constructed state.
+
+        Warm sweep workers reuse one Simulator across trials; after a reset
+        the instance is indistinguishable from ``Simulator(start_time)`` —
+        same clock, empty queue, sequence numbers restarting at zero — so a
+        reused simulator reproduces a fresh one's event order exactly.
+        """
+        self._now = start_time
+        self._queue.clear()
+        self._sequence = itertools.count()
+        self.events_processed = 0
+
     # -- scheduling -----------------------------------------------------------
 
     def schedule_at(self, time: float, callback: Callback) -> ScheduledEvent:

@@ -1,0 +1,176 @@
+"""Tests for the copy-on-write world state: forking, sharing, journaling."""
+
+import pytest
+
+from repro.chain.state import WorldState
+from repro.crypto.addresses import address_from_label
+from repro.encoding.hexutil import to_bytes32
+
+ALICE = address_from_label("alice")
+BOB = address_from_label("bob")
+CAROL = address_from_label("carol")
+SLOT = to_bytes32(1)
+VALUE = to_bytes32(99)
+
+
+def seeded_state() -> WorldState:
+    state = WorldState()
+    state.set_balance(ALICE, 100)
+    state.set_balance(BOB, 50)
+    state.set_storage(ALICE, SLOT, VALUE)
+    return state
+
+
+class TestForkIsolation:
+    def test_child_mutation_does_not_leak_to_parent(self):
+        parent = seeded_state()
+        child = parent.fork()
+        child.set_balance(ALICE, 1)
+        child.set_storage(ALICE, SLOT, to_bytes32(7))
+        child.increment_nonce(BOB)
+        assert parent.get_balance(ALICE) == 100
+        assert parent.get_storage(ALICE, SLOT) == VALUE
+        assert parent.get_nonce(BOB) == 0
+
+    def test_parent_mutation_does_not_leak_to_child(self):
+        parent = seeded_state()
+        child = parent.fork()
+        parent.set_balance(ALICE, 1)
+        assert child.get_balance(ALICE) == 100
+
+    def test_sibling_forks_are_independent(self):
+        parent = seeded_state()
+        left, right = parent.fork(), parent.fork()
+        left.set_balance(ALICE, 1)
+        right.set_balance(ALICE, 2)
+        assert parent.get_balance(ALICE) == 100
+        assert left.get_balance(ALICE) == 1
+        assert right.get_balance(ALICE) == 2
+
+    def test_fork_preserves_content_and_root(self):
+        parent = seeded_state()
+        child = parent.fork()
+        assert child.get_balance(ALICE) == 100
+        assert child.get_storage(ALICE, SLOT) == VALUE
+        assert child.state_root() == parent.state_root()
+        assert len(child) == len(parent)
+
+    def test_account_creation_in_child_invisible_to_parent(self):
+        parent = seeded_state()
+        child = parent.fork()
+        child.set_balance(CAROL, 7)
+        assert CAROL in child
+        assert CAROL not in parent
+
+
+class TestStructuralSharing:
+    def test_untouched_accounts_are_shared_objects(self):
+        parent = seeded_state()
+        child = parent.fork()
+        assert child.get_account(ALICE) is parent.get_account(ALICE)
+
+    def test_mutate_after_fork_copies_exactly_once(self):
+        parent = seeded_state()
+        child = parent.fork()
+        shared = parent.get_account(ALICE)
+        first = child.touch(ALICE)
+        assert first is not shared, "first touch must copy the shared account"
+        second = child.touch(ALICE)
+        assert second is first, "second touch must reuse the private copy"
+
+    def test_grandchild_shares_through_generations(self):
+        parent = seeded_state()
+        child = parent.fork()
+        grandchild = child.fork()
+        assert grandchild.get_account(BOB) is parent.get_account(BOB)
+        grandchild.set_balance(BOB, 1)
+        assert child.get_balance(BOB) == 50
+        assert parent.get_balance(BOB) == 50
+
+
+class TestSnapshotForkInteraction:
+    def test_revert_on_fork_restores_shared_view(self):
+        parent = seeded_state()
+        child = parent.fork()
+        snapshot = child.snapshot()
+        child.set_balance(ALICE, 1)
+        child.set_balance(CAROL, 9)
+        child.revert(snapshot)
+        assert child.get_balance(ALICE) == 100
+        assert not child.account_exists(CAROL)
+        assert parent.get_balance(ALICE) == 100
+        assert child.state_root() == parent.state_root()
+
+    def test_snapshot_level_copies_account_again(self):
+        # A private account mutated before a snapshot must be copied once
+        # more inside the snapshot so revert can restore its pre-snapshot
+        # content by reference.
+        state = seeded_state()
+        fork = state.fork()
+        fork.set_balance(ALICE, 10)
+        pre_snapshot = fork.get_account(ALICE)
+        snapshot = fork.snapshot()
+        inside = fork.touch(ALICE)
+        assert inside is not pre_snapshot
+        inside.balance = 77
+        fork.revert(snapshot)
+        assert fork.get_balance(ALICE) == 10
+
+    def test_commit_folds_and_keeps_values(self):
+        fork = seeded_state().fork()
+        outer = fork.snapshot()
+        fork.set_balance(ALICE, 7)
+        inner = fork.snapshot()
+        fork.set_balance(ALICE, 8)
+        fork.commit(inner)
+        assert fork.get_balance(ALICE) == 8
+        fork.revert(outer)
+        assert fork.get_balance(ALICE) == 100
+
+    def test_fork_with_open_snapshot_materialises_deep_copy(self):
+        state = seeded_state()
+        state.snapshot()
+        state.set_balance(ALICE, 42)
+        clone = state.copy()
+        assert clone.get_balance(ALICE) == 42
+        clone.set_balance(ALICE, 1)
+        assert state.get_balance(ALICE) == 42
+
+
+class TestRootCaching:
+    def test_root_is_stable_without_mutation(self):
+        state = seeded_state()
+        assert state.state_root() == state.state_root()
+
+    def test_root_tracks_every_mutation_kind(self):
+        state = seeded_state()
+        roots = [state.state_root()]
+        state.set_balance(ALICE, 101)
+        roots.append(state.state_root())
+        state.increment_nonce(ALICE)
+        roots.append(state.state_root())
+        state.set_storage(ALICE, SLOT, to_bytes32(3))
+        roots.append(state.state_root())
+        state.set_code(CAROL, "Sereth")
+        roots.append(state.state_root())
+        assert len(set(roots)) == len(roots), "every mutation must change the root"
+
+    def test_root_matches_materialised_rebuild(self):
+        # The incremental root must equal the root of a from-scratch state
+        # holding the same content (the pre-copy-on-write definition).
+        state = seeded_state()
+        state.fork()  # seal, so sharing machinery is engaged
+        state.set_balance(CAROL, 3)
+        rebuilt = WorldState(
+            {address: account.copy() for address, account in state.accounts()}
+        )
+        assert state.state_root() == rebuilt.state_root()
+
+    def test_revert_invalidates_root_cache(self):
+        state = seeded_state()
+        before = state.state_root()
+        snapshot = state.snapshot()
+        state.set_balance(ALICE, 1)
+        assert state.state_root() != before
+        state.revert(snapshot)
+        assert state.state_root() == before

@@ -1,0 +1,93 @@
+"""The optional compiled keccak backend must be bit-identical to the pure
+Python sponge — or absent.  Either way digests never change."""
+
+import os
+
+import pytest
+
+from repro.crypto import keccak as keccak_module
+from repro.crypto.keccak import Keccak256, keccak256
+
+BOUNDARY_VECTORS = [
+    b"",
+    b"a",
+    b"abc",
+    bytes(range(256)),
+    b"\x00" * 32,
+    b"x" * 134,
+    b"x" * 135,  # one byte below the rate
+    b"x" * 136,  # exactly one rate block
+    b"x" * 137,
+    b"x" * 271,
+    b"x" * 272,  # exactly two rate blocks
+]
+
+
+class TestBackendParity:
+    def test_known_answer(self):
+        # Keccak-256("") — the original-padding vector, not NIST SHA3-256.
+        assert (
+            keccak256(b"").hex()
+            == "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+        )
+
+    def test_native_backend_matches_pure_python_on_boundaries(self):
+        native = keccak_module._native_backend()  # lazy: probes on first call
+        if native is None:
+            pytest.skip("no native keccak backend in this environment")
+        for vector in BOUNDARY_VECTORS:
+            assert native(vector) == Keccak256(vector).digest(), len(vector)
+
+    def test_cached_entry_point_matches_reference_sponge(self):
+        # Whatever backend is active behind the memo, the observable digest
+        # must equal the reference implementation's.
+        for vector in BOUNDARY_VECTORS:
+            assert keccak256(vector) == Keccak256(vector).digest()
+
+    def test_env_kill_switch_disables_backend(self, monkeypatch):
+        from repro.crypto.keccak_native import load_native_keccak256
+
+        monkeypatch.setitem(os.environ, "REPRO_PURE_KECCAK", "1")
+        assert load_native_keccak256() is None
+
+    def test_import_does_not_probe_the_backend(self):
+        # Importing the package must not shell out to a compiler or touch
+        # the filesystem; the backend loads on the first digest computation.
+        import subprocess
+        import sys
+
+        probe = (
+            "import repro.crypto.keccak as k; "
+            "assert k._NATIVE_BACKEND_PROBED is False; "
+            "k.keccak256(b'x'); "
+            "assert k._NATIVE_BACKEND_PROBED is True; "
+            "print('lazy')"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", probe], capture_output=True, text=True
+        )
+        assert result.returncode == 0, result.stderr
+        assert "lazy" in result.stdout
+
+    def test_foreign_cache_file_is_rebuilt_not_loaded(self, monkeypatch, tmp_path):
+        # A pre-existing .so that fails the ownership/permission check must
+        # never reach CDLL; the loader rebuilds over it.
+        import repro.crypto.keccak_native as native_module
+
+        planted = tmp_path / "keccak-planted.so"
+        planted.write_bytes(b"not a real library")
+        planted.chmod(0o777)  # world-writable -> fails _owned_by_us
+        monkeypatch.setattr(native_module, "_library_path", lambda: planted)
+        native = native_module.load_native_keccak256()
+        if native is not None:  # a compiler was available: rebuilt in place
+            assert native_module._owned_by_us(planted)
+            assert planted.read_bytes() != b"not a real library"
+
+    def test_loader_failure_is_contained(self, monkeypatch):
+        # A broken toolchain must degrade to pure Python, never raise.
+        import repro.crypto.keccak_native as native_module
+
+        missing = native_module._library_path().with_name("missing.so")
+        monkeypatch.setattr(native_module, "_compile_library", lambda path: False)
+        monkeypatch.setattr(native_module, "_library_path", lambda: missing)
+        assert native_module.load_native_keccak256() is None

@@ -1,0 +1,152 @@
+"""Zero-copy gossip: frozen objects on the wire, memoised encodings, and the
+round-trip conformance that keeps the codec honest."""
+
+import pytest
+
+from repro.chain.genesis import GenesisConfig
+from repro.chain.transaction import Transaction
+from repro.chain.wire import (
+    clear_wire_cache,
+    decode_block,
+    decode_transaction,
+    encode_block,
+    encode_transaction,
+    wire_cache_stats,
+    wire_encoding,
+)
+from repro.crypto.addresses import address_from_label
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network
+from repro.net.peer import Peer
+from repro.net.sim import Simulator
+
+ALICE = address_from_label("alice")
+BOB = address_from_label("bob")
+
+
+@pytest.fixture(autouse=True)
+def fresh_wire_cache():
+    clear_wire_cache()
+    yield
+    clear_wire_cache()
+
+
+def small_network(num_peers: int = 3):
+    simulator = Simulator()
+    network = Network(simulator, latency=ConstantLatency(0.05), seed=7)
+    genesis = GenesisConfig.for_labels(["alice", "bob"], balance=10**18)
+    peers = [network.add_peer(Peer(f"peer-{i}", genesis)) for i in range(num_peers)]
+    return simulator, network, peers
+
+
+class TestWireMemo:
+    def test_encoding_computed_at_most_once_per_object(self):
+        transaction = Transaction(sender=ALICE, nonce=0, to=BOB, value=5)
+        first = wire_encoding(transaction)
+        second = wire_encoding(transaction)
+        assert first is second, "repeat lookups must return the memoised bytes"
+        stats = wire_cache_stats()
+        assert stats["misses"] >= 1 and stats["hits"] >= 1
+        # An equal-but-distinct object is a distinct wire artefact.
+        twin = Transaction(sender=ALICE, nonce=0, to=BOB, value=5)
+        assert wire_encoding(twin) == first
+        assert wire_encoding(twin) is not first
+
+    def test_memoised_encoding_matches_fresh_encode(self):
+        transaction = Transaction(sender=ALICE, nonce=1, to=BOB, value=9)
+        assert wire_encoding(transaction) == encode_transaction(transaction)
+
+    def test_clear_empties_the_cache(self):
+        wire_encoding(Transaction(sender=ALICE, nonce=0, to=BOB))
+        assert wire_cache_stats()["size"] >= 1
+        clear_wire_cache()
+        assert wire_cache_stats()["size"] == 0
+
+    def test_unknown_artefact_type_rejected(self):
+        with pytest.raises(TypeError):
+            wire_encoding(object())
+
+
+class TestZeroCopyDelivery:
+    def test_gossiped_transaction_is_the_same_object_everywhere(self):
+        simulator, network, peers = small_network()
+        transaction = Transaction(sender=ALICE, nonce=0, to=BOB, value=5)
+        peers[0].submit_transaction(transaction, now=0.0)
+        simulator.run()
+        for peer in peers:
+            pooled = peer.pool.transactions()
+            assert len(pooled) == 1
+            assert pooled[0] is transaction, "delivery must not copy the object"
+
+    def test_gossiped_block_is_the_same_object_everywhere(self):
+        simulator, network, peers = small_network()
+        transaction = Transaction(sender=ALICE, nonce=0, to=BOB, value=5)
+        peers[0].submit_transaction(transaction, now=0.0)
+        simulator.run()
+        block, _ = peers[0].chain.build_block(
+            [transaction], miner=ALICE, timestamp=1.0
+        )
+        network.broadcast_block(peers[0], block)
+        simulator.run()
+        for peer in peers:
+            assert peer.chain.head is block
+
+    def test_byte_accounting_counts_wire_size_per_hop(self):
+        simulator, network, peers = small_network(num_peers=3)
+        transaction = Transaction(sender=ALICE, nonce=0, to=BOB, value=5)
+        peers[0].submit_transaction(transaction, now=0.0)
+        simulator.run()
+        # two delivery hops (origin excluded), one encoding
+        expected = 2 * len(encode_transaction(transaction))
+        assert network.stats.transaction_bytes == expected
+        block, _ = peers[0].chain.build_block([transaction], miner=ALICE, timestamp=1.0)
+        network.broadcast_block(peers[0], block)
+        simulator.run()
+        assert network.stats.block_bytes == 2 * len(encode_block(block))
+
+
+class TestTrialScopedLifetime:
+    def test_run_simulation_clears_the_wire_cache(self):
+        # The memo pins gossiped objects, so every trial must drop it on the
+        # way out — for direct engine callers, not only sweep workers.
+        from repro.api import SimulationBuilder
+        from repro.api.engine import run_simulation
+
+        spec = (
+            SimulationBuilder()
+            .workload("market", num_buys=4)
+            .scenario("geth_unmodified")
+            .miners(1)
+            .clients(1)
+            .seed(3)
+            .build()
+        )
+        run_simulation(spec)
+        assert wire_cache_stats()["size"] == 0
+
+
+class TestRoundTripConformance:
+    def test_every_gossiped_artefact_survives_the_wire(self):
+        """decode(encode(x)) reproduces every artefact a run gossips, so the
+        zero-copy fast path never hides a codec divergence."""
+        simulator, network, peers = small_network()
+        transactions = [
+            Transaction(sender=ALICE, nonce=nonce, to=BOB, value=5 + nonce)
+            for nonce in range(3)
+        ]
+        for transaction in transactions:
+            peers[0].submit_transaction(transaction, now=0.0)
+        simulator.run()
+        block, _ = peers[0].chain.build_block(transactions, miner=ALICE, timestamp=1.0)
+        network.broadcast_block(peers[0], block)
+        simulator.run()
+
+        for transaction in transactions:
+            decoded = decode_transaction(wire_encoding(transaction))
+            assert decoded == transaction
+            assert decoded.hash == transaction.hash
+            assert decoded is not transaction
+        decoded_block = decode_block(wire_encoding(block))
+        assert decoded_block.hash == block.hash
+        assert decoded_block.transactions == block.transactions
+        assert decoded_block.verify_roots()
