@@ -1,0 +1,147 @@
+"""Propagation demo: a 100-peer region-hub network losing a region mid-run.
+
+Runs the same simulation twice on the ``region_hub`` topology — four
+regional meshes joined by slow hub-to-hub links, with per-link FIFO
+bandwidth — first undisturbed, then with one entire region partitioned away
+mid-run and healed 30 simulated seconds later.  While the region is cut off
+its peers miss every block; after the heal the next flooded block arrives
+orphaned (its parent is unknown), which triggers a range sync from the
+sending neighbour.  The comparison shows the outage's signature: the orphan
+rate spikes from zero, range syncs appear, and yet every peer converges
+back to the reference head while victim harm stays zero — the defense holds
+through the outage.
+
+Run with:  python examples/propagation_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.api import Simulation
+from repro.api.engine import build_simulation
+from repro.experiments.reporting import emit_block
+from repro.net.topology import RegionHubTopology
+
+PEERS = 98  # client peers; two miners complete the roster
+REGIONS = 4
+PARTITION_AT = 15.0
+HEAL_AT = 45.0
+
+
+def base_builder() -> "Simulation.builder":
+    return (
+        Simulation.builder()
+        .scenario("semantic_mining")
+        .workload("victim_market", num_victim_buys=24, buy_interval=2.0)
+        .adversary("displacement")
+        .miners(2)
+        .clients(PEERS)
+        .block_interval(13.0, fixed=True)  # blocks at 13, 26, 39, 52, ...
+        .topology("region_hub", regions=REGIONS)
+        .bandwidth(1_250_000.0)  # 10 Mbit/s per directed link
+        .seed(20260807)
+    )
+
+
+def pick_cut_region(roster) -> tuple:
+    """The first region holding neither miner nor the victim's peer.
+
+    ``region_hub`` assigns regions round-robin over the engine's roster, so
+    the demo derives membership the same way instead of guessing: cutting a
+    region that contains a miner (or ``client-0``, where the victim and the
+    price setter submit) would measure an entirely different outage.
+    """
+    for region in RegionHubTopology(regions=REGIONS).assign_regions(roster):
+        if any(peer_id.startswith("miner-") for peer_id in region):
+            continue
+        if "client-0" in region or any(
+            peer_id.startswith("adversary") for peer_id in region
+        ):
+            continue
+        return tuple(region)
+    raise RuntimeError("no client-only region found")
+
+
+def run(cut_region=None):
+    builder = base_builder()
+    if cut_region is not None:
+        builder = builder.churn(
+            ("partition", PARTITION_AT, (cut_region,)),
+            ("heal", HEAL_AT),
+        )
+    handle = build_simulation(builder.build())
+    result = handle.run()
+    return handle, result
+
+
+def main() -> None:
+    baseline_handle, baseline = run()
+    cut_region = pick_cut_region(list(baseline_handle.peers))
+    churned_handle, churned = run(cut_region)
+
+    base_net = baseline.summary()["extras"]["network"]
+    churn_net = churned.summary()["extras"]["network"]
+
+    emit_block(
+        "Topology",
+        f"region_hub over {base_net['peers']} peers: {base_net['edges']} edges, "
+        f"mean degree {base_net['mean_degree']:.2f}\n"
+        f"partitioned region: {len(cut_region)} peers "
+        f"({cut_region[0]} ... {cut_region[-1]}) cut at t={PARTITION_AT:.0f}s, "
+        f"healed at t={HEAL_AT:.0f}s",
+    )
+
+    rows = [
+        ("blocks delivered", "block_deliveries"),
+        ("duplicate floods", "block_duplicates"),
+        ("blocks orphaned", "blocks_orphaned"),
+        ("orphan rate", "orphan_rate"),
+        ("range syncs", "sync_requests"),
+        ("synced blocks", "sync_blocks"),
+        ("links dropped", "links_dropped"),
+        ("propagation p50 (s)", "block_propagation_p50"),
+        ("propagation p95 (s)", "block_propagation_p95"),
+    ]
+    width = max(len(label) for label, _ in rows)
+    lines = [f"{'metric':<{width}}  {'baseline':>10}  {'partition':>10}"]
+    for label, key in rows:
+        base_value, churn_value = base_net[key], churn_net[key]
+        if isinstance(base_value, float):
+            lines.append(f"{label:<{width}}  {base_value:>10.4f}  {churn_value:>10.4f}")
+        else:
+            lines.append(f"{label:<{width}}  {base_value:>10}  {churn_value:>10}")
+    emit_block("The outage's signature", "\n".join(lines))
+
+    # Convergence: the cut region orphans its way back via range sync.
+    reference = max(
+        (peer.chain.height, peer.chain.head.hash)
+        for peer in churned_handle.peers.values()
+    )
+    converged = sum(
+        1
+        for peer in churned_handle.peers.values()
+        if peer.chain.head.hash == reference[1]
+    )
+    cut_heights = sorted(
+        churned_handle.peers[peer_id].chain.height for peer_id in cut_region
+    )
+    victim = churned.summary()["reports"]["victim-buy"]
+    emit_block(
+        "After the heal",
+        f"reference height {reference[0]}; "
+        f"{converged}/{len(churned_handle.peers)} peers on the reference head\n"
+        f"cut-region heights: min {cut_heights[0]}, max {cut_heights[-1]}\n"
+        f"victim buys: {victim['successful']}/{victim['submitted']} filled "
+        f"(harm {victim['submitted'] - victim['successful']}) — the defense "
+        "holds through the outage",
+    )
+
+    spike = churn_net["blocks_orphaned"] - base_net["blocks_orphaned"]
+    print(
+        f"\nPartitioning one region orphaned {spike} block deliveries the "
+        f"baseline never saw; {churn_net['sync_requests']} range syncs "
+        f"backfilled {churn_net['sync_blocks']} blocks to repair them."
+    )
+
+
+if __name__ == "__main__":
+    main()

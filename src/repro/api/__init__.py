@@ -55,6 +55,14 @@ from ..experiments.scenario import (
     SERETH_CLIENT_SCENARIO,
     Scenario,
 )
+from ..net.topology import (
+    BandwidthModel,
+    ChurnPlan,
+    TOPOLOGY_REGISTRY,
+    Topology,
+    register_topology,
+    topology_names,
+)
 from .builder import BuildError, Simulation, SimulationBuilder
 from .checkpoint import CheckpointMismatchError, SweepCheckpoint, sweep_digest
 from .engine import (
@@ -98,7 +106,9 @@ __all__ = [
     "ADVERSARY_REGISTRY",
     "Adversary",
     "AdversaryTarget",
+    "BandwidthModel",
     "BuildError",
+    "ChurnPlan",
     "CheckpointMismatchError",
     "Claim",
     "ClaimCheck",
@@ -128,6 +138,8 @@ __all__ = [
     "SweepCheckpoint",
     "SweepResult",
     "SweepRow",
+    "TOPOLOGY_REGISTRY",
+    "Topology",
     "WORKLOAD_REGISTRY",
     "Workload",
     "build_simulation",
@@ -138,8 +150,10 @@ __all__ = [
     "register_adversary",
     "register_experiment",
     "register_scenario",
+    "register_topology",
     "plan_experiment",
     "register_workload",
+    "topology_names",
     "run_experiment",
     "run_simulation",
     "sereth_exchange_address",

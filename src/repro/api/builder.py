@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..adversary import ADVERSARY_REGISTRY
 from ..experiments.scenario import Scenario
+from ..net.topology import BandwidthModel, freeze_churn, resolve_topology
 from .registry import SCENARIO_REGISTRY, WORKLOAD_REGISTRY
 from .spec import MINER_POLICIES, SimulationSpec, freeze_params
 
@@ -105,6 +106,40 @@ class SimulationBuilder:
 
     def transaction_loss(self, rate: float) -> "SimulationBuilder":
         self._fields["transaction_loss_rate"] = rate
+        return self
+
+    def topology(self, name: str, **params: Any) -> "SimulationBuilder":
+        """Select the gossip graph by registry name, with builder params.
+
+        ``full_mesh`` (the default when this is never called) preserves the
+        legacy direct-broadcast behaviour byte for byte.
+        """
+        try:
+            builder_class = resolve_topology(name)
+            builder_class(**params)  # eager parameter validation
+        except (TypeError, ValueError) as error:
+            raise BuildError(str(error)) from error
+        self._fields["topology"] = (name, tuple(sorted(params.items())))
+        return self
+
+    def bandwidth(self, bytes_per_second: float, **params: Any) -> "SimulationBuilder":
+        """Enable per-link FIFO bandwidth at ``bytes_per_second``."""
+        merged = {"bytes_per_second": bytes_per_second, **params}
+        try:
+            BandwidthModel(**merged)  # eager parameter validation
+        except (TypeError, ValueError) as error:
+            raise BuildError(str(error)) from error
+        self._fields["bandwidth"] = tuple(sorted(merged.items()))
+        return self
+
+    def churn(self, *events) -> "SimulationBuilder":
+        """Schedule churn events, e.g. ``.churn(("leave", 40.0, "client-3"),
+        ("join", 90.0, "client-3"))``; call repeatedly to append."""
+        existing = self._fields.get("churn", ())
+        try:
+            self._fields["churn"] = freeze_churn(tuple(existing) + tuple(events))
+        except (TypeError, ValueError) as error:
+            raise BuildError(str(error)) from error
         return self
 
     def miner_order_jitter(self, seconds: float) -> "SimulationBuilder":

@@ -34,6 +34,7 @@ from ..net.mining import BlockProductionProcess
 from ..net.network import Network
 from ..net.peer import Peer, SERETH_CLIENT
 from ..net.sim import Simulator
+from ..net.topology import BandwidthModel, ChurnPlan, Topology, resolve_topology
 from .registry import WORKLOAD_REGISTRY
 from .seeding import SeedPlan
 from .spec import SimulationSpec
@@ -150,6 +151,15 @@ class SimulationHandle:
             latency=latency,
             transaction_loss_rate=spec.transaction_loss_rate,
             seed=self.seeds.network,
+            bandwidth=(
+                BandwidthModel(**dict(spec.bandwidth))
+                if spec.bandwidth is not None
+                else None
+            ),
+        )
+        # Any network-model field set => the run reports propagation extras.
+        self._network_realism = (
+            spec.topology is not None or spec.bandwidth is not None or bool(spec.churn)
         )
 
         # Genesis: fund the workload's accounts and every miner, then let the
@@ -210,6 +220,25 @@ class SimulationHandle:
             )
             self.peers[peer_id] = peer
             self.adversary_peers.append(peer)
+
+        # Topology: built over the full peer roster (miners, clients,
+        # adversaries, in insertion order) from a seed-plan-derived stream.
+        # ``full_mesh`` keeps the legacy direct-broadcast path — on a
+        # complete graph flooding only adds duplicate one-hop deliveries,
+        # and the direct path is what the golden checksums were recorded
+        # against — so the adjacency is neither built nor installed for it.
+        self.topology: Optional[Topology] = None
+        if spec.topology is not None:
+            topology_name, topology_params = spec.topology
+            if topology_name != "full_mesh":
+                builder = resolve_topology(topology_name)(**dict(topology_params))
+                self.topology = builder.build(
+                    list(self.peers),
+                    random.Random(self.seeds.derived("topology", topology_name)),
+                )
+                self.network.install_topology(self.topology)
+        if spec.churn:
+            self.network.schedule_churn(ChurnPlan.from_events(spec.churn))
 
         # HMS is a property of the Sereth client software: install the
         # workload's watched contracts on every Sereth peer.
@@ -359,6 +388,11 @@ class SimulationHandle:
             simulator.run_until(simulator.now + workload.post_stop_drain)
 
         extras = workload.finalize(self.context)
+        if self._network_realism:
+            # Only runs that opted into the network model carry the
+            # propagation digest — default runs keep their golden bytes.
+            extras = dict(extras)
+            extras["network"] = self.network.propagation_summary()
         self.metrics.resolve_from_chain(self.reference_chain)
         labels = sorted({record.label for record in self.metrics.records()})
         reports = {label: self.metrics.report(label) for label in labels}

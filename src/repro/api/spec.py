@@ -13,6 +13,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional, Tuple
 
 from ..experiments.scenario import Scenario
+from ..net.topology import freeze_bandwidth, freeze_churn, freeze_topology
 
 __all__ = ["SimulationSpec", "freeze_params", "freeze_adversaries"]
 
@@ -85,6 +86,18 @@ class SimulationSpec:
     seed: int = 0
     settle_blocks: int = 6
     max_duration: Optional[float] = None
+    topology: Optional[Tuple[str, Tuple[Tuple[str, Any], ...]]] = None
+    """Gossip graph as ``(name, params)`` against
+    :data:`repro.net.topology.TOPOLOGY_REGISTRY`; accepts a bare name or a
+    ``(name, params-dict)`` pair (canonicalized by ``freeze_topology``).
+    ``None`` keeps the legacy direct-broadcast full mesh."""
+    bandwidth: Optional[Tuple[Tuple[str, Any], ...]] = None
+    """Per-link FIFO bandwidth as frozen ``BandwidthModel`` parameters; a
+    bare number is taken as ``bytes_per_second``.  ``None`` disables
+    serialisation delay (the legacy behaviour)."""
+    churn: Tuple[Tuple[Any, ...], ...] = ()
+    """Scheduled churn events, e.g. ``(("leave", 40.0, "client-3"),
+    ("join", 90.0, "client-3"))`` — see ``ChurnPlan.from_events``."""
 
     def __post_init__(self) -> None:
         if self.num_miners <= 0:
@@ -116,6 +129,11 @@ class SimulationSpec:
         # Canonicalize in place (frozen dataclass) so hand-written specs using
         # bare names or params dicts hash/describe like builder-made ones.
         object.__setattr__(self, "adversaries", frozen_adversaries)
+        # freeze_topology validates the name against TOPOLOGY_REGISTRY, so an
+        # unknown topology string fails here with the known-names list.
+        object.__setattr__(self, "topology", freeze_topology(self.topology))
+        object.__setattr__(self, "bandwidth", freeze_bandwidth(self.bandwidth))
+        object.__setattr__(self, "churn", freeze_churn(self.churn))
 
     # -- accessors ---------------------------------------------------------------------
 
@@ -147,8 +165,13 @@ class SimulationSpec:
         return replace(self, workload_params=freeze_params(merged))
 
     def describe(self) -> Dict[str, Any]:
-        """A stable, JSON-ready rendering of the spec (for export/diffing)."""
-        return {
+        """A stable, JSON-ready rendering of the spec (for export/diffing).
+
+        The network-model fields (``topology``/``bandwidth``/``churn``) are
+        emitted only when set: default specs keep rendering the exact bytes
+        the committed golden checksums were recorded against.
+        """
+        description = {
             "scenario": self.scenario.name,
             "workload": self.workload,
             "workload_params": {key: value for key, value in self.workload_params},
@@ -175,3 +198,11 @@ class SimulationSpec:
             "settle_blocks": self.settle_blocks,
             "max_duration": self.max_duration,
         }
+        if self.topology is not None:
+            name, params = self.topology
+            description["topology"] = {"name": name, "params": dict(params)}
+        if self.bandwidth is not None:
+            description["bandwidth"] = dict(self.bandwidth)
+        if self.churn:
+            description["churn"] = [list(event) for event in self.churn]
+        return description

@@ -24,7 +24,7 @@ The historical per-experiment subcommands remain as thin wrappers::
     repro attack-matrix --adversaries displacement insertion --workers 4
     repro sweep --workload market --scenarios geth_unmodified semantic_mining \
         --over buys_per_set=1,2,10 --trials 2 --workers 4 --csv out.csv
-    repro list [--adversaries]
+    repro list [--adversaries|--topologies]
 
 Every subcommand resolves scenarios, workloads, adversaries, and
 experiments through the :mod:`repro.api` registries and executes through
@@ -46,6 +46,7 @@ from .api import (
     SCENARIO_REGISTRY,
     Simulation,
     Sweep,
+    TOPOLOGY_REGISTRY,
     WORKLOAD_REGISTRY,
     execute_plan,
     plan_experiment,
@@ -212,7 +213,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--csv", dest="csv_path", default=None, help="write rows as CSV")
 
     listing = subparsers.add_parser(
-        "list", help="list registered scenarios, workloads, adversaries, and experiments"
+        "list",
+        help="list registered scenarios, workloads, adversaries, topologies, "
+        "and experiments",
     )
     listing.add_argument(
         "--adversaries",
@@ -223,6 +226,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--experiments",
         action="store_true",
         help="show only the registered experiments and their claim gates",
+    )
+    listing.add_argument(
+        "--topologies",
+        action="store_true",
+        help="show only the registered gossip topologies",
     )
     return parser
 
@@ -571,11 +579,18 @@ def _command_list(arguments: argparse.Namespace) -> int:
         f"{len(EXPERIMENT_REGISTRY.get(name).claims)} claim gate(s))"
         for name in EXPERIMENT_REGISTRY.names()
     )
+    topology_lines = "\n".join(
+        f"{name}  ({TOPOLOGY_REGISTRY.get(name).summary()})"
+        for name in TOPOLOGY_REGISTRY.names()
+    )
     if arguments.adversaries:
         emit_block("Registered adversaries", adversary_lines)
         return 0
     if arguments.experiments:
         emit_block("Registered experiments", experiment_lines)
+        return 0
+    if arguments.topologies:
+        emit_block("Registered topologies", topology_lines)
         return 0
     emit_block(
         "Registered scenarios",
@@ -588,6 +603,7 @@ def _command_list(arguments: argparse.Namespace) -> int:
     )
     emit_block("Registered workloads", "\n".join(WORKLOAD_REGISTRY.names()))
     emit_block("Registered adversaries", adversary_lines)
+    emit_block("Registered topologies", topology_lines)
     emit_block("Registered experiments", experiment_lines)
     return 0
 

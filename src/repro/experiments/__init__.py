@@ -3,7 +3,8 @@
 Importing this package registers every shipped experiment in
 :data:`repro.api.experiment.EXPERIMENT_REGISTRY` (``figure2``,
 ``sequential``, ``frontrunning``, ``oracle``, ``ablation``,
-``attack_matrix``), alongside the historical per-experiment entry points,
+``attack_matrix``, ``propagation``), alongside the historical
+per-experiment entry points,
 which remain as thin wrappers."""
 
 from .ablations import (
@@ -42,6 +43,12 @@ from .frontrunning import (
 # repro.oracle, that module is still mid-execution here and its class names
 # do not exist yet — registration completes when its own import finishes.
 from ..oracle import comparison as _oracle_comparison  # noqa: F401
+from .propagation import (
+    DEFAULT_TOPOLOGIES,
+    PropagationExperiment,
+    propagation_claims,
+    propagation_jobs,
+)
 from .runner import (
     ExperimentConfig,
     ExperimentResult,
@@ -88,6 +95,10 @@ __all__ = [
     "Figure2Point",
     "Figure2Result",
     "run_figure2",
+    "DEFAULT_TOPOLOGIES",
+    "PropagationExperiment",
+    "propagation_claims",
+    "propagation_jobs",
     "ExperimentConfig",
     "ExperimentResult",
     "run_market_experiment",

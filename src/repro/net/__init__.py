@@ -1,4 +1,5 @@
-"""Discrete-event network simulation: simulator, latency, peers, gossip, mining."""
+"""Discrete-event network simulation: simulator, latency, topology, peers,
+gossip, bandwidth, churn, and mining."""
 
 from .latency import (
     ConstantLatency,
@@ -9,8 +10,27 @@ from .latency import (
 )
 from .mining import BlockProductionProcess, MinerHandle
 from .network import Network, NetworkStats
-from .peer import GETH_CLIENT, Peer, PeerStats, SERETH_CLIENT
+from .peer import (
+    GETH_CLIENT,
+    IMPORT_DUPLICATE,
+    IMPORT_IMPORTED,
+    IMPORT_ORPHANED,
+    IMPORT_REJECTED,
+    Peer,
+    PeerStats,
+    SERETH_CLIENT,
+)
 from .sim import ScheduledEvent, Simulator
+from .topology import (
+    BandwidthModel,
+    ChurnPlan,
+    TOPOLOGY_REGISTRY,
+    Topology,
+    TopologyBuilder,
+    register_topology,
+    resolve_topology,
+    topology_names,
+)
 
 __all__ = [
     "ConstantLatency",
@@ -24,8 +44,20 @@ __all__ = [
     "NetworkStats",
     "GETH_CLIENT",
     "SERETH_CLIENT",
+    "IMPORT_DUPLICATE",
+    "IMPORT_IMPORTED",
+    "IMPORT_ORPHANED",
+    "IMPORT_REJECTED",
     "Peer",
     "PeerStats",
     "ScheduledEvent",
     "Simulator",
+    "BandwidthModel",
+    "ChurnPlan",
+    "TOPOLOGY_REGISTRY",
+    "Topology",
+    "TopologyBuilder",
+    "register_topology",
+    "resolve_topology",
+    "topology_names",
 ]

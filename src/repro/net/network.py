@@ -1,23 +1,41 @@
 """The gossip network connecting peers.
 
-Transactions and blocks are broadcast to every other peer with a sampled
-one-way latency.  Message loss can be injected per message type to model the
-paper's observation that "transactions sent may be lost due to network
-failures, memory limitations or peers not replaying them".
+Two wire modes share this class:
+
+* **Direct broadcast** (the default, and the only mode before the topology
+  subsystem existed): every transaction and block goes straight from the
+  origin to every other peer with a sampled one-way latency.  This is the
+  behaviour the committed golden checksums cover, so its code path — RNG
+  draw order included — is preserved exactly.
+* **Topology flood** (when :meth:`install_topology` has wired an adjacency):
+  messages travel edge by edge, store-and-forward.  A peer forwards an
+  artefact to its neighbours (except the one it came from) on *first*
+  receipt only — deliveries are deduplicated by object hash — so a flood
+  terminates after each node has relayed once.
+
+Message loss can be injected per message type to model the paper's
+observation that "transactions sent may be lost due to network failures,
+memory limitations or peers not replaying them".  On top of latency, an
+optional :class:`~repro.net.topology.BandwidthModel` adds FIFO serialisation
+delay per directed link (a burst of blocks down one pipe queues rather than
+teleports), and churn state (offline peers, partitions) gates sends at the
+moment they are scheduled — in-flight messages still deliver unless the
+receiver itself has gone offline.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..chain.block import Block
 from ..chain.transaction import Transaction
 from ..chain.wire import wire_encoding
 from .latency import ConstantLatency, LatencyModel
-from .peer import Peer
+from .peer import IMPORT_DUPLICATE, IMPORT_IMPORTED, IMPORT_ORPHANED, Peer
 from .sim import Simulator
+from .topology import BandwidthModel, ChurnPlan, Topology, edge_key
 
 __all__ = ["NetworkStats", "Network"]
 
@@ -30,20 +48,29 @@ class NetworkStats:
     the wire encoding is computed once per artefact (see
     :func:`repro.chain.wire.wire_encoding`) and counted once per scheduled
     delivery hop — the origin's own immediate block import is not a hop.
+    ``*_dropped`` counts stochastic loss-model drops; ``*_dropped_link``
+    counts churn casualties (offline peers, severed partitions).
     """
 
     transactions_broadcast: int = 0
     transaction_deliveries: int = 0
     transactions_dropped: int = 0
+    transactions_dropped_link: int = 0
     blocks_broadcast: int = 0
     block_deliveries: int = 0
     blocks_dropped: int = 0
+    blocks_dropped_link: int = 0
+    block_duplicates: int = 0
+    blocks_orphaned: int = 0
+    sync_requests: int = 0
+    sync_blocks: int = 0
     transaction_bytes: int = 0
     block_bytes: int = 0
 
 
 class Network:
-    """A fully connected gossip network over a shared simulator."""
+    """A gossip network over a shared simulator (full mesh unless a
+    topology is installed)."""
 
     def __init__(
         self,
@@ -53,6 +80,7 @@ class Network:
         transaction_loss_rate: float = 0.0,
         block_loss_rate: float = 0.0,
         seed: Optional[int] = None,
+        bandwidth: Optional[BandwidthModel] = None,
     ) -> None:
         if not 0.0 <= transaction_loss_rate < 1.0 or not 0.0 <= block_loss_rate < 1.0:
             raise ValueError("loss rates must be in [0, 1)")
@@ -61,11 +89,29 @@ class Network:
         self.block_latency = block_latency or self.latency
         self.transaction_loss_rate = transaction_loss_rate
         self.block_loss_rate = block_loss_rate
+        self.bandwidth = bandwidth
         self.stats = NetworkStats()
         self._peers: Dict[str, Peer] = {}
         # seed=None draws fresh OS entropy; reproducible runs thread a
         # spec-derived seed (SeedPlan.network) through here.
         self._rng = random.Random(seed)
+
+        # Topology flood state (inert until install_topology is called).
+        self.topology: Optional[Topology] = None
+        self._adjacency: Optional[Dict[str, Tuple[str, ...]]] = None
+        self._latency_scale: Dict[Tuple[str, str], float] = {}
+        self._seen_blocks: Dict[str, Set[bytes]] = {}
+        # Churn state (inert until a churn call flips _churn_active).
+        self._churn_active = False
+        self._offline: Set[str] = set()
+        self._partition_of: Optional[Dict[str, int]] = None
+        self.churn_log: List[Tuple[float, str, Any]] = []
+        # FIFO bandwidth queues: directed link -> time the pipe frees up.
+        self._link_free_at: Dict[Tuple[str, str], float] = {}
+        # Propagation measurement + ancestor-sync bookkeeping.
+        self._block_born: Dict[bytes, float] = {}
+        self._propagation_samples: List[float] = []
+        self._sync_inflight: Dict[str, float] = {}
 
     # -- membership -----------------------------------------------------------------
 
@@ -85,61 +131,385 @@ class Network:
     def __len__(self) -> int:
         return len(self._peers)
 
-    # -- gossip -----------------------------------------------------------------------
+    # -- topology -------------------------------------------------------------------
+
+    def install_topology(self, topology: Topology) -> None:
+        """Switch gossip from direct broadcast to flooding along ``topology``.
+
+        The adjacency must cover every current peer — a peer outside the
+        graph would silently never hear anything.
+        """
+        missing = [peer_id for peer_id in self._peers if peer_id not in topology.adjacency]
+        if missing:
+            raise ValueError(f"topology is missing peers: {missing}")
+        self.topology = topology
+        self._adjacency = {
+            peer_id: topology.adjacency[peer_id] for peer_id in topology.adjacency
+        }
+        self._latency_scale = dict(topology.latency_scale)
+
+    # -- churn ----------------------------------------------------------------------
+
+    def set_offline(self, peer_id: str, offline: bool = True) -> None:
+        """Take a peer off (or back onto) the network.  It keeps its local
+        state — a rejoining peer catches up via ancestor sync when the next
+        block orphans on it."""
+        self._churn_active = True
+        if offline:
+            self._offline.add(peer_id)
+        else:
+            self._offline.discard(peer_id)
+
+    def set_partition(self, groups) -> None:
+        """Sever links between peer groups.  Peers not named in any group
+        share one implicit extra group (so partitioning off a subset is
+        just ``set_partition([subset])``)."""
+        self._churn_active = True
+        mapping: Dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for peer_id in group:
+                mapping[peer_id] = index
+        self._partition_of = mapping
+
+    def heal_partition(self) -> None:
+        self._partition_of = None
+
+    def schedule_churn(self, plan: ChurnPlan) -> None:
+        """Apply ``plan``'s events from the event loop at their times."""
+        self._churn_active = True
+        for event in plan.events:
+            self.simulator.schedule_at(
+                event.time, lambda event=event: self._apply_churn(event)
+            )
+
+    def _apply_churn(self, event) -> None:
+        if event.kind == "leave":
+            self.set_offline(event.peer_id, True)
+            detail: Any = event.peer_id
+        elif event.kind == "join":
+            self.set_offline(event.peer_id, False)
+            detail = event.peer_id
+        elif event.kind == "partition":
+            self.set_partition(event.groups)
+            detail = event.groups
+        else:  # heal
+            self.heal_partition()
+            detail = None
+        self.churn_log.append((self.simulator.now, event.kind, detail))
+
+    def _link_up(self, source_id: Optional[str], destination_id: str) -> bool:
+        if destination_id in self._offline:
+            return False
+        if source_id is None:
+            return True
+        if source_id in self._offline:
+            return False
+        if self._partition_of is not None:
+            if self._partition_of.get(source_id, -1) != self._partition_of.get(
+                destination_id, -1
+            ):
+                return False
+        return True
+
+    # -- link timing ----------------------------------------------------------------
+
+    def _link_delay(
+        self,
+        source_id: str,
+        destination_id: str,
+        wire_size: int,
+        latency_model: LatencyModel,
+    ) -> float:
+        """Sampled latency, scaled per edge, plus FIFO serialisation delay."""
+        delay = latency_model.sample(source_id, destination_id)
+        if self._latency_scale:
+            scale = self._latency_scale.get(edge_key(source_id, destination_id))
+            if scale is not None:
+                delay *= scale
+        if self.bandwidth is not None:
+            now = self.simulator.now
+            link = (source_id, destination_id)
+            serialisation = self.bandwidth.serialisation_delay(
+                source_id, destination_id, wire_size
+            )
+            departure = max(now, self._link_free_at.get(link, now))
+            self._link_free_at[link] = departure + serialisation
+            delay = (departure - now) + serialisation + delay
+        return delay
+
+    # -- transaction gossip -----------------------------------------------------------
 
     def broadcast_transaction(self, origin: Peer, transaction: Transaction) -> None:
-        """Deliver ``transaction`` to every other peer after a sampled latency.
+        """Gossip ``transaction`` from ``origin``.
 
-        Zero-copy: every neighbour receives the *same* frozen transaction
-        object (peers must never mutate gossiped artefacts); the wire bytes
-        are memoised per object and only their size is accounted per hop.
+        Zero-copy: every receiver gets the *same* frozen transaction object
+        (peers must never mutate gossiped artefacts); the wire bytes are
+        memoised per object and only their size is accounted per hop.
         """
         self.stats.transactions_broadcast += 1
+        if self._churn_active and origin.peer_id in self._offline:
+            return
         wire_size = len(wire_encoding(transaction))
+        if self._adjacency is not None:
+            self._flood_transaction(origin.peer_id, None, transaction, wire_size)
+            return
         for peer in self._peers.values():
             if peer is origin:
+                continue
+            if self._churn_active and not self._link_up(origin.peer_id, peer.peer_id):
+                self.stats.transactions_dropped_link += 1
                 continue
             if self.transaction_loss_rate and self._rng.random() < self.transaction_loss_rate:
                 self.stats.transactions_dropped += 1
                 continue
-            delay = self.latency.sample(origin.peer_id, peer.peer_id)
+            delay = self._link_delay(origin.peer_id, peer.peer_id, wire_size, self.latency)
             self.stats.transaction_bytes += wire_size
-            self._schedule_transaction_delivery(peer, transaction, delay)
+            self._schedule_transaction_delivery(
+                origin.peer_id, peer, transaction, wire_size, delay
+            )
+
+    def _flood_transaction(
+        self, from_id: str, exclude_id: Optional[str], transaction: Transaction, wire_size: int
+    ) -> None:
+        for neighbor_id in self._adjacency.get(from_id, ()):
+            if neighbor_id == exclude_id:
+                continue
+            peer = self._peers.get(neighbor_id)
+            if peer is None:
+                continue
+            if self._churn_active and not self._link_up(from_id, neighbor_id):
+                self.stats.transactions_dropped_link += 1
+                continue
+            if self.transaction_loss_rate and self._rng.random() < self.transaction_loss_rate:
+                self.stats.transactions_dropped += 1
+                continue
+            delay = self._link_delay(from_id, neighbor_id, wire_size, self.latency)
+            self.stats.transaction_bytes += wire_size
+            self._schedule_transaction_delivery(from_id, peer, transaction, wire_size, delay)
 
     def _schedule_transaction_delivery(
-        self, peer: Peer, transaction: Transaction, delay: float
+        self,
+        sender_id: str,
+        peer: Peer,
+        transaction: Transaction,
+        wire_size: int,
+        delay: float,
     ) -> None:
         def deliver() -> None:
+            if self._churn_active and peer.peer_id in self._offline:
+                self.stats.transactions_dropped_link += 1
+                return
             self.stats.transaction_deliveries += 1
-            peer.receive_transaction(transaction, self.simulator.now)
+            accepted = peer.receive_transaction(transaction, self.simulator.now)
+            # Store-and-forward: relay on first admission only, never back
+            # along the edge the transaction arrived on.
+            if accepted and self._adjacency is not None:
+                self._flood_transaction(peer.peer_id, sender_id, transaction, wire_size)
 
         self.simulator.schedule_in(delay, deliver)
 
+    # -- block gossip -----------------------------------------------------------------
+
     def broadcast_block(self, origin: Optional[Peer], block: Block) -> None:
-        """Deliver ``block`` to every peer (including the origin, immediately).
+        """Gossip ``block`` from ``origin`` (which imports it immediately).
 
         Zero-copy, like :meth:`broadcast_transaction`: one frozen block
-        object for every neighbour, one memoised wire encoding per block.
+        object for every receiver, one memoised wire encoding per block.
         """
         self.stats.blocks_broadcast += 1
+        self._block_born.setdefault(block.hash, self.simulator.now)
         wire_size = len(wire_encoding(block))
+        if self._adjacency is not None and origin is not None:
+            # The miner imports its own block with no network delay.
+            self._seen_blocks.setdefault(origin.peer_id, set()).add(block.hash)
+            origin.import_block(block)
+            if not (self._churn_active and origin.peer_id in self._offline):
+                self._flood_block(origin.peer_id, None, block, wire_size)
+            return
+        origin_id = origin.peer_id if origin is not None else None
         for peer in self._peers.values():
             if origin is not None and peer is origin:
                 # The miner imports its own block with no network delay.
                 peer.receive_block(block)
                 continue
+            if self._churn_active and not self._link_up(origin_id, peer.peer_id):
+                self.stats.blocks_dropped_link += 1
+                continue
             if self.block_loss_rate and self._rng.random() < self.block_loss_rate:
                 self.stats.blocks_dropped += 1
                 continue
-            delay = self.block_latency.sample(
-                origin.peer_id if origin is not None else "network", peer.peer_id
+            delay = self._link_delay(
+                origin_id if origin_id is not None else "network",
+                peer.peer_id,
+                wire_size,
+                self.block_latency,
             )
             self.stats.block_bytes += wire_size
-            self._schedule_block_delivery(peer, block, delay)
+            self._schedule_block_delivery(origin_id, peer, block, wire_size, delay)
 
-    def _schedule_block_delivery(self, peer: Peer, block: Block, delay: float) -> None:
+    def _flood_block(
+        self, from_id: str, exclude_id: Optional[str], block: Block, wire_size: int
+    ) -> None:
+        for neighbor_id in self._adjacency.get(from_id, ()):
+            if neighbor_id == exclude_id:
+                continue
+            peer = self._peers.get(neighbor_id)
+            if peer is None:
+                continue
+            if self._churn_active and not self._link_up(from_id, neighbor_id):
+                self.stats.blocks_dropped_link += 1
+                continue
+            if self.block_loss_rate and self._rng.random() < self.block_loss_rate:
+                self.stats.blocks_dropped += 1
+                continue
+            delay = self._link_delay(from_id, neighbor_id, wire_size, self.block_latency)
+            self.stats.block_bytes += wire_size
+            self._schedule_block_delivery(from_id, peer, block, wire_size, delay)
+
+    def _schedule_block_delivery(
+        self,
+        sender_id: Optional[str],
+        peer: Peer,
+        block: Block,
+        wire_size: int,
+        delay: float,
+        sync: bool = False,
+    ) -> None:
         def deliver() -> None:
-            self.stats.block_deliveries += 1
-            peer.receive_block(block)
+            self._deliver_block(sender_id, peer, block, wire_size, sync=sync)
 
         self.simulator.schedule_in(delay, deliver)
+
+    def _deliver_block(
+        self,
+        sender_id: Optional[str],
+        peer: Peer,
+        block: Block,
+        wire_size: int,
+        sync: bool = False,
+    ) -> None:
+        if self._churn_active and peer.peer_id in self._offline:
+            self.stats.blocks_dropped_link += 1
+            return
+        self.stats.block_deliveries += 1
+        seen = self._seen_blocks.setdefault(peer.peer_id, set())
+        if block.hash in seen:
+            # Dedup by object hash: a block the peer already has is dropped
+            # here, before any validation replay.
+            self.stats.block_duplicates += 1
+            if (
+                self._adjacency is not None
+                and sender_id is not None
+                and block.number > peer.chain.height
+                and peer.chain.block_by_hash(block.hash) is None
+            ):
+                # Still orphaned on redelivery: the first sync attempt went
+                # to whichever neighbour flooded the block first, which after
+                # a partition heals may be just as far behind.  Each redundant
+                # delivery is a fresh chance to sync from a better provider.
+                self._request_ancestors(peer, sender_id, block)
+            return
+        seen.add(block.hash)
+        status, imported = peer.import_block(block)
+        if status == IMPORT_ORPHANED:
+            self.stats.blocks_orphaned += 1
+            if sender_id is not None:
+                self._request_ancestors(peer, sender_id, block)
+        elif status == IMPORT_IMPORTED and not sync:
+            now = self.simulator.now
+            for imported_block in imported:
+                born = self._block_born.get(imported_block.hash)
+                if born is not None:
+                    self._propagation_samples.append(now - born)
+        if self._adjacency is not None and not sync and status != IMPORT_DUPLICATE:
+            # Store-and-forward on first receipt, whatever the local import
+            # verdict: a block this peer cannot use yet may still be exactly
+            # what its neighbours are waiting for.
+            self._flood_block(peer.peer_id, sender_id, block, wire_size)
+
+    # -- ancestor sync ------------------------------------------------------------------
+
+    def _request_ancestors(self, requester: Peer, provider_id: str, upto: Block) -> None:
+        """Fetch the blocks between ``requester``'s head and an orphan from
+        the neighbour that sent it (range sync, devp2p style).  One request
+        is in flight per requester at a time, so latency-reordered orphans
+        do not trigger a request storm."""
+        now = self.simulator.now
+        if self._sync_inflight.get(requester.peer_id, -1.0) > now:
+            return
+        provider = self._peers.get(provider_id)
+        if provider is None:
+            return
+        if self._churn_active and not self._link_up(requester.peer_id, provider_id):
+            return
+        start = requester.chain.height + 1
+        end = min(upto.number - 1, provider.chain.height)
+        if end < start:
+            return
+        self.stats.sync_requests += 1
+        # The request itself crosses the link once; responses stream back
+        # through the same FIFO pipe as any other block.
+        request_delay = self._link_delay(requester.peer_id, provider_id, 64, self.latency)
+        latest = now
+        for number in range(start, end + 1):
+            ancestor = provider.chain.block_by_number(number)
+            ancestor_size = len(wire_encoding(ancestor))
+            delay = request_delay + self._link_delay(
+                provider_id, requester.peer_id, ancestor_size, self.block_latency
+            )
+            self.stats.block_bytes += ancestor_size
+            self.stats.sync_blocks += 1
+            self._schedule_block_delivery(
+                provider_id, requester, ancestor, ancestor_size, delay, sync=True
+            )
+            latest = max(latest, now + delay)
+        self._sync_inflight[requester.peer_id] = latest
+
+    # -- measurement --------------------------------------------------------------------
+
+    def propagation_samples(self) -> List[float]:
+        """Per-import block propagation delays (origin's own import excluded)."""
+        return list(self._propagation_samples)
+
+    def propagation_summary(self) -> Dict[str, Any]:
+        """A JSON-ready digest of propagation behaviour for this run."""
+        samples = sorted(self._propagation_samples)
+
+        def percentile(fraction: float) -> Optional[float]:
+            if not samples:
+                return None
+            return samples[min(len(samples) - 1, round(fraction * (len(samples) - 1)))]
+
+        peer_count = len(self._peers)
+        if self.topology is not None:
+            edges = self.topology.edge_count
+            mean_degree = self.topology.mean_degree
+            topology_name = self.topology.name
+        else:
+            edges = peer_count * (peer_count - 1) // 2
+            mean_degree = float(peer_count - 1) if peer_count else 0.0
+            topology_name = "full_mesh"
+        stats = self.stats
+        return {
+            "topology": topology_name,
+            "peers": peer_count,
+            "edges": edges,
+            "mean_degree": mean_degree,
+            "block_deliveries": stats.block_deliveries,
+            "block_duplicates": stats.block_duplicates,
+            "blocks_orphaned": stats.blocks_orphaned,
+            "orphan_rate": (
+                stats.blocks_orphaned / stats.block_deliveries
+                if stats.block_deliveries
+                else 0.0
+            ),
+            "sync_requests": stats.sync_requests,
+            "sync_blocks": stats.sync_blocks,
+            "propagation_samples": len(samples),
+            "block_propagation_p50": percentile(0.50),
+            "block_propagation_p95": percentile(0.95),
+            "transaction_deliveries": stats.transaction_deliveries,
+            "transaction_bytes": stats.transaction_bytes,
+            "block_bytes": stats.block_bytes,
+            "links_dropped": stats.transactions_dropped_link + stats.blocks_dropped_link,
+        }

@@ -33,10 +33,22 @@ from ..evm.engine import CallResult, ExecutionEngine
 from ..evm.registry import ContractRegistry, default_registry
 from ..txpool.pool import TxPool
 
-__all__ = ["PeerStats", "Peer"]
+__all__ = [
+    "PeerStats",
+    "Peer",
+    "IMPORT_IMPORTED",
+    "IMPORT_DUPLICATE",
+    "IMPORT_ORPHANED",
+    "IMPORT_REJECTED",
+]
 
 GETH_CLIENT = "geth"
 SERETH_CLIENT = "sereth"
+
+IMPORT_IMPORTED = "imported"
+IMPORT_DUPLICATE = "duplicate"
+IMPORT_ORPHANED = "orphaned"
+IMPORT_REJECTED = "rejected"
 
 
 @dataclass
@@ -48,6 +60,8 @@ class PeerStats:
     transactions_duplicate: int = 0
     blocks_imported: int = 0
     blocks_rejected: int = 0
+    blocks_duplicate: int = 0
+    blocks_orphaned: int = 0
     calls_served: int = 0
 
 
@@ -75,6 +89,11 @@ class Peer:
         self._raa_registry: Optional[RAAProviderRegistry] = None
         self._hms_providers: Dict[Address, HMSRAAProvider] = {}
         self._seen_transactions: set = set()
+        # Orphan buffer for flood gossip: blocks whose ancestors have not
+        # arrived yet, keyed by the parent hash they are waiting for.
+        self._orphans: Dict[bytes, Block] = {}
+
+    MAX_ORPHANS = 256
 
     # -- identity -------------------------------------------------------------------
 
@@ -161,7 +180,16 @@ class Peer:
     # -- block handling --------------------------------------------------------------------
 
     def receive_block(self, block: Block) -> bool:
-        """Validate and import a block, then prune the pool."""
+        """Validate and import a block, then prune the pool.
+
+        A block already on the chain is dropped by hash before any
+        validation replay (gossip redundantly re-delivers blocks; importing
+        one twice would be rejected anyway, but counting it as a rejection
+        hides real validation failures).
+        """
+        if self.chain.block_by_hash(block.hash) is not None:
+            self.stats.blocks_duplicate += 1
+            return False
         try:
             self.chain.add_block(block)
         except ChainError:
@@ -171,6 +199,44 @@ class Peer:
         self.pool.remove_committed(block)
         self.pool.drop_stale(self.chain.state)
         return True
+
+    def import_block(self, block: Block) -> Tuple[str, List[Block]]:
+        """Import with orphan buffering: the flood-gossip entry point.
+
+        Returns ``(status, imported)`` where status is one of
+        ``IMPORT_IMPORTED`` / ``IMPORT_DUPLICATE`` / ``IMPORT_ORPHANED`` /
+        ``IMPORT_REJECTED`` and ``imported`` lists every block actually
+        appended — the delivered one plus any buffered orphans it unlocked.
+        A block whose ancestors have not arrived yet (multi-hop floods and
+        partition heals deliver out of order) waits in a bounded buffer
+        keyed by the parent hash it needs.
+        """
+        if self.chain.block_by_hash(block.hash) is not None:
+            self.stats.blocks_duplicate += 1
+            return (IMPORT_DUPLICATE, [])
+        if block.number > self.chain.height + 1:
+            self._buffer_orphan(block)
+            return (IMPORT_ORPHANED, [])
+        if not self.receive_block(block):
+            return (IMPORT_REJECTED, [])
+        imported = [block]
+        while True:
+            child = self._orphans.pop(self.chain.head.hash, None)
+            if child is None:
+                break
+            if not self.receive_block(child):
+                break
+            imported.append(child)
+        return (IMPORT_IMPORTED, imported)
+
+    def _buffer_orphan(self, block: Block) -> None:
+        self.stats.blocks_orphaned += 1
+        self._orphans[block.header.parent_hash] = block
+        while len(self._orphans) > self.MAX_ORPHANS:
+            # Evict the orphan farthest in the future — the least likely to
+            # become importable before a range sync refreshes everything.
+            farthest = max(self._orphans, key=lambda parent: self._orphans[parent].number)
+            del self._orphans[farthest]
 
     # -- client-facing API ---------------------------------------------------------------------
 
