@@ -59,23 +59,10 @@ METRICS = tuple(sorted(SECONDS_METRICS | THROUGHPUT_METRICS))
 
 
 def _clear_engine_caches() -> None:
-    """Drop every per-process memo the engine consults, via the lifecycle
-    hooks when present (``getattr`` fallbacks let this harness time builds
-    that predate a given hook)."""
-    from repro.chain import trie as trie_module
-    from repro.crypto import keccak as keccak_module
+    """Drop every per-process memo the engine consults (cold-start state)."""
+    from repro.api.lifecycle import reset_process_caches
 
-    keccak_module.clear_hash_cache()
-    trie_module.clear_root_cache()
-    for module_name, hook_name in (
-        ("repro.chain.wire", "clear_wire_cache"),
-        ("repro.chain.genesis", "clear_genesis_cache"),
-    ):
-        import importlib
-
-        hook = getattr(importlib.import_module(module_name), hook_name, None)
-        if hook is not None:
-            hook()
+    reset_process_caches()
 
 
 def _sweep_and_cell():

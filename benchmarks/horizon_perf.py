@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Horizon performance harness: long-run throughput and peak RSS per retention
+setting, written to ``BENCH_horizon.json``.
+
+Where ``engine_perf.py`` times single trials and ``substrate_perf.py`` the
+chain primitives, this harness measures the *memory model*: it drives the
+registered ``horizon`` experiment (the ``steady_state`` workload for 50k+
+blocks per leg, one fresh child process per leg so ``ru_maxrss`` is
+per-leg), and records for every retention setting:
+
+* ``blocks_per_second`` — end-to-end block throughput (higher is better);
+* ``peak_rss_mb``       — the leg's process-lifetime RSS high-water mark
+  (lower is better).
+
+``--smoke`` (CI) is a **hard gate**: the run fails if any retained leg's
+peak RSS exceeds the committed ceiling (``RSS_CEILING_MB``), if the
+unretained control does *not* measurably exceed the retained footprint, or
+if any of the experiment's claim gates fail.  Machine speed varies across
+runners; the RSS contract must not.
+
+Baseline protocol (same as the other harnesses): the first run — or
+``--record-baseline`` — stores its numbers under ``"baseline"``; later runs
+keep that baseline, update ``"current"``, and report per-leg ``"speedup"``
+(blocks/s, higher is better) plus ``"rss_delta_mb"`` (current - baseline,
+negative is better).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/horizon_perf.py            # full grid
+    PYTHONPATH=src python benchmarks/horizon_perf.py --smoke    # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+
+def _leg_label(retention) -> str:
+    return "unretained" if retention is None else f"retained_{retention}"
+
+
+def run_benchmarks(smoke: bool) -> Dict[str, Any]:
+    """Run the horizon experiment and flatten it into per-leg metrics."""
+    from repro.api import ExperimentOptions, run_experiment
+    from repro.experiments.horizon import RSS_CEILING_MB
+
+    run = run_experiment("horizon", ExperimentOptions(smoke=smoke))
+    legs: Dict[str, Dict[str, float]] = {}
+    for row in run.frame.rows():
+        legs[_leg_label(row["retention"])] = {
+            "blocks_produced": row["blocks_produced"],
+            "blocks_per_second": row["blocks_per_second"],
+            "peak_rss_mb": row["peak_rss_mb"],
+            "wall_seconds": row["wall_seconds"],
+        }
+    for label, metrics in sorted(legs.items()):
+        print(
+            f"  {label:14s} {metrics['blocks_produced']:>7.0f} blocks  "
+            f"{metrics['blocks_per_second']:>7.1f} blocks/s  "
+            f"peak {metrics['peak_rss_mb']:>6.1f} MB"
+        )
+    return {
+        "legs": legs,
+        "rss_ceiling_mb": RSS_CEILING_MB,
+        "claims": [check.as_dict() for check in run.claim_checks],
+        "claims_pass": run.passed,
+        "sizes": {"grid": "smoke" if smoke else "full"},
+    }
+
+
+def enforce_gates(run: Dict[str, Any]) -> None:
+    """The hard CI assertions: ceiling, measurable excess, claim gates."""
+    ceiling = run["rss_ceiling_mb"]
+    retained = {
+        label: leg for label, leg in run["legs"].items() if label != "unretained"
+    }
+    for label, leg in sorted(retained.items()):
+        if leg["peak_rss_mb"] > ceiling:
+            raise SystemExit(
+                f"RSS ceiling breached: {label} peaked at {leg['peak_rss_mb']:.1f} MB "
+                f"(ceiling {ceiling:.0f} MB)"
+            )
+    if not run["claims_pass"]:
+        failed = [check["claim"] for check in run["claims"] if not check["holds"]]
+        raise SystemExit(f"horizon claim gates failed: {', '.join(failed)}")
+
+
+def compute_deltas(baseline: Dict[str, Any], current: Dict[str, Any]) -> Dict[str, Any]:
+    """Per-leg speedup (blocks/s) and RSS delta vs the baseline — or ``{}``
+    when the runs used different grids."""
+    if baseline.get("sizes") != current.get("sizes"):
+        return {}
+    deltas: Dict[str, Any] = {}
+    for label, leg in current["legs"].items():
+        base = baseline["legs"].get(label)
+        if not base:
+            continue
+        deltas[label] = {
+            "blocks_per_second": round(
+                leg["blocks_per_second"] / base["blocks_per_second"], 3
+            ),
+            "rss_delta_mb": round(leg["peak_rss_mb"] - base["peak_rss_mb"], 1),
+        }
+    return deltas
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI grid; fail hard if the RSS ceiling or any claim gate breaks",
+    )
+    parser.add_argument(
+        "--record-baseline",
+        action="store_true",
+        help="store this run as the baseline (overwriting any existing one)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_horizon.json",
+    )
+    arguments = parser.parse_args()
+
+    print(f"horizon benchmarks ({'smoke' if arguments.smoke else 'full'} grid):")
+    run = run_benchmarks(arguments.smoke)
+
+    report: Dict[str, Any] = {}
+    if arguments.output.exists():
+        try:
+            report = json.loads(arguments.output.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            report = {}
+
+    if arguments.record_baseline or "baseline" not in report:
+        report["baseline"] = run
+    report["current"] = run
+    report["deltas"] = compute_deltas(report["baseline"], run)
+
+    arguments.output.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {arguments.output}")
+    if report["deltas"]:
+        print(
+            "vs baseline: "
+            + ", ".join(
+                f"{label}: {delta['blocks_per_second']}x blocks/s, "
+                f"{delta['rss_delta_mb']:+.1f} MB"
+                for label, delta in sorted(report["deltas"].items())
+            )
+        )
+
+    # Gates run last so the report is written either way (CI uploads it).
+    if arguments.smoke:
+        enforce_gates(run)
+
+
+if __name__ == "__main__":
+    main()

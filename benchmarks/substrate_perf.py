@@ -65,16 +65,18 @@ THROUGHPUT_METRICS = {"keccak_bulk_mbps"}
 
 
 def _clear_hash_cache() -> None:
-    """Reset the global keccak memo so every timed section starts cold.
+    """Restore cold-start process state so every timed section starts cold.
 
-    Uses the explicit lifecycle hook when present and falls back to the raw
-    ``lru_cache`` so the harness can also time pre-hook baselines.
+    Delegates to the shared lifecycle helper (which drops the keccak,
+    trie-root, wire, and genesis memos) with a keccak-only fallback so the
+    harness can still time builds that predate ``repro.api.lifecycle``.
     """
-    clear = getattr(keccak_module, "clear_hash_cache", None)
-    if clear is not None:
-        clear()
-    else:  # pre-lifecycle-hook builds
-        keccak_module._keccak256_cached.cache_clear()
+    try:
+        from repro.api.lifecycle import reset_process_caches
+    except ImportError:  # pre-lifecycle-module builds
+        keccak_module.clear_hash_cache()
+    else:
+        reset_process_caches()
 
 
 # -- micro benchmarks ---------------------------------------------------------------

@@ -220,19 +220,18 @@ class Adversary:
         """
         chain = context.reference_chain
         attacks_committed, successes = self.attack_outcomes(chain)
-        victim_records = context.metrics.records(victim_label) if victim_label else []
-        victim_filled = sum(
-            1 for record in victim_records if record.committed and record.success
-        )
+        metrics = context.metrics
+        victim_submitted = metrics.watched_count(victim_label) if victim_label else 0
+        victim_filled = metrics.successful_count(victim_label) if victim_label else 0
         digest: Dict[str, Any] = {
             "name": self.name,
             "attempts": self.attempts,
             "attacks_committed": attacks_committed,
             "successes": successes,
             "profit": self.profit(context),
-            "victim_submitted": len(victim_records),
+            "victim_submitted": victim_submitted,
             "victim_filled": victim_filled,
-            "victim_harm": len(victim_records) - victim_filled,
+            "victim_harm": victim_submitted - victim_filled,
             "trace": list(self.trace),
         }
         digest.update(self.strategy_metrics(context))

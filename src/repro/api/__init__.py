@@ -49,6 +49,9 @@ Quickstart::
 from __future__ import annotations
 
 from ..adversary import ADVERSARY_REGISTRY, Adversary, AdversaryTarget, register_adversary
+from ..chain.chain import ChainAnchor
+from ..chain.errors import PrunedHistoryError
+from ..chain.state import StateSnapshot, live_state_stats
 from ..experiments.scenario import (
     GETH_UNMODIFIED,
     SEMANTIC_MINING,
@@ -85,6 +88,7 @@ from .experiment import (
     run_experiment,
 )
 from .frame import GroupBy, ResultFrame
+from .lifecycle import end_of_trial_cleanup, reset_process_caches
 from .registry import (
     Registry,
     RegistryError,
@@ -109,6 +113,7 @@ __all__ = [
     "BandwidthModel",
     "BuildError",
     "ChurnPlan",
+    "ChainAnchor",
     "CheckpointMismatchError",
     "Claim",
     "ClaimCheck",
@@ -120,6 +125,7 @@ __all__ = [
     "GETH_UNMODIFIED",
     "GridExperiment",
     "GroupBy",
+    "PrunedHistoryError",
     "Registry",
     "RegistryError",
     "ResultFrame",
@@ -134,6 +140,7 @@ __all__ = [
     "SimulationHandle",
     "SimulationResult",
     "SimulationSpec",
+    "StateSnapshot",
     "Sweep",
     "SweepCheckpoint",
     "SweepResult",
@@ -144,9 +151,11 @@ __all__ = [
     "Workload",
     "build_simulation",
     "derive_seed",
+    "end_of_trial_cleanup",
     "execute_plan",
     "freeze_adversaries",
     "freeze_params",
+    "live_state_stats",
     "register_adversary",
     "register_experiment",
     "register_scenario",
@@ -155,6 +164,7 @@ __all__ = [
     "register_workload",
     "topology_names",
     "run_experiment",
+    "reset_process_caches",
     "run_simulation",
     "sereth_exchange_address",
     "scenario_by_name",

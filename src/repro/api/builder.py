@@ -188,6 +188,24 @@ class SimulationBuilder:
         self._fields["max_duration"] = seconds
         return self
 
+    def retention(self, retain_blocks: int) -> "SimulationBuilder":
+        """Bound memory: keep only the newest ``retain_blocks`` blocks per
+        chain (older history folds into a sealed ChainAnchor) and evict the
+        apply-cache templates that slide out of the same window."""
+        self._fields["retention"] = retain_blocks
+        return self
+
+    def metrics_window(
+        self, seconds: float, spill_path: Optional[str] = None
+    ) -> "SimulationBuilder":
+        """Stream metrics: fold resolved rows into bounded per-label and
+        per-``seconds``-window aggregates instead of whole-run row lists.
+        ``spill_path`` additionally appends every resolved row as JSONL."""
+        self._fields["metrics_window"] = seconds
+        if spill_path is not None:
+            self._fields["metrics_spill"] = spill_path
+        return self
+
     # -- terminal ------------------------------------------------------------------
 
     def build(self) -> SimulationSpec:

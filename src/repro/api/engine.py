@@ -17,7 +17,6 @@ from typing import Any, Dict, List, Optional
 from ..adversary import ADVERSARY_REGISTRY, Adversary, AdversaryTarget
 from ..chain.apply_cache import BlockApplyCache
 from ..chain.genesis import DEFAULT_INITIAL_BALANCE, GenesisConfig
-from ..chain.wire import clear_wire_cache
 from ..consensus.interval import FixedInterval, PoissonInterval
 from ..consensus.miner import MinerConfig
 from ..consensus.policies import (
@@ -35,6 +34,7 @@ from ..net.network import Network
 from ..net.peer import Peer, SERETH_CLIENT
 from ..net.sim import Simulator
 from ..net.topology import BandwidthModel, ChurnPlan, Topology, resolve_topology
+from .lifecycle import end_of_trial_cleanup
 from .registry import WORKLOAD_REGISTRY
 from .seeding import SeedPlan
 from .spec import SimulationSpec
@@ -91,7 +91,7 @@ class SimulationResult:
     def summary(self) -> Dict[str, Any]:
         """A stable, JSON-ready digest — identical for identical specs, and
         the unit of comparison for serial-vs-parallel sweep equivalence."""
-        return {
+        data = {
             "spec": self.spec.describe(),
             "primary_label": self.primary_label,
             "efficiency": self.efficiency if self.primary_label else None,
@@ -107,6 +107,18 @@ class SimulationResult:
                 for key, report in sorted(self.adversary_reports.items())
             },
         }
+        if self.metrics is not None and self.metrics.streaming:
+            # Streaming-only key: default (unbounded) summaries keep the
+            # exact bytes the committed golden checksums were recorded on.
+            data["metrics_windows"] = _jsonable(self.metrics.windows())
+        return data
+
+    def windows_frame(self):
+        """The streaming per-(label, window) aggregates as a ResultFrame
+        (empty unless the spec set ``metrics_window``)."""
+        from .frame import ResultFrame
+
+        return ResultFrame.from_records(self.metrics.windows())
 
 
 class SimulationHandle:
@@ -139,8 +151,10 @@ class SimulationHandle:
         self.simulator = simulator
         # One block-application cache per trial: all peers share validated
         # post-states (forked copy-on-write), and the cache dies with the
-        # handle so nothing leaks across sweep cells.
-        self.apply_cache = BlockApplyCache()
+        # handle so nothing leaks across sweep cells.  With retention, the
+        # cache additionally evicts templates that slide out of the window —
+        # the cache is what pins old per-block states within a trial.
+        self.apply_cache = BlockApplyCache(retain_blocks=spec.retention)
         latency = UniformLatency(
             low=max(spec.gossip_latency - spec.gossip_jitter, 0.001),
             high=spec.gossip_latency + spec.gossip_jitter,
@@ -156,6 +170,7 @@ class SimulationHandle:
                 if spec.bandwidth is not None
                 else None
             ),
+            history_limit=spec.retention,
         )
         # Any network-model field set => the run reports propagation extras.
         self._network_realism = (
@@ -188,6 +203,7 @@ class SimulationHandle:
                     genesis,
                     client_kind=spec.client_kind_for(peer_id),
                     apply_cache=self.apply_cache,
+                    retain_blocks=spec.retention,
                 )
             )
             self.peers[peer_id] = peer
@@ -200,6 +216,7 @@ class SimulationHandle:
                     genesis,
                     client_kind=spec.client_kind_for(peer_id),
                     apply_cache=self.apply_cache,
+                    retain_blocks=spec.retention,
                 )
             )
             self.peers[peer_id] = peer
@@ -216,6 +233,7 @@ class SimulationHandle:
                     genesis,
                     client_kind=SERETH_CLIENT,
                     apply_cache=self.apply_cache,
+                    retain_blocks=spec.retention,
                 )
             )
             self.peers[peer_id] = peer
@@ -258,6 +276,7 @@ class SimulationHandle:
             self.network,
             interval_model=interval_model,
             seed=self.seeds.production,
+            history_limit=spec.retention,
         )
         miner_limits = MinerConfig(
             gas_limit=spec.block_gas_limit,
@@ -274,8 +293,13 @@ class SimulationHandle:
                 config=miner_limits,
             )
 
-        # Clients and events.
-        self.metrics = MetricsCollector()
+        # Clients and events.  The streaming knobs default to None/off, which
+        # constructs the exact unbounded collector the golden bytes gate.
+        self.metrics = MetricsCollector(
+            metrics_window=spec.metrics_window,
+            spill_path=spec.metrics_spill,
+            seed=self.seeds.derived("metrics"),
+        )
         self.context = SimulationContext(
             spec=spec,
             seeds=self.seeds,
@@ -370,12 +394,25 @@ class SimulationHandle:
             # The wire-encoding memo pins every gossiped object; dropping it
             # here scopes it to the trial for *every* caller, not only the
             # sweep workers that also clear it explicitly.
-            clear_wire_cache()
+            end_of_trial_cleanup()
+            self.metrics.close()
 
     def _run_measured(self, spec, workload, simulator) -> SimulationResult:
         self.production.start()
 
-        simulator.run_until(workload.end_of_submissions)
+        if spec.retention is not None or self.metrics.streaming:
+            # Bounded-memory runs must resolve watched transactions while
+            # their blocks are still inside the retention window, so the
+            # submission phase is driven in block-interval steps with a
+            # resolution pass after each.  Stepping run_until changes no
+            # event ordering; resolution is idempotent — but these modes are
+            # opt-in, so default runs keep the single-call path regardless.
+            end = workload.end_of_submissions
+            while simulator.now < end:
+                simulator.run_until(min(simulator.now + spec.block_interval, end))
+                self.metrics.resolve_from_chain(self.reference_chain)
+        else:
+            simulator.run_until(workload.end_of_submissions)
         cap = workload.duration_cap(spec)
         while simulator.now < cap and not workload.is_complete(self.context):
             simulator.run_until(simulator.now + spec.block_interval)
@@ -394,7 +431,7 @@ class SimulationHandle:
             extras = dict(extras)
             extras["network"] = self.network.propagation_summary()
         self.metrics.resolve_from_chain(self.reference_chain)
-        labels = sorted({record.label for record in self.metrics.records()})
+        labels = self.metrics.labels()
         reports = {label: self.metrics.report(label) for label in labels}
         return SimulationResult(
             spec=spec,

@@ -216,6 +216,17 @@ class Experiment:
         """The fully expanded sweep this experiment runs."""
         raise NotImplementedError
 
+    def execute(self, options: ExperimentOptions, sweep: Sweep) -> SweepResult:
+        """Run the planned sweep and return its rows.
+
+        The default is the shared sweep engine (parallel and/or resumed from
+        a checkpoint per the options).  Experiments that need to *own*
+        execution override this — e.g. ``horizon`` runs every leg in a fresh
+        child process so each leg's peak RSS is measured in isolation — and
+        still flow through the generic analyze/claims/export lifecycle.
+        """
+        return sweep.run(workers=options.workers, checkpoint=options.checkpoint)
+
     def analyze(self, frame: ResultFrame, options: ExperimentOptions) -> ResultFrame:
         """Derive the experiment's metric columns; default: the frame as-is."""
         return frame
@@ -396,7 +407,7 @@ def execute_plan(
     experiment: Experiment, options: ExperimentOptions, sweep: Sweep
 ) -> ExperimentRun:
     """Run a planned sweep through execute → analyze → check_claims."""
-    sweep_result = sweep.run(workers=options.workers, checkpoint=options.checkpoint)
+    sweep_result = experiment.execute(options, sweep)
     frame = experiment.analyze(ResultFrame.from_sweep(sweep_result), options)
     claim_checks = [claim.evaluate(frame) for claim in experiment.claims]
     return ExperimentRun(

@@ -98,6 +98,17 @@ class SimulationSpec:
     churn: Tuple[Tuple[Any, ...], ...] = ()
     """Scheduled churn events, e.g. ``(("leave", 40.0, "client-3"),
     ("join", 90.0, "client-3"))`` — see ``ChurnPlan.from_events``."""
+    retention: Optional[int] = None
+    """Keep only the newest N blocks per chain (and the matching apply-cache
+    window); older history folds into a sealed ``ChainAnchor``.  ``None``
+    (the default) keeps unbounded history — the golden-gated behaviour."""
+    metrics_window: Optional[float] = None
+    """Fold resolved metrics rows into bounded per-label aggregates bucketed
+    by this many simulated seconds instead of keeping whole-run row lists.
+    ``None`` (the default) keeps the unbounded, byte-stable collector."""
+    metrics_spill: Optional[str] = None
+    """Optional JSONL path appended with one line per resolved watched
+    transaction (full-fidelity rows for offline analysis)."""
 
     def __post_init__(self) -> None:
         if self.num_miners <= 0:
@@ -134,6 +145,17 @@ class SimulationSpec:
         object.__setattr__(self, "topology", freeze_topology(self.topology))
         object.__setattr__(self, "bandwidth", freeze_bandwidth(self.bandwidth))
         object.__setattr__(self, "churn", freeze_churn(self.churn))
+        if self.retention is not None:
+            # The window must cover the settle horizon (receipts are consulted
+            # until settle_blocks after the last submission) plus sync slack.
+            floor = max(self.settle_blocks + 2, 8)
+            if self.retention < floor:
+                raise ValueError(
+                    f"retention must be at least {floor} blocks "
+                    f"(settle_blocks={self.settle_blocks} + sync slack)"
+                )
+        if self.metrics_window is not None and self.metrics_window <= 0:
+            raise ValueError("metrics_window must be positive (seconds)")
 
     # -- accessors ---------------------------------------------------------------------
 
@@ -205,4 +227,12 @@ class SimulationSpec:
             description["bandwidth"] = dict(self.bandwidth)
         if self.churn:
             description["churn"] = [list(event) for event in self.churn]
+        # Retention knobs are emitted only when set, like the network-model
+        # fields: default (unbounded) specs keep their golden bytes.
+        if self.retention is not None:
+            description["retention"] = self.retention
+        if self.metrics_window is not None:
+            description["metrics_window"] = self.metrics_window
+        if self.metrics_spill is not None:
+            description["metrics_spill"] = self.metrics_spill
         return description

@@ -85,13 +85,13 @@ def _run_job(job: Tuple[SimulationSpec, Dict[str, Any]]) -> Dict[str, Any]:
     memo is unbounded (it pins gossiped objects), so it is cleared after
     every trial.
     """
-    from ..chain.wire import clear_wire_cache
     from .engine import run_simulation
+    from .lifecycle import end_of_trial_cleanup
 
     spec, tags = job
     result = run_simulation(spec, simulator=_process_simulator())
     row = {"tags": tags, "summary": result.summary()}
-    clear_wire_cache()
+    end_of_trial_cleanup()
     return row
 
 

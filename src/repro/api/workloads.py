@@ -72,6 +72,8 @@ __all__ = [
     "AuctionWorkload",
     "OracleLatencyWorkload",
     "SequentialHistoryWorkload",
+    "SteadyStateWorkload",
+    "STEADY_LABEL",
     "VictimMarketWorkload",
     "FrontrunningWorkload",
     "FrontrunningAttacker",
@@ -289,9 +291,10 @@ class MarketSimWorkload(Workload):
         return self._market.end_of_submissions
 
     def is_complete(self, context: SimulationContext) -> bool:
-        records = context.metrics.records(BUY_LABEL)
-        return len(records) == self.config.num_buys and all(
-            record.committed for record in records
+        metrics = context.metrics
+        return (
+            metrics.watched_count(BUY_LABEL) == self.config.num_buys
+            and metrics.pending_count(BUY_LABEL) == 0
         )
 
     def duration_cap(self, spec: "SimulationSpec") -> float:
@@ -466,9 +469,12 @@ class TicketSaleWorkload(Workload):
         return self._last_event
 
     def is_complete(self, context: SimulationContext) -> bool:
-        records = context.metrics.records(TICKET_LABEL)
+        metrics = context.metrics
         total = self.num_buyers * self.buys_per_buyer
-        return len(records) == total and all(record.committed for record in records)
+        return (
+            metrics.watched_count(TICKET_LABEL) == total
+            and metrics.pending_count(TICKET_LABEL) == 0
+        )
 
     @property
     def primary_label(self) -> Optional[str]:
@@ -609,9 +615,12 @@ class AuctionWorkload(Workload):
         return self._last_event
 
     def is_complete(self, context: SimulationContext) -> bool:
-        records = context.metrics.records(BID_LABEL)
+        metrics = context.metrics
         total = self.num_bidders * self.bids_per_bidder
-        return len(records) == total and all(record.committed for record in records)
+        return (
+            metrics.watched_count(BID_LABEL) == total
+            and metrics.pending_count(BID_LABEL) == 0
+        )
 
     @property
     def primary_label(self) -> Optional[str]:
@@ -876,9 +885,10 @@ class SequentialHistoryWorkload(Workload):
         return 1.0 + self.num_pairs * self.submission_interval
 
     def is_complete(self, context: SimulationContext) -> bool:
-        records = context.metrics.records()
-        return len(records) == 2 * self.num_pairs and all(
-            record.committed for record in records
+        metrics = context.metrics
+        return (
+            metrics.watched_count() == 2 * self.num_pairs
+            and metrics.pending_count() == 0
         )
 
     def duration_cap(self, spec: "SimulationSpec") -> float:
@@ -989,9 +999,10 @@ class VictimMarketWorkload(Workload):
         return 5.0 + self.num_victim_buys * self.buy_interval
 
     def is_complete(self, context: SimulationContext) -> bool:
-        records = context.metrics.records(VICTIM_BUY_LABEL)
-        return len(records) == self.num_victim_buys and all(
-            record.committed for record in records
+        metrics = context.metrics
+        return (
+            metrics.watched_count(VICTIM_BUY_LABEL) == self.num_victim_buys
+            and metrics.pending_count(VICTIM_BUY_LABEL) == 0
         )
 
     def duration_cap(self, spec: "SimulationSpec") -> float:
@@ -1067,3 +1078,129 @@ class FrontrunningWorkload(VictimMarketWorkload):
         extras = super().finalize(context)
         extras["attacks_launched"] = self.attacker.attacks_launched
         return extras
+
+
+# ======================================================================================
+# steady_state — a constant trickle of traffic over an arbitrarily long horizon
+# ======================================================================================
+
+STEADY_LABEL = "steady"
+
+
+@register_workload("steady_state")
+class SteadyStateWorkload(Workload):
+    """A fixed-rate drip of ``set`` transactions over ``num_blocks`` blocks.
+
+    The other workloads are *finite*: they submit a bounded batch and the run
+    ends when the batch settles.  This one is shaped for the memory-model
+    experiments — the horizon is measured in **blocks**, the traffic rate is
+    constant (one ``set`` every ``blocks_per_set`` block intervals, all from
+    the single owner account, so every transaction succeeds), and per-block
+    work is tiny.  Run it for 50k+ blocks with ``retention=`` set and RSS
+    stays flat; run it unretained and history growth dominates.
+    """
+
+    name = "steady_state"
+
+    def __init__(
+        self,
+        spec: "SimulationSpec",
+        num_blocks: int = 1000,
+        blocks_per_set: int = 8,
+        start_time: float = 1.0,
+        initial_price: int = 100,
+    ) -> None:
+        super().__init__(spec)
+        if num_blocks <= 0:
+            raise ValueError("num_blocks must be positive")
+        if blocks_per_set <= 0:
+            raise ValueError("blocks_per_set must be positive")
+        self.num_blocks = num_blocks
+        self.blocks_per_set = blocks_per_set
+        self.start_time = start_time
+        self.initial_price = initial_price
+        self.num_sets = max(1, num_blocks // blocks_per_set)
+        self.contract = sereth_exchange_address()
+        self.setter: Optional[PriceSetter] = None
+        self._metrics: Optional[MetricsCollector] = None
+
+    def account_labels(self) -> Sequence[str]:
+        return [OWNER_LABEL]
+
+    def configure_genesis(self, genesis: GenesisConfig) -> None:
+        owner_address = address_from_label(OWNER_LABEL)
+        genesis.deploy_contract(
+            self.contract, "Sereth", storage=genesis_storage(owner_address, self.contract)
+        )
+
+    def hms_targets(self) -> Sequence[Tuple[Address, bytes]]:
+        return [(self.contract, SET_SELECTOR)]
+
+    def semantic_config(self) -> Optional[SemanticMiningConfig]:
+        return SemanticMiningConfig(
+            hms=HMSConfig(contract_address=self.contract, set_selector=SET_SELECTOR),
+            buy_selectors=(BUY_SELECTOR,),
+        )
+
+    def setup(self, context: SimulationContext) -> None:
+        self.setter = PriceSetter(
+            OWNER_LABEL,
+            context.client_peers[0],
+            context.simulator,
+            self.contract,
+            gas_limit=self.spec.transaction_gas_limit,
+        )
+        self.setter.prime_mark(initial_mark(self.contract))
+        self._metrics = context.metrics
+
+    def schedule(self, context: SimulationContext) -> None:
+        interval = self.blocks_per_set * self.spec.block_interval
+
+        def make_set(price: int):
+            def fire() -> None:
+                assert self.setter is not None and self._metrics is not None
+                transaction = self.setter.set_price(price)
+                self._metrics.watch(
+                    transaction, STEADY_LABEL, submitted_at=transaction.submitted_at
+                )
+                # PriceSetter (and the client base) keep audit lists of every
+                # transaction submitted; nothing in this workload reads them,
+                # and over a 100k-block horizon they are a leak, so drop them
+                # as we go.
+                self.setter.set_transactions.clear()
+                self.setter.sent_transactions.clear()
+
+            return fire
+
+        for index in range(self.num_sets):
+            # Prices walk a small modular ramp so consecutive sets differ
+            # (identical values would still chain marks, but distinct values
+            # keep every block's post-state distinct — the honest worst case
+            # for state retention).
+            price = self.initial_price + index % 97
+            context.simulator.schedule_at(self.start_time + index * interval, make_set(price))
+
+    @property
+    def end_of_submissions(self) -> float:
+        # The horizon is measured in blocks, not submissions: keep producing
+        # (mostly empty) blocks until ``num_blocks`` intervals have elapsed.
+        return self.start_time + self.num_blocks * self.spec.block_interval
+
+    def is_complete(self, context: SimulationContext) -> bool:
+        metrics = context.metrics
+        return (
+            metrics.watched_count(STEADY_LABEL) == self.num_sets
+            and metrics.pending_count(STEADY_LABEL) == 0
+        )
+
+    def duration_cap(self, spec: "SimulationSpec") -> float:
+        if spec.max_duration is not None:
+            return spec.max_duration
+        return self.end_of_submissions + (spec.settle_blocks + 4) * spec.block_interval
+
+    @property
+    def primary_label(self) -> Optional[str]:
+        return STEADY_LABEL
+
+    def finalize(self, context: SimulationContext) -> Dict[str, Any]:
+        return {"contract": self.contract, "num_blocks": self.num_blocks}

@@ -2,13 +2,14 @@
 
 from .account import Account
 from .block import Block, BlockHeader, transactions_root
-from .chain import Blockchain, execute_transactions
+from .chain import Blockchain, ChainAnchor, execute_transactions
 from .errors import (
     ChainError,
     InsufficientBalance,
     InvalidBlock,
     InvalidTransaction,
     NonceError,
+    PrunedHistoryError,
     UnknownAccount,
     ValidationError,
 )
@@ -26,7 +27,7 @@ from .genesis import (
 )
 from .logs import LogBloom, LogIndex, LogQuery, MatchedLog, bloom_for_block
 from .receipt import LogEntry, Receipt, receipts_root
-from .state import WorldState
+from .state import StateSnapshot, WorldState, live_state_stats
 from .transaction import Transaction, sign_transaction
 from .trie import MerklePatriciaTrie, ordered_trie_root, trie_root, verify_proof
 from .wire import (
@@ -50,12 +51,14 @@ __all__ = [
     "BlockHeader",
     "transactions_root",
     "Blockchain",
+    "ChainAnchor",
     "execute_transactions",
     "ChainError",
     "InsufficientBalance",
     "InvalidBlock",
     "InvalidTransaction",
     "NonceError",
+    "PrunedHistoryError",
     "UnknownAccount",
     "ValidationError",
     "BlockContext",
@@ -75,7 +78,9 @@ __all__ = [
     "LogEntry",
     "Receipt",
     "receipts_root",
+    "StateSnapshot",
     "WorldState",
+    "live_state_stats",
     "Transaction",
     "sign_transaction",
     "LogBloom",

@@ -25,11 +25,20 @@ enters the cache and still gets rejected by every peer (see
 The cache is scoped to one simulation (the engine creates one per
 :class:`~repro.api.engine.SimulationHandle`), so it dies with the trial and
 never leaks memory across sweep cells.
+
+Within a trial the cache is still the dominant state-memory sink: every
+stored template pins one frozen post-block :class:`WorldState` (and its
+per-account RLP memos) for the rest of the run.  Constructing the cache
+with ``retain_blocks=N`` bounds that: entries whose block number falls more
+than N below the newest stored number are evicted as new blocks arrive, so
+only the sliding window of templates a lagging peer could still import
+stays resident.  An evicted entry is never wrong — a lookup for it simply
+misses and the importer falls back to full replay.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 __all__ = ["BlockApplyCache"]
 
@@ -49,11 +58,18 @@ class _LineageToken:
 class BlockApplyCache:
     """Shares (post-state, lineage) across peers importing the same blocks."""
 
-    def __init__(self) -> None:
+    def __init__(self, retain_blocks: Optional[int] = None) -> None:
+        if retain_blocks is not None and retain_blocks < 1:
+            raise ValueError("retain_blocks must be positive")
         self._entries: Dict[Tuple[object, bytes], Tuple[object, object]] = {}
         self._genesis_tokens: Dict[bytes, _LineageToken] = {}
+        self._retain_blocks = retain_blocks
+        self._keys_by_number: Dict[int, List[Tuple[object, bytes]]] = {}
+        self._min_live_number = 1
+        self._max_number = 0
         self.hits = 0
         self.misses = 0
+        self.evicted = 0
 
     def genesis_token(self, genesis_hash: bytes) -> _LineageToken:
         """The shared lineage token for chains starting from ``genesis_hash``."""
@@ -77,14 +93,23 @@ class BlockApplyCache:
             self.hits += 1
         return entry
 
-    def store(self, parent_token: object, block_hash: bytes, post_state: object) -> object:
+    def store(
+        self,
+        parent_token: object,
+        block_hash: bytes,
+        post_state: object,
+        block_number: Optional[int] = None,
+    ) -> object:
         """Record the outcome of applying ``block_hash`` and return the
         post-application lineage token.
 
         ``post_state`` becomes a frozen template: callers must only ever
         ``fork()`` it.  The first writer wins — a concurrent identical
         application (same lineage, same block) yields the same outcome by
-        construction, so the existing entry's token is returned.
+        construction, so the existing entry's token is returned.  When the
+        cache was built with ``retain_blocks`` and callers pass
+        ``block_number``, entries that have slid out of the retention window
+        are evicted here (the only point where the window advances).
         """
         key = (parent_token, block_hash)
         existing = self._entries.get(key)
@@ -92,12 +117,34 @@ class BlockApplyCache:
             return existing[0]
         post_token = _LineageToken(f"block:{block_hash.hex()[:8]}")
         self._entries[key] = (post_token, post_state)
+        if block_number is not None:
+            self._keys_by_number.setdefault(block_number, []).append(key)
+            if block_number > self._max_number:
+                self._max_number = block_number
+            if self._retain_blocks is not None:
+                self._evict_below(self._max_number - self._retain_blocks + 1)
         return post_token
+
+    def _evict_below(self, horizon: int) -> None:
+        """Drop entries for every block number strictly below ``horizon``."""
+        while self._min_live_number < horizon:
+            for key in self._keys_by_number.pop(self._min_live_number, ()):
+                if self._entries.pop(key, None) is not None:
+                    self.evicted += 1
+            self._min_live_number += 1
 
     def clear(self) -> None:
         """Drop every cached application (tokens for live chains stay valid
         as dictionary keys; their entries simply have to be recomputed)."""
         self._entries.clear()
+        self._keys_by_number.clear()
+        self._min_live_number = 1
+        self._max_number = 0
 
     def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+            "evicted": self.evicted,
+        }

@@ -5,23 +5,50 @@ Appending a block received from the network triggers *block validation* —
 the peer replays every transaction against its own copy of the parent state
 and checks that the announced state/transaction/receipt roots match
 (Section II-D of the paper).  A block whose replay diverges is rejected.
+
+History is unbounded by default.  With ``retain_blocks=N`` the chain keeps
+only the newest N blocks in memory: older blocks (and their receipts) are
+evicted and folded into a sealed :class:`ChainAnchor` — a commitment to the
+pruned prefix (number, hash, state root) — and lookups below the window
+raise :class:`~repro.chain.errors.PrunedHistoryError`.  The head state is
+always live, so consensus never needs the evicted bodies; only historical
+inspection does.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..crypto.addresses import Address
 from .apply_cache import BlockApplyCache
 from .block import Block, BlockHeader, transactions_root
-from .errors import InvalidBlock, ValidationError
+from .errors import InvalidBlock, PrunedHistoryError, ValidationError
 from .executor import BlockContext, TransactionExecutor
 from .genesis import GenesisConfig, build_genesis_cached
 from .receipt import Receipt, receipts_root
-from .state import WorldState
+from .state import StateSnapshot, WorldState
 from .transaction import Transaction
 
-__all__ = ["Blockchain", "execute_transactions"]
+__all__ = ["Blockchain", "ChainAnchor", "execute_transactions"]
+
+
+@dataclass(frozen=True)
+class ChainAnchor:
+    """Sealed commitment to the pruned prefix of a windowed chain.
+
+    When retention evicts blocks, the newest evicted block's identifiers are
+    folded in here: the anchor proves what the discarded history committed
+    to (its state root is the commitment the first retained block was built
+    on) without keeping any of its bodies in memory.
+    """
+
+    number: int
+    block_hash: bytes
+    state_root: bytes
+    timestamp: float
+    blocks_folded: int
+    """How many blocks (genesis included) have been folded into this anchor."""
 
 
 def execute_transactions(
@@ -70,15 +97,22 @@ class Blockchain:
         executor: TransactionExecutor,
         genesis_config: Optional[GenesisConfig] = None,
         apply_cache: Optional[BlockApplyCache] = None,
+        retain_blocks: Optional[int] = None,
     ) -> None:
+        if retain_blocks is not None and retain_blocks < 2:
+            raise ValueError("retain_blocks must be at least 2 (head and its parent)")
         self.executor = executor
         self.apply_cache = apply_cache
+        self.retain_blocks = retain_blocks
         # Genesis states are built once per process per distinct config and
         # shared as frozen templates; every chain works on its own O(1) fork.
         genesis_block, genesis_state = build_genesis_cached(
             genesis_config or GenesisConfig()
         )
         self._blocks: List[Block] = [genesis_block]
+        self._first_retained = 0
+        self._anchor: Optional[ChainAnchor] = None
+        self.last_snapshot: Optional[StateSnapshot] = None
         self._blocks_by_hash: Dict[bytes, Block] = {genesis_block.hash: genesis_block}
         self._state = genesis_state.fork()
         self._state_token = (
@@ -105,16 +139,36 @@ class Blockchain:
         """The post-head world state (the READ-COMMITTED view)."""
         return self._state
 
+    @property
+    def earliest_block_number(self) -> int:
+        """Number of the oldest block still held in memory (0 = genesis)."""
+        return self._first_retained
+
+    @property
+    def anchor(self) -> Optional[ChainAnchor]:
+        """Commitment to the pruned prefix, or None while history is intact."""
+        return self._anchor
+
     def block_by_number(self, number: int) -> Block:
-        if number < 0 or number >= len(self._blocks):
+        index = number - self._first_retained
+        if index < 0:
+            if number >= 0:
+                raise PrunedHistoryError(
+                    f"block {number} was pruned: this chain retains the newest "
+                    f"{self.retain_blocks} blocks and its window starts at block "
+                    f"{self._first_retained}; raise retain_blocks (or run with "
+                    f"retention disabled) to keep deeper history"
+                )
             raise InvalidBlock(f"no block with number {number}")
-        return self._blocks[number]
+        if index >= len(self._blocks):
+            raise InvalidBlock(f"no block with number {number}")
+        return self._blocks[index]
 
     def block_by_hash(self, block_hash: bytes) -> Optional[Block]:
         return self._blocks_by_hash.get(block_hash)
 
     def blocks(self) -> List[Block]:
-        """All blocks from genesis to head."""
+        """Every retained block, oldest first (from genesis unless pruned)."""
         return list(self._blocks)
 
     def receipt_for(self, transaction_hash: bytes) -> Optional[Receipt]:
@@ -178,7 +232,9 @@ class Blockchain:
             # rejected by every peer's full validation, exactly as before.
             # The stored state becomes a frozen shared template, so the
             # caller receives a private fork of it, never the template.
-            self.apply_cache.store(self._state_token, block.hash, working_state)
+            self.apply_cache.store(
+                self._state_token, block.hash, working_state, block_number=block.number
+            )
             working_state = working_state.fork()
         return block, working_state
 
@@ -252,7 +308,7 @@ class Blockchain:
             new_state = self.validate_block(block)
             if self.apply_cache is not None:
                 post_token = self.apply_cache.store(
-                    self._state_token, block.hash, new_state
+                    self._state_token, block.hash, new_state, block_number=block.number
                 )
                 new_state = new_state.fork()  # the stored template stays frozen
             else:
@@ -263,7 +319,44 @@ class Blockchain:
         self._state_token = post_token
         for receipt in block.receipts:
             self._receipts_by_tx[receipt.transaction_hash] = receipt
+        if self.retain_blocks is not None and len(self._blocks) > self.retain_blocks:
+            self._prune_window()
         return block
+
+    def _prune_window(self) -> None:
+        """Evict blocks beyond the retention window into the sealed anchor.
+
+        The newest evicted block's commitments become the anchor; its (and
+        all older) bodies, hash-index entries, and receipts are dropped.  A
+        :class:`~repro.chain.state.StateSnapshot` of the live head state is
+        captured so tests (and the ``horizon`` experiment) can observe that
+        memory actually shrinks.
+        """
+        excess = len(self._blocks) - self.retain_blocks
+        evicted = self._blocks[:excess]
+        del self._blocks[:excess]
+        self._first_retained += excess
+        for block in evicted:
+            self._blocks_by_hash.pop(block.hash, None)
+            for receipt in block.receipts:
+                self._receipts_by_tx.pop(receipt.transaction_hash, None)
+        newest = evicted[-1]
+        folded = (self._anchor.blocks_folded if self._anchor is not None else 0) + excess
+        self._anchor = ChainAnchor(
+            number=newest.number,
+            block_hash=newest.hash,
+            state_root=newest.header.state_root,
+            timestamp=newest.timestamp,
+            blocks_folded=folded,
+        )
+        # Seal the head state (fold its overlay into the shared frozen base)
+        # so the snapshot below measures one settled base, then record it.
+        state = self._state
+        if not state._journal:
+            state._seal()
+        self.last_snapshot = StateSnapshot.capture(
+            state, block_number=self.height, state_root=self.head.header.state_root
+        )
 
     def committed_transaction_hashes(self) -> List[bytes]:
         """Hashes of every transaction committed to the chain so far."""

@@ -10,6 +10,7 @@ __all__ = [
     "NonceError",
     "InsufficientBalance",
     "UnknownAccount",
+    "PrunedHistoryError",
 ]
 
 
@@ -39,3 +40,14 @@ class ValidationError(InvalidBlock):
 
 class UnknownAccount(ChainError):
     """An operation referenced an address with no account record."""
+
+
+class PrunedHistoryError(ChainError):
+    """A lookup targeted a block that retention has already evicted.
+
+    Raised instead of :class:`InvalidBlock` so callers can distinguish
+    "this block never existed" from "this block existed but fell outside
+    the configured ``retain_blocks`` window"; the chain's sealed
+    :class:`~repro.chain.chain.ChainAnchor` still commits to the pruned
+    prefix.
+    """

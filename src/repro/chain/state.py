@@ -29,6 +29,8 @@ memoise its RLP encoding for the incremental :meth:`state_root`.
 
 from __future__ import annotations
 
+import weakref
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..crypto.addresses import Address, is_address
@@ -37,7 +39,10 @@ from ..encoding.rlp import rlp_encode
 from .account import Account
 from .errors import UnknownAccount
 
-__all__ = ["WorldState"]
+__all__ = ["StateSnapshot", "WorldState", "live_state_stats"]
+
+_LIVE_STATES: "weakref.WeakSet[WorldState]" = weakref.WeakSet()
+"""Every live WorldState, tracked weakly for the rss_stats accounting hooks."""
 
 _ABSENT = object()
 """Journal sentinel: the address had no overlay entry when first touched."""
@@ -52,13 +57,14 @@ class WorldState:
     base is never written, so reverting simply restores overlay slots.
     """
 
-    __slots__ = ("_base", "_overlay", "_journal", "_root_cache")
+    __slots__ = ("_base", "_overlay", "_journal", "_root_cache", "__weakref__")
 
     def __init__(self, accounts: Optional[Dict[Address, Account]] = None) -> None:
         self._base: Dict[Address, Account] = dict(accounts or {})
         self._overlay: Dict[Address, Account] = {}
         self._journal: List[Dict[Address, object]] = []
         self._root_cache: Optional[bytes] = None
+        _LIVE_STATES.add(self)
 
     # -- account access -----------------------------------------------------
 
@@ -261,6 +267,7 @@ class WorldState:
         child._overlay = {}
         child._journal = []
         child._root_cache = self._root_cache
+        _LIVE_STATES.add(child)
         return child
 
     def copy(self) -> "WorldState":
@@ -276,3 +283,91 @@ class WorldState:
 
     def __contains__(self, address: object) -> bool:
         return address in self._overlay or address in self._base
+
+    # -- memory accounting -----------------------------------------------------
+
+    def rss_stats(self) -> Dict[str, int]:
+        """Size accounting for this state: account, memo, and slot counts.
+
+        Shadowed base entries are not double-counted; ``encoded_memos``
+        counts accounts currently holding a memoised RLP encoding (the
+        per-account cache that retention is supposed to release).
+        """
+        base_accounts = len(self._base)
+        overlay_accounts = len(self._overlay)
+        encoded_memos = 0
+        storage_slots = 0
+        for account in self._merged().values():
+            if "_encoded" in account.__dict__:
+                encoded_memos += 1
+            storage_slots += len(account.storage)
+        return {
+            "base_accounts": base_accounts,
+            "overlay_accounts": overlay_accounts,
+            "accounts": len(self),
+            "encoded_memos": encoded_memos,
+            "storage_slots": storage_slots,
+        }
+
+
+@dataclass(frozen=True)
+class StateSnapshot:
+    """A sealed observation of one state's memory footprint.
+
+    Recorded by the chain each time retention prunes its window, so tests
+    and the ``horizon`` experiment can assert that pruning actually released
+    per-account memos rather than merely hiding blocks.
+    """
+
+    block_number: int
+    state_root: bytes
+    accounts: int
+    base_accounts: int
+    overlay_accounts: int
+    encoded_memos: int
+    storage_slots: int
+
+    @classmethod
+    def capture(
+        cls, state: "WorldState", block_number: int, state_root: bytes
+    ) -> "StateSnapshot":
+        stats = state.rss_stats()
+        return cls(
+            block_number=block_number,
+            state_root=state_root,
+            accounts=stats["accounts"],
+            base_accounts=stats["base_accounts"],
+            overlay_accounts=stats["overlay_accounts"],
+            encoded_memos=stats["encoded_memos"],
+            storage_slots=stats["storage_slots"],
+        )
+
+
+def live_state_stats() -> Dict[str, int]:
+    """Process-wide accounting over every live :class:`WorldState`.
+
+    Distinct frozen bases are counted once no matter how many forks share
+    them — the number of distinct bases is exactly the quantity retention
+    bounds, because every evicted apply-cache template releases one.
+    """
+    states = list(_LIVE_STATES)
+    bases: Dict[int, Dict[Address, Account]] = {}
+    overlay_accounts = 0
+    for state in states:
+        bases[id(state._base)] = state._base
+        overlay_accounts += len(state._overlay)
+    distinct_accounts: Dict[int, Account] = {}
+    for base in bases.values():
+        for account in base.values():
+            distinct_accounts[id(account)] = account
+    encoded_memos = sum(
+        1 for account in distinct_accounts.values() if "_encoded" in account.__dict__
+    )
+    return {
+        "live_states": len(states),
+        "distinct_bases": len(bases),
+        "base_accounts": sum(len(base) for base in bases.values()),
+        "distinct_accounts": len(distinct_accounts),
+        "overlay_accounts": overlay_accounts,
+        "encoded_memos": encoded_memos,
+    }

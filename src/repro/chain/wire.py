@@ -224,6 +224,14 @@ _WIRE_CACHE: dict = {}
 the artefact pins its ``id`` for the life of the entry, which is what makes
 the id-keyed lookup sound; :func:`clear_wire_cache` bounds the lifetime."""
 
+_WIRE_CACHE_LIMIT = 8192
+"""Entry cap, evicted FIFO (dicts iterate in insertion order).  The gossip
+working set is the handful of blocks currently in flight, so the cap never
+bites a hit that matters — what it bounds is the *pinning*: without it a
+long-horizon run keeps every gossiped block alive through its memo entry
+even after the chains have pruned it.  Eviction is always safe (a re-gossip
+of an evicted artefact just re-encodes)."""
+
 _WIRE_CACHE_STATS = {"hits": 0, "misses": 0}
 
 
@@ -251,6 +259,8 @@ def wire_encoding(artefact: Union[Transaction, Block, BlockHeader, Receipt]) -> 
     payload = encoder(artefact)
     _WIRE_CACHE[key] = (artefact, payload)
     _WIRE_CACHE_STATS["misses"] += 1
+    while len(_WIRE_CACHE) > _WIRE_CACHE_LIMIT:
+        _WIRE_CACHE.pop(next(iter(_WIRE_CACHE)))
     return payload
 
 

@@ -3,7 +3,7 @@
 Importing this package registers every shipped experiment in
 :data:`repro.api.experiment.EXPERIMENT_REGISTRY` (``figure2``,
 ``sequential``, ``frontrunning``, ``oracle``, ``ablation``,
-``attack_matrix``, ``propagation``), alongside the historical
+``attack_matrix``, ``propagation``, ``horizon``), alongside the historical
 per-experiment entry points,
 which remain as thin wrappers."""
 
@@ -37,6 +37,12 @@ from .frontrunning import (
     FrontrunningExperiment,
     FrontrunningResult,
     run_frontrunning_experiment,
+)
+from .horizon import (
+    HorizonExperiment,
+    RSS_CEILING_MB,
+    UNRETAINED_EXCESS_FACTOR,
+    horizon_claims,
 )
 # Imported for its registration side effect (the "oracle" experiment).  Bound
 # as a module, not an attribute: when the import chain *starts* at
@@ -89,6 +95,10 @@ __all__ = [
     "FrontrunningExperiment",
     "FrontrunningResult",
     "run_frontrunning_experiment",
+    "HorizonExperiment",
+    "RSS_CEILING_MB",
+    "UNRETAINED_EXCESS_FACTOR",
+    "horizon_claims",
     "DEFAULT_RATIOS",
     "Figure2Config",
     "Figure2Experiment",

@@ -14,8 +14,9 @@ block interval (true of the paper's private testbed).
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, MutableSequence, Optional, Sequence, Tuple
 
 from ..chain.block import Block
 from ..consensus.interval import BlockIntervalModel, PoissonInterval
@@ -51,7 +52,10 @@ class BlockProductionProcess:
         network: Network,
         interval_model: Optional[BlockIntervalModel] = None,
         seed: int = 0,
+        history_limit: Optional[int] = None,
     ) -> None:
+        if history_limit is not None and history_limit < 1:
+            raise ValueError("history_limit must be at least 1 block")
         self.simulator = simulator
         self.network = network
         self.interval_model = interval_model or PoissonInterval(seed=seed)
@@ -59,7 +63,12 @@ class BlockProductionProcess:
         self._miners: List[MinerHandle] = []
         self._running = False
         self.blocks_produced = 0
-        self.block_log: List[Tuple[float, str, Block]] = []
+        # The log pins every produced block (and, through the wire memo, its
+        # encoding), so bounded-memory runs window it to the newest
+        # ``history_limit`` entries; the default keeps the full run.
+        self.block_log: MutableSequence[Tuple[float, str, Block]] = (
+            deque(maxlen=history_limit) if history_limit is not None else []
+        )
         self.on_block: Optional[Callable[[Block, MinerHandle], None]] = None
 
     # -- configuration -----------------------------------------------------------------

@@ -26,8 +26,9 @@ receiver itself has gone offline.
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple, Union
 
 from ..chain.block import Block
 from ..chain.transaction import Transaction
@@ -64,6 +65,7 @@ class NetworkStats:
     blocks_orphaned: int = 0
     sync_requests: int = 0
     sync_blocks: int = 0
+    sync_pruned_misses: int = 0
     transaction_bytes: int = 0
     block_bytes: int = 0
 
@@ -81,15 +83,25 @@ class Network:
         block_loss_rate: float = 0.0,
         seed: Optional[int] = None,
         bandwidth: Optional[BandwidthModel] = None,
+        history_limit: Optional[int] = None,
     ) -> None:
         if not 0.0 <= transaction_loss_rate < 1.0 or not 0.0 <= block_loss_rate < 1.0:
             raise ValueError("loss rates must be in [0, 1)")
+        if history_limit is not None and history_limit < 1:
+            raise ValueError("history_limit must be at least 1 block")
         self.simulator = simulator
         self.latency = latency or ConstantLatency(0.05)
         self.block_latency = block_latency or self.latency
         self.transaction_loss_rate = transaction_loss_rate
         self.block_loss_rate = block_loss_rate
         self.bandwidth = bandwidth
+        self.history_limit = history_limit
+        """Bound per-block bookkeeping (flood dedup sets, block birth times,
+        propagation samples) to roughly this many recent blocks.  ``None``
+        (the default) keeps everything for the whole run — the exact
+        behaviour the golden-gated summaries were recorded against; the
+        engine sets it to ``spec.retention`` so a retained run's network
+        bookkeeping is windowed like its chains."""
         self.stats = NetworkStats()
         self._peers: Dict[str, Peer] = {}
         # seed=None draws fresh OS entropy; reproducible runs thread a
@@ -101,6 +113,9 @@ class Network:
         self._adjacency: Optional[Dict[str, Tuple[str, ...]]] = None
         self._latency_scale: Dict[Tuple[str, str], float] = {}
         self._seen_blocks: Dict[str, Set[bytes]] = {}
+        self._seen_order: Dict[str, Deque[bytes]] = {}
+        """Per-peer insertion order of ``_seen_blocks`` entries, maintained
+        only under ``history_limit`` so the dedup sets can evict oldest-first."""
         # Churn state (inert until a churn call flips _churn_active).
         self._churn_active = False
         self._offline: Set[str] = set()
@@ -110,7 +125,12 @@ class Network:
         self._link_free_at: Dict[Tuple[str, str], float] = {}
         # Propagation measurement + ancestor-sync bookkeeping.
         self._block_born: Dict[bytes, float] = {}
-        self._propagation_samples: List[float] = []
+        # Under a history limit the samples become a trailing window (a
+        # steady-state network's delay distribution is stationary, so the
+        # window is as representative as the full-run list it replaces).
+        self._propagation_samples: Union[List[float], Deque[float]] = (
+            deque(maxlen=32 * history_limit) if history_limit is not None else []
+        )
         self._sync_inflight: Dict[str, float] = {}
 
     # -- membership -----------------------------------------------------------------
@@ -310,6 +330,37 @@ class Network:
 
     # -- block gossip -----------------------------------------------------------------
 
+    def _record_block_born(self, block_hash: bytes) -> None:
+        """Note when ``block_hash`` first hit the wire (propagation birth time).
+
+        Under a history limit only the newest entries are kept — a delivery
+        racing in behind the window simply contributes no propagation sample,
+        exactly like a block that was already pruned from the chains.
+        """
+        self._block_born.setdefault(block_hash, self.simulator.now)
+        if self.history_limit is not None:
+            while len(self._block_born) > 4 * self.history_limit:
+                self._block_born.pop(next(iter(self._block_born)))
+
+    def _mark_seen(self, peer_id: str, block_hash: bytes) -> None:
+        """Record ``peer_id`` having seen ``block_hash`` for flood dedup.
+
+        Under a history limit each peer's dedup set is windowed to the newest
+        ``history_limit`` hashes; an evicted hash redelivered much later is
+        re-imported (and deduplicated by the chain itself) instead of pinning
+        every hash for the whole run.
+        """
+        seen = self._seen_blocks.setdefault(peer_id, set())
+        if block_hash in seen:
+            return
+        seen.add(block_hash)
+        if self.history_limit is None:
+            return
+        order = self._seen_order.setdefault(peer_id, deque())
+        order.append(block_hash)
+        while len(order) > self.history_limit:
+            seen.discard(order.popleft())
+
     def broadcast_block(self, origin: Optional[Peer], block: Block) -> None:
         """Gossip ``block`` from ``origin`` (which imports it immediately).
 
@@ -317,11 +368,11 @@ class Network:
         object for every receiver, one memoised wire encoding per block.
         """
         self.stats.blocks_broadcast += 1
-        self._block_born.setdefault(block.hash, self.simulator.now)
+        self._record_block_born(block.hash)
         wire_size = len(wire_encoding(block))
         if self._adjacency is not None and origin is not None:
             # The miner imports its own block with no network delay.
-            self._seen_blocks.setdefault(origin.peer_id, set()).add(block.hash)
+            self._mark_seen(origin.peer_id, block.hash)
             origin.import_block(block)
             if not (self._churn_active and origin.peer_id in self._offline):
                 self._flood_block(origin.peer_id, None, block, wire_size)
@@ -409,7 +460,7 @@ class Network:
                 # delivery is a fresh chance to sync from a better provider.
                 self._request_ancestors(peer, sender_id, block)
             return
-        seen.add(block.hash)
+        self._mark_seen(peer.peer_id, block.hash)
         status, imported = peer.import_block(block)
         if status == IMPORT_ORPHANED:
             self.stats.blocks_orphaned += 1
@@ -445,6 +496,12 @@ class Network:
         start = requester.chain.height + 1
         end = min(upto.number - 1, provider.chain.height)
         if end < start:
+            return
+        if start < provider.chain.earliest_block_number:
+            # Retention pruned the provider's history below the requester's
+            # head: nothing it could serve would connect, so don't burn a
+            # request (another, less-pruned neighbour may still answer).
+            self.stats.sync_pruned_misses += 1
             return
         self.stats.sync_requests += 1
         # The request itself crosses the link once; responses stream back

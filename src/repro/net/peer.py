@@ -76,13 +76,16 @@ class Peer:
         registry: Optional[ContractRegistry] = None,
         pool_max_size: Optional[int] = None,
         apply_cache: Optional[BlockApplyCache] = None,
+        retain_blocks: Optional[int] = None,
     ) -> None:
         if client_kind not in (GETH_CLIENT, SERETH_CLIENT):
             raise ValueError(f"unknown client kind {client_kind!r}")
         self.peer_id = peer_id
         self.client_kind = client_kind
         self.engine = ExecutionEngine(registry=registry or default_registry())
-        self.chain = Blockchain(self.engine, genesis, apply_cache=apply_cache)
+        self.chain = Blockchain(
+            self.engine, genesis, apply_cache=apply_cache, retain_blocks=retain_blocks
+        )
         self.pool = TxPool(max_size=pool_max_size)
         self.stats = PeerStats()
         self.network = None  # set by Network.add_peer

@@ -1,0 +1,114 @@
+"""Tests for the horizon experiment: planning, claim gates, and the
+child-process execution contract.  The real 50k-block legs run in CI's
+``horizon-smoke`` job, not here — these tests exercise the machinery on
+synthetic frames so tier-1 stays fast."""
+
+import pytest
+
+from repro.api.experiment import EXPERIMENT_REGISTRY, ExperimentOptions
+from repro.experiments.horizon import (
+    RSS_CEILING_MB,
+    UNRETAINED_EXCESS_FACTOR,
+    HorizonExperiment,
+    horizon_claims,
+)
+
+
+class FakeFrame:
+    """Just enough of a ResultFrame for the claim callables."""
+
+    def __init__(self, rows):
+        self._rows = rows
+
+    def rows(self):
+        return list(self._rows)
+
+
+def leg(retention, peak_rss_mb, blocks=50_000, target=50_000, efficiency=1.0):
+    return {
+        "retention": retention,
+        "peak_rss_mb": peak_rss_mb,
+        "blocks_produced": blocks,
+        "efficiency": efficiency,
+        "summary": {"extras": {"num_blocks": target}},
+    }
+
+
+def healthy_frame():
+    return FakeFrame([leg(64, 80.0), leg(None, 180.0)])
+
+
+def claim_by_name(name):
+    (claim,) = [claim for claim in horizon_claims() if claim.name == name]
+    return claim
+
+
+class TestRegistration:
+    def test_registered_by_name(self):
+        assert isinstance(EXPERIMENT_REGISTRY.get("horizon"), HorizonExperiment)
+
+
+class TestPlanning:
+    def test_smoke_grid_is_one_retained_leg_plus_the_control(self):
+        sweep = HorizonExperiment().plan(ExperimentOptions(smoke=True))
+        jobs = sweep.jobs()
+        assert [tags["retention"] for _, tags in jobs] == [64, None]
+        for spec, tags in jobs:
+            assert spec.retention == tags["retention"]
+            assert spec.workload == "steady_state"
+            assert spec.fixed_block_interval is True
+            assert spec.params["num_blocks"] == 50_000
+
+    def test_retained_legs_also_stream_their_metrics(self):
+        sweep = HorizonExperiment().plan(ExperimentOptions(smoke=True))
+        for spec, tags in sweep.jobs():
+            if tags["retention"] is not None:
+                assert spec.metrics_window == 256.0 * spec.block_interval
+            else:
+                assert spec.metrics_window is None
+
+    def test_full_grid_adds_a_deeper_window(self):
+        sweep = HorizonExperiment().plan(ExperimentOptions())
+        retentions = [tags["retention"] for _, tags in sweep.jobs()]
+        assert retentions == [64, 512, None]
+
+    def test_checkpoints_are_rejected_up_front(self, tmp_path):
+        experiment = HorizonExperiment()
+        options = ExperimentOptions(smoke=True, checkpoint=tmp_path / "ck.jsonl")
+        sweep = experiment.plan(options)
+        with pytest.raises(ValueError, match="checkpoint"):
+            experiment.execute(options, sweep)
+
+
+class TestClaimGates:
+    def test_all_gates_hold_on_a_healthy_run(self):
+        frame = healthy_frame()
+        for claim in horizon_claims():
+            check = claim.evaluate(frame)
+            assert check.holds, check.claim
+
+    def test_ceiling_gate_fails_when_a_retained_leg_balloons(self):
+        frame = FakeFrame([leg(64, RSS_CEILING_MB + 1.0), leg(None, 400.0)])
+        check = claim_by_name("retention holds the RSS ceiling").evaluate(frame)
+        assert not check.holds
+        assert f"{RSS_CEILING_MB + 1.0:.1f}" in check.measured_value
+
+    def test_excess_gate_fails_when_the_control_is_not_measurably_larger(self):
+        # 1.05x over retained: real, but below the required excess factor.
+        frame = FakeFrame([leg(64, 100.0), leg(None, 105.0)])
+        check = claim_by_name(
+            "unretained history measurably exceeds it"
+        ).evaluate(frame)
+        assert not check.holds
+        assert UNRETAINED_EXCESS_FACTOR > 1.05  # the gate above rejected 1.05x
+
+    def test_outcome_gate_fails_on_a_block_shortfall(self):
+        frame = FakeFrame([leg(64, 80.0, blocks=49_000), leg(None, 180.0)])
+        check = claim_by_name("pruning changes no outcome").evaluate(frame)
+        assert not check.holds
+        assert "retention=64" in check.measured_value
+
+    def test_outcome_gate_fails_on_lost_transactions(self):
+        frame = FakeFrame([leg(64, 80.0, efficiency=0.99), leg(None, 180.0)])
+        check = claim_by_name("pruning changes no outcome").evaluate(frame)
+        assert not check.holds
