@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Observability overhead harness: tracing-off vs tracing-on throughput,
+written to ``BENCH_obs.json``.
+
+Runs the ``figure2`` smoke grid twice through the sweep engine — once
+untraced (the default zero-cost path: every instrumented call site is a
+single dead branch) and once under the ``repro.obs`` tracer — and records
+rows/s for each mode plus their ratio.  The traced pass also reports the
+hot-phase ranking, so the benchmark doubles as a profiling smoke test.
+
+``--smoke`` (CI) is a **hard gate**: the run fails if traced wall time
+exceeds ``MAX_OVERHEAD_RATIO`` x the untraced wall time.  Machine speed
+varies across runners; the *ratio* contract must not.
+
+Baseline protocol (same as the other harnesses): the first run — or
+``--record-baseline`` — stores its numbers under ``"baseline"``; later runs
+keep that baseline, update ``"current"``, and report per-mode ``"speedup"``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/obs_perf.py            # report only
+    PYTHONPATH=src python benchmarks/obs_perf.py --smoke    # CI ratio gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Dict
+
+MAX_OVERHEAD_RATIO = 1.25
+"""The committed ceiling on traced/untraced wall time (CI-asserted)."""
+
+
+def _grid():
+    """The figure2 smoke grid, freshly planned (its own seeds, no overrides)."""
+    from repro.api import ExperimentOptions, plan_experiment
+
+    _experiment, _options, sweep = plan_experiment(
+        "figure2", ExperimentOptions(smoke=True)
+    )
+    return sweep
+
+
+def _timed_pass(sweep, repeats: int) -> Dict[str, Any]:
+    """Run ``sweep`` ``repeats`` times; keep the fastest pass's numbers."""
+    best: Dict[str, Any] = {}
+    for _ in range(repeats):
+        start = perf_counter()
+        result = sweep.run(workers=1)
+        elapsed = perf_counter() - start
+        if not best or elapsed < best["wall_seconds"]:
+            best = {
+                "rows": len(result),
+                "wall_seconds": round(elapsed, 3),
+                "rows_per_second": round(len(result) / elapsed, 3),
+                "result": result,
+            }
+    return best
+
+
+def run_benchmarks(repeats: int) -> Dict[str, Any]:
+    from repro.obs import format_hot_phase_table
+
+    untraced = _timed_pass(_grid(), repeats)
+    traced = _timed_pass(_grid().observed(), repeats)
+    ratio = round(traced["wall_seconds"] / untraced["wall_seconds"], 3)
+
+    summaries = [row.summary for row in traced.pop("result").rows]
+    untraced.pop("result")
+    events = sum(
+        summary.get("observability", {}).get("events", 0) for summary in summaries
+    )
+    print(f"  untraced: {untraced['rows']} rows in {untraced['wall_seconds']:.2f}s "
+          f"({untraced['rows_per_second']:.2f} rows/s)")
+    print(f"  traced:   {traced['rows']} rows in {traced['wall_seconds']:.2f}s "
+          f"({traced['rows_per_second']:.2f} rows/s), {events} events")
+    print(f"  overhead: {ratio}x (ceiling {MAX_OVERHEAD_RATIO}x)")
+    print(format_hot_phase_table(summaries).rstrip("\n"))
+    return {
+        "untraced": untraced,
+        "traced": traced,
+        "overhead_ratio": ratio,
+        "max_overhead_ratio": MAX_OVERHEAD_RATIO,
+        "traced_events": events,
+        "sizes": {"grid": "figure2-smoke", "repeats": repeats},
+    }
+
+
+def compute_deltas(baseline: Dict[str, Any], current: Dict[str, Any]) -> Dict[str, Any]:
+    """Per-mode rows/s speedup vs the baseline — ``{}`` across grid changes."""
+    if baseline.get("sizes") != current.get("sizes"):
+        return {}
+    deltas: Dict[str, Any] = {}
+    for mode in ("untraced", "traced"):
+        base = baseline.get(mode, {}).get("rows_per_second")
+        if base:
+            deltas[mode] = {
+                "rows_per_second": round(current[mode]["rows_per_second"] / base, 3)
+            }
+    return deltas
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode; fail hard if the traced/untraced ratio breaks the ceiling",
+    )
+    parser.add_argument(
+        "--record-baseline",
+        action="store_true",
+        help="store this run as the baseline (overwriting any existing one)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="passes per mode (fastest wins)"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_obs.json",
+    )
+    arguments = parser.parse_args()
+
+    print("observability benchmarks (figure2 smoke grid):")
+    run = run_benchmarks(arguments.repeats)
+
+    report: Dict[str, Any] = {}
+    if arguments.output.exists():
+        try:
+            report = json.loads(arguments.output.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            report = {}
+
+    if arguments.record_baseline or "baseline" not in report:
+        report["baseline"] = run
+    report["current"] = run
+    report["deltas"] = compute_deltas(report["baseline"], run)
+
+    arguments.output.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {arguments.output}")
+
+    # The gate runs last so the report is written either way (CI uploads it).
+    if arguments.smoke and run["overhead_ratio"] > MAX_OVERHEAD_RATIO:
+        raise SystemExit(
+            f"tracing overhead {run['overhead_ratio']}x exceeds the "
+            f"{MAX_OVERHEAD_RATIO}x ceiling"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -29,6 +29,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 from ..chain.transaction import Transaction
 from ..clients.base import ContractClient
 from ..crypto.addresses import Address
+from ..obs import runtime as _obs
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..api.spec import SimulationSpec
@@ -185,6 +186,9 @@ class Adversary:
         event = {"time": round(self.context.simulator.now, 6), "kind": kind}
         event.update(details)
         self.trace.append(event)
+        tracer = _obs.TRACER
+        if tracer is not None:
+            tracer.event("adversary.attack", adversary=self.name, attack=kind, details=details)
 
     def attack_outcomes(self, chain) -> Tuple[int, int]:
         """(committed, succeeded) counts over the attack transactions sent."""

@@ -66,8 +66,17 @@ from ..net.topology import (
     register_topology,
     topology_names,
 )
+from ..obs import (
+    Tracer,
+    fold_phases,
+    format_hot_phase_table,
+    hot_phase_frame,
+    probe_names,
+    register_probe,
+    unregister_probe,
+)
 from .builder import BuildError, Simulation, SimulationBuilder
-from .checkpoint import CheckpointMismatchError, SweepCheckpoint, sweep_digest
+from .checkpoint import CheckpointMismatchError, SweepCheckpoint, spec_digest, sweep_digest
 from .engine import (
     SimulationHandle,
     SimulationResult,
@@ -147,17 +156,23 @@ __all__ = [
     "SweepRow",
     "TOPOLOGY_REGISTRY",
     "Topology",
+    "Tracer",
     "WORKLOAD_REGISTRY",
     "Workload",
     "build_simulation",
     "derive_seed",
     "end_of_trial_cleanup",
     "execute_plan",
+    "fold_phases",
+    "format_hot_phase_table",
     "freeze_adversaries",
     "freeze_params",
+    "hot_phase_frame",
     "live_state_stats",
+    "probe_names",
     "register_adversary",
     "register_experiment",
+    "register_probe",
     "register_scenario",
     "register_topology",
     "plan_experiment",
@@ -168,7 +183,9 @@ __all__ = [
     "run_simulation",
     "sereth_exchange_address",
     "scenario_by_name",
+    "spec_digest",
     "sweep_digest",
+    "unregister_probe",
 ]
 
 

@@ -206,6 +206,16 @@ class SimulationBuilder:
             self._fields["metrics_spill"] = spill_path
         return self
 
+    def observe(self, trace_dir: Optional[str] = None) -> "SimulationBuilder":
+        """Enable the ``repro.obs`` tracer for this run: typed lifecycle
+        events, phase timers, and a probe snapshot appear under the result
+        summary's ``observability`` key.  ``trace_dir`` additionally writes
+        the JSONL + Chrome-trace files there after the run."""
+        self._fields["observe"] = True
+        if trace_dir is not None:
+            self._fields["trace_dir"] = trace_dir
+        return self
+
     # -- terminal ------------------------------------------------------------------
 
     def build(self) -> SimulationSpec:

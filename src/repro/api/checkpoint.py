@@ -33,7 +33,7 @@ import os
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-__all__ = ["CheckpointMismatchError", "SweepCheckpoint", "sweep_digest"]
+__all__ = ["CheckpointMismatchError", "SweepCheckpoint", "spec_digest", "sweep_digest"]
 
 _FORMAT_VERSION = 1
 
@@ -45,6 +45,18 @@ class CheckpointMismatchError(ValueError):
     completed rows for a *different* grid (changed seed/trials/overrides),
     or not be a checkpoint at all.  Delete the file, point at a new path,
     or restore the original sweep options to resume it."""
+
+
+def spec_digest(spec: Any) -> str:
+    """A short content digest of one spec's :meth:`describe` rendering.
+
+    Keys per-job artefacts (trace files) to the cell that produced them:
+    ``describe()`` excludes output paths, so the same simulation gets the
+    same digest whether it ran serially, in a worker, or into a different
+    trace directory.
+    """
+    payload = json.dumps(spec.describe(), sort_keys=True, default=str).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:16]
 
 
 def sweep_digest(jobs: Sequence[Tuple[Any, Dict[str, Any]]]) -> str:

@@ -34,6 +34,9 @@ from ..net.network import Network
 from ..net.peer import Peer, SERETH_CLIENT
 from ..net.sim import Simulator
 from ..net.topology import BandwidthModel, ChurnPlan, Topology, resolve_topology
+from ..obs import runtime as _obs_runtime
+from ..obs.tracer import Tracer
+from .checkpoint import spec_digest
 from .lifecycle import end_of_trial_cleanup
 from .registry import WORKLOAD_REGISTRY
 from .seeding import SeedPlan
@@ -71,6 +74,8 @@ class SimulationResult:
     adversary_reports: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     """Per-adversary attack metrics, keyed by strategy name (``name@index``
     when the same strategy runs more than once)."""
+    obs: Optional[Tracer] = None
+    """The run's tracer when ``spec.observe`` was set, else ``None``."""
 
     def report(self, label: Optional[str] = None) -> ThroughputReport:
         """The throughput report for ``label`` (default: the primary label)."""
@@ -111,6 +116,9 @@ class SimulationResult:
             # Streaming-only key: default (unbounded) summaries keep the
             # exact bytes the committed golden checksums were recorded on.
             data["metrics_windows"] = _jsonable(self.metrics.windows())
+        if self.obs is not None:
+            # Observability-only key, same emit-only-when-enabled rule.
+            data["observability"] = self.obs.summary()
         return data
 
     def windows_frame(self):
@@ -312,6 +320,21 @@ class SimulationHandle:
             adversary_peers=self.adversary_peers,
             production=self.production,
         )
+        # Observability: one tracer per trial, activated only for the
+        # duration of run() so untraced work in the same process stays on
+        # the zero-cost path.  Per-trial probes read THIS run's counters;
+        # the process-global probes (wire/hash caches, live states) come
+        # from the registry when the tracer snapshots.
+        self.tracer: Optional[Tracer] = None
+        if spec.observe:
+            simulator_ref = self.simulator
+            self.tracer = Tracer(clock=lambda: simulator_ref.now)
+            self.tracer.register_probe("network", self.network.stats.as_dict)
+            self.tracer.register_probe("propagation", self.network.propagation_summary)
+            self.tracer.register_probe(
+                "head_state_rss", lambda: self.reference_chain.state.rss_stats()
+            )
+
         self.workload.setup(self.context)
         self.workload.schedule(self.context)
 
@@ -388,14 +411,27 @@ class SimulationHandle:
     def run(self) -> SimulationResult:
         """Run the workload to completion (or the duration cap) and measure."""
         spec, workload, simulator = self.spec, self.workload, self.simulator
+        tracer = self.tracer
+        if tracer is not None:
+            _obs_runtime.activate(tracer)
         try:
             return self._run_measured(spec, workload, simulator)
         finally:
+            if tracer is not None:
+                # Freeze the probe snapshot while the per-trial caches still
+                # hold this run's counters, then leave the process untraced.
+                tracer.finalize()
+                _obs_runtime.deactivate()
             # The wire-encoding memo pins every gossiped object; dropping it
             # here scopes it to the trial for *every* caller, not only the
             # sweep workers that also clear it explicitly.
             end_of_trial_cleanup()
             self.metrics.close()
+            if tracer is not None and spec.trace_dir is not None:
+                # Trace files are keyed by the spec's content digest, so a
+                # sweep's workers land per-job files under one directory with
+                # names stable across serial/parallel/resumed execution.
+                tracer.write(spec.trace_dir, f"trace_{spec_digest(spec)}")
 
     def _run_measured(self, spec, workload, simulator) -> SimulationResult:
         self.production.start()
@@ -443,6 +479,7 @@ class SimulationHandle:
             peers=list(self.peers.values()),
             extras=extras,
             adversary_reports=self._adversary_reports(),
+            obs=self.tracer,
         )
 
     def _adversary_reports(self) -> Dict[str, Dict[str, Any]]:

@@ -109,6 +109,17 @@ class SimulationSpec:
     metrics_spill: Optional[str] = None
     """Optional JSONL path appended with one line per resolved watched
     transaction (full-fidelity rows for offline analysis)."""
+    observe: bool = False
+    """Run with the ``repro.obs`` tracer active: typed lifecycle events,
+    phase timers, and a probe snapshot land in the result's ``observability``
+    summary key.  ``False`` (the default) keeps the traced call sites to a
+    single dead branch — the golden-gated zero-cost path."""
+    trace_dir: Optional[str] = None
+    """Directory to write this run's trace files into (``trace_<digest>.jsonl``
+    + ``trace_<digest>.trace.json``); setting it implies ``observe=True``.
+    Deliberately excluded from :meth:`describe`: it names an output location,
+    not simulation behaviour, so per-job digests stay stable across runs
+    pointed at different directories."""
 
     def __post_init__(self) -> None:
         if self.num_miners <= 0:
@@ -156,6 +167,8 @@ class SimulationSpec:
                 )
         if self.metrics_window is not None and self.metrics_window <= 0:
             raise ValueError("metrics_window must be positive (seconds)")
+        if self.trace_dir is not None and not self.observe:
+            object.__setattr__(self, "observe", True)
 
     # -- accessors ---------------------------------------------------------------------
 
@@ -235,4 +248,8 @@ class SimulationSpec:
             description["metrics_window"] = self.metrics_window
         if self.metrics_spill is not None:
             description["metrics_spill"] = self.metrics_spill
+        # ``observe`` follows the same emit-only-when-set rule; ``trace_dir``
+        # never appears (see its field docstring).
+        if self.observe:
+            description["observe"] = True
         return description

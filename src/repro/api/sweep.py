@@ -245,6 +245,19 @@ class Sweep:
         self._trials = count
         return self
 
+    def observed(self, trace_dir: Optional[Union[str, Path]] = None) -> "Sweep":
+        """A copy of this sweep with every job running under the ``repro.obs``
+        tracer: each row's summary gains an ``observability`` key, and
+        ``trace_dir`` (if given) collects one JSONL + Chrome-trace file pair
+        per job, named by the job spec's content digest."""
+        directory = str(trace_dir) if trace_dir is not None else None
+        return Sweep.from_specs(
+            [
+                (replace(spec, observe=True, trace_dir=directory), tags)
+                for spec, tags in self.jobs()
+            ]
+        )
+
     # -- expansion --------------------------------------------------------------------
 
     def _apply_dimension(

@@ -18,9 +18,11 @@ inspection does.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from ..crypto.addresses import Address
+from ..obs import runtime as _obs
 from .apply_cache import BlockApplyCache
 from .block import Block, BlockHeader, transactions_root
 from .errors import InvalidBlock, PrunedHistoryError, ValidationError
@@ -63,6 +65,8 @@ def execute_transactions(
     receipt is still produced, matching the blockchain behaviour of including
     failed transactions in the published block.
     """
+    tracer = _obs.TRACER
+    start = perf_counter() if tracer is not None else 0.0
     receipts: List[Receipt] = []
     for index, transaction in enumerate(transactions):
         # Executors are responsible for rollback-on-failure semantics (a
@@ -86,6 +90,8 @@ def execute_transactions(
         receipt.transaction_index = index
         receipt.block_timestamp = block.timestamp
         receipts.append(receipt)
+    if tracer is not None:
+        tracer.phase("state_apply", start)
     return receipts
 
 
@@ -246,6 +252,8 @@ class Blockchain:
         Returns the post-block state on success and raises
         :class:`ValidationError` or :class:`InvalidBlock` otherwise.
         """
+        tracer = _obs.TRACER
+        start = perf_counter() if tracer is not None else 0.0
         parent = self.head
         if block.header.parent_hash != parent.hash:
             raise InvalidBlock(
@@ -281,6 +289,8 @@ class Blockchain:
             raise ValidationError(
                 f"replaying block {block.number} produced different receipts"
             )
+        if tracer is not None:
+            tracer.phase("validate", start)
         return replay_state
 
     def add_block(self, block: Block) -> Block:

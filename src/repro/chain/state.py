@@ -31,11 +31,13 @@ from __future__ import annotations
 
 import weakref
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..crypto.addresses import Address, is_address
 from ..crypto.keccak import keccak256
 from ..encoding.rlp import rlp_encode
+from ..obs import runtime as _obs
 from .account import Account
 from .errors import UnknownAccount
 
@@ -227,11 +229,15 @@ class WorldState:
         """
         root = self._root_cache
         if root is None:
+            tracer = _obs.TRACER
+            start = perf_counter() if tracer is not None else 0.0
             items = sorted(self._merged().items())
             root = keccak256(
                 rlp_encode([[address, account.encode()] for address, account in items])
             )
             self._root_cache = root
+            if tracer is not None:
+                tracer.phase("trie_commit", start)
         return root
 
     # -- forking ---------------------------------------------------------------
@@ -302,10 +308,10 @@ class WorldState:
                 encoded_memos += 1
             storage_slots += len(account.storage)
         return {
-            "base_accounts": base_accounts,
-            "overlay_accounts": overlay_accounts,
             "accounts": len(self),
+            "base_accounts": base_accounts,
             "encoded_memos": encoded_memos,
+            "overlay_accounts": overlay_accounts,
             "storage_slots": storage_slots,
         }
 
@@ -364,10 +370,10 @@ def live_state_stats() -> Dict[str, int]:
         1 for account in distinct_accounts.values() if "_encoded" in account.__dict__
     )
     return {
-        "live_states": len(states),
-        "distinct_bases": len(bases),
         "base_accounts": sum(len(base) for base in bases.values()),
         "distinct_accounts": len(distinct_accounts),
-        "overlay_accounts": overlay_accounts,
+        "distinct_bases": len(bases),
         "encoded_memos": encoded_memos,
+        "live_states": len(states),
+        "overlay_accounts": overlay_accounts,
     }

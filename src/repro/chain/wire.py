@@ -9,10 +9,12 @@ artefact, and (b) traces and fixtures can be persisted and replayed.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import List, Optional, Union
 
 from ..crypto.addresses import Address
 from ..encoding.rlp import RLPDecodingError, rlp_decode, rlp_encode
+from ..obs import runtime as _obs
 from .block import Block, BlockHeader
 from .receipt import LogEntry, Receipt
 from .transaction import Transaction
@@ -256,7 +258,11 @@ def wire_encoding(artefact: Union[Transaction, Block, BlockHeader, Receipt]) -> 
     encoder = _ENCODERS.get(type(artefact))
     if encoder is None:
         raise TypeError(f"no wire encoding for {type(artefact).__name__}")
+    tracer = _obs.TRACER
+    start = perf_counter() if tracer is not None else 0.0
     payload = encoder(artefact)
+    if tracer is not None:
+        tracer.phase("gossip_encode", start)
     _WIRE_CACHE[key] = (artefact, payload)
     _WIRE_CACHE_STATS["misses"] += 1
     while len(_WIRE_CACHE) > _WIRE_CACHE_LIMIT:

@@ -8,6 +8,7 @@ The generic experiment commands drive any experiment registered in
     repro run attack_matrix --smoke --checkpoint matrix.jsonl
     repro run ablation --set name=gossip --trials 2
     repro claims figure2                      # claim gates only (exit != 0 on failure)
+    repro trace figure2 --smoke --trace-out traces/   # repro.obs tracer + hot phases
     repro list --experiments
 
 ``--checkpoint FILE`` makes the sweep resumable: completed cells append to a
@@ -49,7 +50,9 @@ from .api import (
     TOPOLOGY_REGISTRY,
     WORKLOAD_REGISTRY,
     execute_plan,
+    format_hot_phase_table,
     plan_experiment,
+    probe_names,
 )
 from .experiments.attack_matrix import (
     DEFAULT_ADVERSARIES,
@@ -122,6 +125,27 @@ def build_parser() -> argparse.ArgumentParser:
     claims.add_argument(
         "--set", dest="overrides", nargs="*", default=[], metavar="NAME=VALUE",
         help="experiment overrides (as for `repro run`)",
+    )
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="run an experiment's grid under the repro.obs tracer and rank hot phases",
+    )
+    trace.add_argument("experiment", help="registered experiment name (see `repro list --experiments`)")
+    trace.add_argument("--smoke", action="store_true", help="run the reduced CI-sized grid")
+    trace.add_argument("--workers", type=int, default=1, help="parallel worker processes")
+    trace.add_argument("--seed", type=int, default=None, help="root seed (default: the experiment's)")
+    trace.add_argument("--trials", type=int, default=None, help="trials per grid cell")
+    trace.add_argument(
+        "--set", dest="overrides", nargs="*", default=[], metavar="NAME=VALUE",
+        help="experiment overrides (as for `repro run`)",
+    )
+    trace.add_argument(
+        "--trace-out",
+        dest="trace_out",
+        default=None,
+        help="directory collecting one JSONL + Chrome-trace file pair per job "
+        "(open the .trace.json in Perfetto or chrome://tracing)",
     )
 
     figure2 = subparsers.add_parser("figure2", help="run the Figure 2 ratio sweep")
@@ -232,6 +256,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="show only the registered gossip topologies",
     )
+    listing.add_argument(
+        "--probes",
+        action="store_true",
+        help="show only the registered observability probes",
+    )
     return parser
 
 
@@ -325,6 +354,46 @@ def _command_claims(arguments: argparse.Namespace) -> int:
     run = execute_plan(experiment, options, sweep)
     _emit_claims(run.claim_checks)
     return 0 if run.passed else 1
+
+
+def _command_trace(arguments: argparse.Namespace) -> int:
+    options = ExperimentOptions(
+        workers=arguments.workers,
+        smoke=arguments.smoke,
+        seed=arguments.seed,
+        trials=arguments.trials,
+        overrides=_parse_overrides(arguments.overrides),
+    )
+    experiment, options, sweep = _plan_experiment("trace", arguments.experiment, options)
+    result = sweep.observed(arguments.trace_out).run(workers=options.workers)
+    summaries = [row.summary for row in result.rows]
+    emit_block(
+        f"{experiment.name} — hot phases over {len(result)} traced runs"
+        f"{' (smoke grid)' if arguments.smoke else ''}",
+        format_hot_phase_table(summaries).rstrip("\n"),
+    )
+    event_totals: Dict[str, int] = {}
+    for summary in summaries:
+        for kind, count in summary.get("observability", {}).get("event_counts", {}).items():
+            event_totals[kind] = event_totals.get(kind, 0) + count
+    emit_block(
+        "Lifecycle events (all runs)",
+        format_table(
+            ["event", "count"],
+            [[kind, event_totals[kind]] for kind in sorted(event_totals)],
+        )
+        if event_totals
+        else "(no events recorded)",
+    )
+    if arguments.trace_out:
+        from pathlib import Path
+
+        files = sorted(str(path) for path in Path(arguments.trace_out).glob("trace_*"))
+        emit_block(
+            f"Trace files in {arguments.trace_out}",
+            "\n".join(files) if files else "(none written)",
+        )
+    return 0
 
 
 def _command_figure2(arguments: argparse.Namespace) -> int:
@@ -592,6 +661,9 @@ def _command_list(arguments: argparse.Namespace) -> int:
     if arguments.topologies:
         emit_block("Registered topologies", topology_lines)
         return 0
+    if arguments.probes:
+        emit_block("Registered probes", "\n".join(probe_names()))
+        return 0
     emit_block(
         "Registered scenarios",
         "\n".join(
@@ -605,6 +677,7 @@ def _command_list(arguments: argparse.Namespace) -> int:
     emit_block("Registered adversaries", adversary_lines)
     emit_block("Registered topologies", topology_lines)
     emit_block("Registered experiments", experiment_lines)
+    emit_block("Registered probes", "\n".join(probe_names()))
     return 0
 
 
@@ -614,6 +687,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "run": _command_run,
         "claims": _command_claims,
+        "trace": _command_trace,
         "figure2": _command_figure2,
         "market": _command_market,
         "sequential": _command_sequential,

@@ -11,6 +11,7 @@ fresh the clients' reads were — which is the experiment.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import List, Optional, Tuple
 
 from ..chain.block import Block
@@ -18,6 +19,7 @@ from ..chain.chain import Blockchain
 from ..chain.state import WorldState
 from ..chain.transaction import Transaction
 from ..crypto.addresses import Address
+from ..obs import runtime as _obs
 from ..txpool.pool import TxPool
 from .policies import FeeArrivalPolicy, OrderingPolicy
 
@@ -81,6 +83,8 @@ class Miner:
 
     def produce_block(self, timestamp: float, nonce: int = 0) -> Tuple[Block, WorldState]:
         """Assemble, execute, and seal the next block (not yet imported)."""
+        tracer = _obs.TRACER
+        start = perf_counter() if tracer is not None else 0.0
         transactions = self.select_transactions(timestamp)
         block, post_state = self.chain.build_block(
             transactions,
@@ -91,4 +95,6 @@ class Miner:
             extra_data=self.policy.name.encode("ascii"),
         )
         self.blocks_mined += 1
+        if tracer is not None:
+            tracer.phase("mine", start)
         return block, post_state

@@ -16,6 +16,7 @@ from .hms import (
     compute_mark,
 )
 from .metrics import MetricsCollector, ThroughputReport, TransactionRecord, transaction_efficiency
+from .percentiles import percentile
 from .raa import HMSRAAProvider, RAAProviderRegistry, SerethStorageLayout, StaticRAAProvider
 
 __all__ = [
@@ -38,6 +39,7 @@ __all__ = [
     "ThroughputReport",
     "TransactionRecord",
     "transaction_efficiency",
+    "percentile",
     "HMSRAAProvider",
     "RAAProviderRegistry",
     "SerethStorageLayout",

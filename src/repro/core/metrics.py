@@ -32,14 +32,16 @@ full-fidelity rows can still be recovered offline.
 from __future__ import annotations
 
 import json
-import math
 import random
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..chain.block import Block
 from ..chain.chain import Blockchain
 from ..chain.transaction import Transaction
+from ..obs import runtime as _obs
+from .percentiles import percentile
 
 __all__ = [
     "TransactionRecord",
@@ -168,11 +170,11 @@ class _LabelAggregate:
 
 
 def _percentile(sorted_samples: Sequence[float], fraction: float) -> Optional[float]:
-    """Nearest-rank percentile over an already-sorted sample list."""
-    if not sorted_samples:
-        return None
-    rank = max(int(math.ceil(fraction * len(sorted_samples))) - 1, 0)
-    return sorted_samples[min(rank, len(sorted_samples) - 1)]
+    """Nearest-rank percentile over an already-sorted sample list.
+
+    Back-compat shim over :func:`repro.core.percentiles.percentile`.
+    """
+    return percentile(sorted_samples, fraction, method="nearest_rank", presorted=True)
 
 
 class MetricsCollector:
@@ -297,14 +299,18 @@ class MetricsCollector:
         last resolved height so each block folds exactly once even as the
         chain's own retention window slides.
         """
+        tracer = _obs.TRACER
+        start_wall = perf_counter() if tracer is not None else 0.0
         if not self._streaming:
             for block in chain.blocks():
                 self.resolve_from_block(block)
-            return
-        start = max(self._next_scan, chain.earliest_block_number)
-        for number in range(start, chain.height + 1):
-            self.resolve_from_block(chain.block_by_number(number))
-        self._next_scan = chain.height + 1
+        else:
+            start = max(self._next_scan, chain.earliest_block_number)
+            for number in range(start, chain.height + 1):
+                self.resolve_from_block(chain.block_by_number(number))
+            self._next_scan = chain.height + 1
+        if tracer is not None:
+            tracer.phase("metrics_fold", start_wall)
 
     def resolve_from_block(self, block: Block) -> None:
         records = self._records
@@ -317,8 +323,19 @@ class MetricsCollector:
             record.block_number = block.number
             record.success = receipt.success
             record.error = receipt.error
-            if first_resolution and self._spill_path is not None:
-                self._spill(record)
+            if first_resolution:
+                tracer = _obs.TRACER
+                if tracer is not None:
+                    tracer.event(
+                        "tx.receipt",
+                        tx=receipt.transaction_hash,
+                        label=record.label,
+                        block_number=block.number,
+                        success=receipt.success,
+                        latency=round(block.timestamp - record.submitted_at, 9),
+                    )
+                if self._spill_path is not None:
+                    self._spill(record)
             if self._streaming:
                 del records[receipt.transaction_hash]
                 self._fold(record)

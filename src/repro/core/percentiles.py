@@ -1,0 +1,53 @@
+"""The one percentile helper behind every p50/p95 surface in the repo.
+
+Two call sites grew their own (different!) percentile formulas — the
+metrics reservoir's nearest-rank and ``propagation_summary``'s
+nearest-index — and both now feed frozen golden checksums, so neither can
+be "fixed" to match the other.  This module hoists the arithmetic into one
+place and makes the choice explicit via ``method``:
+
+* ``"nearest_rank"`` — the classic nearest-rank definition: the smallest
+  sample with at least ``fraction`` of the distribution at or below it,
+  ``sorted[ceil(f·n) - 1]``.  Used by the metrics reservoir.
+* ``"nearest_index"`` — the index-interpolation-free variant
+  ``sorted[round(f·(n-1))]``.  Used by propagation summaries.
+
+The two disagree whenever rounding lands them on different samples (e.g.
+n=4, f=0.5 picks index 1 vs index 2); the unit tests pin both down.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+__all__ = ["percentile"]
+
+_METHODS = ("nearest_rank", "nearest_index")
+
+
+def percentile(
+    samples: Sequence[float],
+    fraction: float,
+    *,
+    method: str = "nearest_rank",
+    presorted: bool = False,
+) -> Optional[float]:
+    """The ``fraction`` percentile of ``samples``, or ``None`` if empty.
+
+    ``fraction`` is in [0, 1] (0.95 = p95).  Pass ``presorted=True`` when
+    the caller already holds sorted samples to skip the defensive sort.
+    """
+    if method not in _METHODS:
+        raise ValueError(f"unknown percentile method {method!r}; expected one of {_METHODS}")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction!r}")
+    if not samples:
+        return None
+    ordered: Sequence[float] = samples if presorted else sorted(samples)
+    n = len(ordered)
+    if method == "nearest_rank":
+        index = max(int(math.ceil(fraction * n)) - 1, 0)
+    else:
+        index = round(fraction * (n - 1))
+    return ordered[min(index, n - 1)]

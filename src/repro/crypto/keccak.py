@@ -256,9 +256,9 @@ def hash_cache_stats() -> Dict[str, int]:
     info = _keccak256_cached.cache_info()
     return {
         "hits": info.hits,
+        "max_size": info.maxsize,
         "misses": info.misses,
         "size": info.currsize,
-        "max_size": info.maxsize,
     }
 
 

@@ -23,6 +23,7 @@ from ..consensus.interval import BlockIntervalModel, PoissonInterval
 from ..consensus.miner import Miner, MinerConfig
 from ..consensus.policies import FeeArrivalPolicy, OrderingPolicy
 from ..crypto.addresses import Address, address_from_label
+from ..obs import runtime as _obs
 from .network import Network
 from .peer import Peer
 from .sim import Simulator
@@ -130,6 +131,25 @@ class BlockProductionProcess:
         timestamp = self.simulator.now
         block, _ = winner.miner.produce_block(timestamp=timestamp, nonce=self.blocks_produced)
         self.blocks_produced += 1
+        tracer = _obs.TRACER
+        if tracer is not None:
+            tracer.event(
+                "block.build",
+                peer=winner.peer.peer_id,
+                block=block.hash,
+                number=block.number,
+                txs=len(block.transactions),
+                policy=winner.policy_name,
+            )
+            for position, transaction in enumerate(block.transactions):
+                tracer.event(
+                    "tx.include",
+                    peer=winner.peer.peer_id,
+                    tx=transaction.hash,
+                    block=block.hash,
+                    number=block.number,
+                    position=position,
+                )
         self.block_log.append((timestamp, winner.peer.peer_id, block))
         self.network.broadcast_block(winner.peer, block)
         if self.on_block is not None:

@@ -33,6 +33,8 @@ from typing import Any, Deque, Dict, List, Optional, Set, Tuple, Union
 from ..chain.block import Block
 from ..chain.transaction import Transaction
 from ..chain.wire import wire_encoding
+from ..core.percentiles import percentile
+from ..obs import runtime as _obs
 from .latency import ConstantLatency, LatencyModel
 from .peer import IMPORT_DUPLICATE, IMPORT_IMPORTED, IMPORT_ORPHANED, Peer
 from .sim import Simulator
@@ -68,6 +70,27 @@ class NetworkStats:
     sync_pruned_misses: int = 0
     transaction_bytes: int = 0
     block_bytes: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain JSON-ready dict with sorted keys (the
+        shape the ``network`` observability probe reports)."""
+        return {
+            "block_bytes": self.block_bytes,
+            "block_deliveries": self.block_deliveries,
+            "block_duplicates": self.block_duplicates,
+            "blocks_broadcast": self.blocks_broadcast,
+            "blocks_dropped": self.blocks_dropped,
+            "blocks_dropped_link": self.blocks_dropped_link,
+            "blocks_orphaned": self.blocks_orphaned,
+            "sync_blocks": self.sync_blocks,
+            "sync_pruned_misses": self.sync_pruned_misses,
+            "sync_requests": self.sync_requests,
+            "transaction_bytes": self.transaction_bytes,
+            "transaction_deliveries": self.transaction_deliveries,
+            "transactions_broadcast": self.transactions_broadcast,
+            "transactions_dropped": self.transactions_dropped,
+            "transactions_dropped_link": self.transactions_dropped_link,
+        }
 
 
 class Network:
@@ -216,6 +239,9 @@ class Network:
             self.heal_partition()
             detail = None
         self.churn_log.append((self.simulator.now, event.kind, detail))
+        tracer = _obs.TRACER
+        if tracer is not None:
+            tracer.event("churn", kind=event.kind, detail=detail)
 
     def _link_up(self, source_id: Optional[str], destination_id: str) -> bool:
         if destination_id in self._offline:
@@ -321,6 +347,15 @@ class Network:
                 return
             self.stats.transaction_deliveries += 1
             accepted = peer.receive_transaction(transaction, self.simulator.now)
+            tracer = _obs.TRACER
+            if tracer is not None:
+                tracer.event(
+                    "gossip.tx",
+                    peer=peer.peer_id,
+                    sender=sender_id,
+                    tx=transaction.hash,
+                    accepted=accepted,
+                )
             # Store-and-forward: relay on first admission only, never back
             # along the edge the transaction arrived on.
             if accepted and self._adjacency is not None:
@@ -443,6 +478,16 @@ class Network:
             self.stats.blocks_dropped_link += 1
             return
         self.stats.block_deliveries += 1
+        tracer = _obs.TRACER
+        if tracer is not None:
+            tracer.event(
+                "gossip.block",
+                peer=peer.peer_id,
+                sender=sender_id,
+                block=block.hash,
+                number=block.number,
+                sync=sync,
+            )
         seen = self._seen_blocks.setdefault(peer.peer_id, set())
         if block.hash in seen:
             # Dedup by object hash: a block the peer already has is dropped
@@ -504,6 +549,15 @@ class Network:
             self.stats.sync_pruned_misses += 1
             return
         self.stats.sync_requests += 1
+        tracer = _obs.TRACER
+        if tracer is not None:
+            tracer.event(
+                "sync.range",
+                peer=requester.peer_id,
+                provider=provider_id,
+                start=start,
+                end=end,
+            )
         # The request itself crosses the link once; responses stream back
         # through the same FIFO pipe as any other block.
         request_delay = self._link_delay(requester.peer_id, provider_id, 64, self.latency)
@@ -531,12 +585,6 @@ class Network:
     def propagation_summary(self) -> Dict[str, Any]:
         """A JSON-ready digest of propagation behaviour for this run."""
         samples = sorted(self._propagation_samples)
-
-        def percentile(fraction: float) -> Optional[float]:
-            if not samples:
-                return None
-            return samples[min(len(samples) - 1, round(fraction * (len(samples) - 1)))]
-
         peer_count = len(self._peers)
         if self.topology is not None:
             edges = self.topology.edge_count
@@ -563,8 +611,8 @@ class Network:
             "sync_requests": stats.sync_requests,
             "sync_blocks": stats.sync_blocks,
             "propagation_samples": len(samples),
-            "block_propagation_p50": percentile(0.50),
-            "block_propagation_p95": percentile(0.95),
+            "block_propagation_p50": percentile(samples, 0.50, method="nearest_index", presorted=True),
+            "block_propagation_p95": percentile(samples, 0.95, method="nearest_index", presorted=True),
             "transaction_deliveries": stats.transaction_deliveries,
             "transaction_bytes": stats.transaction_bytes,
             "block_bytes": stats.block_bytes,

@@ -17,6 +17,7 @@ view calls and replays never leak into a neighbour.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..chain.apply_cache import BlockApplyCache
@@ -31,6 +32,7 @@ from ..core.raa.provider import HMSRAAProvider, RAAProviderRegistry, SerethStora
 from ..crypto.addresses import Address
 from ..evm.engine import CallResult, ExecutionEngine
 from ..evm.registry import ContractRegistry, default_registry
+from ..obs import runtime as _obs
 from ..txpool.pool import TxPool
 
 __all__ = [
@@ -86,7 +88,7 @@ class Peer:
         self.chain = Blockchain(
             self.engine, genesis, apply_cache=apply_cache, retain_blocks=retain_blocks
         )
-        self.pool = TxPool(max_size=pool_max_size)
+        self.pool = TxPool(max_size=pool_max_size, owner=peer_id)
         self.stats = PeerStats()
         self.network = None  # set by Network.add_peer
         self._raa_registry: Optional[RAAProviderRegistry] = None
@@ -157,6 +159,15 @@ class Peer:
     def submit_transaction(self, transaction: Transaction, now: float) -> bool:
         """Accept a transaction from a local client and gossip it."""
         accepted = self._admit(transaction, now)
+        tracer = _obs.TRACER
+        if tracer is not None:
+            tracer.event(
+                "tx.submit",
+                peer=self.peer_id,
+                tx=transaction.hash,
+                nonce=transaction.nonce,
+                accepted=accepted,
+            )
         if accepted:
             self.stats.transactions_submitted += 1
             if self.network is not None:
@@ -193,14 +204,34 @@ class Peer:
         if self.chain.block_by_hash(block.hash) is not None:
             self.stats.blocks_duplicate += 1
             return False
+        tracer = _obs.TRACER
+        start = perf_counter() if tracer is not None else 0.0
         try:
             self.chain.add_block(block)
-        except ChainError:
+        except ChainError as error:
             self.stats.blocks_rejected += 1
+            if tracer is not None:
+                tracer.phase("block_import", start)
+                tracer.event(
+                    "block.reject",
+                    peer=self.peer_id,
+                    block=block.hash,
+                    number=block.number,
+                    error=str(error),
+                )
             return False
         self.stats.blocks_imported += 1
         self.pool.remove_committed(block)
         self.pool.drop_stale(self.chain.state)
+        if tracer is not None:
+            tracer.phase("block_import", start)
+            tracer.event(
+                "block.import",
+                peer=self.peer_id,
+                block=block.hash,
+                number=block.number,
+                txs=len(block.transactions),
+            )
         return True
 
     def import_block(self, block: Block) -> Tuple[str, List[Block]]:
@@ -234,6 +265,15 @@ class Peer:
 
     def _buffer_orphan(self, block: Block) -> None:
         self.stats.blocks_orphaned += 1
+        tracer = _obs.TRACER
+        if tracer is not None:
+            tracer.event(
+                "block.orphan",
+                peer=self.peer_id,
+                block=block.hash,
+                number=block.number,
+                height=self.chain.height,
+            )
         self._orphans[block.header.parent_hash] = block
         while len(self._orphans) > self.MAX_ORPHANS:
             # Evict the orphan farthest in the future — the least likely to

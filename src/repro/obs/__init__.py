@@ -1,0 +1,42 @@
+"""``repro.obs`` — unified tracing, probe registry, and profiling hooks.
+
+Three layers, cheapest first:
+
+* :mod:`repro.obs.runtime` — the process-global ``TRACER`` slot every
+  instrumented call site checks (one branch when tracing is off);
+* :mod:`repro.obs.tracer` — the per-trial :class:`Tracer` recording typed
+  events and phase spans, exportable as JSONL and Chrome-trace JSON;
+* :mod:`repro.obs.probes` — the counter/gauge registry subsuming the
+  engine's scattered ``*_stats()`` surfaces behind one ``snapshot()``;
+* :mod:`repro.obs.profile` — folding per-trial phase timings into a
+  sweep-wide ranked hot-phase table.
+
+Enable per run with ``SimulationBuilder.observe(...)`` /
+``SimulationSpec(observe=True, trace_dir=...)``, or for a whole planned
+grid with ``repro trace <experiment>``.
+"""
+
+from .probes import probe_names, register_probe, snapshot, unregister_probe
+from .profile import fold_phases, format_hot_phase_table, hot_phase_frame
+from .runtime import activate, active_tracer, deactivate
+from .tracer import EVENT_KINDS, PHASES, Tracer
+
+# NOTE: runtime.TRACER is deliberately not re-exported — a from-import here
+# would freeze its import-time value.  Hot paths read ``runtime.TRACER`` as a
+# module attribute; everyone else uses ``active_tracer()``.
+
+__all__ = [
+    "EVENT_KINDS",
+    "PHASES",
+    "Tracer",
+    "activate",
+    "active_tracer",
+    "deactivate",
+    "fold_phases",
+    "format_hot_phase_table",
+    "hot_phase_frame",
+    "probe_names",
+    "register_probe",
+    "snapshot",
+    "unregister_probe",
+]

@@ -1,0 +1,69 @@
+"""Folding per-trial phase timings into a sweep-wide hot-phase table.
+
+Each traced trial's ``summary()["observability"]["phases"]`` holds
+``{phase: {calls, wall_seconds}}``.  :func:`fold_phases` sums those maps
+across a sweep's rows; :func:`hot_phase_frame` turns the fold into a
+:class:`~repro.api.frame.ResultFrame` ranked by total wall time — the
+table that names the next optimisation targets with data instead of
+ad-hoc profiler runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping
+
+__all__ = ["fold_phases", "hot_phase_frame", "format_hot_phase_table"]
+
+
+def fold_phases(summaries: Iterable[Mapping[str, Any]]) -> Dict[str, Dict[str, float]]:
+    """Sum ``{phase: {calls, wall_seconds}}`` across trial summaries.
+
+    Accepts either full ``SimulationResult.summary()`` dicts (phases are
+    pulled from their ``observability`` key) or bare observability dicts.
+    Untraced rows (no observability key) simply contribute nothing.
+    """
+    totals: Dict[str, List[float]] = {}
+    for summary in summaries:
+        obs = summary.get("observability", summary)
+        for phase, timing in (obs.get("phases") or {}).items():
+            total = totals.setdefault(phase, [0, 0.0])
+            total[0] += timing.get("calls", 0)
+            total[1] += timing.get("wall_seconds", 0.0)
+    return {
+        phase: {"calls": totals[phase][0], "wall_seconds": totals[phase][1]}
+        for phase in sorted(totals)
+    }
+
+
+def hot_phase_frame(summaries: Iterable[Mapping[str, Any]]) -> "Any":
+    """Rank the folded phases hottest-first as a ``ResultFrame``.
+
+    Columns: ``phase``, ``calls``, ``wall_seconds``, ``share`` (fraction of
+    all instrumented wall time), ``us_per_call``.
+    """
+    from ..api.frame import ResultFrame
+
+    folded = fold_phases(summaries)
+    grand_total = sum(timing["wall_seconds"] for timing in folded.values())
+    records = [
+        {
+            "phase": phase,
+            "calls": timing["calls"],
+            "wall_seconds": round(timing["wall_seconds"], 6),
+            "share": round(timing["wall_seconds"] / grand_total, 4) if grand_total else 0.0,
+            "us_per_call": round(1e6 * timing["wall_seconds"] / timing["calls"], 2)
+            if timing["calls"]
+            else 0.0,
+        }
+        for phase, timing in folded.items()
+    ]
+    records.sort(key=lambda row: (-row["wall_seconds"], row["phase"]))
+    return ResultFrame.from_records(records)
+
+
+def format_hot_phase_table(summaries: Iterable[Mapping[str, Any]]) -> str:
+    """The hot-phase ranking as a printable markdown table."""
+    frame = hot_phase_frame(summaries)
+    if not len(frame):
+        return "(no phase timings recorded — was tracing enabled?)"
+    return frame.to_markdown()

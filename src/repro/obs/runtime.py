@@ -1,0 +1,48 @@
+"""The one-branch hot path of the observability layer.
+
+Every instrumented call site in the engine pays exactly one module-attribute
+load plus one ``is not None`` check when tracing is off::
+
+    from ..obs import runtime as obs
+
+    tracer = obs.TRACER
+    if tracer is not None:
+        tracer.event("pool.admit", ...)
+
+This module therefore imports *nothing* from the rest of the package — the
+chain, network, and pool modules import it, and any dependency in the other
+direction would be a cycle.
+
+Exactly one tracer can be active per process at a time, which matches how
+trials actually execute: the engine activates its per-trial tracer while a
+traced simulation runs (sweep workers run one trial at a time) and
+deactivates it in the run's ``finally``.  Activation is last-wins; the
+default state — and the state every untraced run leaves behind — is
+``TRACER is None``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["TRACER", "activate", "deactivate", "active_tracer"]
+
+TRACER: Optional[object] = None
+"""The process-wide active tracer, or ``None`` (tracing off, the default)."""
+
+
+def activate(tracer: object) -> None:
+    """Install ``tracer`` as the process-wide active tracer (last wins)."""
+    global TRACER
+    TRACER = tracer
+
+
+def deactivate() -> None:
+    """Return the process to the untraced (zero-cost) state."""
+    global TRACER
+    TRACER = None
+
+
+def active_tracer() -> Optional[object]:
+    """The active tracer, if any (for callers outside the hot path)."""
+    return TRACER

@@ -17,6 +17,7 @@ from ..chain.block import Block
 from ..chain.state import WorldState
 from ..chain.transaction import Transaction
 from ..crypto.addresses import Address
+from ..obs import runtime as _obs
 
 __all__ = ["PoolEntry", "TxPool"]
 
@@ -44,13 +45,16 @@ class PoolEntry:
 class TxPool:
     """A per-peer pending-transaction pool."""
 
-    def __init__(self, max_size: Optional[int] = None) -> None:
+    def __init__(self, max_size: Optional[int] = None, owner: str = "") -> None:
         self._entries: Dict[bytes, PoolEntry] = {}
         self._by_sender: Dict[Address, Dict[int, PoolEntry]] = {}
         # Arrival order, maintained sorted by (arrival_time, hash): HMS views
         # read this list directly instead of re-sorting the pool every call.
         self._order: List[Tuple[float, bytes]] = []
         self.max_size = max_size
+        self.owner = owner
+        """The peer this pool belongs to — purely observability metadata
+        (it labels this pool's trace events); empty for standalone pools."""
         self.dropped_count = 0
 
     # -- insertion --------------------------------------------------------------
@@ -71,6 +75,15 @@ class TxPool:
             return False
         if existing is None and self.max_size is not None and len(self._entries) >= self.max_size:
             self.dropped_count += 1
+            tracer = _obs.TRACER
+            if tracer is not None:
+                tracer.event(
+                    "pool.evict",
+                    peer=self.owner,
+                    reason="full",
+                    tx=transaction.hash,
+                    pool_size=len(self._entries),
+                )
             return False
         entry = PoolEntry(transaction=transaction, arrival_time=arrival_time)
         if existing is not None:
@@ -81,6 +94,28 @@ class TxPool:
         sender_entries[transaction.nonce] = entry
         self._entries[transaction.hash] = entry
         insort(self._order, (arrival_time, transaction.hash))
+        tracer = _obs.TRACER
+        if tracer is not None:
+            if existing is not None:
+                # The displacement story: a same-sender same-nonce bid just
+                # superseded the pooled transaction.
+                tracer.event(
+                    "pool.replace",
+                    peer=self.owner,
+                    tx=transaction.hash,
+                    displaced=existing.hash,
+                    nonce=transaction.nonce,
+                    gas_price=transaction.gas_price,
+                    displaced_gas_price=existing.transaction.gas_price,
+                )
+            else:
+                tracer.event(
+                    "pool.admit",
+                    peer=self.owner,
+                    tx=transaction.hash,
+                    nonce=transaction.nonce,
+                    pool_size=len(self._entries),
+                )
         return True
 
     def _discard_order(self, entry: PoolEntry) -> None:
@@ -185,6 +220,15 @@ class TxPool:
         ]
         for transaction_hash in stale_hashes:
             self.remove(transaction_hash)
+        if stale_hashes:
+            tracer = _obs.TRACER
+            if tracer is not None:
+                tracer.event(
+                    "pool.evict",
+                    peer=self.owner,
+                    reason="stale",
+                    count=len(stale_hashes),
+                )
         return len(stale_hashes)
 
     def clear(self) -> None:

@@ -1,0 +1,76 @@
+"""The shared percentile helper: both legacy formulas, edge cases, validation.
+
+``repro.core.percentiles.percentile`` subsumes two call sites that used
+*different* selection rules — the metrics reservoir's nearest-rank
+(``ceil(f*n) - 1``) and the propagation summary's nearest-index
+(``round(f*(n-1))``).  Both are golden-checksum-gated, so the helper must
+reproduce each exactly; this module pins the formulas (including the inputs
+where they disagree) and the shared edge behaviour.
+"""
+
+import math
+
+import pytest
+
+from repro.core import percentile
+
+
+class TestEdgeCases:
+    def test_empty_samples_yield_none(self):
+        assert percentile([], 0.5) is None
+        assert percentile([], 0.5, method="nearest_index") is None
+
+    def test_single_sample_is_every_percentile(self):
+        for fraction in (0.0, 0.25, 0.5, 0.95, 1.0):
+            assert percentile([7.5], fraction) == 7.5
+            assert percentile([7.5], fraction, method="nearest_index") == 7.5
+
+    def test_extreme_fractions_pick_min_and_max(self):
+        samples = [3.0, 1.0, 2.0]
+        for method in ("nearest_rank", "nearest_index"):
+            assert percentile(samples, 0.0, method=method) == 1.0
+            assert percentile(samples, 1.0, method=method) == 3.0
+
+    def test_unsorted_input_is_sorted_unless_presorted(self):
+        assert percentile([9.0, 1.0, 5.0], 0.5) == 5.0
+        # presorted=True trusts the caller: already-ordered input matches.
+        assert percentile([1.0, 5.0, 9.0], 0.5, presorted=True) == 5.0
+
+
+class TestMethodFormulas:
+    def test_nearest_rank_matches_legacy_metrics_formula(self):
+        samples = sorted([12.0, 3.0, 44.0, 7.0, 19.0, 0.5, 28.0])
+        for fraction in (0.05, 0.25, 0.5, 0.75, 0.95, 0.99):
+            index = max(int(math.ceil(fraction * len(samples))) - 1, 0)
+            expected = samples[min(index, len(samples) - 1)]
+            assert percentile(samples, fraction, presorted=True) == expected
+
+    def test_nearest_index_matches_legacy_propagation_formula(self):
+        samples = sorted([0.08, 0.14, 0.09, 0.21, 0.11, 0.19])
+        for fraction in (0.05, 0.25, 0.5, 0.75, 0.95, 0.99):
+            index = round(fraction * (len(samples) - 1))
+            expected = samples[min(index, len(samples) - 1)]
+            assert (
+                percentile(samples, fraction, method="nearest_index", presorted=True)
+                == expected
+            )
+
+    def test_methods_diverge_where_the_formulas_do(self):
+        # n=4, f=0.5: nearest_rank picks index ceil(2)-1 = 1, nearest_index
+        # picks round(1.5) = 2 (banker's rounding) — the divergence that
+        # forbids merging the two call sites onto one formula.
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(samples, 0.5, method="nearest_rank") == 2.0
+        assert percentile(samples, 0.5, method="nearest_index") == 3.0
+
+
+class TestValidation:
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError, match="unknown percentile method"):
+            percentile([1.0], 0.5, method="linear")
+
+    def test_fraction_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="fraction"):
+            percentile([1.0], -0.01)
+        with pytest.raises(ValueError, match="fraction"):
+            percentile([1.0], 1.01)

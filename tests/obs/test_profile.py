@@ -1,0 +1,63 @@
+"""Folding per-trial phase timings across a sweep into the hot-phase table."""
+
+from repro.obs import fold_phases, format_hot_phase_table, hot_phase_frame
+
+
+def _summary(phases):
+    """A result-summary shape with an ``observability`` key."""
+    return {"efficiency": 1.0, "observability": {"phases": phases}}
+
+
+class TestFoldPhases:
+    def test_sums_calls_and_seconds_across_trials(self):
+        folded = fold_phases(
+            [
+                _summary({"mine": {"calls": 2, "wall_seconds": 0.5}}),
+                _summary(
+                    {
+                        "mine": {"calls": 1, "wall_seconds": 0.25},
+                        "state_apply": {"calls": 4, "wall_seconds": 0.1},
+                    }
+                ),
+            ]
+        )
+        assert folded["mine"] == {"calls": 3, "wall_seconds": 0.75}
+        assert folded["state_apply"] == {"calls": 4, "wall_seconds": 0.1}
+
+    def test_accepts_bare_observability_dicts_and_skips_untraced_rows(self):
+        folded = fold_phases(
+            [
+                {"phases": {"mine": {"calls": 1, "wall_seconds": 0.2}}},
+                {"efficiency": 0.5},  # untraced row: no observability key
+            ]
+        )
+        assert folded == {"mine": {"calls": 1, "wall_seconds": 0.2}}
+
+
+class TestHotPhaseFrame:
+    def test_ranks_by_wall_seconds_with_shares(self):
+        frame = hot_phase_frame(
+            [
+                _summary(
+                    {
+                        "mine": {"calls": 2, "wall_seconds": 0.75},
+                        "gossip_encode": {"calls": 10, "wall_seconds": 0.25},
+                    }
+                )
+            ]
+        )
+        rows = list(frame.rows())
+        assert [row["phase"] for row in rows] == ["mine", "gossip_encode"]
+        assert rows[0]["share"] == 0.75
+        assert rows[1]["calls"] == 10
+        assert rows[1]["us_per_call"] == 25_000.0
+
+    def test_empty_input_renders_a_hint_not_a_crash(self):
+        assert "tracing enabled" in format_hot_phase_table([])
+
+    def test_table_renders_markdown(self):
+        table = format_hot_phase_table(
+            [_summary({"mine": {"calls": 1, "wall_seconds": 0.1}})]
+        )
+        assert "| phase |" in table
+        assert "mine" in table
