@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Service tail-latency harness: the RPC facade under load, written to
+``BENCH_service.json``.
+
+Spawns an in-process :class:`~repro.service.ServiceServer` (or targets a
+running one via ``--url``), drives the ``repro.service.loadgen`` mix in
+both loop disciplines — closed (saturation service time) and open
+(scheduled arrivals, queueing included, no coordinated omission) — and
+records throughput plus p50/p95/p99 per mode.
+
+``--smoke`` (CI) is a **hard gate** on the loadgen report's own gates:
+zero errors, worst-mode p95 under the (generous) ceiling, and two
+same-spec sessions running to byte-identical summaries.  Absolute
+latencies vary across runners; the error-rate and determinism contracts
+must not.
+
+Baseline protocol (same as the other harnesses): the first write — or
+``--record-baseline`` — pins ``"baseline"``; later runs keep it, update
+``"current"``, and report numeric ``"deltas"``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/service_perf.py            # report only
+    PYTHONPATH=src python benchmarks/service_perf.py --smoke    # CI gates
+    PYTHONPATH=src python benchmarks/service_perf.py --url http://127.0.0.1:8547
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode; fail hard if any loadgen gate (errors, p95, determinism) breaks",
+    )
+    parser.add_argument(
+        "--record-baseline",
+        action="store_true",
+        help="store this run as the baseline (overwriting any existing one)",
+    )
+    parser.add_argument(
+        "--url", help="target a running server instead of spawning one in-process"
+    )
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=25, dest="requests_per_client")
+    parser.add_argument("--mix", default="market")
+    parser.add_argument("--arrival", default="poisson", choices=("regular", "poisson", "bursty"))
+    parser.add_argument("--rate", type=float, default=50.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--p95-ceiling", type=float, default=2000.0)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_service.json",
+    )
+    arguments = parser.parse_args()
+
+    import repro.contracts  # noqa: F401  (registers the shipped contracts)
+    from repro.service import (
+        LoadgenConfig,
+        ServiceConfig,
+        ServiceServer,
+        format_report,
+        run_loadgen,
+        write_bench,
+    )
+
+    server = None
+    if arguments.url:
+        url = arguments.url.rstrip("/")
+    else:
+        server = ServiceServer(
+            ServiceConfig(port=0, workers=4, idle_timeout=None, retention_default=64)
+        ).start()
+        url = server.url
+
+    print(f"service load benchmarks against {url}:")
+    try:
+        config = LoadgenConfig(
+            url=url,
+            clients=arguments.clients,
+            requests_per_client=arguments.requests_per_client,
+            mode="both",
+            arrival=arguments.arrival,
+            rate=arguments.rate,
+            mix=arguments.mix,
+            seed=arguments.seed,
+            smoke=arguments.smoke,
+            p95_ceiling_ms=arguments.p95_ceiling,
+        )
+        report = run_loadgen(config)
+    finally:
+        if server is not None:
+            server.shutdown()
+
+    print(format_report(report))
+
+    if arguments.record_baseline and arguments.output.exists():
+        arguments.output.unlink()
+    bench = write_bench(report, arguments.output)
+    print(f"wrote {arguments.output}")
+    print(json.dumps(bench["current"], indent=2, sort_keys=True))
+
+    # The gate runs last so the report is written either way (CI uploads it).
+    if arguments.smoke and not report["passed"]:
+        raise SystemExit(f"loadgen gates failed: {report['gates']}")
+
+
+if __name__ == "__main__":
+    main()

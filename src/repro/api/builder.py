@@ -206,6 +206,13 @@ class SimulationBuilder:
             self._fields["metrics_spill"] = spill_path
         return self
 
+    def accounts(self, *labels: str) -> "SimulationBuilder":
+        """Fund additional account labels at genesis (beyond the workload's
+        own clients) — the accounts RPC callers spend from."""
+        existing = self._fields.get("extra_accounts", ())
+        self._fields["extra_accounts"] = tuple(existing) + tuple(labels)
+        return self
+
     def observe(self, trace_dir: Optional[str] = None) -> "SimulationBuilder":
         """Enable the ``repro.obs`` tracer for this run: typed lifecycle
         events, phase timers, and a probe snapshot appear under the result

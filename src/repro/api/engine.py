@@ -195,6 +195,11 @@ class SimulationHandle:
         for adversary in self.adversaries:
             for label in adversary.account_labels():
                 genesis.fund(address_from_label(label))
+        # Service-facade callers: labels the spec names get genesis balances
+        # too, so RPC clients can spend without piggybacking on a workload
+        # account.
+        for label in spec.extra_accounts:
+            genesis.fund(address_from_label(label))
         self.workload.configure_genesis(genesis)
         self.genesis = genesis
 
@@ -401,6 +406,15 @@ class SimulationHandle:
     def run_until(self, time: float) -> "SimulationHandle":
         self.simulator.run_until(time)
         return self
+
+    def close(self) -> None:
+        """Release what an interactively driven handle holds: the metrics
+        spill (if any) and the process-wide wire-encoding memo.  ``run()``
+        already does both; for ``start``/``run_until`` consumers — the
+        service facade's sessions — this is the explicit lifecycle end.
+        Idempotent."""
+        self.metrics.close()
+        end_of_trial_cleanup()
 
     @property
     def reference_chain(self):

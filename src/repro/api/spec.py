@@ -109,6 +109,10 @@ class SimulationSpec:
     metrics_spill: Optional[str] = None
     """Optional JSONL path appended with one line per resolved watched
     transaction (full-fidelity rows for offline analysis)."""
+    extra_accounts: Tuple[str, ...] = ()
+    """Additional account labels funded at genesis (beyond the peers' own
+    workload clients).  The service facade uses this to give RPC callers
+    spendable accounts; labels map to addresses via ``address_from_label``."""
     observe: bool = False
     """Run with the ``repro.obs`` tracer active: typed lifecycle events,
     phase timers, and a probe snapshot land in the result's ``observability``
@@ -167,6 +171,9 @@ class SimulationSpec:
                 )
         if self.metrics_window is not None and self.metrics_window <= 0:
             raise ValueError("metrics_window must be positive (seconds)")
+        if not all(isinstance(label, str) and label for label in self.extra_accounts):
+            raise ValueError("extra_accounts must be non-empty string labels")
+        object.__setattr__(self, "extra_accounts", tuple(self.extra_accounts))
         if self.trace_dir is not None and not self.observe:
             object.__setattr__(self, "observe", True)
 
@@ -248,6 +255,10 @@ class SimulationSpec:
             description["metrics_window"] = self.metrics_window
         if self.metrics_spill is not None:
             description["metrics_spill"] = self.metrics_spill
+        # Extra genesis accounts (the service facade's funded callers) are
+        # emitted only when present, preserving default-spec golden bytes.
+        if self.extra_accounts:
+            description["extra_accounts"] = list(self.extra_accounts)
         # ``observe`` follows the same emit-only-when-set rule; ``trace_dir``
         # never appears (see its field docstring).
         if self.observe:

@@ -9,7 +9,9 @@ The generic experiment commands drive any experiment registered in
     repro run ablation --set name=gossip --trials 2
     repro claims figure2                      # claim gates only (exit != 0 on failure)
     repro trace figure2 --smoke --trace-out traces/   # repro.obs tracer + hot phases
-    repro list --experiments
+    repro serve --port 8547 --workers 4       # simulator-as-a-service JSON-RPC facade
+    repro loadgen --smoke --url http://127.0.0.1:8547   # measured tail latency + gates
+    repro list                                # every registry, one line per entry
 
 ``--checkpoint FILE`` makes the sweep resumable: completed cells append to a
 JSONL file keyed by the grid's digest, and a re-run executes only the
@@ -40,19 +42,13 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from .analysis.plotting import format_percentage, format_table
 from .api import (
-    ADVERSARY_REGISTRY,
     CheckpointMismatchError,
-    EXPERIMENT_REGISTRY,
     ExperimentOptions,
-    SCENARIO_REGISTRY,
     Simulation,
     Sweep,
-    TOPOLOGY_REGISTRY,
-    WORKLOAD_REGISTRY,
     execute_plan,
     format_hot_phase_table,
     plan_experiment,
-    probe_names,
 )
 from .experiments.attack_matrix import (
     DEFAULT_ADVERSARIES,
@@ -79,6 +75,68 @@ from .oracle.comparison import OracleComparisonConfig, run_raa_vs_oracle
 __all__ = ["main", "build_parser"]
 
 
+def _add_run_options(
+    parser: argparse.ArgumentParser,
+    *,
+    smoke: bool = True,
+    workers: bool = True,
+    seed: bool = True,
+    overrides: bool = True,
+    trials: bool = False,
+    checkpoint: bool = False,
+    export: bool = False,
+) -> None:
+    """The run-option vocabulary every executing subcommand shares.
+
+    ``run``/``claims``/``trace``/``serve``/``loadgen`` all take some subset
+    of these flags; declaring them here keeps names, defaults, and help
+    text identical everywhere instead of drifting per-subcommand copies.
+    """
+    if smoke:
+        parser.add_argument("--smoke", action="store_true", help="run the reduced CI-sized grid")
+    if workers:
+        parser.add_argument("--workers", type=int, default=1, help="parallel worker processes")
+    if seed:
+        parser.add_argument("--seed", type=int, default=None, help="root seed (default: the experiment's)")
+    if trials:
+        parser.add_argument("--trials", type=int, default=None, help="trials per grid cell")
+    if overrides:
+        parser.add_argument(
+            "--set",
+            dest="overrides",
+            nargs="*",
+            default=[],
+            metavar="NAME=VALUE",
+            help="overrides; comma lists become sweep dimensions "
+            "(e.g. --set buys_per_set=1,2,10 name=gossip)",
+        )
+    if checkpoint:
+        parser.add_argument(
+            "--checkpoint",
+            default=None,
+            help="JSONL checkpoint file: completed cells are recorded as they "
+            "finish, and a re-run executes only the missing ones",
+        )
+    if export:
+        parser.add_argument(
+            "--export", dest="export_dir", default=None, help="write JSON/CSV/Markdown/claims artifacts here"
+        )
+
+
+def _experiment_options(
+    arguments: argparse.Namespace, *, smoke: Optional[bool] = None
+) -> ExperimentOptions:
+    """Build :class:`ExperimentOptions` from flags `_add_run_options` declared."""
+    return ExperimentOptions(
+        workers=getattr(arguments, "workers", 1),
+        smoke=getattr(arguments, "smoke", False) if smoke is None else smoke,
+        seed=getattr(arguments, "seed", None),
+        trials=getattr(arguments, "trials", None),
+        checkpoint=getattr(arguments, "checkpoint", None),
+        overrides=_parse_overrides(getattr(arguments, "overrides", [])),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -91,28 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run any registered experiment through the generic lifecycle"
     )
     run.add_argument("experiment", help="registered experiment name (see `repro list --experiments`)")
-    run.add_argument("--smoke", action="store_true", help="run the reduced CI-sized grid")
-    run.add_argument("--workers", type=int, default=1, help="parallel worker processes")
-    run.add_argument("--seed", type=int, default=None, help="root seed (default: the experiment's)")
-    run.add_argument("--trials", type=int, default=None, help="trials per grid cell")
-    run.add_argument(
-        "--set",
-        dest="overrides",
-        nargs="*",
-        default=[],
-        metavar="NAME=VALUE",
-        help="experiment overrides; comma lists become sweep dimensions "
-        "(e.g. --set buys_per_set=1,2,10 name=gossip)",
-    )
-    run.add_argument(
-        "--checkpoint",
-        default=None,
-        help="JSONL checkpoint file: completed cells are recorded as they "
-        "finish, and a re-run executes only the missing ones",
-    )
-    run.add_argument(
-        "--export", dest="export_dir", default=None, help="write JSON/CSV/Markdown/claims artifacts here"
-    )
+    _add_run_options(run, trials=True, checkpoint=True, export=True)
     run.add_argument("--no-claims", action="store_true", help="skip the claim gates (always exit 0)")
 
     claims = subparsers.add_parser(
@@ -120,32 +157,78 @@ def build_parser() -> argparse.ArgumentParser:
     )
     claims.add_argument("experiment", help="registered experiment name")
     claims.add_argument("--full", action="store_true", help="run the full grid instead of the smoke grid")
-    claims.add_argument("--workers", type=int, default=1)
-    claims.add_argument("--seed", type=int, default=None)
-    claims.add_argument(
-        "--set", dest="overrides", nargs="*", default=[], metavar="NAME=VALUE",
-        help="experiment overrides (as for `repro run`)",
-    )
+    _add_run_options(claims, smoke=False)
 
     trace = subparsers.add_parser(
         "trace",
         help="run an experiment's grid under the repro.obs tracer and rank hot phases",
     )
     trace.add_argument("experiment", help="registered experiment name (see `repro list --experiments`)")
-    trace.add_argument("--smoke", action="store_true", help="run the reduced CI-sized grid")
-    trace.add_argument("--workers", type=int, default=1, help="parallel worker processes")
-    trace.add_argument("--seed", type=int, default=None, help="root seed (default: the experiment's)")
-    trace.add_argument("--trials", type=int, default=None, help="trials per grid cell")
-    trace.add_argument(
-        "--set", dest="overrides", nargs="*", default=[], metavar="NAME=VALUE",
-        help="experiment overrides (as for `repro run`)",
-    )
+    _add_run_options(trace, trials=True)
     trace.add_argument(
         "--trace-out",
         dest="trace_out",
         default=None,
         help="directory collecting one JSONL + Chrome-trace file pair per job "
         "(open the .trace.json in Perfetto or chrome://tracing)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the persistent simulator-as-a-service JSON-RPC facade "
+        "(POST JSON-RPC to /rpc, GET /healthz)",
+    )
+    _add_run_options(serve, smoke=False, seed=False, overrides=False)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8547, help="bind port (0: ephemeral)")
+    serve.add_argument(
+        "--idle-timeout",
+        dest="idle_timeout",
+        type=float,
+        default=300.0,
+        help="evict sessions idle this many seconds (<= 0 disables eviction)",
+    )
+    serve.add_argument(
+        "--retention",
+        type=int,
+        default=64,
+        help="default per-session chain retention in blocks, applied to specs "
+        "that set none (<= 0: sessions keep unbounded history)",
+    )
+    serve.add_argument("--max-sessions", dest="max_sessions", type=int, default=64)
+    serve.add_argument(
+        "--trace-out",
+        dest="trace_out",
+        default=None,
+        help="directory where shutdown writes the request-lifecycle trace "
+        "(service.jsonl + service.trace.json) and a probe snapshot",
+    )
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="drive closed/open-loop load against a service and measure tail latency",
+    )
+    _add_run_options(loadgen, workers=False)
+    loadgen.add_argument(
+        "--url", default=None, help="server URL (default: spawn an in-process server)"
+    )
+    loadgen.add_argument("--clients", type=int, default=4, help="concurrent load clients")
+    loadgen.add_argument(
+        "--requests", type=int, default=25, help="requests per client per loop mode"
+    )
+    loadgen.add_argument("--mode", choices=["closed", "open", "both"], default="both")
+    loadgen.add_argument("--arrival", choices=["regular", "poisson", "bursty"], default="regular")
+    loadgen.add_argument(
+        "--rate", type=float, default=50.0, help="open-loop arrivals per second per client"
+    )
+    loadgen.add_argument("--mix", default="market", help="session mix (see repro.service.loadgen)")
+    loadgen.add_argument("--output", default=None, help="write the BENCH-shaped JSON report here")
+    loadgen.add_argument(
+        "--p95-ceiling",
+        dest="p95_ceiling",
+        type=float,
+        default=2000.0,
+        help="--smoke gate: fail if any mode's p95 exceeds this many ms",
     )
 
     figure2 = subparsers.add_parser("figure2", help="run the Figure 2 ratio sweep")
@@ -242,6 +325,16 @@ def build_parser() -> argparse.ArgumentParser:
         "and experiments",
     )
     listing.add_argument(
+        "--scenarios",
+        action="store_true",
+        help="show only the registered scenarios",
+    )
+    listing.add_argument(
+        "--workloads",
+        action="store_true",
+        help="show only the registered workloads",
+    )
+    listing.add_argument(
         "--adversaries",
         action="store_true",
         help="show only the registered attack strategies",
@@ -313,14 +406,7 @@ def _plan_experiment(command: str, name: str, options: ExperimentOptions):
 
 
 def _command_run(arguments: argparse.Namespace) -> int:
-    options = ExperimentOptions(
-        workers=arguments.workers,
-        smoke=arguments.smoke,
-        seed=arguments.seed,
-        trials=arguments.trials,
-        checkpoint=arguments.checkpoint,
-        overrides=_parse_overrides(arguments.overrides),
-    )
+    options = _experiment_options(arguments)
     experiment, options, sweep = _plan_experiment("run", arguments.experiment, options)
     try:
         run = execute_plan(experiment, options, sweep)
@@ -344,12 +430,7 @@ def _command_run(arguments: argparse.Namespace) -> int:
 
 
 def _command_claims(arguments: argparse.Namespace) -> int:
-    options = ExperimentOptions(
-        workers=arguments.workers,
-        smoke=not arguments.full,
-        seed=arguments.seed,
-        overrides=_parse_overrides(arguments.overrides),
-    )
+    options = _experiment_options(arguments, smoke=not arguments.full)
     experiment, options, sweep = _plan_experiment("claims", arguments.experiment, options)
     run = execute_plan(experiment, options, sweep)
     _emit_claims(run.claim_checks)
@@ -357,13 +438,7 @@ def _command_claims(arguments: argparse.Namespace) -> int:
 
 
 def _command_trace(arguments: argparse.Namespace) -> int:
-    options = ExperimentOptions(
-        workers=arguments.workers,
-        smoke=arguments.smoke,
-        seed=arguments.seed,
-        trials=arguments.trials,
-        overrides=_parse_overrides(arguments.overrides),
-    )
+    options = _experiment_options(arguments)
     experiment, options, sweep = _plan_experiment("trace", arguments.experiment, options)
     result = sweep.observed(arguments.trace_out).run(workers=options.workers)
     summaries = [row.summary for row in result.rows]
@@ -638,46 +713,114 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
     return 0
 
 
-def _command_list(arguments: argparse.Namespace) -> int:
-    adversary_lines = "\n".join(
-        f"{name}  ({(ADVERSARY_REGISTRY.get(name).__doc__ or name).strip().splitlines()[0]})"
-        for name in ADVERSARY_REGISTRY.names()
+def _command_serve(arguments: argparse.Namespace) -> int:
+    from .service import ServiceConfig, ServiceServer
+
+    idle_timeout = arguments.idle_timeout if arguments.idle_timeout > 0 else None
+    retention = arguments.retention if arguments.retention > 0 else None
+    server = ServiceServer(
+        ServiceConfig(
+            host=arguments.host,
+            port=arguments.port,
+            workers=arguments.workers,
+            idle_timeout=idle_timeout,
+            retention_default=retention,
+            max_sessions=arguments.max_sessions,
+            trace_dir=arguments.trace_out,
+        )
     )
-    experiment_lines = "\n".join(
-        f"{name}  ({EXPERIMENT_REGISTRY.get(name).description}; "
-        f"{len(EXPERIMENT_REGISTRY.get(name).claims)} claim gate(s))"
-        for name in EXPERIMENT_REGISTRY.names()
-    )
-    topology_lines = "\n".join(
-        f"{name}  ({TOPOLOGY_REGISTRY.get(name).summary()})"
-        for name in TOPOLOGY_REGISTRY.names()
-    )
-    if arguments.adversaries:
-        emit_block("Registered adversaries", adversary_lines)
-        return 0
-    if arguments.experiments:
-        emit_block("Registered experiments", experiment_lines)
-        return 0
-    if arguments.topologies:
-        emit_block("Registered topologies", topology_lines)
-        return 0
-    if arguments.probes:
-        emit_block("Registered probes", "\n".join(probe_names()))
-        return 0
+    server.start()
     emit_block(
-        "Registered scenarios",
-        "\n".join(
-            f"{name}  (clients={SCENARIO_REGISTRY.get(name).client_kind}, "
-            f"reads={SCENARIO_REGISTRY.get(name).buyer_read_mode}, "
-            f"semantic_mining={SCENARIO_REGISTRY.get(name).semantic_mining})"
-            for name in SCENARIO_REGISTRY.names()
-        ),
+        "repro service",
+        f"serving at {server.url} (POST JSON-RPC 2.0 to {server.url}/rpc)\n"
+        f"workers={arguments.workers} idle_timeout={idle_timeout} "
+        f"retention_default={retention} max_sessions={arguments.max_sessions}\n"
+        "stop with Ctrl-C or the service.shutdown RPC method",
     )
-    emit_block("Registered workloads", "\n".join(WORKLOAD_REGISTRY.names()))
-    emit_block("Registered adversaries", adversary_lines)
-    emit_block("Registered topologies", topology_lines)
-    emit_block("Registered experiments", experiment_lines)
-    emit_block("Registered probes", "\n".join(probe_names()))
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        server.shutdown()
+    return 0
+
+
+def _command_loadgen(arguments: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .service import (
+        LoadgenConfig,
+        ServiceConfig,
+        ServiceServer,
+        format_report,
+        run_loadgen,
+        write_bench,
+    )
+
+    server: Optional[ServiceServer] = None
+    try:
+        url = arguments.url
+        if url is None:
+            server = ServiceServer(
+                ServiceConfig(port=0, workers=4, idle_timeout=None)
+            ).start()
+            url = server.url
+        fields: Dict[str, Any] = {
+            "url": url,
+            "clients": arguments.clients,
+            "requests_per_client": arguments.requests,
+            "mode": arguments.mode,
+            "arrival": arguments.arrival,
+            "rate": arguments.rate,
+            "mix": arguments.mix,
+            "seed": arguments.seed if arguments.seed is not None else 0,
+            "smoke": arguments.smoke,
+            "p95_ceiling_ms": arguments.p95_ceiling,
+        }
+        for name, value in _parse_overrides(arguments.overrides).items():
+            if name not in fields:
+                raise SystemExit(
+                    f"repro loadgen: unknown --set field {name!r}; known: {sorted(fields)}"
+                )
+            fields[name] = value
+        try:
+            config = LoadgenConfig(**fields)
+        except ValueError as error:
+            raise SystemExit(f"repro loadgen: {error}")
+        report = run_loadgen(config)
+        emit_block("Load generator", format_report(report))
+        if arguments.output:
+            write_bench(report, Path(arguments.output))
+            emit_block("Bench", f"wrote {arguments.output}")
+        if arguments.smoke:
+            return 0 if report["passed"] else 1
+        return 0
+    finally:
+        if server is not None:
+            server.shutdown()
+
+
+def _command_list(arguments: argparse.Namespace) -> int:
+    from .service.catalog import registry_catalog
+
+    catalog = registry_catalog()
+    titles = {
+        "scenarios": "Registered scenarios",
+        "workloads": "Registered workloads",
+        "adversaries": "Registered adversaries",
+        "topologies": "Registered topologies",
+        "experiments": "Registered experiments",
+        "probes": "Registered probes",
+    }
+
+    def lines(section: str) -> str:
+        rendered = "\n".join(
+            f"{entry['name']}  ({entry['description']})" for entry in catalog[section]
+        )
+        return rendered or "(none registered)"
+
+    selected = [section for section in titles if getattr(arguments, section, False)]
+    for section in selected or titles:
+        emit_block(titles[section], lines(section))
     return 0
 
 
@@ -696,6 +839,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "ablation": _command_ablation,
         "attack-matrix": _command_attack_matrix,
         "sweep": _command_sweep,
+        "serve": _command_serve,
+        "loadgen": _command_loadgen,
         "list": _command_list,
     }
     return handlers[arguments.command](arguments)

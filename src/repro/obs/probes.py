@@ -69,18 +69,21 @@ def snapshot() -> Dict[str, Dict[str, Any]]:
 
 
 def _wire_cache_probe() -> Dict[str, Any]:
+    """Wire-encoding memo occupancy and hit/miss counters."""
     from ..chain.wire import wire_cache_stats
 
     return wire_cache_stats()
 
 
 def _hash_cache_probe() -> Dict[str, Any]:
+    """Keccak LRU cache hit/miss counters."""
     from ..crypto.keccak import hash_cache_stats
 
     return hash_cache_stats()
 
 
 def _live_state_probe() -> Dict[str, Any]:
+    """Live AccountState instances (the retention window's working set)."""
     from ..chain.state import live_state_stats
 
     return live_state_stats()

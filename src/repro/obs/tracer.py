@@ -51,6 +51,12 @@ EVENT_KINDS = frozenset(
         "sync.range",
         "churn",
         "adversary.attack",
+        # Service-facade request lifecycle (emitted by repro.service.server).
+        "rpc.request",
+        "rpc.error",
+        "session.create",
+        "session.close",
+        "session.evict",
     }
 )
 """The typed event vocabulary.  A closed set: a typo'd kind at a call site

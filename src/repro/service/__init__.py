@@ -1,0 +1,68 @@
+"""repro.service — the simulator as a long-running JSON-RPC service.
+
+Everything else in this repo runs a simulation as a batch: build, run,
+summarize, exit.  This package keeps simulations *resident* — a
+:class:`ServiceServer` multiplexes many concurrent sessions behind a
+JSON-RPC-over-HTTP facade (stdlib only), each session a locked
+:class:`ServiceSession` with a deterministic spec-derived seed, so a
+replayed request log rebuilds byte-identical state.  :mod:`.client` is the
+matching stdlib HTTP client, :mod:`.loadgen` the closed/open-loop load
+generator that measures the facade's tail latency, and :mod:`.catalog` the
+registry listing backing ``registry.list`` and ``repro list``.
+"""
+
+from .catalog import registry_catalog
+from .client import (
+    ServiceClient,
+    has_success_status,
+    payload,
+    post_request,
+    post_request_localhost,
+)
+from .errors import (
+    ExecutionError,
+    InvalidParamsError,
+    MethodNotFoundError,
+    ServerShutdownError,
+    ServiceClientError,
+    ServiceConnectionError,
+    ServiceError,
+    ServiceRPCError,
+    SessionClosedError,
+    SessionNotFoundError,
+    TooManySessionsError,
+)
+from .loadgen import LoadgenConfig, format_report, run_loadgen, write_bench
+from .server import ServiceConfig, ServiceServer, SimulatorService
+from .session import ServiceSession, build_session_spec, derive_session_seed, session_id_for
+
+__all__ = [
+    "ServiceServer",
+    "ServiceConfig",
+    "SimulatorService",
+    "ServiceSession",
+    "ServiceClient",
+    "LoadgenConfig",
+    "run_loadgen",
+    "write_bench",
+    "format_report",
+    "registry_catalog",
+    "build_session_spec",
+    "derive_session_seed",
+    "session_id_for",
+    "payload",
+    "post_request",
+    "post_request_localhost",
+    "has_success_status",
+    "ServiceError",
+    "MethodNotFoundError",
+    "InvalidParamsError",
+    "SessionNotFoundError",
+    "SessionClosedError",
+    "ServerShutdownError",
+    "TooManySessionsError",
+    "ExecutionError",
+    "ServiceClientError",
+    "ServiceConnectionError",
+    "ServiceRPCError",
+]

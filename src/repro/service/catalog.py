@@ -1,0 +1,83 @@
+"""One-line descriptions of everything registered, for humans and RPC alike.
+
+Backs both the ``registry.list`` RPC method and the bare ``repro list``
+command: every registry (scenarios, workloads, adversaries, topologies,
+experiments, probes) rendered as ``{"name": ..., "description": ...}``
+entries, with descriptions pulled from the registered object itself — the
+class docstring's first line, an experiment's declared description, or a
+topology's ``summary()``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..api import (
+    ADVERSARY_REGISTRY,
+    EXPERIMENT_REGISTRY,
+    SCENARIO_REGISTRY,
+    TOPOLOGY_REGISTRY,
+    WORKLOAD_REGISTRY,
+    probe_names,
+)
+from ..obs import probes as _probes_module
+
+__all__ = ["registry_catalog"]
+
+
+def _first_doc_line(obj: Any, fallback: str = "(no description)") -> str:
+    doc = getattr(obj, "__doc__", None)
+    if not doc:
+        return fallback
+    stripped = doc.strip()
+    return stripped.splitlines()[0] if stripped else fallback
+
+
+def registry_catalog() -> Dict[str, List[Dict[str, Any]]]:
+    """Every registry's entries with a one-line description each."""
+    scenarios = [
+        {
+            "name": name,
+            "description": (
+                f"clients={SCENARIO_REGISTRY.get(name).client_kind}, "
+                f"reads={SCENARIO_REGISTRY.get(name).buyer_read_mode}, "
+                f"semantic_mining={SCENARIO_REGISTRY.get(name).semantic_mining}"
+            ),
+        }
+        for name in SCENARIO_REGISTRY.names()
+    ]
+    workloads = [
+        {"name": name, "description": _first_doc_line(WORKLOAD_REGISTRY.get(name))}
+        for name in WORKLOAD_REGISTRY.names()
+    ]
+    adversaries = [
+        {"name": name, "description": _first_doc_line(ADVERSARY_REGISTRY.get(name))}
+        for name in ADVERSARY_REGISTRY.names()
+    ]
+    topologies = [
+        {"name": name, "description": TOPOLOGY_REGISTRY.get(name).summary()}
+        for name in TOPOLOGY_REGISTRY.names()
+    ]
+    experiments = [
+        {
+            "name": name,
+            "description": (
+                f"{EXPERIMENT_REGISTRY.get(name).description} "
+                f"({len(EXPERIMENT_REGISTRY.get(name).claims)} claim gate(s))"
+            ),
+        }
+        for name in EXPERIMENT_REGISTRY.names()
+    ]
+    probe_registry = getattr(_probes_module, "_REGISTRY", {})
+    probes = [
+        {"name": name, "description": _first_doc_line(probe_registry.get(name))}
+        for name in probe_names()
+    ]
+    return {
+        "scenarios": scenarios,
+        "workloads": workloads,
+        "adversaries": adversaries,
+        "topologies": topologies,
+        "experiments": experiments,
+        "probes": probes,
+    }

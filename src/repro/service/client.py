@@ -1,0 +1,233 @@
+"""The stdlib HTTP client for the service, in the shape e2e suites expect.
+
+The module-level helpers mirror the idiom of blockchain-simulator e2e
+harnesses — build a ``payload``, ``post_request`` it, check
+``has_success_status`` — so a test reads like a transcript of what a real
+client does.  :class:`ServiceClient` wraps them with one method per RPC.
+
+Transport failures (refused, reset, timeout) raise
+:class:`~repro.service.errors.ServiceConnectionError`; JSON-RPC error
+envelopes raise :class:`~repro.service.errors.ServiceRPCError` carrying the
+server's typed ``kind`` — a killed server is always a typed exception here,
+never a hang (every request carries a timeout).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import urllib.error
+import urllib.request
+from itertools import count
+from typing import Any, Dict, List, Optional
+
+from .errors import ServiceConnectionError, ServiceRPCError
+
+__all__ = [
+    "payload",
+    "post_request",
+    "post_request_localhost",
+    "has_success_status",
+    "ServiceClient",
+]
+
+DEFAULT_PORT = 8547
+_request_ids = count(1)
+
+
+def payload(method: str, params: Optional[Dict[str, Any]] = None, request_id: Optional[int] = None) -> Dict[str, Any]:
+    """A JSON-RPC 2.0 request object for ``method``."""
+    return {
+        "jsonrpc": "2.0",
+        "method": method,
+        "params": params or {},
+        "id": next(_request_ids) if request_id is None else request_id,
+    }
+
+
+def post_request(url: str, body: Dict[str, Any], timeout: float = 60.0) -> Dict[str, Any]:
+    """POST one JSON-RPC envelope and return the parsed response envelope."""
+    data = json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}, method="POST"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        raise ServiceConnectionError(f"HTTP {error.code} from {url}: {error.reason}") from error
+    except (urllib.error.URLError, ConnectionError, socket.timeout, OSError) as error:
+        raise ServiceConnectionError(f"cannot reach {url}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ServiceConnectionError(f"non-JSON response from {url}: {error}") from error
+
+
+def post_request_localhost(
+    body: Dict[str, Any], port: int = DEFAULT_PORT, timeout: float = 60.0
+) -> Dict[str, Any]:
+    """POST to a server on localhost (the e2e harness's default shape)."""
+    return post_request(f"http://127.0.0.1:{port}/rpc", body, timeout=timeout)
+
+
+def has_success_status(receipt: Dict[str, Any]) -> bool:
+    """True when a ``tx.receipt`` result is committed AND executed cleanly."""
+    return bool(receipt.get("committed")) and bool(receipt.get("success"))
+
+
+class ServiceClient:
+    """One server, one method per RPC; raises typed errors, returns results."""
+
+    def __init__(self, url: str, timeout: float = 60.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    def request(self, method: str, params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        envelope = post_request(f"{self.url}/rpc", payload(method, params), timeout=self.timeout)
+        error = envelope.get("error")
+        if error is not None:
+            raise ServiceRPCError(
+                int(error.get("code", 0)),
+                str(error.get("message", "service error")),
+                error.get("data"),
+            )
+        return envelope.get("result", {})
+
+    # -- control plane -------------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request("service.ping")
+
+    def status(self) -> Dict[str, Any]:
+        return self.request("service.status")
+
+    def registries(self) -> Dict[str, Any]:
+        return self.request("registry.list")
+
+    def probes(self) -> Dict[str, Any]:
+        return self.request("obs.probes")
+
+    def shutdown_server(self) -> Dict[str, Any]:
+        return self.request("service.shutdown")
+
+    # -- sessions ------------------------------------------------------------------
+
+    def create_session(self, **spec: Any) -> str:
+        """Create a session and return its id (``create_session_info`` for
+        the full spec/seed/digest record)."""
+        return str(self.create_session_info(**spec)["session"])
+
+    def create_session_info(self, **spec: Any) -> Dict[str, Any]:
+        return self.request("session.create", spec)
+
+    def list_sessions(self) -> List[Dict[str, Any]]:
+        return list(self.request("session.list")["sessions"])
+
+    def describe_session(self, session: str) -> Dict[str, Any]:
+        return self.request("session.describe", {"session": session})
+
+    def session_status(self, session: str) -> Dict[str, Any]:
+        return self.request("session.status", {"session": session})
+
+    def advance(self, session: str, **how: Any) -> Dict[str, Any]:
+        """Advance simulated time: ``seconds=``, ``to=``, or ``blocks=``."""
+        return self.request("session.advance", {"session": session, **how})
+
+    def run(self, session: str) -> Dict[str, Any]:
+        """Run the session's measured loop to completion; returns the summary."""
+        return self.request("session.run", {"session": session})
+
+    def summary(self, session: str) -> Dict[str, Any]:
+        return self.request("session.summary", {"session": session})
+
+    def metrics(self, session: str) -> Dict[str, Any]:
+        return self.request("session.metrics", {"session": session})
+
+    def close_session(self, session: str) -> Dict[str, Any]:
+        return self.request("session.close", {"session": session})
+
+    # -- transactions ---------------------------------------------------------------
+
+    def deploy_contract(
+        self,
+        session: str,
+        account: str,
+        code: str,
+        constructor: str = "0x",
+        value: int = 0,
+    ) -> Dict[str, Any]:
+        return self.request(
+            "contract.deploy",
+            {
+                "session": session,
+                "account": account,
+                "code": code,
+                "constructor": constructor,
+                "value": value,
+            },
+        )
+
+    def submit_transaction(
+        self,
+        session: str,
+        account: str,
+        to: str,
+        data: str = "0x",
+        value: int = 0,
+        gas_limit: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        params: Dict[str, Any] = {
+            "session": session,
+            "account": account,
+            "to": to,
+            "data": data,
+            "value": value,
+        }
+        if gas_limit is not None:
+            params["gas_limit"] = gas_limit
+        return self.request("tx.submit", params)
+
+    def receipt(self, session: str, transaction_hash: str) -> Dict[str, Any]:
+        return self.request(
+            "tx.receipt", {"session": session, "transaction_hash": transaction_hash}
+        )
+
+    # -- queries -------------------------------------------------------------------
+
+    def call_contract_method(
+        self,
+        session: str,
+        contract: str,
+        function: str,
+        arguments: Optional[List[Any]] = None,
+        account: Optional[str] = None,
+        peer: Optional[str] = None,
+        allow_raa: bool = True,
+    ) -> Dict[str, Any]:
+        params: Dict[str, Any] = {
+            "session": session,
+            "contract": contract,
+            "function": function,
+            "arguments": arguments or [],
+            "allow_raa": allow_raa,
+        }
+        if account is not None:
+            params["account"] = account
+        if peer is not None:
+            params["peer"] = peer
+        return self.request("contract.call", params)
+
+    def balance(self, session: str, account: str) -> int:
+        return int(self.request("state.balance", {"session": session, "account": account})["balance"])
+
+    def storage(self, session: str, contract: str, slot: int) -> str:
+        return str(
+            self.request(
+                "state.storage", {"session": session, "contract": contract, "slot": slot}
+            )["value"]
+        )
+
+    def hms_status(self, session: str, peer: Optional[str] = None) -> Dict[str, Any]:
+        params: Dict[str, Any] = {"session": session}
+        if peer is not None:
+            params["peer"] = peer
+        return self.request("hms.status", params)

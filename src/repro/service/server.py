@@ -1,0 +1,598 @@
+"""The simulator-as-a-service facade: JSON-RPC 2.0 over stdlib HTTP.
+
+Two layers, deliberately separable:
+
+* :class:`SimulatorService` — the transport-independent dispatcher.  It owns
+  the session table, the idle-eviction loop, the request counters behind the
+  ``service`` probe, and a wall-clock :class:`~repro.obs.tracer.Tracer` of
+  request-lifecycle events (``rpc.request``/``rpc.error``/``session.*``).
+  Unit tests drive :meth:`SimulatorService.dispatch` directly.
+* :class:`ServiceServer` — ``ThreadingHTTPServer`` + a bounded
+  ``ThreadPoolExecutor``.  HTTP handler threads parse the envelope and hand
+  *session* methods to the pool (so at most ``workers`` engines run at
+  once); control-plane methods (``service.*``, ``registry.list``,
+  ``obs.probes``) run inline so a saturated pool can still answer pings and
+  an operator can always shut the server down.
+
+The fail-closed contract on shutdown: new requests are refused with
+``server_shutdown``, queued pool work is cancelled (same typed error), and
+in-flight ``session.advance`` loops abort at the next block-interval step —
+a killed server answers with a typed error envelope, never a hang.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from ..obs.probes import register_probe, snapshot as probe_snapshot, unregister_probe
+from ..obs.tracer import Tracer
+from .catalog import registry_catalog
+from .errors import (
+    ExecutionError,
+    InvalidParamsError,
+    MethodNotFoundError,
+    RPC_INVALID_REQUEST,
+    RPC_PARSE_ERROR,
+    ServerShutdownError,
+    ServiceError,
+    SessionNotFoundError,
+    TooManySessionsError,
+)
+from .session import ServiceSession, build_session_spec, session_id_for
+
+__all__ = ["ServiceConfig", "ServiceStats", "SimulatorService", "ServiceServer"]
+
+CONTROL_METHODS = frozenset({"service.ping", "service.status", "service.shutdown", "registry.list", "obs.probes"})
+"""Methods dispatched inline on the HTTP thread, bypassing the worker pool:
+they never enter a session's engine, and they must stay answerable while
+every pool worker is busy (shutdown in particular)."""
+
+
+@dataclass
+class ServiceConfig:
+    """Everything one server instance is allowed to do."""
+
+    host: str = "127.0.0.1"
+    port: int = 8547
+    workers: int = 4
+    """Engine concurrency: at most this many session methods run at once."""
+    idle_timeout: Optional[float] = 300.0
+    """Close sessions idle longer than this many wall seconds (None: never)."""
+    retention_default: Optional[int] = 64
+    """Retention applied to sessions whose spec asks for none, so a
+    long-lived server inherits the bounded-memory contract by default.
+    ``None`` leaves unbounded history to sessions that want it."""
+    max_sessions: int = 64
+    trace_dir: Optional[str] = None
+    """Where shutdown writes the request-lifecycle trace + probe snapshot."""
+
+
+@dataclass
+class ServiceStats:
+    """The counters behind ``service.status`` and the ``service`` probe."""
+
+    requests: int = 0
+    errors: int = 0
+    in_flight: int = 0
+    sessions_created: int = 0
+    sessions_closed: int = 0
+    sessions_evicted: int = 0
+    started_at: float = field(default_factory=time.monotonic)
+
+    def as_dict(self, open_sessions: int) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "in_flight": self.in_flight,
+            "sessions_open": open_sessions,
+            "sessions_created": self.sessions_created,
+            "sessions_closed": self.sessions_closed,
+            "sessions_evicted": self.sessions_evicted,
+            "uptime_seconds": time.monotonic() - self.started_at,
+        }
+
+
+class SimulatorService:
+    """The dispatcher: session table + method routing + observability."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.stats = ServiceStats()
+        self.closed = threading.Event()
+        self._sessions: Dict[str, ServiceSession] = {}
+        self._sessions_lock = threading.Lock()
+        self._digest_ordinals: Dict[str, int] = {}
+        self._trace_lock = threading.Lock()
+        self._teardown_lock = threading.Lock()
+        self._teardown_done = False
+        origin = time.perf_counter()
+        # The server has no simulation clock; the tracer's "sim time" axis
+        # carries wall seconds since service start instead.
+        self.tracer = Tracer(clock=lambda: time.perf_counter() - origin)
+        self._stop_eviction = threading.Event()
+        self._eviction_thread: Optional[threading.Thread] = None
+        register_probe("service", self._probe)
+        if self.config.idle_timeout is not None:
+            self._eviction_thread = threading.Thread(
+                target=self._eviction_loop, name="repro-service-evict", daemon=True
+            )
+            self._eviction_thread.start()
+        self._methods: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
+            "service.ping": self._rpc_ping,
+            "service.status": self._rpc_status,
+            # The transport layer performs the actual stop after the
+            # acknowledgement is on the wire; the dispatcher only acks.
+            "service.shutdown": lambda params: {"stopping": True},
+            "registry.list": lambda params: registry_catalog(),
+            "obs.probes": lambda params: {"probes": probe_snapshot()},
+            "session.create": self._rpc_session_create,
+            "session.list": self._rpc_session_list,
+            "session.describe": self._session_rpc("describe"),
+            "session.status": self._session_rpc("status"),
+            "session.advance": self._session_rpc("advance", "seconds", "to", "blocks"),
+            "session.run": self._session_rpc("run"),
+            "session.summary": self._session_rpc("summary"),
+            "session.metrics": self._session_rpc("metrics_report"),
+            "session.close": self._rpc_session_close,
+            "contract.deploy": self._session_rpc("deploy", "account", "code", "constructor", "value"),
+            "contract.call": self._session_rpc(
+                "call", "contract", "function", "arguments", "account", "peer", "allow_raa"
+            ),
+            "tx.submit": self._session_rpc("submit", "account", "to", "data", "value", "gas_limit"),
+            "tx.receipt": self._session_rpc("receipt", "transaction_hash"),
+            "state.balance": self._session_rpc("balance", "account"),
+            "state.storage": self._session_rpc("storage", "contract", "slot"),
+            "hms.status": self._session_rpc("hms_status", "peer"),
+        }
+
+    # -- observability -------------------------------------------------------------
+
+    def _probe(self) -> Dict[str, Any]:
+        """Service request/session counters (requests, errors, open sessions)."""
+        with self._sessions_lock:
+            open_sessions = len(self._sessions)
+        return self.stats.as_dict(open_sessions)
+
+    def _trace(self, kind: str, **fields: Any) -> None:
+        # Tracer.event is a plain append; the server records from many
+        # threads, so serialize (trials never needed this — one thread).
+        with self._trace_lock:
+            self.tracer.event(kind, **fields)
+
+    # -- method plumbing -----------------------------------------------------------
+
+    def _session_rpc(self, attribute: str, *argument_names: str):
+        """An RPC handler that locks the named session and calls one of its
+        methods with the whitelisted keyword arguments."""
+
+        def handler(params: Dict[str, Any]) -> Dict[str, Any]:
+            session = self._session(params)
+            unknown = set(params) - set(argument_names) - {"session"}
+            if unknown:
+                raise InvalidParamsError(
+                    f"unknown parameters {sorted(unknown)}; "
+                    f"accepted: {sorted(argument_names) + ['session']}"
+                )
+            kwargs = {name: params[name] for name in argument_names if name in params}
+            with session.lock:
+                session.touch()
+                return getattr(session, attribute)(**kwargs)
+
+        return handler
+
+    def _session(self, params: Dict[str, Any]) -> ServiceSession:
+        session_id = params.get("session")
+        if not isinstance(session_id, str) or not session_id:
+            raise InvalidParamsError("missing required parameter 'session'")
+        with self._sessions_lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise SessionNotFoundError(f"no session {session_id!r} (closed or evicted?)")
+        return session
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def dispatch(self, method: str, params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Execute one request; raises :class:`ServiceError` subclasses."""
+        started = time.perf_counter()
+        self.stats.requests += 1
+        self.stats.in_flight += 1
+        try:
+            if self.closed.is_set() and method != "service.status":
+                raise ServerShutdownError("service is shutting down")
+            handler = self._methods.get(method)
+            if handler is None:
+                raise MethodNotFoundError(
+                    f"unknown method {method!r}; known: {sorted(self._methods)}"
+                )
+            if params is not None and not isinstance(params, dict):
+                raise InvalidParamsError("params must be an object")
+            result = handler(dict(params or {}))
+        except ServiceError as error:
+            self.stats.errors += 1
+            self._trace(
+                "rpc.error",
+                method=method,
+                error_kind=error.kind,
+                message=str(error),
+                duration_ms=(time.perf_counter() - started) * 1000.0,
+            )
+            raise
+        except Exception as error:
+            self.stats.errors += 1
+            self._trace(
+                "rpc.error",
+                method=method,
+                error_kind="execution_error",
+                message=str(error),
+                duration_ms=(time.perf_counter() - started) * 1000.0,
+            )
+            raise ExecutionError(f"internal error in {method}: {error}") from error
+        finally:
+            self.stats.in_flight -= 1
+        self._trace(
+            "rpc.request",
+            method=method,
+            duration_ms=(time.perf_counter() - started) * 1000.0,
+        )
+        return result
+
+    # -- control plane -------------------------------------------------------------
+
+    def _rpc_ping(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        return {"ok": True, "service": "repro", "sessions": len(self._sessions)}
+
+    def _rpc_status(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        with self._sessions_lock:
+            sessions = list(self._sessions.values())
+        return {
+            "stats": self.stats.as_dict(len(sessions)),
+            "closing": self.closed.is_set(),
+            "config": {
+                "workers": self.config.workers,
+                "idle_timeout": self.config.idle_timeout,
+                "retention_default": self.config.retention_default,
+                "max_sessions": self.config.max_sessions,
+            },
+            "sessions": [
+                {
+                    "session": session.session_id,
+                    "state": session.state,
+                    "idle_seconds": session.idle_seconds,
+                    "requests_served": session.requests_served,
+                }
+                for session in sessions
+            ],
+        }
+
+    # -- session lifecycle ---------------------------------------------------------
+
+    def _rpc_session_create(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        spec = build_session_spec(params, retention_default=self.config.retention_default)
+        with self._sessions_lock:
+            if len(self._sessions) >= self.config.max_sessions:
+                raise TooManySessionsError(
+                    f"server is at its {self.config.max_sessions}-session capacity; "
+                    "close or wait for idle eviction"
+                )
+            from ..api.checkpoint import spec_digest
+
+            digest = spec_digest(spec)
+            ordinal = self._digest_ordinals.get(digest, 0)
+            self._digest_ordinals[digest] = ordinal + 1
+            session = ServiceSession(session_id_for(spec, ordinal), spec)
+            self._sessions[session.session_id] = session
+            self.stats.sessions_created += 1
+        self._trace(
+            "session.create",
+            session=session.session_id,
+            seed=spec.seed,
+            workload=spec.workload,
+            scenario=spec.scenario_name,
+        )
+        return {
+            "session": session.session_id,
+            "seed": spec.seed,
+            "spec_digest": digest,
+            "retention": spec.retention,
+            "spec": spec.describe(),
+        }
+
+    def _rpc_session_list(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        with self._sessions_lock:
+            sessions = list(self._sessions.values())
+        return {
+            "sessions": [
+                {
+                    "session": session.session_id,
+                    "state": session.state,
+                    "idle_seconds": session.idle_seconds,
+                    "requests_served": session.requests_served,
+                }
+                for session in sessions
+            ]
+        }
+
+    def _rpc_session_close(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(params)
+        with session.lock:
+            session.close()
+        with self._sessions_lock:
+            self._sessions.pop(session.session_id, None)
+        self.stats.sessions_closed += 1
+        self._trace("session.close", session=session.session_id)
+        return {"session": session.session_id, "state": session.state}
+
+    # -- eviction ------------------------------------------------------------------
+
+    def _eviction_loop(self) -> None:
+        timeout = self.config.idle_timeout
+        interval = max(min(timeout / 4.0, 5.0), 0.02)
+        while not self._stop_eviction.wait(interval):
+            self.evict_idle_sessions()
+
+    def evict_idle_sessions(self) -> List[str]:
+        """Close and drop sessions idle past the configured timeout.  A
+        session whose lock is held (a request is mid-flight) is by
+        definition not idle and is skipped without blocking."""
+        timeout = self.config.idle_timeout
+        if timeout is None:
+            return []
+        with self._sessions_lock:
+            candidates = [
+                session
+                for session in self._sessions.values()
+                if session.idle_seconds > timeout
+            ]
+        evicted: List[str] = []
+        for session in candidates:
+            if not session.lock.acquire(blocking=False):
+                continue
+            try:
+                if session.idle_seconds > timeout:
+                    session.close()
+                    evicted.append(session.session_id)
+            finally:
+                session.lock.release()
+        if evicted:
+            with self._sessions_lock:
+                for session_id in evicted:
+                    self._sessions.pop(session_id, None)
+            self.stats.sessions_evicted += len(evicted)
+            for session_id in evicted:
+                self._trace("session.evict", session=session_id)
+        return evicted
+
+    # -- teardown ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Refuse new work, interrupt in-flight sessions, release resources.
+
+        Idempotence is tracked by its own flag, not ``self.closed``: the
+        transport layer sets ``closed`` early (to fail requests fast) and
+        still relies on this method to do the actual teardown afterwards.
+        """
+        self.closed.set()
+        self._stop_eviction.set()
+        with self._teardown_lock:
+            if self._teardown_done:
+                return
+            self._teardown_done = True
+        with self._sessions_lock:
+            sessions = list(self._sessions.values())
+        # Signal first (in-flight advance loops abort at their next step),
+        # then close each session under a bounded lock wait.
+        for session in sessions:
+            session.closed.set()
+        for session in sessions:
+            if session.lock.acquire(timeout=5.0):
+                try:
+                    session.state = "closed"
+                    session.handle.metrics.close()
+                finally:
+                    session.lock.release()
+        with self._sessions_lock:
+            self._sessions.clear()
+        if self._eviction_thread is not None:
+            self._eviction_thread.join(timeout=2.0)
+        self.write_artifacts()
+        unregister_probe("service")
+
+    def write_artifacts(self) -> Dict[str, Path]:
+        """Write the request-lifecycle trace and a final probe snapshot to
+        ``config.trace_dir`` (no-op when unset)."""
+        if self.config.trace_dir is None:
+            return {}
+        target = Path(self.config.trace_dir)
+        target.mkdir(parents=True, exist_ok=True)
+        with self._trace_lock:
+            paths = self.tracer.write(target, "service")
+        probes_path = target / "service_probes.json"
+        probes_path.write_text(
+            json.dumps(probe_snapshot(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        paths["probes"] = probes_path
+        return paths
+
+
+# -- HTTP transport ------------------------------------------------------------------
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """One JSON-RPC 2.0 request per POST; ``GET /healthz`` for liveness."""
+
+    server_version = "repro-service"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # the tracer records request lifecycles; stderr stays quiet
+
+    def _respond(self, status: int, body: Dict[str, Any]) -> None:
+        payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            pass
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            service: SimulatorService = self.server.rpc_server.service  # type: ignore[attr-defined]
+            self._respond(200, {"ok": not service.closed.is_set()})
+        else:
+            self._respond(404, {"ok": False, "error": "unknown path (POST JSON-RPC to /rpc)"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        rpc_server: "ServiceServer" = self.server.rpc_server  # type: ignore[attr-defined]
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            raw = self.rfile.read(length)
+            envelope = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            self._respond(
+                200,
+                _error_envelope(None, RPC_PARSE_ERROR, "request body is not valid JSON"),
+            )
+            return
+        if not isinstance(envelope, dict) or not isinstance(envelope.get("method"), str):
+            self._respond(
+                200,
+                _error_envelope(
+                    None, RPC_INVALID_REQUEST, "expected a single JSON-RPC request object"
+                ),
+            )
+            return
+        request_id = envelope.get("id")
+        method = envelope["method"]
+        params = envelope.get("params")
+        try:
+            result = rpc_server.execute(method, params)
+        except ServiceError as error:
+            self._respond(
+                200, {"jsonrpc": "2.0", "id": request_id, "error": error.to_rpc_error()}
+            )
+            return
+        except Exception as error:  # transport-layer surprise: still answer
+            self._respond(
+                200,
+                {
+                    "jsonrpc": "2.0",
+                    "id": request_id,
+                    "error": ExecutionError(f"internal error: {error}").to_rpc_error(),
+                },
+            )
+            return
+        self._respond(200, {"jsonrpc": "2.0", "id": request_id, "result": result})
+        if method == "service.shutdown":
+            # The envelope is already on the wire; stop the server from a
+            # helper thread (shutdown() would deadlock from a handler).
+            threading.Thread(target=rpc_server.shutdown, daemon=True).start()
+
+
+def _error_envelope(request_id: Any, code: int, message: str) -> Dict[str, Any]:
+    return {
+        "jsonrpc": "2.0",
+        "id": request_id,
+        "error": {"code": code, "message": message, "data": {"kind": "invalid_request"}},
+    }
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class ServiceServer:
+    """The long-running server: HTTP front, worker pool, one SimulatorService."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.service = SimulatorService(self.config)
+        self.executor = ThreadPoolExecutor(
+            max_workers=max(self.config.workers, 1), thread_name_prefix="repro-service"
+        )
+        self.httpd = _HTTPServer((self.config.host, self.config.port), _RequestHandler)
+        self.httpd.rpc_server = self  # type: ignore[attr-defined]
+        self.host, self.port = self.httpd.server_address[:2]
+        self._serve_thread: Optional[threading.Thread] = None
+        self._stopped = threading.Event()
+        self._shutdown_lock = threading.Lock()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- request execution ---------------------------------------------------------
+
+    def execute(self, method: str, params: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        """Run one request: control-plane inline, session methods pooled."""
+        if method in CONTROL_METHODS:
+            return self.service.dispatch(method, params)
+        if self.service.closed.is_set():
+            raise ServerShutdownError("service is shutting down")
+        try:
+            future: Future = self.executor.submit(self.service.dispatch, method, params)
+        except RuntimeError as error:  # executor already shut down
+            raise ServerShutdownError("service is shutting down") from error
+        try:
+            return future.result()
+        except CancelledError as error:
+            raise ServerShutdownError(
+                "request cancelled: the server shut down before it ran"
+            ) from error
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> "ServiceServer":
+        """Serve in a background thread (returns immediately)."""
+        if self._serve_thread is None:
+            self._serve_thread = threading.Thread(
+                target=self.httpd.serve_forever,
+                kwargs={"poll_interval": 0.1},
+                name="repro-service-http",
+                daemon=True,
+            )
+            self._serve_thread.start()
+        return self
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until :meth:`shutdown` completes (CLI foreground mode)."""
+        return self._stopped.wait(timeout)
+
+    def shutdown(self) -> None:
+        """Graceful, idempotent stop: fail queued/in-flight work closed,
+        stop accepting, write artifacts, release the pool."""
+        with self._shutdown_lock:
+            if self._stopped.is_set():
+                return
+            # Order matters: mark closed (new requests refused, in-flight
+            # advance loops abort) BEFORE cancelling queued futures, so
+            # everything fails with the same typed server_shutdown error.
+            self.service.closed.set()
+            with self.service._sessions_lock:
+                for session in self.service._sessions.values():
+                    session.closed.set()
+            self.executor.shutdown(wait=False, cancel_futures=True)
+            self.httpd.shutdown()
+            if self._serve_thread is not None:
+                self._serve_thread.join(timeout=5.0)
+            self.httpd.server_close()
+            self.service.close()
+            self._stopped.set()
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()

@@ -1,0 +1,567 @@
+"""One served simulation: a locked, evictable wrapper around SimulationHandle.
+
+A :class:`ServiceSession` is the unit the RPC facade multiplexes: it owns a
+fully wired :class:`~repro.api.engine.SimulationHandle`, a re-entrant lock
+(the dispatcher enters the engine only while holding it, so one session's
+event loop is never driven concurrently), a lazily built
+:class:`~repro.clients.base.ContractClient` per account label, and the
+idle-eviction bookkeeping.
+
+Determinism is the point of the seeding scheme: a ``session.create`` request
+that names no seed gets one *derived from the spec's content digest*
+(:func:`derive_session_seed`), and session ids are ``<digest>-<ordinal>``.
+Replaying the same request log against a fresh server therefore rebuilds
+byte-identical sessions — same specs, same seeds, same ids — which is what
+makes a recorded load-generator run reproducible.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..api.builder import BuildError, Simulation
+from ..api.checkpoint import spec_digest
+from ..api.engine import SimulationHandle, build_simulation
+from ..api.experiment import EXPERIMENT_REGISTRY, ExperimentOptions
+from ..api.seeding import derive_seed
+from ..api.spec import SimulationSpec
+from ..clients.base import ContractClient
+from ..crypto.addresses import ADDRESS_LENGTH, address_from_label, contract_address
+from ..encoding.hexutil import bytes32_from_int, from_hex, to_hex
+from .errors import (
+    ExecutionError,
+    InvalidParamsError,
+    ServerShutdownError,
+    SessionClosedError,
+)
+
+__all__ = [
+    "ServiceSession",
+    "build_session_spec",
+    "derive_session_seed",
+    "session_id_for",
+]
+
+VIEW_CALLER_LABEL = "service-viewer"
+"""Caller label for view calls that name no account (view calls need an
+address for ``msg.sender`` but no balance)."""
+
+_SPEC_FIELD_BUILDERS = (
+    "scenario",
+    "workload",
+    "params",
+    "miners",
+    "clients",
+    "block_interval",
+    "fixed_block_interval",
+    "settle_blocks",
+    "max_duration",
+    "metrics_window",
+    "retention",
+    "adversaries",
+    "topology",
+    "accounts",
+    "seed",
+)
+
+
+def resolve_address(token: Any) -> bytes:
+    """An account label or ``0x…`` hex string as a 20-byte address."""
+    if isinstance(token, str):
+        if token.startswith("0x"):
+            raw = from_hex(token)
+            if len(raw) != ADDRESS_LENGTH:
+                raise InvalidParamsError(
+                    f"address must be {ADDRESS_LENGTH} bytes, got {len(raw)}"
+                )
+            return raw
+        return address_from_label(token)
+    raise InvalidParamsError(f"expected an account label or 0x-hex address, got {token!r}")
+
+
+def decode_argument(value: Any) -> Any:
+    """One JSON call argument as the engine's native form (hex → bytes)."""
+    if isinstance(value, str) and value.startswith("0x"):
+        return from_hex(value)
+    if isinstance(value, list):
+        return [decode_argument(item) for item in value]
+    if isinstance(value, (int, bool, str)) or value is None:
+        return value
+    raise InvalidParamsError(f"unsupported call argument {value!r}")
+
+
+def jsonable(value: Any) -> Any:
+    """Render an engine value JSON-ready (bytes become ``0x…`` hex)."""
+    if isinstance(value, bytes):
+        return to_hex(value)
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+# -- spec construction -------------------------------------------------------------
+
+
+def _spec_from_experiment(request: Dict[str, Any]) -> SimulationSpec:
+    name = request.pop("experiment")
+    smoke = bool(request.pop("smoke", True))
+    if name not in EXPERIMENT_REGISTRY:
+        raise InvalidParamsError(
+            f"unknown experiment {name!r}; registered: {EXPERIMENT_REGISTRY.names()}"
+        )
+    experiment = EXPERIMENT_REGISTRY.get(name)
+    base_spec = getattr(experiment, "base_spec", None)
+    if base_spec is None:
+        raise InvalidParamsError(
+            f"experiment {name!r} does not expose a base spec; "
+            "create the session from explicit spec fields instead"
+        )
+    return base_spec(ExperimentOptions(smoke=smoke))
+
+
+def _spec_from_fields(request: Dict[str, Any]) -> SimulationSpec:
+    builder = Simulation.builder()
+    builder.scenario(str(request.pop("scenario", "semantic_mining")))
+    workload = str(request.pop("workload", "market"))
+    params = request.pop("params", {}) or {}
+    if not isinstance(params, dict):
+        raise InvalidParamsError("params must be an object of workload parameters")
+    builder.workload(workload, **params)
+    if "miners" in request:
+        builder.miners(int(request.pop("miners")))
+    if "clients" in request:
+        builder.clients(int(request.pop("clients")))
+    if "block_interval" in request:
+        builder.block_interval(
+            float(request.pop("block_interval")),
+            fixed=bool(request.pop("fixed_block_interval", False)),
+        )
+    request.pop("fixed_block_interval", None)
+    if "settle_blocks" in request:
+        builder.settle_blocks(int(request.pop("settle_blocks")))
+    if "max_duration" in request:
+        builder.max_duration(float(request.pop("max_duration")))
+    if "metrics_window" in request:
+        builder.metrics_window(float(request.pop("metrics_window")))
+    for entry in request.pop("adversaries", ()) or ():
+        if isinstance(entry, str):
+            builder.adversary(entry)
+        elif isinstance(entry, dict) and "name" in entry:
+            builder.adversary(str(entry["name"]), **(entry.get("params") or {}))
+        else:
+            raise InvalidParamsError(
+                f"adversaries entries must be names or {{name, params}} objects, got {entry!r}"
+            )
+    topology = request.pop("topology", None)
+    if topology is not None:
+        if isinstance(topology, str):
+            builder.topology(topology)
+        elif isinstance(topology, dict) and "name" in topology:
+            builder.topology(str(topology["name"]), **(topology.get("params") or {}))
+        else:
+            raise InvalidParamsError(
+                f"topology must be a name or a {{name, params}} object, got {topology!r}"
+            )
+    return builder.build()
+
+
+def build_session_spec(
+    params: Optional[Dict[str, Any]],
+    retention_default: Optional[int] = None,
+) -> SimulationSpec:
+    """Build the effective :class:`SimulationSpec` for a ``session.create``.
+
+    The request either names a registered ``experiment`` (its smoke-grid
+    base spec, via :class:`ExperimentOptions`) or gives builder-style fields
+    (``scenario``/``workload``/``params``/``miners``/…).  Three session-level
+    rules apply on top:
+
+    * ``accounts`` labels are funded at genesis (``spec.extra_accounts``);
+    * ``retention`` defaults to ``retention_default`` when the request does
+      not mention it (pass ``"retention": null`` to force unbounded history);
+    * a missing ``seed`` is *derived from the spec digest* so identical
+      requests build identical sessions (see :func:`derive_session_seed`).
+
+    ``observe``/``trace_dir`` are rejected: the tracer slot is process-global
+    and belongs to the server, not to one of its concurrent sessions.
+    """
+    request = dict(params or {})
+    for forbidden in ("observe", "trace_dir"):
+        if forbidden in request:
+            raise InvalidParamsError(
+                f"{forbidden!r} is not a session field: the server owns the process-wide "
+                "tracer; use the server's --trace-out for request-lifecycle traces"
+            )
+    accounts = request.pop("accounts", ()) or ()
+    if not isinstance(accounts, (list, tuple)) or not all(
+        isinstance(label, str) and label for label in accounts
+    ):
+        raise InvalidParamsError("accounts must be a list of non-empty labels")
+    explicit_seed = request.pop("seed", None)
+    retention_given = "retention" in request
+    retention = request.pop("retention", None)
+
+    try:
+        if "experiment" in request:
+            spec = _spec_from_experiment(request)
+        else:
+            spec = _spec_from_fields(request)
+    except (BuildError, KeyError, TypeError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        raise InvalidParamsError(f"bad session spec: {message}") from error
+    if request:
+        raise InvalidParamsError(
+            f"unknown session fields {sorted(request)}; known: {sorted(_SPEC_FIELD_BUILDERS)}"
+        )
+
+    overrides: Dict[str, Any] = {}
+    if accounts:
+        overrides["extra_accounts"] = tuple(accounts)
+    if retention_given:
+        overrides["retention"] = None if retention is None else int(retention)
+    elif retention_default is not None and spec.retention is None:
+        overrides["retention"] = int(retention_default)
+    if overrides:
+        try:
+            spec = replace(spec, **overrides)
+        except ValueError as error:
+            raise InvalidParamsError(str(error)) from error
+    if explicit_seed is not None:
+        return spec.with_seed(int(explicit_seed))
+    return spec.with_seed(derive_session_seed(spec))
+
+
+def derive_session_seed(spec: SimulationSpec) -> int:
+    """The deterministic seed for a spec that named none: the SeedPlan
+    derivation of the spec's content digest (computed at seed 0, so the
+    derivation is itself seed-independent)."""
+    return derive_seed(0, "service-session", spec_digest(spec.with_seed(0)))
+
+
+def session_id_for(spec: SimulationSpec, ordinal: int) -> str:
+    """Deterministic session id: content digest plus a per-digest ordinal,
+    so a replayed request log reallocates the very same ids."""
+    return f"{spec_digest(spec)}-{ordinal}"
+
+
+# -- the session -------------------------------------------------------------------
+
+
+class ServiceSession:
+    """One multiplexed simulation with its lock, clients, and lifecycle."""
+
+    def __init__(
+        self,
+        session_id: str,
+        spec: SimulationSpec,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.session_id = session_id
+        self.spec = spec
+        self.lock = threading.RLock()
+        self.closed = threading.Event()
+        self.state = "open"  # open -> finished -> closed
+        self.handle: SimulationHandle = build_simulation(spec)
+        self._clock = clock
+        self.created_at = clock()
+        self.last_used = clock()
+        self.requests_served = 0
+        self._started = False
+        self._summary: Optional[Dict[str, Any]] = None
+        self._clients: Dict[Tuple[str, str], ContractClient] = {}
+
+    # -- bookkeeping ---------------------------------------------------------------
+
+    def touch(self) -> None:
+        self.last_used = self._clock()
+        self.requests_served += 1
+
+    @property
+    def idle_seconds(self) -> float:
+        return self._clock() - self.last_used
+
+    def _require_open(self) -> None:
+        if self.state == "closed":
+            raise SessionClosedError(f"session {self.session_id} is closed")
+        if self.closed.is_set():
+            raise ServerShutdownError(
+                f"session {self.session_id} is shutting down with the server"
+            )
+
+    def _peer(self, peer_id: Optional[str]):
+        if peer_id is None:
+            return self.handle.client_peers[0]
+        peer = self.handle.peers.get(peer_id)
+        if peer is None:
+            raise InvalidParamsError(
+                f"unknown peer {peer_id!r}; known: {sorted(self.handle.peers)}"
+            )
+        return peer
+
+    def _client(self, account: str, peer_id: Optional[str] = None) -> ContractClient:
+        if not isinstance(account, str) or not account:
+            raise InvalidParamsError("account must be a non-empty label")
+        key = (account, peer_id or "")
+        client = self._clients.get(key)
+        if client is None:
+            client = ContractClient(account, self._peer(peer_id), self.handle.simulator)
+            self._clients[key] = client
+        return client
+
+    def _ensure_started(self) -> None:
+        if not self._started:
+            self.handle.start()
+            self._started = True
+
+    # -- driving -------------------------------------------------------------------
+
+    def advance(
+        self,
+        seconds: Optional[float] = None,
+        to: Optional[float] = None,
+        blocks: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Advance simulated time (default: one block interval), stepping in
+        block-interval chunks so a server shutdown interrupts between steps
+        (the fail-closed path) and bounded-memory metrics resolve in-window."""
+        self._require_open()
+        self._ensure_started()
+        simulator = self.handle.simulator
+        spec = self.spec
+        if to is not None:
+            target = float(to)
+        elif seconds is not None:
+            target = simulator.now + float(seconds)
+        else:
+            target = simulator.now + (blocks if blocks is not None else 1) * spec.block_interval
+        while simulator.now < target:
+            if self.closed.is_set():
+                raise ServerShutdownError(
+                    f"session {self.session_id} interrupted by server shutdown "
+                    f"at t={simulator.now:.3f}"
+                )
+            simulator.run_until(min(simulator.now + spec.block_interval, target))
+            self.handle.metrics.resolve_from_chain(self.handle.reference_chain)
+        return self.status()
+
+    def run(self) -> Dict[str, Any]:
+        """Run the workload's measured loop to completion; idempotent (the
+        summary is cached, and re-running a finished engine would re-drive a
+        consumed event queue)."""
+        self._require_open()
+        if self._summary is not None:
+            return self._summary
+        try:
+            result = self.handle.run()
+        except Exception as error:  # engine bugs become typed envelopes
+            raise ExecutionError(f"simulation run failed: {error}") from error
+        self._summary = result.summary()
+        self.state = "finished"
+        return self._summary
+
+    def summary(self) -> Dict[str, Any]:
+        if self._summary is None:
+            raise InvalidParamsError(
+                f"session {self.session_id} has not run to completion; "
+                "call session.run first (or query session.status / session.metrics)"
+            )
+        return self._summary
+
+    # -- transactions ---------------------------------------------------------------
+
+    def deploy(
+        self,
+        account: str,
+        code: str,
+        constructor: str = "0x",
+        value: int = 0,
+    ) -> Dict[str, Any]:
+        """Deploy a registered contract from ``account``; the address is
+        derived from (sender, nonce) before the deploy commits, exactly as a
+        real client predicts it."""
+        self._require_open()
+        self._ensure_started()
+        client = self._client(account)
+        transaction = client.deploy(code, from_hex(constructor), value=int(value))
+        address = contract_address(client.address, transaction.nonce)
+        return {
+            "transaction_hash": to_hex(transaction.hash),
+            "contract_address": to_hex(address),
+            "nonce": transaction.nonce,
+            "submitted_at": transaction.submitted_at,
+        }
+
+    def submit(
+        self,
+        account: str,
+        to: Any,
+        data: str = "0x",
+        value: int = 0,
+        gas_limit: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        self._require_open()
+        self._ensure_started()
+        client = self._client(account)
+        transaction = client.send_transaction(
+            to=resolve_address(to),
+            data=from_hex(data),
+            value=int(value),
+            gas_limit=int(gas_limit) if gas_limit is not None else None,
+        )
+        return {
+            "transaction_hash": to_hex(transaction.hash),
+            "nonce": transaction.nonce,
+            "submitted_at": transaction.submitted_at,
+        }
+
+    def receipt(self, transaction_hash: str) -> Dict[str, Any]:
+        self._require_open()
+        receipt = self.handle.reference_chain.receipt_for(from_hex(transaction_hash))
+        if receipt is None:
+            return {"committed": False}
+        return {
+            "committed": True,
+            "success": receipt.success,
+            "gas_used": receipt.gas_used,
+            "error": receipt.error,
+            "block_number": receipt.block_number,
+            "transaction_index": receipt.transaction_index,
+            "block_timestamp": receipt.block_timestamp,
+            "logs": len(receipt.logs),
+            "return_data": to_hex(receipt.return_data),
+        }
+
+    # -- queries -------------------------------------------------------------------
+
+    def call(
+        self,
+        contract: Any,
+        function: str,
+        arguments: Optional[List[Any]] = None,
+        account: Optional[str] = None,
+        peer: Optional[str] = None,
+        allow_raa: bool = True,
+    ) -> Dict[str, Any]:
+        """A view call against one peer's local state — on a Sereth peer with
+        ``allow_raa`` this is the paper's READ-UNCOMMITTED read path."""
+        self._require_open()
+        self._ensure_started()
+        target_peer = self._peer(peer)
+        caller = address_from_label(account) if account else address_from_label(VIEW_CALLER_LABEL)
+        contract_addr = resolve_address(contract)
+        decoded = [decode_argument(item) for item in (arguments or [])]
+        try:
+            result = target_peer.call_contract(
+                contract_addr,
+                str(function),
+                decoded,
+                caller=caller,
+                now=self.handle.simulator.now,
+                allow_raa=bool(allow_raa),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            message = error.args[0] if error.args else error
+            raise InvalidParamsError(f"call failed: {message}") from error
+        return {
+            "values": jsonable(list(result.values)),
+            "gas_used": result.gas_used,
+            "return_data": to_hex(result.return_data),
+        }
+
+    def balance(self, account: Any) -> Dict[str, Any]:
+        self._require_open()
+        address = resolve_address(account)
+        return {
+            "address": to_hex(address),
+            "balance": self.handle.reference_chain.state.get_balance(address),
+        }
+
+    def storage(self, contract: Any, slot: int) -> Dict[str, Any]:
+        self._require_open()
+        address = resolve_address(contract)
+        word = self.handle.reference_chain.state.get_storage(
+            address, bytes32_from_int(int(slot))
+        )
+        return {"address": to_hex(address), "slot": int(slot), "value": to_hex(word)}
+
+    def hms_status(self, peer: Optional[str] = None) -> Dict[str, Any]:
+        """Every watched contract's Hash-Mark-Set view on one peer (default:
+        the first client peer): predicted mark/value, series depth, source."""
+        self._require_open()
+        target_peer = self._peer(peer)
+        entries = []
+        for contract_addr, _selector in self.handle.workload.hms_targets():
+            provider = target_peer.hms_provider(contract_addr)
+            if provider is None:
+                entries.append({"contract": to_hex(contract_addr), "installed": False})
+                continue
+            view = provider.view()
+            entries.append(
+                {
+                    "contract": to_hex(contract_addr),
+                    "installed": True,
+                    "source": view.source,
+                    "mark": to_hex(view.mark),
+                    "value": to_hex(view.value),
+                    "depth": view.depth,
+                    "pool_size": view.pool_size,
+                    "requests_served": provider.requests_served,
+                }
+            )
+        return {"peer": target_peer.peer_id, "watched": entries}
+
+    def status(self) -> Dict[str, Any]:
+        metrics = self.handle.metrics
+        chain = self.handle.reference_chain
+        return {
+            "session": self.session_id,
+            "state": self.state,
+            "now": self.handle.simulator.now,
+            "height": chain.height,
+            "blocks_produced": self.handle.production.blocks_produced,
+            "watched": metrics.watched_count(),
+            "pending": metrics.pending_count(),
+            "committed": metrics.committed_count(),
+            "seed": self.spec.seed,
+            "spec_digest": spec_digest(self.spec),
+            "requests_served": self.requests_served,
+        }
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "session": self.session_id,
+            "state": self.state,
+            "seed": self.spec.seed,
+            "spec_digest": spec_digest(self.spec),
+            "spec": self.spec.describe(),
+        }
+
+    def metrics_report(self) -> Dict[str, Any]:
+        self._require_open()
+        metrics = self.handle.metrics
+        metrics.resolve_from_chain(self.handle.reference_chain)
+        return {
+            "labels": {
+                label: jsonable(metrics.report(label).as_dict())
+                for label in metrics.labels()
+            }
+        }
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Idempotent teardown: metrics spill closed, the process-wide wire
+        memo dropped (``handle.run`` already did both for finished sessions,
+        and both are safe to repeat)."""
+        if self.state == "closed":
+            return
+        self.state = "closed"
+        self.closed.set()
+        self.handle.close()

@@ -1,0 +1,106 @@
+"""Kill the server mid-request: every caller gets a typed error, nobody hangs.
+
+This suite always spawns its *own* single-worker server (never the shared
+fixture, which CI may point at a long-lived deployment): with ``workers=1``
+one long ``session.advance`` saturates the pool, a second session request
+is provably queued behind it, and ``service.shutdown`` — a control-plane
+method answered inline on the HTTP thread — must then fail both closed:
+the in-flight advance aborts at its next block-interval step and the
+queued request is cancelled, each as a typed ``server_shutdown``-family
+error envelope, all within a bounded wait.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+import repro.contracts  # noqa: F401  (registers the shipped contracts)
+from repro.service import (
+    ServiceClient,
+    ServiceConfig,
+    ServiceConnectionError,
+    ServiceRPCError,
+    ServiceServer,
+)
+
+TYPED_SHUTDOWN_KINDS = {"server_shutdown", "session_closed"}
+
+
+def outcome_of(worker):
+    """Run ``worker`` in a thread; return a mutable slot it reports into."""
+    slot = {"error": None, "result": None, "thread": None}
+
+    def body():
+        try:
+            slot["result"] = worker()
+        except (ServiceRPCError, ServiceConnectionError) as error:
+            slot["error"] = error
+
+    slot["thread"] = threading.Thread(target=body, daemon=True)
+    slot["thread"].start()
+    return slot
+
+
+def assert_failed_closed(slot, label):
+    slot["thread"].join(timeout=30)
+    assert not slot["thread"].is_alive(), f"{label} hung past shutdown"
+    assert slot["result"] is None, f"{label} unexpectedly succeeded: {slot['result']!r}"
+    error = slot["error"]
+    assert error is not None, f"{label} neither returned nor raised"
+    if isinstance(error, ServiceRPCError):
+        assert error.kind in TYPED_SHUTDOWN_KINDS, f"{label} got kind {error.kind!r}"
+    # A ServiceConnectionError is the other legal outcome: the socket died
+    # with the server — still a typed exception, still not a hang.
+
+
+def test_shutdown_mid_request_fails_typed_not_hung():
+    server = ServiceServer(
+        ServiceConfig(port=0, workers=1, idle_timeout=None, retention_default=None)
+    )
+    server.start()
+    client = ServiceClient(server.url, timeout=120.0)
+    try:
+        session = client.create_session(params={"num_buys": 4}, seed=5)
+        # Saturate the single worker with an advance far past any horizon
+        # this test would tolerate; it can only end via the shutdown signal.
+        long_advance = outcome_of(lambda: client.advance(session, seconds=1_000_000.0))
+
+        # service.status runs inline on the HTTP thread, so it stays
+        # answerable while the pool is pegged — wait until the advance is
+        # genuinely in flight before queueing more work behind it.
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if client.status()["stats"]["in_flight"] >= 1:
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail("the long advance never became in-flight")
+
+        queued = outcome_of(lambda: client.create_session(params={"num_buys": 4}))
+        time.sleep(0.1)  # let the queued request reach the executor
+
+        assert client.shutdown_server() == {"stopping": True}
+
+        assert_failed_closed(long_advance, "in-flight advance")
+        assert_failed_closed(queued, "queued session.create")
+        assert server.wait(timeout=30), "ServiceServer.shutdown never completed"
+
+        # The dead server refuses follow-ups as typed exceptions too.
+        with pytest.raises((ServiceRPCError, ServiceConnectionError)):
+            client.ping()
+    finally:
+        server.shutdown()  # idempotent
+
+
+def test_shutdown_is_idempotent_and_reports_closed():
+    server = ServiceServer(ServiceConfig(port=0, workers=1, idle_timeout=None))
+    server.start()
+    client = ServiceClient(server.url, timeout=30.0)
+    client.create_session(params={"num_buys": 4})
+    server.shutdown()
+    server.shutdown()
+    assert server.service.closed.is_set()
+    assert not server.service._sessions

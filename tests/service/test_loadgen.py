@@ -1,0 +1,111 @@
+"""The load generator's math, gates, and bench-file contract.
+
+The tiny end-to-end run at the bottom exercises the real loop machinery
+against an in-process server; everything else pins the pure parts —
+latency summaries (nearest-rank percentiles), config validation, and the
+``{"baseline", "current", "deltas"}`` bench shape.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import LoadgenConfig, ServiceConfig, ServiceServer, run_loadgen, write_bench
+from repro.service.loadgen import _latency_summary
+
+
+class TestLatencySummary:
+    def test_empty(self):
+        assert _latency_summary([]) == {"count": 0}
+
+    def test_percentiles_are_nearest_rank(self):
+        samples = [float(value) for value in range(1, 101)]
+        summary = _latency_summary(samples)
+        assert summary["count"] == 100
+        assert summary["p50_ms"] == 50.0
+        assert summary["p95_ms"] == 95.0
+        assert summary["p99_ms"] == 99.0
+        assert summary["max_ms"] == 100.0
+        assert summary["mean_ms"] == 50.5
+
+    def test_single_sample(self):
+        summary = _latency_summary([7.0])
+        assert summary["p50_ms"] == summary["p99_ms"] == summary["max_ms"] == 7.0
+
+
+class TestConfig:
+    def test_rejects_bad_values(self):
+        for bad in (
+            {"clients": 0},
+            {"requests_per_client": 0},
+            {"mode": "sideways"},
+            {"arrival": "never"},
+            {"mix": "nope"},
+            {"rate": 0.0},
+        ):
+            with pytest.raises(ValueError):
+                LoadgenConfig(url="http://127.0.0.1:1", **bad)
+
+    def test_modes_expansion(self):
+        assert LoadgenConfig(url="u", mode="both").modes == ("closed", "open")
+        assert LoadgenConfig(url="u", mode="open").modes == ("open",)
+
+
+class TestWriteBench:
+    REPORT = {
+        "config": {"url": "u", "clients": 1, "requests_per_client": 1, "mode": "closed",
+                   "arrival": "regular", "rate": 1.0, "mix": "market", "seed": 0,
+                   "p95_ceiling_ms": 100.0},
+        "modes": {
+            "closed": {
+                "error_rate": 0.0,
+                "errors": 0,
+                "throughput_rps": 100.0,
+                "latency_ms": {"count": 4, "p50_ms": 1.0, "p95_ms": 2.0, "p99_ms": 3.0},
+            }
+        },
+        "determinism": {"ok": True},
+        "gates": {},
+        "passed": True,
+    }
+
+    def test_first_write_pins_baseline(self, tmp_path):
+        path = tmp_path / "BENCH_service.json"
+        bench = write_bench(self.REPORT, path)
+        assert bench["baseline"] == bench["current"]
+        assert all(delta == 0 for delta in bench["deltas"].values())
+        on_disk = json.loads(path.read_text())
+        assert on_disk["current"]["closed_p95_ms"] == 2.0
+        assert on_disk["current"]["determinism_ok"] is True
+
+    def test_rewrite_keeps_existing_baseline(self, tmp_path):
+        path = tmp_path / "BENCH_service.json"
+        write_bench(self.REPORT, path)
+        faster = json.loads(json.dumps(self.REPORT))
+        faster["modes"]["closed"]["latency_ms"]["p95_ms"] = 1.0
+        bench = write_bench(faster, path)
+        assert bench["baseline"]["closed_p95_ms"] == 2.0
+        assert bench["current"]["closed_p95_ms"] == 1.0
+        assert bench["deltas"]["closed_p95_ms"] == -1.0
+
+
+class TestEndToEnd:
+    def test_tiny_closed_loop_run(self):
+        with ServiceServer(ServiceConfig(port=0, workers=2, idle_timeout=None)) as server:
+            config = LoadgenConfig(
+                url=server.url,
+                clients=2,
+                requests_per_client=4,
+                mode="closed",
+                seed=3,
+                smoke=True,
+            )
+            report = run_loadgen(config)
+        assert report["modes"]["closed"]["operations"] == 8
+        assert report["modes"]["closed"]["errors"] == 0
+        assert report["determinism"]["ok"] is True
+        assert report["passed"] is True
+        summary = report["modes"]["closed"]["latency_ms"]
+        assert summary["count"] == 8 and summary["p95_ms"] >= summary["p50_ms"]

@@ -1,0 +1,281 @@
+"""Dispatch-level contract of the service: sessions, errors, determinism.
+
+These tests drive :meth:`SimulatorService.dispatch` directly — no HTTP, no
+threads — so they pin the *semantic* behaviour of every RPC verb: spec
+construction and its session-level rules (accounts, retention default,
+derived seeds), the full deploy → advance → receipt → call data path, the
+typed error taxonomy, idle eviction, and idempotent close.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.contracts  # noqa: F401  (registers the shipped contracts)
+from repro.api.checkpoint import spec_digest
+from repro.contracts.simple_storage import SimpleStorageContract
+from repro.service.errors import (
+    InvalidParamsError,
+    MethodNotFoundError,
+    ServiceError,
+    SessionNotFoundError,
+    TooManySessionsError,
+)
+from repro.service.server import ServiceConfig, SimulatorService
+from repro.service.session import build_session_spec, derive_session_seed, session_id_for
+
+SET_VALUE_ABI = SimpleStorageContract.function_by_name("set_value").abi
+
+SMALL_SPEC = {"params": {"num_buys": 4}, "accounts": ["alice"]}
+
+
+@pytest.fixture
+def service():
+    instance = SimulatorService(ServiceConfig(idle_timeout=None, retention_default=None))
+    yield instance
+    instance.close()
+
+
+class TestBuildSessionSpec:
+    def test_defaults(self):
+        spec = build_session_spec({})
+        assert spec.scenario_name == "semantic_mining"
+        assert spec.workload == "market"
+
+    def test_accounts_become_extra_accounts(self):
+        spec = build_session_spec({"accounts": ["alice", "bob"]})
+        assert spec.extra_accounts == ("alice", "bob")
+
+    def test_retention_default_applies_when_absent(self):
+        spec = build_session_spec({}, retention_default=64)
+        assert spec.retention == 64
+
+    def test_explicit_null_retention_beats_default(self):
+        spec = build_session_spec({"retention": None}, retention_default=64)
+        assert spec.retention is None
+
+    def test_explicit_retention_wins(self):
+        spec = build_session_spec({"retention": 32}, retention_default=64)
+        assert spec.retention == 32
+
+    def test_missing_seed_is_derived_from_digest(self):
+        first = build_session_spec({"params": {"num_buys": 4}})
+        second = build_session_spec({"params": {"num_buys": 4}})
+        assert first.seed == second.seed == derive_session_seed(first)
+        # A different spec derives a different seed.
+        assert build_session_spec({"params": {"num_buys": 5}}).seed != first.seed
+
+    def test_explicit_seed_wins(self):
+        assert build_session_spec({"seed": 7}).seed == 7
+
+    def test_experiment_route(self):
+        spec = build_session_spec({"experiment": "figure2", "smoke": True})
+        assert spec.workload == "market"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(InvalidParamsError):
+            build_session_spec({"experiment": "nope"})
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(InvalidParamsError) as excinfo:
+            build_session_spec({"bogus": 1})
+        assert "bogus" in str(excinfo.value)
+
+    def test_observe_and_trace_dir_rejected(self):
+        for forbidden in ("observe", "trace_dir"):
+            with pytest.raises(InvalidParamsError):
+                build_session_spec({forbidden: True})
+
+    def test_session_ids_are_digest_plus_ordinal(self):
+        spec = build_session_spec(dict(SMALL_SPEC))
+        assert session_id_for(spec, 0) == f"{spec_digest(spec)}-0"
+
+
+class TestSessionLifecycle:
+    def test_deploy_advance_receipt_call_roundtrip(self, service):
+        created = service.dispatch("session.create", dict(SMALL_SPEC))
+        session = created["session"]
+        assert created["seed"] == derive_session_seed(
+            build_session_spec(dict(SMALL_SPEC))
+        )
+
+        service.dispatch("session.advance", {"session": session, "blocks": 2})
+        deployed = service.dispatch(
+            "contract.deploy",
+            {"session": session, "account": "alice", "code": "SimpleStorage"},
+        )
+        address = deployed["contract_address"]
+        data = "0x" + SET_VALUE_ABI.encode_call(42).hex()
+        service.dispatch(
+            "tx.submit",
+            {"session": session, "account": "alice", "to": address, "data": data},
+        )
+        # Advance block by block until both transactions commit (inclusion
+        # depends on gossip latency and the jittered block schedule).
+        receipt = {"committed": False}
+        for _ in range(8):
+            service.dispatch("session.advance", {"session": session, "blocks": 1})
+            receipt = service.dispatch(
+                "tx.receipt",
+                {"session": session, "transaction_hash": deployed["transaction_hash"]},
+            )
+            if receipt["committed"]:
+                break
+        assert receipt["committed"] and receipt["success"]
+
+        got = service.dispatch(
+            "contract.call",
+            {
+                "session": session,
+                "contract": address,
+                "function": "get_value",
+                "allow_raa": False,
+            },
+        )
+        assert got["values"] == [42]
+
+        balance = service.dispatch("state.balance", {"session": session, "account": "alice"})
+        assert balance["balance"] > 0
+
+        status = service.dispatch("session.status", {"session": session})
+        assert status["height"] >= 4 and status["state"] == "open"
+
+        service.dispatch("session.close", {"session": session})
+        with pytest.raises(SessionNotFoundError):
+            service.dispatch("session.status", {"session": session})
+
+    def test_replayed_create_requests_rebuild_identical_sessions(self, service):
+        first = service.dispatch("session.create", dict(SMALL_SPEC))
+        second = service.dispatch("session.create", dict(SMALL_SPEC))
+        # Same spec: same seed and digest; ordinals disambiguate the ids.
+        assert first["seed"] == second["seed"]
+        assert first["spec_digest"] == second["spec_digest"]
+        assert first["session"].endswith("-0") and second["session"].endswith("-1")
+        assert first["spec"] == second["spec"]
+
+    def test_run_summary_and_metrics(self, service):
+        session = service.dispatch("session.create", dict(SMALL_SPEC))["session"]
+        summary = service.dispatch("session.run", {"session": session})
+        assert "efficiency" in summary
+        # run is idempotent: the cached summary comes back unchanged.
+        assert service.dispatch("session.run", {"session": session}) == summary
+        assert service.dispatch("session.summary", {"session": session}) == summary
+        report = service.dispatch("session.metrics", {"session": session})
+        assert "buy" in report["labels"]
+
+    def test_summary_before_run_is_invalid(self, service):
+        session = service.dispatch("session.create", dict(SMALL_SPEC))["session"]
+        with pytest.raises(InvalidParamsError):
+            service.dispatch("session.summary", {"session": session})
+
+    def test_hms_status_reports_watched_contract(self, service):
+        session = service.dispatch("session.create", dict(SMALL_SPEC))["session"]
+        service.dispatch("session.advance", {"session": session, "blocks": 3})
+        status = service.dispatch("hms.status", {"session": session})
+        assert status["watched"] and status["watched"][0]["installed"]
+
+    def test_max_sessions_enforced(self):
+        service = SimulatorService(
+            ServiceConfig(idle_timeout=None, retention_default=None, max_sessions=1)
+        )
+        try:
+            service.dispatch("session.create", dict(SMALL_SPEC))
+            with pytest.raises(TooManySessionsError):
+                service.dispatch("session.create", dict(SMALL_SPEC))
+        finally:
+            service.close()
+
+
+class TestErrors:
+    def test_unknown_method(self, service):
+        with pytest.raises(MethodNotFoundError):
+            service.dispatch("no.such.method", {})
+
+    def test_unknown_session(self, service):
+        with pytest.raises(SessionNotFoundError):
+            service.dispatch("session.status", {"session": "nope"})
+
+    def test_missing_session_parameter(self, service):
+        with pytest.raises(InvalidParamsError):
+            service.dispatch("session.status", {})
+
+    def test_unknown_rpc_parameter(self, service):
+        session = service.dispatch("session.create", dict(SMALL_SPEC))["session"]
+        with pytest.raises(InvalidParamsError):
+            service.dispatch("session.status", {"session": session, "bogus": 1})
+
+    def test_engine_errors_become_typed(self, service):
+        session = service.dispatch("session.create", dict(SMALL_SPEC))["session"]
+        service.dispatch("session.advance", {"session": session, "blocks": 1})
+        with pytest.raises(ServiceError):
+            service.dispatch(
+                "contract.call",
+                {
+                    "session": session,
+                    "contract": "0x" + "00" * 20,
+                    "function": "nope",
+                },
+            )
+        # The session survives the failed call.
+        assert service.dispatch("session.status", {"session": session})["state"] == "open"
+
+    def test_every_error_kind_round_trips(self):
+        from repro.service.errors import _KIND_TO_CLASS, error_from_kind
+
+        for kind, cls in _KIND_TO_CLASS.items():
+            error = error_from_kind(kind, "message")
+            assert isinstance(error, cls)
+            wire = cls("message").to_rpc_error()
+            assert wire["data"]["kind"] == kind
+
+
+class TestEvictionAndObservability:
+    def test_idle_sessions_evicted(self):
+        clock = [0.0]
+        service = SimulatorService(ServiceConfig(idle_timeout=None, retention_default=None))
+        try:
+            # Substitute a manual clock on the session so idleness is exact.
+            session_id = service.dispatch("session.create", dict(SMALL_SPEC))["session"]
+            session = service._sessions[session_id]
+            session._clock = lambda: clock[0]
+            session.last_used = 0.0
+            service.config.idle_timeout = 10.0
+            clock[0] = 5.0
+            assert service.evict_idle_sessions() == []
+            clock[0] = 11.0
+            assert service.evict_idle_sessions() == [session_id]
+            assert service.stats.sessions_evicted == 1
+            with pytest.raises(SessionNotFoundError):
+                service.dispatch("session.status", {"session": session_id})
+        finally:
+            service.config.idle_timeout = None
+            service.close()
+
+    def test_service_probe_and_trace_events(self, service):
+        from repro.obs import snapshot
+
+        session = service.dispatch("session.create", dict(SMALL_SPEC))["session"]
+        service.dispatch("session.status", {"session": session})
+        with pytest.raises(MethodNotFoundError):
+            service.dispatch("bogus", {})
+        probes = snapshot()
+        assert probes["service"]["requests"] >= 3
+        assert probes["service"]["errors"] >= 1
+        counts = service.tracer.event_counts()
+        assert counts.get("session.create", 0) >= 1
+        assert counts.get("rpc.request", 0) >= 1
+        assert counts.get("rpc.error", 0) >= 1
+
+    def test_registry_list_and_probes_methods(self, service):
+        catalog = service.dispatch("registry.list", {})
+        assert {"scenarios", "workloads", "adversaries", "topologies", "experiments", "probes"} <= set(catalog)
+        assert all(entry["description"] for entries in catalog.values() for entry in entries)
+        probes = service.dispatch("obs.probes", {})
+        assert "service" in probes["probes"]
+
+    def test_close_is_idempotent(self):
+        service = SimulatorService(ServiceConfig(idle_timeout=None))
+        service.dispatch("session.create", dict(SMALL_SPEC))
+        service.close()
+        service.close()
+        assert service.closed.is_set()
