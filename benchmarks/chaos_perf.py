@@ -1,0 +1,256 @@
+#!/usr/bin/env python
+"""Fault-injection overhead harness: faults-off vs dormant-faults wall time,
+written to ``BENCH_chaos.json``.
+
+The fault subsystem's performance contract has two halves.  First, a run
+with **no faults configured** must be byte-identical to the pre-fault
+world: the ``golden`` leg re-runs the golden determinism sweep and fails
+if its export checksum drifts from the committed
+:data:`repro.experiments.chaos.GOLDEN_SWEEP_SHA256`.  Second, merely
+*installing* the injector must be nearly free: the ``faults_off`` and
+``dormant`` legs time the same gossip-heavy cell without faults and with
+a fault whose window never opens — every hop crosses the injector's
+inline window gate and nothing else — and under ``--smoke`` the run
+**fails** if the best matched-pair CPU-time ratio exceeds
+``MAX_OVERHEAD_RATIO``.  Machine speed varies across runners; the ratio
+contract must not.
+
+A third, informational ``faulted`` leg times one heavy combined-mix chaos
+cell (message faults + crash/restart + displacement adversary) so the
+report also records what a genuinely degraded cell costs.
+
+Baseline protocol (same as the other harnesses): the first run — or
+``--record-baseline`` — stores its numbers under ``"baseline"``; later
+runs keep that baseline, update ``"current"``, and report per-leg
+``"deltas"`` on wall seconds.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/chaos_perf.py            # report only
+    PYTHONPATH=src python benchmarks/chaos_perf.py --smoke    # CI gates
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+from pathlib import Path
+from time import perf_counter, process_time
+from typing import Any, Dict
+
+MAX_OVERHEAD_RATIO = 1.05
+"""The committed ceiling on dormant/faults-off wall time (CI-asserted)."""
+
+FAULTED_SEED = 20260807
+FAULTED_BUYS = 8
+
+
+RATIO_BUYS = 400
+RATIO_SEED = 77
+
+
+def _ratio_spec(dormant: bool):
+    """The big gossip-heavy cell the overhead ratio is measured on.
+
+    400 buys across three clients under the defense: tens of thousands of
+    gossip hops, ~half a second of wall time — enough signal for a 5%
+    ceiling.  The dormant variant differs only in an installed fault whose
+    window never opens, so every hop crosses the injector's inline window
+    gate and nothing else changes.
+    """
+    from repro.api.builder import SimulationBuilder
+
+    builder = (
+        SimulationBuilder()
+        .workload("market", num_buys=RATIO_BUYS)
+        .scenario("semantic_mining")
+        .miners(1)
+        .clients(3)
+        .seed(RATIO_SEED)
+    )
+    if dormant:
+        builder = builder.fault("drop", rate=0.5, target="both", start=1e9)
+    return builder.build()
+
+
+def _timed_ratio_legs(samples: int) -> Dict[str, Any]:
+    """Interleaved CPU-time sampling of the faults-off/dormant pair.
+
+    A 5% ratio gate cannot survive wall-clock scheduling noise on a shared
+    runner, so each run is timed in **process CPU time** with the garbage
+    collector parked (collected before, disabled during) — the two big
+    noise sources on an otherwise deterministic workload.  Samples are
+    interleaved in matched pairs and the gate takes the *minimum* per-pair
+    ratio: timing noise is one-sided (it only inflates a leg), so the best
+    matched pair is the closest estimate of the true ratio, and any real
+    seam regression inflates every pair alike.
+    """
+    import gc
+
+    from repro.api.engine import run_simulation
+
+    timings: Dict[str, list] = {"faults_off": [], "dormant": []}
+    for _ in range(samples):
+        for name, dormant in (("faults_off", False), ("dormant", True)):
+            spec = _ratio_spec(dormant)
+            gc.collect()
+            gc.disable()
+            start = process_time()
+            run_simulation(spec).summary()
+            timings[name].append(process_time() - start)
+            gc.enable()
+    pair_ratios = [
+        dormant / off
+        for off, dormant in zip(timings["faults_off"], timings["dormant"])
+    ]
+    return {
+        "faults_off": {"cpu_seconds": round(min(timings["faults_off"]), 5)},
+        "dormant": {"cpu_seconds": round(min(timings["dormant"]), 5)},
+        "ratio": round(min(pair_ratios), 3),
+    }
+
+
+def _golden_leg() -> Dict[str, Any]:
+    """One timed pass of the committed golden sweep, checksum-gated."""
+    from repro.experiments.chaos import GOLDEN_SWEEP_SHA256, golden_sweep
+
+    start = perf_counter()
+    result = golden_sweep().run(workers=1)
+    elapsed = perf_counter() - start
+    checksum = hashlib.sha256(result.to_json().encode("utf-8")).hexdigest()
+    return {
+        "rows": len(result),
+        "wall_seconds": round(elapsed, 3),
+        "checksum": checksum,
+        "golden": checksum == GOLDEN_SWEEP_SHA256,
+    }
+
+
+def _timed_faulted_cell() -> Dict[str, Any]:
+    """One heavy combined-mix defended cell, timed end to end."""
+    from repro.api.engine import run_simulation
+    from repro.experiments.chaos import _cell_spec
+
+    spec = _cell_spec("semantic_mining", "combined", "heavy", FAULTED_BUYS, FAULTED_SEED)
+    start = perf_counter()
+    summary = run_simulation(spec).summary()
+    elapsed = perf_counter() - start
+    faults = summary["extras"]["faults"]
+    return {
+        "wall_seconds": round(elapsed, 3),
+        "injections": faults["injections"],
+        "peer_restarts": faults["peer_restarts"],
+        "converged": faults["converged"],
+        "checksum": hashlib.sha256(
+            json.dumps(summary, sort_keys=True).encode("utf-8")
+        ).hexdigest(),
+    }
+
+
+def run_benchmarks(samples: int) -> Dict[str, Any]:
+    from repro.api.engine import run_simulation
+
+    run_simulation(_ratio_spec(False))  # untimed warm-up: imports, bytecode
+    golden = _golden_leg()
+    ratio_legs = _timed_ratio_legs(samples)
+    faults_off, dormant = ratio_legs["faults_off"], ratio_legs["dormant"]
+    ratio = ratio_legs["ratio"]
+    faulted = _timed_faulted_cell()
+
+    print(f"  golden:     {golden['rows']} rows in "
+          f"{golden['wall_seconds']:.2f}s  golden={golden['golden']}")
+    print(f"  faults_off: min {faults_off['cpu_seconds']:.3f}s cpu over "
+          f"{samples} samples ({RATIO_BUYS} buys)")
+    print(f"  dormant:    min {dormant['cpu_seconds']:.3f}s cpu")
+    print(f"  overhead:   {ratio}x (ceiling {MAX_OVERHEAD_RATIO}x)")
+    print(f"  faulted:    1 cell in {faulted['wall_seconds']:.2f}s  "
+          f"({faulted['injections']} injections, "
+          f"{faulted['peer_restarts']} restarts, "
+          f"converged={faulted['converged']})")
+    return {
+        "golden": golden,
+        "faults_off": faults_off,
+        "dormant": dormant,
+        "faulted": faulted,
+        "overhead_ratio": ratio,
+        "max_overhead_ratio": MAX_OVERHEAD_RATIO,
+        "sizes": {"ratio_buys": RATIO_BUYS, "ratio_seed": RATIO_SEED,
+                  "samples": samples,
+                  "faulted_buys": FAULTED_BUYS, "faulted_seed": FAULTED_SEED},
+    }
+
+
+def compute_deltas(baseline: Dict[str, Any], current: Dict[str, Any]) -> Dict[str, Any]:
+    """Per-leg wall-time speedup vs the baseline — ``{}`` across grid changes."""
+    if baseline.get("sizes") != current.get("sizes"):
+        return {}
+    deltas: Dict[str, Any] = {}
+    for leg, key in (("golden", "wall_seconds"), ("faults_off", "cpu_seconds"),
+                     ("dormant", "cpu_seconds"), ("faulted", "wall_seconds")):
+        base = baseline.get(leg, {}).get(key)
+        value = current.get(leg, {}).get(key)
+        if base and value:
+            deltas[leg] = {"speedup": round(base / value, 3)}
+    return deltas
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode; fail hard if the golden checksum drifts or the "
+             "dormant/faults-off ratio breaks the ceiling",
+    )
+    parser.add_argument(
+        "--record-baseline",
+        action="store_true",
+        help="store this run as the baseline (overwriting any existing one)",
+    )
+    parser.add_argument(
+        "--samples", type=int, default=5,
+        help="interleaved timings per ratio leg (minimum wins)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_chaos.json",
+    )
+    arguments = parser.parse_args()
+
+    print("chaos benchmarks (golden sweep, dormant faults, one faulted cell):")
+    run = run_benchmarks(arguments.samples)
+
+    if not run["golden"]["golden"]:
+        raise SystemExit(
+            "faults-off golden sweep checksum drifted — the fault subsystem "
+            "is no longer byte-invisible when unconfigured: "
+            f"{run['golden']['checksum']}"
+        )
+    if arguments.smoke and run["overhead_ratio"] > MAX_OVERHEAD_RATIO:
+        raise SystemExit(
+            f"dormant-fault overhead {run['overhead_ratio']}x exceeds the "
+            f"{MAX_OVERHEAD_RATIO}x ceiling"
+        )
+
+    report: Dict[str, Any] = {}
+    if arguments.output.exists():
+        try:
+            report = json.loads(arguments.output.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            report = {}
+
+    if arguments.record_baseline or "baseline" not in report:
+        report["baseline"] = run
+    report["current"] = run
+    report["deltas"] = compute_deltas(report["baseline"], run)
+
+    arguments.output.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {arguments.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..adversary import ADVERSARY_REGISTRY
 from ..experiments.scenario import Scenario
+from ..faults import FAULT_REGISTRY, build_fault
 from ..net.topology import BandwidthModel, freeze_churn, resolve_topology
 from .registry import SCENARIO_REGISTRY, WORKLOAD_REGISTRY
 from .spec import MINER_POLICIES, SimulationSpec, freeze_params
@@ -140,6 +141,25 @@ class SimulationBuilder:
             self._fields["churn"] = freeze_churn(tuple(existing) + tuple(events))
         except (TypeError, ValueError) as error:
             raise BuildError(str(error)) from error
+        return self
+
+    def fault(self, name: str, **params: Any) -> "SimulationBuilder":
+        """Add a fault by registry name, e.g. ``.fault("drop", rate=0.2,
+        target="block")`` or ``.fault("crash", peer="client-1", at=20.0)``;
+        call repeatedly to stack.  Parameters are validated eagerly by
+        constructing the fault once."""
+        if name not in FAULT_REGISTRY:
+            raise BuildError(
+                f"unknown fault {name!r}; registered: {FAULT_REGISTRY.names()}"
+            )
+        try:
+            build_fault(name, params)  # eager parameter validation
+        except (TypeError, ValueError) as error:
+            raise BuildError(
+                f"invalid parameters for fault {name!r}: {error}"
+            ) from error
+        existing = self._fields.get("faults", ())
+        self._fields["faults"] = tuple(existing) + ((name, freeze_params(params)),)
         return self
 
     def miner_order_jitter(self, seconds: float) -> "SimulationBuilder":

@@ -173,6 +173,19 @@ class SweepCheckpoint:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(staging, self.path)
+        # The rename itself is only durable once the parent directory entry
+        # is on disk: without this, a crash right after begin() can leave the
+        # old (or no) checkpoint visible even though the data was fsynced.
+        try:
+            dir_fd = os.open(self.path.parent, os.O_RDONLY)
+        except OSError:  # pragma: no cover - directories not openable here
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:  # pragma: no cover - fsync on dirs unsupported
+            pass
+        finally:
+            os.close(dir_fd)
 
     def record(self, index: int, tags: Dict[str, Any], summary: Dict[str, Any]) -> Dict[str, Any]:
         """Persist one completed row; returns the canonicalized payload."""

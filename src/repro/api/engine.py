@@ -28,6 +28,7 @@ from ..consensus.policies import (
 from ..core.hms.semantic import SemanticMiningPolicy
 from ..core.metrics import MetricsCollector, ThroughputReport
 from ..crypto.addresses import address_from_label
+from ..faults import FaultInjector
 from ..net.latency import UniformLatency
 from ..net.mining import BlockProductionProcess
 from ..net.network import Network
@@ -271,6 +272,26 @@ class SimulationHandle:
         if spec.churn:
             self.network.schedule_churn(ChurnPlan.from_events(spec.churn))
 
+        # Fault injection: built from the spec's frozen entries with per-fault
+        # RNG streams off the seed plan, armed on the gossip seams, and crash
+        # events scheduled like churn.  No faults => injector stays None and
+        # the network keeps the golden-gated clean path.
+        self.fault_injector: Optional[FaultInjector] = None
+        if spec.faults:
+            self.fault_injector = FaultInjector.from_spec(spec.faults, self.seeds)
+            self.network.install_faults(self.fault_injector)
+            miner_ids = {peer.peer_id for peer in self.miner_peers}
+            # The append-only chain cannot reorg, so miner-bound block
+            # deliveries are exempt from message faults (a miner that misses
+            # a block would fork its lineage forever) — the receiver-side
+            # twin of the no-crashing-miners rule below.
+            self.fault_injector.protect_block_peers(miner_ids)
+            self.fault_injector.schedule_peer_faults(
+                self.simulator,
+                self.network,
+                miner_ids=miner_ids,
+            )
+
         # HMS is a property of the Sereth client software: install the
         # workload's watched contracts on every Sereth peer.
         for peer in self.peers.values():
@@ -339,6 +360,8 @@ class SimulationHandle:
             self.tracer.register_probe(
                 "head_state_rss", lambda: self.reference_chain.state.rss_stats()
             )
+            if self.fault_injector is not None:
+                self.tracer.register_probe("faults", self.fault_injector.stats_dict)
 
         self.workload.setup(self.context)
         self.workload.schedule(self.context)
@@ -473,6 +496,18 @@ class SimulationHandle:
             adversary.stop()
         if workload.post_stop_drain:
             simulator.run_until(simulator.now + workload.post_stop_drain)
+        if self.fault_injector is not None:
+            # Post-fault anti-entropy: when the run's *final* blocks were
+            # dropped or corrupted, gossip alone can never heal the laggards —
+            # nothing arrives afterwards to orphan and trigger a range sync.
+            # Offer the best head around and drain; a second round catches
+            # peers whose first sync raced a still-catching-up provider.
+            # Faults-off runs never enter this branch, so default schedules
+            # stay byte-identical.
+            for _ in range(2):
+                if self.network.heal_partitions() == 0:
+                    break
+                simulator.run_until(simulator.now + spec.block_interval)
 
         extras = workload.finalize(self.context)
         if self._network_realism:
@@ -480,6 +515,13 @@ class SimulationHandle:
             # propagation digest — default runs keep their golden bytes.
             extras = dict(extras)
             extras["network"] = self.network.propagation_summary()
+        if self.fault_injector is not None:
+            # Fault runs additionally report injection counters and whether
+            # the chain reconverged after the faults ceased — the signal the
+            # chaos experiment's first claim gates on.  Emit-only-when-armed,
+            # like the network digest above.
+            extras = dict(extras)
+            extras["faults"] = self._faults_summary()
         self.metrics.resolve_from_chain(self.reference_chain)
         labels = self.metrics.labels()
         reports = {label: self.metrics.report(label) for label in labels}
@@ -495,6 +537,18 @@ class SimulationHandle:
             adversary_reports=self._adversary_reports(),
             obs=self.tracer,
         )
+
+    def _faults_summary(self) -> Dict[str, Any]:
+        """Injection counters plus end-of-run convergence across all peers."""
+        summary: Dict[str, Any] = self.fault_injector.summary()
+        heads = {peer.chain.head.hash for peer in self.peers.values()}
+        heights = [peer.chain.height for peer in self.peers.values()]
+        summary["converged"] = len(heads) == 1
+        summary["unique_heads"] = len(heads)
+        summary["min_height"] = min(heights)
+        summary["max_height"] = max(heights)
+        summary["peer_restarts"] = sum(peer.restarts for peer in self.peers.values())
+        return summary
 
     def _adversary_reports(self) -> Dict[str, Dict[str, Any]]:
         """Digest every adversary's attack into the result's metrics block."""

@@ -15,7 +15,7 @@ from typing import Any, Dict, Optional, Tuple
 from ..experiments.scenario import Scenario
 from ..net.topology import freeze_bandwidth, freeze_churn, freeze_topology
 
-__all__ = ["SimulationSpec", "freeze_params", "freeze_adversaries"]
+__all__ = ["SimulationSpec", "freeze_params", "freeze_adversaries", "freeze_faults"]
 
 MINER_POLICIES = ("arrival_jitter", "random", "fifo", "fee_arrival")
 """Baseline ordering-policy overrides a spec may request by name."""
@@ -48,6 +48,12 @@ def freeze_adversaries(adversaries) -> Tuple[Tuple[str, Tuple[Tuple[str, Any], .
             params = freeze_params(params)
         frozen.append((name, tuple(params)))
     return tuple(frozen)
+
+
+def freeze_faults(faults) -> Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...]:
+    """Canonicalize ``(name, params)`` fault entries — same shape (and the
+    same input leniency) as :func:`freeze_adversaries`."""
+    return freeze_adversaries(faults)
 
 
 @dataclass(frozen=True)
@@ -98,6 +104,13 @@ class SimulationSpec:
     churn: Tuple[Tuple[Any, ...], ...] = ()
     """Scheduled churn events, e.g. ``(("leave", 40.0, "client-3"),
     ("join", 90.0, "client-3"))`` — see ``ChurnPlan.from_events``."""
+    faults: Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...] = ()
+    """Deterministic fault injection as ``(name, params)`` entries — the same
+    frozen shape as ``adversaries`` (canonicalized by :func:`freeze_faults`).
+    Names resolve against :data:`repro.faults.FAULT_REGISTRY`; the builder
+    and the engine validate them, the spec only checks shape, to stay
+    import-light.  ``()`` (the default) arms nothing: the network keeps the
+    golden-gated clean path."""
     retention: Optional[int] = None
     """Keep only the newest N blocks per chain (and the matching apply-cache
     window); older history folds into a sealed ``ChainAnchor``.  ``None``
@@ -160,6 +173,18 @@ class SimulationSpec:
         object.__setattr__(self, "topology", freeze_topology(self.topology))
         object.__setattr__(self, "bandwidth", freeze_bandwidth(self.bandwidth))
         object.__setattr__(self, "churn", freeze_churn(self.churn))
+        try:
+            frozen_faults = freeze_faults(self.faults)
+        except (TypeError, ValueError) as error:
+            raise ValueError(
+                f"faults entries must be names or (name, params) pairs: {error}"
+            ) from error
+        for name, _params in frozen_faults:
+            if not name or not isinstance(name, str):
+                raise ValueError(
+                    f"faults entries must be (name, params) tuples, got {name!r}"
+                )
+        object.__setattr__(self, "faults", frozen_faults)
         if self.retention is not None:
             # The window must cover the settle horizon (receipts are consulted
             # until settle_blocks after the last submission) plus sync slack.
@@ -247,6 +272,13 @@ class SimulationSpec:
             description["bandwidth"] = dict(self.bandwidth)
         if self.churn:
             description["churn"] = [list(event) for event in self.churn]
+        # Faults follow the same emit-only-when-set rule: a no-fault spec
+        # renders (and digests) the exact golden bytes.
+        if self.faults:
+            description["faults"] = [
+                {"name": name, "params": {key: value for key, value in params}}
+                for name, params in self.faults
+            ]
         # Retention knobs are emitted only when set, like the network-model
         # fields: default (unbounded) specs keep their golden bytes.
         if self.retention is not None:

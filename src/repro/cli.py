@@ -203,6 +203,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory where shutdown writes the request-lifecycle trace "
         "(service.jsonl + service.trace.json) and a probe snapshot",
     )
+    serve.add_argument(
+        "--persist",
+        dest="persist_dir",
+        default=None,
+        metavar="DIR",
+        help="journal state-changing requests to DIR/requests.jsonl "
+        "(fsynced per request) so a killed server can be resumed",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the --persist journal on startup, rebuilding every "
+        "journaled session byte-identically before serving",
+    )
 
     loadgen = subparsers.add_parser(
         "loadgen",
@@ -718,6 +732,8 @@ def _command_serve(arguments: argparse.Namespace) -> int:
 
     idle_timeout = arguments.idle_timeout if arguments.idle_timeout > 0 else None
     retention = arguments.retention if arguments.retention > 0 else None
+    if arguments.resume and arguments.persist_dir is None:
+        raise SystemExit("--resume requires --persist DIR (the journal to replay)")
     server = ServiceServer(
         ServiceConfig(
             host=arguments.host,
@@ -727,14 +743,20 @@ def _command_serve(arguments: argparse.Namespace) -> int:
             retention_default=retention,
             max_sessions=arguments.max_sessions,
             trace_dir=arguments.trace_out,
+            persist_dir=arguments.persist_dir,
+            resume=arguments.resume,
         )
     )
     server.start()
+    persisted = (
+        f" persist={arguments.persist_dir}" if arguments.persist_dir else ""
+    )
     emit_block(
         "repro service",
         f"serving at {server.url} (POST JSON-RPC 2.0 to {server.url}/rpc)\n"
         f"workers={arguments.workers} idle_timeout={idle_timeout} "
-        f"retention_default={retention} max_sessions={arguments.max_sessions}\n"
+        f"retention_default={retention} max_sessions={arguments.max_sessions}"
+        f"{persisted}\n"
         "stop with Ctrl-C or the service.shutdown RPC method",
     )
     try:

@@ -3,7 +3,7 @@
 Importing this package registers every shipped experiment in
 :data:`repro.api.experiment.EXPERIMENT_REGISTRY` (``figure2``,
 ``sequential``, ``frontrunning``, ``oracle``, ``ablation``,
-``attack_matrix``, ``propagation``, ``horizon``), alongside the historical
+``attack_matrix``, ``propagation``, ``horizon``, ``chaos``), alongside the historical
 per-experiment entry points,
 which remain as thin wrappers."""
 
@@ -22,6 +22,11 @@ from .attack_matrix import (
     AttackMatrixExperiment,
     AttackMatrixResult,
     run_attack_matrix,
+)
+from .chaos import (
+    ChaosExperiment,
+    chaos_claims,
+    chaos_jobs,
 )
 from .claims import ClaimCheck, check_headline_claims
 from .figure2 import (
@@ -89,6 +94,9 @@ __all__ = [
     "AttackMatrixExperiment",
     "AttackMatrixResult",
     "run_attack_matrix",
+    "ChaosExperiment",
+    "chaos_claims",
+    "chaos_jobs",
     "ClaimCheck",
     "check_headline_claims",
     "FrontrunningConfig",

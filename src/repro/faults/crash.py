@@ -1,0 +1,44 @@
+"""Peer crash/restart with state loss.
+
+A ``crash`` fault kills one named peer at a scheduled simulated time: the
+process dies, taking chain, pool, seen-sets, and orphan buffer with it
+(:meth:`repro.net.peer.Peer.restart`), and the network forgets its dedup and
+sync bookkeeping for that peer so nothing "remembers" state across the death.
+After ``downtime`` seconds the peer rejoins from genesis (or, under
+retention, from whatever anchor window its providers still serve) and must
+reconverge through the ordinary PR 6/PR 7 path: the next live block orphans
+on it, which triggers a range sync from the sender.
+
+Miners cannot be crash targets: the block-production race owns their
+schedule, and a genesis-reset miner would mint blocks that fork the
+single-chain model.  The engine enforces this at wiring time.
+"""
+
+from __future__ import annotations
+
+from .registry import register_fault
+
+__all__ = ["CrashFault"]
+
+
+@register_fault("crash")
+class CrashFault:
+    """Kill ``peer`` at ``at`` seconds; restart it ``downtime`` later."""
+
+    category = "peer"
+    action = "crash"
+
+    def __init__(self, peer: str, at: float, downtime: float = 10.0) -> None:
+        if not peer or not isinstance(peer, str):
+            raise ValueError("crash fault needs a peer id")
+        if at < 0.0:
+            raise ValueError("crash time cannot be negative")
+        if downtime <= 0.0:
+            raise ValueError("crash downtime must be positive seconds")
+        self.peer = peer
+        self.at = at
+        self.downtime = downtime
+
+    @property
+    def restart_at(self) -> float:
+        return self.at + self.downtime

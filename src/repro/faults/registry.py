@@ -1,0 +1,44 @@
+"""The fault registry: pluggable, decorator-registered fault kinds.
+
+Faults follow the same pluggable-feature idiom as workloads, scenarios, and
+adversaries: a fault class registers itself once under a short name and every
+consumer — the builder (eager parameter validation), the engine (injector
+construction), the CLI listing — resolves it by that name.  A spec carries
+faults as frozen ``(name, params)`` entries exactly like its adversaries, so
+fault grids sweep like any other spec dimension.
+
+Two categories exist:
+
+* ``"message"`` faults act per gossip hop at the network send seam (drop,
+  duplicate, delay/reorder, truncate-corrupt); see :mod:`repro.faults.message`.
+* ``"peer"`` faults act on whole nodes over simulated time (crash with state
+  loss, then restart); see :mod:`repro.faults.crash`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from ..registry import Registry
+
+__all__ = ["FAULT_REGISTRY", "register_fault", "build_fault"]
+
+FAULT_REGISTRY: Registry = Registry("fault")
+
+
+def register_fault(name: str):
+    """Class decorator registering a fault kind under ``name``."""
+    return FAULT_REGISTRY.register(name)
+
+
+def build_fault(name: str, params: Dict[str, Any] | Tuple[Tuple[str, Any], ...]):
+    """Resolve ``name`` and construct the fault with ``params``.
+
+    Raises ``RegistryError`` for unknown names and whatever the fault's own
+    constructor raises for bad parameters — the builder turns both into a
+    ``BuildError`` at build time, long before a sweep cell runs.
+    """
+    fault_class = FAULT_REGISTRY.get(name)
+    if not isinstance(params, dict):
+        params = dict(params)
+    return fault_class(**params)

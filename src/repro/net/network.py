@@ -21,6 +21,15 @@ delay per directed link (a burst of blocks down one pipe queues rather than
 teleports), and churn state (offline peers, partitions) gates sends at the
 moment they are scheduled — in-flight messages still deliver unless the
 receiver itself has gone offline.
+
+A :class:`repro.faults.FaultInjector` armed via :meth:`Network.install_faults`
+additionally gets one decision per delivery hop (drop / duplicate / extra
+delay / corrupt-then-reject) plus the :meth:`crash_peer` / :meth:`restart_peer`
+callbacks; its decisions draw from their own spec-derived streams, never from
+this module's RNG, so the clean path's draw order — and the golden checksums —
+are untouched.  Fault drops land in the existing ``*_dropped`` counters (they
+are message loss) and are additionally attributed by kind in the injector's
+own counters.
 """
 
 from __future__ import annotations
@@ -41,6 +50,11 @@ from .sim import Simulator
 from .topology import BandwidthModel, ChurnPlan, Topology, edge_key
 
 __all__ = ["NetworkStats", "Network"]
+
+# Nominal one-hop latency for post-fault anti-entropy offers.  Fixed rather
+# than sampled so the heal round consumes no RNG state: a faulted run's event
+# schedule stays a pure function of its seed plan.
+_HEAL_OFFER_DELAY = 0.05
 
 
 @dataclass
@@ -155,6 +169,10 @@ class Network:
             deque(maxlen=32 * history_limit) if history_limit is not None else []
         )
         self._sync_inflight: Dict[str, float] = {}
+        # Fault injection (inert until install_faults is called): with no
+        # injector armed, every send seam takes a single dead branch — the
+        # golden-gated zero-cost path, exactly like the tracer hook.
+        self._faults = None
 
     # -- membership -----------------------------------------------------------------
 
@@ -243,6 +261,79 @@ class Network:
         if tracer is not None:
             tracer.event("churn", kind=event.kind, detail=detail)
 
+    # -- fault injection --------------------------------------------------------------
+
+    def install_faults(self, injector) -> None:
+        """Arm a :class:`repro.faults.FaultInjector` on the gossip seams.
+
+        Message faults are consulted once per scheduled delivery hop (direct
+        broadcast and topology flood alike); crash faults call back into
+        :meth:`crash_peer` / :meth:`restart_peer` from the event loop.
+        """
+        self._faults = injector
+
+    def crash_peer(self, peer_id: str) -> None:
+        """Kill ``peer_id``: offline *and* total state loss, unlike churn's
+        ``leave`` (which keeps local state).  The network's own per-peer
+        bookkeeping dies with the process — dedup sets (a reborn peer has
+        seen nothing) and sync throttles — so nothing remembers state across
+        the death."""
+        peer = self._peers[peer_id]
+        self.set_offline(peer_id, True)
+        self._seen_blocks.pop(peer_id, None)
+        self._seen_order.pop(peer_id, None)
+        self._sync_inflight.pop(peer_id, None)
+        peer.restart()
+
+    def restart_peer(self, peer_id: str) -> None:
+        """Bring a crashed peer back online.  Its state was wiped at crash
+        time; it reconverges from genesis-or-anchor via the ordinary path —
+        the next gossiped block orphans on it and triggers a range sync."""
+        self.set_offline(peer_id, False)
+
+    def heal_partitions(self) -> int:
+        """One anti-entropy push round: offer the best head to every lagging
+        online peer through the ordinary delivery path.
+
+        Gossip alone cannot heal a run whose *final* blocks were dropped or
+        corrupted — nothing arrives afterwards to orphan on the laggard and
+        trigger a range sync.  Real clients close that gap by pulling
+        (periodic status exchange); this models one such round.  The pushed
+        head orphans on each laggard, whose range sync then fills the gap
+        from the best peer.  Deliveries use a fixed nominal delay — no RNG
+        draw — and bypass the fault seams (the engine calls this only after
+        fault windows close).  Returns the number of offers scheduled."""
+        online = [
+            peer
+            for peer_id, peer in self._peers.items()
+            if peer_id not in self._offline
+        ]
+        if not online:
+            return 0
+        best = max(
+            online,
+            key=lambda peer: (peer.chain.height, peer.chain.head.hash, peer.peer_id),
+        )
+        head = best.chain.head
+        if head.number == 0:
+            return 0
+        wire_size = len(wire_encoding(head))
+        offered = 0
+        for peer in online:
+            if peer.chain.head.hash == head.hash:
+                continue
+            # The laggard may have seen (and orphaned) this head already with
+            # its one allowed sync request spent on a stale provider; clear
+            # both so the re-offer reaches import and resyncs from ``best``.
+            self._seen_blocks.get(peer.peer_id, set()).discard(head.hash)
+            self._sync_inflight.pop(peer.peer_id, None)
+            self.stats.block_bytes += wire_size
+            self._schedule_block_delivery(
+                best.peer_id, peer, head, wire_size, _HEAL_OFFER_DELAY, sync=True
+            )
+            offered += 1
+        return offered
+
     def _link_up(self, source_id: Optional[str], destination_id: str) -> bool:
         if destination_id in self._offline:
             return False
@@ -308,11 +399,7 @@ class Network:
             if self.transaction_loss_rate and self._rng.random() < self.transaction_loss_rate:
                 self.stats.transactions_dropped += 1
                 continue
-            delay = self._link_delay(origin.peer_id, peer.peer_id, wire_size, self.latency)
-            self.stats.transaction_bytes += wire_size
-            self._schedule_transaction_delivery(
-                origin.peer_id, peer, transaction, wire_size, delay
-            )
+            self._send_transaction(origin.peer_id, peer, transaction, wire_size)
 
     def _flood_transaction(
         self, from_id: str, exclude_id: Optional[str], transaction: Transaction, wire_size: int
@@ -329,9 +416,46 @@ class Network:
             if self.transaction_loss_rate and self._rng.random() < self.transaction_loss_rate:
                 self.stats.transactions_dropped += 1
                 continue
-            delay = self._link_delay(from_id, neighbor_id, wire_size, self.latency)
+            self._send_transaction(from_id, peer, transaction, wire_size)
+
+    def _send_transaction(
+        self, sender_id: str, peer: Peer, transaction: Transaction, wire_size: int
+    ) -> None:
+        """One transaction hop: fault gate, link delay, byte accounting,
+        scheduled delivery.  Fault decisions come from the injector's own
+        seeded streams — never from ``self._rng`` — so the legacy loss and
+        latency draw order is identical with faults on or off."""
+        effect = None
+        faults = self._faults
+        if faults is not None:
+            now = self.simulator.now
+            # Inline window gate: outside every fault window the seam call is
+            # provably a no-op (inactive faults never draw), so skip it.
+            if faults.window_start <= now < faults.window_until:
+                effect = faults.on_message("tx", sender_id, peer.peer_id, now)
+        if effect is not None and effect.drop:
+            self.stats.transactions_dropped += 1
+            return
+        delay = self._link_delay(sender_id, peer.peer_id, wire_size, self.latency)
+        corrupt = False
+        if effect is not None:
+            delay += effect.extra_delay
+            corrupt = effect.corrupt
+        self.stats.transaction_bytes += wire_size
+        self._schedule_transaction_delivery(
+            sender_id, peer, transaction, wire_size, delay, corrupt=corrupt
+        )
+        if effect is not None and effect.duplicate_gap is not None:
+            # The duplicated copy ships real bytes too, trailing the first.
             self.stats.transaction_bytes += wire_size
-            self._schedule_transaction_delivery(from_id, peer, transaction, wire_size, delay)
+            self._schedule_transaction_delivery(
+                sender_id,
+                peer,
+                transaction,
+                wire_size,
+                delay + effect.duplicate_gap,
+                corrupt=corrupt,
+            )
 
     def _schedule_transaction_delivery(
         self,
@@ -340,10 +464,16 @@ class Network:
         transaction: Transaction,
         wire_size: int,
         delay: float,
+        corrupt: bool = False,
     ) -> None:
         def deliver() -> None:
             if self._churn_active and peer.peer_id in self._offline:
                 self.stats.transactions_dropped_link += 1
+                return
+            if corrupt:
+                # Truncated in flight: the frame crossed the wire (bytes were
+                # accounted at send) but fails to decode, so the receiver
+                # discards it before pool admission — and never relays it.
                 return
             self.stats.transaction_deliveries += 1
             accepted = peer.receive_transaction(transaction, self.simulator.now)
@@ -424,14 +554,13 @@ class Network:
             if self.block_loss_rate and self._rng.random() < self.block_loss_rate:
                 self.stats.blocks_dropped += 1
                 continue
-            delay = self._link_delay(
+            self._send_block(
+                origin_id,
                 origin_id if origin_id is not None else "network",
-                peer.peer_id,
+                peer,
+                block,
                 wire_size,
-                self.block_latency,
             )
-            self.stats.block_bytes += wire_size
-            self._schedule_block_delivery(origin_id, peer, block, wire_size, delay)
 
     def _flood_block(
         self, from_id: str, exclude_id: Optional[str], block: Block, wire_size: int
@@ -448,9 +577,49 @@ class Network:
             if self.block_loss_rate and self._rng.random() < self.block_loss_rate:
                 self.stats.blocks_dropped += 1
                 continue
-            delay = self._link_delay(from_id, neighbor_id, wire_size, self.block_latency)
+            self._send_block(from_id, from_id, peer, block, wire_size)
+
+    def _send_block(
+        self,
+        sender_id: Optional[str],
+        delay_source: str,
+        peer: Peer,
+        block: Block,
+        wire_size: int,
+    ) -> None:
+        """One block hop: fault gate, link delay, byte accounting, scheduled
+        delivery.  ``delay_source`` differs from ``sender_id`` only on the
+        legacy origin-less broadcast ("network").  Fault decisions never
+        touch ``self._rng`` (see :meth:`_send_transaction`)."""
+        effect = None
+        faults = self._faults
+        if faults is not None:
+            now = self.simulator.now
+            # Same inline window gate as the transaction seam.
+            if faults.window_start <= now < faults.window_until:
+                effect = faults.on_message("block", delay_source, peer.peer_id, now)
+        if effect is not None and effect.drop:
+            self.stats.blocks_dropped += 1
+            return
+        delay = self._link_delay(delay_source, peer.peer_id, wire_size, self.block_latency)
+        corrupt = False
+        if effect is not None:
+            delay += effect.extra_delay
+            corrupt = effect.corrupt
+        self.stats.block_bytes += wire_size
+        self._schedule_block_delivery(
+            sender_id, peer, block, wire_size, delay, corrupt=corrupt
+        )
+        if effect is not None and effect.duplicate_gap is not None:
             self.stats.block_bytes += wire_size
-            self._schedule_block_delivery(from_id, peer, block, wire_size, delay)
+            self._schedule_block_delivery(
+                sender_id,
+                peer,
+                block,
+                wire_size,
+                delay + effect.duplicate_gap,
+                corrupt=corrupt,
+            )
 
     def _schedule_block_delivery(
         self,
@@ -460,9 +629,10 @@ class Network:
         wire_size: int,
         delay: float,
         sync: bool = False,
+        corrupt: bool = False,
     ) -> None:
         def deliver() -> None:
-            self._deliver_block(sender_id, peer, block, wire_size, sync=sync)
+            self._deliver_block(sender_id, peer, block, wire_size, sync=sync, corrupt=corrupt)
 
         self.simulator.schedule_in(delay, deliver)
 
@@ -473,9 +643,16 @@ class Network:
         block: Block,
         wire_size: int,
         sync: bool = False,
+        corrupt: bool = False,
     ) -> None:
         if self._churn_active and peer.peer_id in self._offline:
             self.stats.blocks_dropped_link += 1
+            return
+        if corrupt:
+            # Decode failure at the receiver: discarded before dedup, import,
+            # and relay — so a later clean copy of the same block still lands
+            # normally, and an all-corrupt hop set heals via the orphan →
+            # range-sync path when the next block arrives.
             return
         self.stats.block_deliveries += 1
         tracer = _obs.TRACER

@@ -84,15 +84,24 @@ class Peer:
             raise ValueError(f"unknown client kind {client_kind!r}")
         self.peer_id = peer_id
         self.client_kind = client_kind
-        self.engine = ExecutionEngine(registry=registry or default_registry())
+        # Construction inputs are kept so restart() can rebuild the node's
+        # process state from scratch (crash faults = total state loss).
+        self._registry = registry or default_registry()
+        self._genesis = genesis
+        self._pool_max_size = pool_max_size
+        self._apply_cache = apply_cache
+        self._retain_blocks = retain_blocks
+        self.engine = ExecutionEngine(registry=self._registry)
         self.chain = Blockchain(
             self.engine, genesis, apply_cache=apply_cache, retain_blocks=retain_blocks
         )
         self.pool = TxPool(max_size=pool_max_size, owner=peer_id)
         self.stats = PeerStats()
+        self.restarts = 0
         self.network = None  # set by Network.add_peer
         self._raa_registry: Optional[RAAProviderRegistry] = None
         self._hms_providers: Dict[Address, HMSRAAProvider] = {}
+        self._hms_configs: List[Tuple[Address, bytes, Optional[SerethStorageLayout]]] = []
         self._seen_transactions: set = set()
         # Orphan buffer for flood gossip: blocks whose ancestors have not
         # arrived yet, keyed by the parent hash they are waiting for.
@@ -136,6 +145,7 @@ class Peer:
         )
         self._raa_registry.register(contract_address, provider)
         self._hms_providers[contract_address] = provider
+        self._hms_configs.append((contract_address, set_selector, layout))
         return provider
 
     def hms_provider(self, contract_address: Address) -> Optional[HMSRAAProvider]:
@@ -153,6 +163,39 @@ class Peer:
                 f"peer {self.peer_id} has no RAA registry; install HMS before overriding"
             )
         self._raa_registry.register(contract_address, provider)
+
+    # -- crash/restart --------------------------------------------------------------------
+
+    def restart(self) -> None:
+        """Rebuild this node's process state from genesis: total state loss.
+
+        What a crash destroys: chain, pool, seen-transaction dedup, orphan
+        buffer, counters.  What survives: the node's *configuration* — its
+        client software (and therefore which contracts HMS watches), which
+        is reinstalled against the fresh pool and chain, exactly as a real
+        node restarting from its config file would.  Reconvergence is the
+        caller's problem: the network delivers the next block, the fresh
+        chain orphans it, and range sync backfills the gap (or, under
+        provider retention, as much of it as any neighbour still serves).
+        """
+        self.engine = ExecutionEngine(registry=self._registry)
+        self.chain = Blockchain(
+            self.engine,
+            self._genesis,
+            apply_cache=self._apply_cache,
+            retain_blocks=self._retain_blocks,
+        )
+        self.pool = TxPool(max_size=self._pool_max_size, owner=self.peer_id)
+        self.stats = PeerStats()
+        self._seen_transactions = set()
+        self._orphans = {}
+        self.restarts += 1
+        hms_configs = self._hms_configs
+        self._hms_configs = []
+        self._raa_registry = None
+        self._hms_providers = {}
+        for contract_address, set_selector, layout in hms_configs:
+            self.install_hms(contract_address, set_selector, layout=layout)
 
     # -- transaction handling -------------------------------------------------------------
 

@@ -5,7 +5,7 @@ One :class:`Tracer` records everything one simulation trial observed:
 * **typed events** — a closed vocabulary (:data:`EVENT_KINDS`) covering the
   transaction lifecycle (submit → gossip hop → pool admit/replace/evict →
   block include → receipt), the block lifecycle (build/import/reject/orphan/
-  range-sync), churn, and adversary decisions.  Each event carries the
+  range-sync), churn, fault injections, and adversary decisions.  Each event carries the
   simulation clock (deterministic) and a monotonic wall clock (not);
 * **phase spans** — lightweight timers around the engine's hot phases
   (:data:`PHASES`): block assembly, import, validation replay, transaction
@@ -51,6 +51,10 @@ EVENT_KINDS = frozenset(
         "sync.range",
         "churn",
         "adversary.attack",
+        # Fault injection (emitted by repro.faults.FaultInjector).
+        "fault.inject",
+        "fault.crash",
+        "fault.restart",
         # Service-facade request lifecycle (emitted by repro.service.server).
         "rpc.request",
         "rpc.error",

@@ -5,21 +5,33 @@ harnesses — build a ``payload``, ``post_request`` it, check
 ``has_success_status`` — so a test reads like a transcript of what a real
 client does.  :class:`ServiceClient` wraps them with one method per RPC.
 
-Transport failures (refused, reset, timeout) raise
-:class:`~repro.service.errors.ServiceConnectionError`; JSON-RPC error
+Transport failures (refused, reset, timeout, a connection dropped mid-body)
+raise :class:`~repro.service.errors.ServiceConnectionError`; JSON-RPC error
 envelopes raise :class:`~repro.service.errors.ServiceRPCError` carrying the
 server's typed ``kind`` — a killed server is always a typed exception here,
 never a hang (every request carries a timeout).
+
+Resilience: :class:`ServiceClient` retries *idempotent* methods (reads,
+``healthz``, the summary-cached ``session.run``) on transport errors and on
+typed ``server_overloaded`` rejections, with capped exponential backoff and
+deterministic seeded jitter (same ``retry_seed`` → same schedule, so tests
+and replayed load runs see identical timing decisions).  State-changing
+verbs — ``tx.submit``, ``session.advance``, ``contract.deploy``, create /
+close / shutdown — are never retried: a lost response does not prove the
+request was lost, and a blind resend could double-apply it.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
 import socket
+import time
 import urllib.error
 import urllib.request
 from itertools import count
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from .errors import ServiceConnectionError, ServiceRPCError
 
@@ -28,11 +40,36 @@ __all__ = [
     "post_request",
     "post_request_localhost",
     "has_success_status",
+    "IDEMPOTENT_METHODS",
     "ServiceClient",
 ]
 
 DEFAULT_PORT = 8547
 _request_ids = count(1)
+
+IDEMPOTENT_METHODS = frozenset(
+    {
+        "service.ping",
+        "service.status",
+        "registry.list",
+        "obs.probes",
+        "session.list",
+        "session.describe",
+        "session.status",
+        "session.summary",
+        "session.metrics",
+        # run is idempotent by construction: the server caches the summary
+        # and a repeated run returns it rather than re-driving the engine.
+        "session.run",
+        "tx.receipt",
+        "state.balance",
+        "state.storage",
+        "hms.status",
+        "contract.call",
+    }
+)
+"""The verbs a client may safely resend: pure reads plus ``session.run``.
+Everything else mutates on arrival and is delivered at most once."""
 
 
 def payload(method: str, params: Optional[Dict[str, Any]] = None, request_id: Optional[int] = None) -> Dict[str, Any]:
@@ -58,6 +95,12 @@ def post_request(url: str, body: Dict[str, Any], timeout: float = 60.0) -> Dict[
         raise ServiceConnectionError(f"HTTP {error.code} from {url}: {error.reason}") from error
     except (urllib.error.URLError, ConnectionError, socket.timeout, OSError) as error:
         raise ServiceConnectionError(f"cannot reach {url}: {error}") from error
+    # IncompleteRead (a server killed mid-body) subclasses HTTPException, not
+    # OSError — without this clause it would escape as a raw http.client error.
+    except http.client.HTTPException as error:
+        raise ServiceConnectionError(
+            f"connection to {url} lost mid-response: {error!r}"
+        ) from error
     except json.JSONDecodeError as error:
         raise ServiceConnectionError(f"non-JSON response from {url}: {error}") from error
 
@@ -75,13 +118,79 @@ def has_success_status(receipt: Dict[str, Any]) -> bool:
 
 
 class ServiceClient:
-    """One server, one method per RPC; raises typed errors, returns results."""
+    """One server, one method per RPC; raises typed errors, returns results.
 
-    def __init__(self, url: str, timeout: float = 60.0) -> None:
+    ``retries`` bounds the *extra* attempts for idempotent verbs (so the
+    worst case is ``retries + 1`` sends); backoff doubles from ``backoff``
+    up to ``backoff_cap`` with deterministic jitter drawn from
+    ``random.Random(retry_seed)``.  Non-idempotent verbs always get exactly
+    one attempt regardless.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 60.0,
+        retries: int = 2,
+        backoff: float = 0.05,
+        backoff_cap: float = 1.0,
+        retry_seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff <= 0.0 or backoff_cap < backoff:
+            raise ValueError(
+                f"need 0 < backoff <= backoff_cap, got {backoff} / {backoff_cap}"
+            )
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self._jitter = random.Random(retry_seed)
+        self._sleep = sleep
+        self.retries_performed = 0
+
+    # -- retry plumbing ------------------------------------------------------------
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """The pause before retry ``attempt`` (1-based): capped exponential
+        with deterministic jitter in [0.5x, 1.5x)."""
+        base = min(self.backoff_cap, self.backoff * (2 ** (attempt - 1)))
+        return base * self._jitter.uniform(0.5, 1.5)
+
+    def _with_retries(self, send: Callable[[], Dict[str, Any]], idempotent: bool) -> Dict[str, Any]:
+        attempts = self.retries + 1 if idempotent else 1
+        attempt = 0
+        while True:
+            try:
+                return send()
+            except ServiceConnectionError:
+                attempt += 1
+                if attempt >= attempts:
+                    raise
+                delay = self._backoff_delay(attempt)
+            except ServiceRPCError as error:
+                if error.kind != "server_overloaded":
+                    raise
+                attempt += 1
+                if attempt >= attempts:
+                    raise
+                # Honor the server's backlog-sized hint when it is larger
+                # than our own schedule would have waited.
+                retry_after = float(error.data.get("retry_after", 0.0) or 0.0)
+                delay = max(self._backoff_delay(attempt), retry_after)
+            self.retries_performed += 1
+            self._sleep(delay)
 
     def request(self, method: str, params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        return self._with_retries(
+            lambda: self._request_once(method, params),
+            idempotent=method in IDEMPOTENT_METHODS,
+        )
+
+    def _request_once(self, method: str, params: Optional[Dict[str, Any]]) -> Dict[str, Any]:
         envelope = post_request(f"{self.url}/rpc", payload(method, params), timeout=self.timeout)
         error = envelope.get("error")
         if error is not None:
@@ -93,6 +202,31 @@ class ServiceClient:
         return envelope.get("result", {})
 
     # -- control plane -------------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        """The liveness endpoint (``GET /healthz``); retried like any read."""
+
+        def send() -> Dict[str, Any]:
+            request = urllib.request.Request(f"{self.url}/healthz", method="GET")
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    return dict(json.loads(response.read().decode("utf-8")))
+            except urllib.error.HTTPError as error:
+                raise ServiceConnectionError(
+                    f"HTTP {error.code} from {self.url}/healthz: {error.reason}"
+                ) from error
+            except (urllib.error.URLError, ConnectionError, socket.timeout, OSError) as error:
+                raise ServiceConnectionError(f"cannot reach {self.url}: {error}") from error
+            except http.client.HTTPException as error:
+                raise ServiceConnectionError(
+                    f"connection to {self.url} lost mid-response: {error!r}"
+                ) from error
+            except json.JSONDecodeError as error:
+                raise ServiceConnectionError(
+                    f"non-JSON response from {self.url}: {error}"
+                ) from error
+
+        return self._with_retries(send, idempotent=True)
 
     def ping(self) -> Dict[str, Any]:
         return self.request("service.ping")

@@ -19,6 +19,7 @@ __all__ = [
     "SessionClosedError",
     "ServerShutdownError",
     "TooManySessionsError",
+    "ServerOverloadedError",
     "ExecutionError",
     "ServiceClientError",
     "ServiceConnectionError",
@@ -41,6 +42,7 @@ _RPC_SESSION_CLOSED = -32002
 _RPC_SERVER_SHUTDOWN = -32003
 _RPC_TOO_MANY_SESSIONS = -32004
 _RPC_EXECUTION_ERROR = -32005
+_RPC_SERVER_OVERLOADED = -32006
 
 
 class ServiceError(Exception):
@@ -98,6 +100,26 @@ class TooManySessionsError(ServiceError):
     rpc_code = _RPC_TOO_MANY_SESSIONS
 
 
+class ServerOverloadedError(ServiceError):
+    """The worker pool and its bounded queue are saturated: the request is
+    refused immediately (with a ``retry_after`` hint in ``data``) instead of
+    queueing without bound behind the executor."""
+
+    kind = "server_overloaded"
+    rpc_code = _RPC_SERVER_OVERLOADED
+
+    def __init__(
+        self,
+        message: str,
+        retry_after: float = 0.1,
+        data: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        payload = dict(data or {})
+        payload.setdefault("retry_after", retry_after)
+        super().__init__(message, payload)
+        self.retry_after = float(payload["retry_after"])
+
+
 class ExecutionError(ServiceError):
     """An unexpected engine-side failure, wrapped so callers still get a
     typed envelope rather than a transport-level 500."""
@@ -115,6 +137,7 @@ _KIND_TO_CLASS = {
         SessionClosedError,
         ServerShutdownError,
         TooManySessionsError,
+        ServerOverloadedError,
         ExecutionError,
     )
 }

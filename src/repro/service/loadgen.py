@@ -211,6 +211,17 @@ def _timed(driver: _SessionDriver, op: str, started_at: float) -> _Sample:
         return _Sample(op, (time.perf_counter() - started_at) * 1000.0, False, error.kind)
     except ServiceClientError:
         return _Sample(op, (time.perf_counter() - started_at) * 1000.0, False, "connection")
+    except Exception as error:
+        # A transport failure the client layer did not wrap (e.g. a server
+        # killed mid-body on an old client) is still a transport error to the
+        # load generator — record it instead of letting the worker thread die
+        # and silently under-count its remaining requests.
+        return _Sample(
+            op,
+            (time.perf_counter() - started_at) * 1000.0,
+            False,
+            f"transport:{type(error).__name__}",
+        )
     return _Sample(op, (time.perf_counter() - started_at) * 1000.0, True)
 
 

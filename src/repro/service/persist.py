@@ -1,0 +1,150 @@
+"""Request-log persistence: the ``--persist``/``--resume`` durability story.
+
+The journal is deliberately *not* a state snapshot.  Sessions are pure
+functions of their request history (specs carry content-derived seeds,
+session ids are ``<digest>-<ordinal>``, and every engine is deterministic),
+so the cheapest durable representation of a server's state is the ordered
+log of the state-changing requests it accepted.  :class:`RequestJournal`
+appends one JSON line per successful mutating request (fsynced, so a killed
+process loses at most the request whose response never went out), and
+``--resume`` replays the log through the ordinary dispatcher before the
+HTTP listener opens — rebuilding byte-identical sessions: same specs, same
+seeds, same ids, same summaries.
+
+Read-only methods (status, summaries, balances, view calls) are never
+journaled: they do not change what a replay must rebuild, and keeping them
+out bounds the log by the write traffic, not the read traffic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from .errors import ServiceError
+
+__all__ = ["JOURNALED_METHODS", "RequestJournal"]
+
+JOURNALED_METHODS = frozenset(
+    {
+        "session.create",
+        "session.advance",
+        "session.run",
+        "session.close",
+        "contract.deploy",
+        "tx.submit",
+    }
+)
+"""The state-changing RPC methods.  Everything else is a read against state
+these six determine, so replaying exactly this set rebuilds the server."""
+
+_HEADER = {"journal": "repro-service-requests", "version": 1}
+
+
+class RequestJournal:
+    """An append-only JSONL log of successful state-changing requests.
+
+    Concurrency: the dispatcher records from worker threads, so appends are
+    serialized under a lock and each one is flushed + fsynced before the
+    caller's response can be written — the log never claims less than what
+    clients were told succeeded.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / "requests.jsonl"
+        self._lock = threading.Lock()
+        self._file: Optional[Any] = None
+        self.recorded = 0
+        self.replayed = 0
+        self.replay_errors = 0
+
+    # -- replay (before serving) ---------------------------------------------------
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """The recorded requests, in arrival order (header line skipped).
+
+        A line that does not decode — a partially written tail after a kill,
+        or hand-mangled bytes — drops only itself (counted as a replay
+        error): every intact request before and after it still replays.
+        """
+        rows: List[Dict[str, Any]] = []
+        if not self.path.exists():
+            return rows
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    self.replay_errors += 1
+                    continue
+                if isinstance(row, dict) and "method" in row:
+                    rows.append(row)
+        return rows
+
+    def replay(self, dispatch: Callable[[str, Dict[str, Any]], Dict[str, Any]]) -> int:
+        """Re-dispatch every recorded request through ``dispatch``.
+
+        Typed service errors are counted, not fatal: a log may legitimately
+        end with requests the old process rejected too (e.g. a submit against
+        a session whose close was also recorded earlier in the log).
+        """
+        for entry in self.entries():
+            self.replayed += 1
+            try:
+                dispatch(str(entry["method"]), dict(entry.get("params") or {}))
+            except ServiceError:
+                self.replay_errors += 1
+        return self.replayed
+
+    # -- recording (while serving) ---------------------------------------------------
+
+    def open(self) -> None:
+        """Open for appending (creating the directory and header if new)."""
+        with self._lock:
+            if self._file is not None:
+                return
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            self._file = self.path.open("a", encoding="utf-8")
+            if fresh:
+                self._file.write(json.dumps(_HEADER, sort_keys=True) + "\n")
+                self._file.flush()
+                os.fsync(self._file.fileno())
+
+    def record(self, method: str, params: Optional[Dict[str, Any]]) -> None:
+        """Durably append one successful request (no-op for read methods)."""
+        if method not in JOURNALED_METHODS:
+            return
+        line = json.dumps(
+            {"method": method, "params": dict(params or {})},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        with self._lock:
+            if self._file is None:
+                return
+            self._file.write(line + "\n")
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self.recorded += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def counters(self) -> Dict[str, int]:
+        """The journal's contribution to ``service.status``."""
+        return {
+            "recorded": self.recorded,
+            "replayed": self.replayed,
+            "replay_errors": self.replay_errors,
+        }

@@ -40,11 +40,13 @@ from .errors import (
     MethodNotFoundError,
     RPC_INVALID_REQUEST,
     RPC_PARSE_ERROR,
+    ServerOverloadedError,
     ServerShutdownError,
     ServiceError,
     SessionNotFoundError,
     TooManySessionsError,
 )
+from .persist import RequestJournal
 from .session import ServiceSession, build_session_spec, session_id_for
 
 __all__ = ["ServiceConfig", "ServiceStats", "SimulatorService", "ServiceServer"]
@@ -72,6 +74,17 @@ class ServiceConfig:
     max_sessions: int = 64
     trace_dir: Optional[str] = None
     """Where shutdown writes the request-lifecycle trace + probe snapshot."""
+    max_queue: Optional[int] = None
+    """Bounded admission: refuse session methods (typed ``server_overloaded``
+    with a ``retry_after`` hint) once more than ``workers + max_queue`` are
+    pending, instead of queueing without bound.  ``None`` derives
+    ``2 * workers``."""
+    persist_dir: Optional[str] = None
+    """Journal successful state-changing requests to ``<dir>/requests.jsonl``
+    (fsynced per append) so a killed server can be rebuilt with ``resume``."""
+    resume: bool = False
+    """Replay ``persist_dir``'s journal through the dispatcher before serving,
+    rebuilding byte-identical sessions (same specs, seeds, and ids)."""
 
 
 @dataclass
@@ -81,6 +94,7 @@ class ServiceStats:
     requests: int = 0
     errors: int = 0
     in_flight: int = 0
+    rejected_overload: int = 0
     sessions_created: int = 0
     sessions_closed: int = 0
     sessions_evicted: int = 0
@@ -91,6 +105,7 @@ class ServiceStats:
             "requests": self.requests,
             "errors": self.errors,
             "in_flight": self.in_flight,
+            "rejected_overload": self.rejected_overload,
             "sessions_open": open_sessions,
             "sessions_created": self.sessions_created,
             "sessions_closed": self.sessions_closed,
@@ -151,6 +166,20 @@ class SimulatorService:
             "state.storage": self._session_rpc("storage", "contract", "slot"),
             "hms.status": self._session_rpc("hms_status", "peer"),
         }
+        # Durability: replay first (through the ordinary dispatcher, with
+        # journaling suppressed), then open the journal for appending — a
+        # resumed server continues the very log it was rebuilt from.
+        self.journal: Optional[RequestJournal] = None
+        self._replaying = False
+        if self.config.persist_dir is not None:
+            self.journal = RequestJournal(self.config.persist_dir)
+            if self.config.resume:
+                self._replaying = True
+                try:
+                    self.journal.replay(self.dispatch)
+                finally:
+                    self._replaying = False
+            self.journal.open()
 
     # -- observability -------------------------------------------------------------
 
@@ -215,6 +244,8 @@ class SimulatorService:
             if params is not None and not isinstance(params, dict):
                 raise InvalidParamsError("params must be an object")
             result = handler(dict(params or {}))
+            if self.journal is not None and not self._replaying:
+                self.journal.record(method, params)
         except ServiceError as error:
             self.stats.errors += 1
             self._trace(
@@ -252,7 +283,7 @@ class SimulatorService:
     def _rpc_status(self, params: Dict[str, Any]) -> Dict[str, Any]:
         with self._sessions_lock:
             sessions = list(self._sessions.values())
-        return {
+        status: Dict[str, Any] = {
             "stats": self.stats.as_dict(len(sessions)),
             "closing": self.closed.is_set(),
             "config": {
@@ -271,6 +302,10 @@ class SimulatorService:
                 for session in sessions
             ],
         }
+        if self.journal is not None:
+            status["config"]["persist_dir"] = str(self.config.persist_dir)
+            status["journal"] = self.journal.counters()
+        return status
 
     # -- session lifecycle ---------------------------------------------------------
 
@@ -403,6 +438,8 @@ class SimulatorService:
         if self._eviction_thread is not None:
             self._eviction_thread.join(timeout=2.0)
         self.write_artifacts()
+        if self.journal is not None:
+            self.journal.close()
         unregister_probe("service")
 
     def write_artifacts(self) -> Dict[str, Path]:
@@ -528,6 +565,13 @@ class ServiceServer:
         self._serve_thread: Optional[threading.Thread] = None
         self._stopped = threading.Event()
         self._shutdown_lock = threading.Lock()
+        workers = max(self.config.workers, 1)
+        queue_slots = (
+            2 * workers if self.config.max_queue is None else max(self.config.max_queue, 0)
+        )
+        self._admission_limit = workers + queue_slots
+        self._pending = 0
+        self._pending_lock = threading.Lock()
 
     @property
     def url(self) -> str:
@@ -536,21 +580,53 @@ class ServiceServer:
     # -- request execution ---------------------------------------------------------
 
     def execute(self, method: str, params: Optional[Dict[str, Any]]) -> Dict[str, Any]:
-        """Run one request: control-plane inline, session methods pooled."""
+        """Run one request: control-plane inline, session methods pooled.
+
+        Session methods pass bounded admission first: once ``workers +
+        max_queue`` are already pending, the request is refused immediately
+        with a typed ``server_overloaded`` (and a ``retry_after`` hint sized
+        to the backlog) instead of parking the HTTP thread behind an
+        unbounded executor queue.
+        """
         if method in CONTROL_METHODS:
             return self.service.dispatch(method, params)
         if self.service.closed.is_set():
             raise ServerShutdownError("service is shutting down")
+        with self._pending_lock:
+            if self._pending >= self._admission_limit:
+                backlog = self._pending - max(self.config.workers, 1) + 1
+                retry_after = round(min(1.0, 0.05 * max(backlog, 1)), 3)
+                self.service.stats.rejected_overload += 1
+                self.service._trace(
+                    "rpc.error",
+                    method=method,
+                    error_kind="server_overloaded",
+                    message=f"{self._pending} requests pending",
+                    duration_ms=0.0,
+                )
+                raise ServerOverloadedError(
+                    f"server overloaded: {self._pending} session requests pending "
+                    f"(limit {self._admission_limit}); retry after {retry_after}s",
+                    retry_after=retry_after,
+                )
+            self._pending += 1
         try:
             future: Future = self.executor.submit(self.service.dispatch, method, params)
         except RuntimeError as error:  # executor already shut down
+            with self._pending_lock:
+                self._pending -= 1
             raise ServerShutdownError("service is shutting down") from error
+        future.add_done_callback(self._release_pending)
         try:
             return future.result()
         except CancelledError as error:
             raise ServerShutdownError(
                 "request cancelled: the server shut down before it ran"
             ) from error
+
+    def _release_pending(self, _future: Future) -> None:
+        with self._pending_lock:
+            self._pending -= 1
 
     # -- lifecycle -----------------------------------------------------------------
 
